@@ -1,0 +1,146 @@
+// Ablation bench (beyond the paper's figures): isolates the design choices
+// DESIGN.md documents for this reproduction —
+//   * the advantage baseline in the critic update vs Algorithm 1's raw
+//     cost accumulation;
+//   * windowed vs paper-literal cumulative SLA accounting;
+//   * graded (excess) vs binary overload downtime;
+//   * Q-learning with and without its offline training phase (the paper's
+//     Sec. 2.2 argument for why Q-learning was dropped as a comparator).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "common/string_util.hpp"
+#include "baselines/qlearning.hpp"
+#include "baselines/sandpiper.hpp"
+#include "core/megh_policy.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+using namespace megh;
+
+namespace {
+
+SimulationTotals run_megh(const Scenario& scenario, const MeghConfig& config,
+                          const CostConfig& cost) {
+  MeghPolicy megh(config);
+  Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 3);
+  SimulationConfig sim_config = default_sim_config(0.02);
+  sim_config.cost = cost;
+  Simulation sim(std::move(dc), scenario.trace, sim_config);
+  return sim.run(megh).totals;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  bench::add_standard_flags(args);
+  args.add_flag("hosts", "PM count", "80");
+  args.add_flag("vms", "VM count", "120");
+  args.add_flag("steps", "steps per run (--full = 2016)", "576");
+  if (!args.parse(argc, argv)) return 0;
+  const bool full = bench::full_scale(args);
+  const int hosts = static_cast<int>(args.get_int("hosts"));
+  const int vms = static_cast<int>(args.get_int("vms"));
+  const int steps = full ? 2016 : static_cast<int>(args.get_int("steps"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  bench::print_banner("Ablation — reproduction design choices",
+                      "(not a paper table; justifies DESIGN.md decisions)");
+
+  const Scenario scenario = make_planetlab_scenario(hosts, vms, steps, seed);
+  std::vector<std::vector<std::string>> rows;
+  CsvWriter csv(bench_output_dir() / "ablation_megh.csv");
+  csv.header({"variant", "total_cost_usd", "sla_cost_usd", "migrations",
+              "mean_active_hosts"});
+  const auto record = [&](const std::string& name,
+                          const SimulationTotals& t) {
+    rows.push_back({name, strf("%.1f", t.total_cost_usd),
+                    strf("%.1f", t.sla_cost_usd),
+                    strf("%lld", t.migrations),
+                    strf("%.1f", t.mean_active_hosts)});
+    csv.row_str({name, strf("%.4f", t.total_cost_usd),
+                 strf("%.4f", t.sla_cost_usd), strf("%lld", t.migrations),
+                 strf("%.2f", t.mean_active_hosts)});
+    std::printf("  %-34s cost %8.1f  SLA %8.1f  migrations %6lld\n",
+                name.c_str(), t.total_cost_usd, t.sla_cost_usd, t.migrations);
+  };
+
+  MeghConfig megh_default;
+  megh_default.seed = seed;
+  CostConfig cost_default;
+
+  record("Megh (default)", run_megh(scenario, megh_default, cost_default));
+
+  {
+    MeghConfig c = megh_default;
+    c.advantage_baseline = false;
+    record("Megh, raw Algorithm-1 costs", run_megh(scenario, c, cost_default));
+  }
+  {
+    MeghConfig c = megh_default;
+    c.delta = -1.0;  // paper's B0 = (1/d) I: Q-scale ~1/d, actor ~uniform
+    record("Megh, delta = d (paper literal)",
+           run_megh(scenario, c, cost_default));
+  }
+  {
+    CostConfig c = cost_default;
+    c.sla_accounting = SlaAccounting::kCumulative;
+    record("Megh, cumulative SLA (paper-lit.)",
+           run_megh(scenario, megh_default, c));
+  }
+  {
+    CostConfig c = cost_default;
+    c.overload_mode = OverloadDowntimeMode::kBinary;
+    record("Megh, binary overload downtime",
+           run_megh(scenario, megh_default, c));
+  }
+  {
+    MeghConfig c = megh_default;
+    c.gamma = 0.0;  // myopic critic
+    record("Megh, gamma = 0 (myopic)", run_megh(scenario, c, cost_default));
+  }
+  {
+    MeghConfig c = megh_default;
+    c.gamma = 0.9;  // long-horizon critic
+    record("Megh, gamma = 0.9", run_megh(scenario, c, cost_default));
+  }
+
+  {
+    SandpiperPolicy sandpiper;
+    ExperimentOptions options;
+    const ExperimentResult r = run_experiment(scenario, sandpiper, options);
+    record("Sandpiper (hotspot-only)", r.sim.totals);
+  }
+
+  // Q-learning with and without its offline training phase (Sec. 2.2).
+  {
+    QLearningConfig qc;
+    qc.seed = seed;
+    QLearningPolicy ql(qc);
+    ql.set_training(false);  // deployed cold: no training phase
+    ExperimentOptions options;
+    const ExperimentResult r = run_experiment(scenario, ql, options);
+    record("Q-learning, no offline training", r.sim.totals);
+  }
+  {
+    QLearningConfig qc;
+    qc.seed = seed;
+    QLearningPolicy ql(qc);
+    // Offline training pass on a *different* seed's workload, then deploy.
+    const Scenario train =
+        make_planetlab_scenario(hosts, vms, steps, seed + 5000);
+    ql.set_training(true);
+    ExperimentOptions options;
+    (void)run_experiment(train, ql, options);
+    ql.set_training(false);
+    const ExperimentResult r = run_experiment(scenario, ql, options);
+    record("Q-learning, offline-trained", r.sim.totals);
+  }
+
+  print_table("Ablation summary",
+              {"variant", "cost", "SLA", "migrations", "hosts"}, rows);
+  std::printf("wrote %s\n", (bench_output_dir() / "ablation_megh.csv").c_str());
+  return 0;
+}

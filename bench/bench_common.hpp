@@ -1,0 +1,34 @@
+// Shared plumbing for the bench binaries: the --full switch (paper-scale
+// configurations vs fast defaults), standard flags, and a paper-reference
+// printing helper so every bench shows "paper reported → we measured".
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/args.hpp"
+
+namespace megh::bench {
+
+/// True when --full was passed or MEGH_BENCH_FULL=1 is set: run the paper's
+/// exact configuration instead of the fast default.
+inline bool full_scale(const Args& args) {
+  if (args.get_bool("full")) return true;
+  const char* env = std::getenv("MEGH_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+inline void add_standard_flags(Args& args) {
+  args.add_bool("full", "run the paper-scale configuration");
+  args.add_flag("seed", "experiment seed", "42");
+}
+
+inline void print_banner(const char* experiment, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace megh::bench

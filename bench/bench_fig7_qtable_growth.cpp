@@ -1,0 +1,99 @@
+// Figure 7 reproduction: growth of the number of non-zero elements in
+// Megh's Q-table with time, for increasing numbers of PMs (with #VMs =
+// #PMs, as in the paper).
+//
+// Paper shape: nnz grows linearly with time; larger fleets shift the curve
+// up by a factor roughly linear in the PM count (~0.3 per PM) — i.e. the
+// model stays sublinear in the d = N × M action space and each iteration's
+// complexity increment is constant.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "common/string_util.hpp"
+#include "core/megh_policy.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+using namespace megh;
+
+int main(int argc, char** argv) {
+  Args args;
+  bench::add_standard_flags(args);
+  args.add_flag("steps", "steps per run (--full = 864)", "288");
+  if (!args.parse(argc, argv)) return 0;
+  const bool full = bench::full_scale(args);
+  const int steps = full ? 864 : static_cast<int>(args.get_int("steps"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const std::vector<int> sizes = full ? std::vector<int>{100, 200, 400, 800}
+                                      : std::vector<int>{50, 100, 200};
+
+  bench::print_banner(
+      "Figure 7 — Q-table non-zeros vs time and fleet size",
+      "nnz grows linearly with time and shifts linearly with #PMs "
+      "(sublinear in the N x M action space)");
+
+  CsvWriter csv(bench_output_dir() / "fig7_qtable_growth.csv");
+  csv.header({"pms", "step", "qtable_nnz"});
+
+  std::vector<std::vector<std::string>> rows;
+  for (int size : sizes) {
+    const Scenario scenario =
+        make_planetlab_scenario(size, size, steps, seed);
+    MeghConfig config;
+    config.seed = seed;
+    MeghPolicy megh(config);
+    ExperimentOptions options;
+    options.max_migration_fraction = 0.02;
+    const ExperimentResult r = run_experiment(scenario, megh, options);
+    const auto nnz = r.sim.series("qtable_nnz");
+    for (std::size_t i = 0; i < nnz.size(); i += 4) {
+      csv.row({static_cast<double>(size), static_cast<double>(i), nnz[i]});
+    }
+    // Linear fit nnz ≈ a + b·t to report the growth rate.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    const int n = static_cast<int>(nnz.size());
+    for (int i = 0; i < n; ++i) {
+      sx += i;
+      sy += nnz[static_cast<std::size_t>(i)];
+      sxx += static_cast<double>(i) * i;
+      sxy += i * nnz[static_cast<std::size_t>(i)];
+    }
+    const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    const double intercept = (sy - slope * sx) / n;
+    // R² of the linear fit (the "grows linearly" claim).
+    double ss_res = 0, ss_tot = 0;
+    const double mean_y = sy / n;
+    for (int i = 0; i < n; ++i) {
+      const double y = nnz[static_cast<std::size_t>(i)];
+      const double fit = intercept + slope * i;
+      ss_res += (y - fit) * (y - fit);
+      ss_tot += (y - mean_y) * (y - mean_y);
+    }
+    const double r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+    rows.push_back({std::to_string(size), strf("%.0f", nnz.back()),
+                    strf("%.2f", slope), strf("%.3f", r2),
+                    strf("%.2f", nnz.back() / size)});
+    std::printf("  %d PMs: final nnz %.0f, growth %.2f nnz/step (R²=%.3f)\n",
+                size, nnz.back(), slope, r2);
+  }
+
+  print_table("Figure 7 — Q-table growth",
+              {"#PMs", "final nnz", "nnz/step", "linear R^2", "nnz per PM"},
+              rows);
+
+  std::printf("\nshape checks:\n");
+  const double first_r2 = parse_double(rows.front()[3], "r2");
+  std::printf("  linear-in-time growth (R² > 0.9): %s\n",
+              first_r2 > 0.9 ? "PASS" : "FAIL");
+  const double small = parse_double(rows.front()[1], "nnz");
+  const double large = parse_double(rows.back()[1], "nnz");
+  const double d_ratio =
+      static_cast<double>(sizes.back()) * sizes.back() /
+      (static_cast<double>(sizes.front()) * sizes.front());
+  std::printf("  sublinear in d = N x M (nnz ratio %.1fx << d ratio %.1fx): %s\n",
+              large / small, d_ratio, large / small < d_ratio ? "PASS" : "FAIL");
+  std::printf("wrote %s\n",
+              (bench_output_dir() / "fig7_qtable_growth.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Micro-benchmarks (google-benchmark): the Sec. 5.2 complexity claims in
+// isolation — a Sherman–Morrison step on the sparse structure is
+// near-constant time regardless of d, while dense inversion is O(d³) and a
+// dense Sherman–Morrison update O(d²).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/lspi.hpp"
+#include "linalg/sherman_morrison.hpp"
+
+namespace megh {
+namespace {
+
+void BM_SparseUnitShermanMorrison(benchmark::State& state) {
+  const std::int64_t d = state.range(0);
+  LspiLearner learner(d, 0.5);
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto a =
+        static_cast<std::int64_t>(rng.index(static_cast<std::size_t>(d)));
+    const auto b =
+        static_cast<std::int64_t>(rng.index(static_cast<std::size_t>(d)));
+    learner.update(a, 1.0, b);
+    benchmark::DoNotOptimize(learner.q_value(a));
+  }
+  state.SetLabel("qtable_nnz=" + std::to_string(learner.qtable_nnz()));
+}
+BENCHMARK(BM_SparseUnitShermanMorrison)
+    ->Arg(1 << 10)
+    ->Arg(1 << 14)
+    ->Arg(1 << 18)
+    ->Arg(841600);  // the paper's PlanetLab d = 1052 x 800
+
+void BM_DenseShermanMorrison(benchmark::State& state) {
+  const std::int64_t d = state.range(0);
+  DenseMatrix B = DenseMatrix::identity(d, 1.0 / static_cast<double>(d));
+  Rng rng(1);
+  std::vector<double> u(static_cast<std::size_t>(d), 0.0);
+  std::vector<double> v(static_cast<std::size_t>(d), 0.0);
+  for (auto _ : state) {
+    const auto a = rng.index(static_cast<std::size_t>(d));
+    const auto b = rng.index(static_cast<std::size_t>(d));
+    u.assign(static_cast<std::size_t>(d), 0.0);
+    v.assign(static_cast<std::size_t>(d), 0.0);
+    u[a] = 1.0;
+    v[a] = 1.0;
+    v[b] -= 0.5;
+    sherman_morrison_update(B, u, v);
+    benchmark::DoNotOptimize(B.at(0, 0));
+  }
+}
+BENCHMARK(BM_DenseShermanMorrison)->Arg(1 << 6)->Arg(1 << 8)->Arg(1 << 10);
+
+void BM_DenseFullInverse(benchmark::State& state) {
+  const std::int64_t d = state.range(0);
+  Rng rng(2);
+  DenseMatrix m = DenseMatrix::identity(d, 2.0);
+  for (std::int64_t i = 0; i < d; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      m.at(i, j) += rng.normal(0.0, 0.05);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.inverse());
+  }
+}
+BENCHMARK(BM_DenseFullInverse)->Arg(1 << 5)->Arg(1 << 7)->Arg(1 << 8);
+
+void BM_SparseMatrixRowExtraction(benchmark::State& state) {
+  const std::int64_t d = 1 << 16;
+  SparseMatrix m(d, 1.0 / static_cast<double>(d));
+  Rng rng(3);
+  for (int k = 0; k < state.range(0); ++k) {
+    m.set(static_cast<SparseMatrix::Index>(rng.index(static_cast<std::size_t>(d))),
+          static_cast<SparseMatrix::Index>(rng.index(static_cast<std::size_t>(d))),
+          rng.normal());
+  }
+  for (auto _ : state) {
+    const auto r = static_cast<SparseMatrix::Index>(
+        rng.index(static_cast<std::size_t>(d)));
+    benchmark::DoNotOptimize(m.row(r));
+  }
+}
+BENCHMARK(BM_SparseMatrixRowExtraction)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace megh
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Quickstart: build a small data center, run Megh against a PlanetLab-like
+// workload, and print the headline metrics. This is the README's
+// first-contact example — everything here is public API.
+#include <cstdio>
+
+#include "core/megh_policy.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "harness/scenario.hpp"
+
+int main() {
+  using namespace megh;
+
+  // 1. A scenario: 40 hosts (half HP G4, half G5), 60 VMs, 1 day of
+  //    5-minute samples of bursty PlanetLab-like CPU utilization.
+  const Scenario scenario = make_planetlab_scenario(
+      /*hosts=*/40, /*vms=*/60, /*steps=*/288, /*seed=*/1);
+
+  // 2. Megh with the paper's defaults: gamma = 0.5, Temp0 = 3,
+  //    epsilon = 0.01, at most 2% of VMs migrated per step.
+  MeghPolicy megh{MeghConfig{}};
+
+  // 3. Run. The engine times every decision, applies migrations, accrues
+  //    energy + SLA costs and feeds the step cost back to the learner.
+  ExperimentOptions options;
+  options.max_migration_fraction = 0.02;
+  const ExperimentResult result = run_experiment(scenario, megh, options);
+
+  // 4. Results.
+  std::printf("policy           : %s\n", result.policy.c_str());
+  std::printf("steps            : %d\n", result.sim.totals.steps);
+  std::printf("total cost (USD) : %.2f\n", result.sim.totals.total_cost_usd);
+  std::printf("  energy (USD)   : %.2f\n", result.sim.totals.energy_cost_usd);
+  std::printf("  SLA (USD)      : %.2f\n", result.sim.totals.sla_cost_usd);
+  std::printf("#migrations      : %lld\n", result.sim.totals.migrations);
+  std::printf("mean active hosts: %.1f / %d\n",
+              result.sim.totals.mean_active_hosts,
+              static_cast<int>(scenario.hosts.size()));
+  std::printf("mean exec time   : %.3f ms/step\n",
+              result.sim.totals.mean_exec_ms);
+  std::printf("%s\n", convergence_summary(result).c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Host overload detection algorithms of the MMT consolidation family
+// (Beloglazov & Buyya; the paper's comparators THR/IQR/MAD/LR/LRR-MMT,
+// Sec. 2.1).
+//
+// Each detector decides, from a host's utilization history, whether the
+// host is overloaded and a migration should be triggered:
+//   THR — fixed utilization threshold (default: the paper's β = 0.7);
+//   IQR — adaptive threshold 1 − s·IQR(history), s = 1.5;
+//   MAD — adaptive threshold 1 − s·MAD(history), s = 2.5;
+//   LR  — least-squares forecast of the next utilization; overloaded when
+//         safety·prediction ≥ 1, safety = 1.2;
+//   LRR — robust (iteratively reweighted, bisquare) regression variant.
+// Adaptive detectors fall back to THR until enough history accumulates.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace megh {
+
+enum class DetectorKind { kThr, kIqr, kMad, kLr, kLrr };
+
+std::string detector_name(DetectorKind kind);
+
+struct DetectorParams {
+  double thr_threshold = 0.7;   // THR (and fallback) threshold = beta (Sec. 6.1)
+  double iqr_safety = 1.5;
+  double mad_safety = 2.5;
+  double lr_safety = 1.2;
+  int history_window = 30;      // samples kept per host
+  int regression_points = 10;   // samples used by LR/LRR
+};
+
+class OverloadDetector {
+ public:
+  virtual ~OverloadDetector() = default;
+  virtual std::string name() const = 0;
+
+  /// Is a host with this utilization history (most recent last, current
+  /// value included) overloaded?
+  virtual bool overloaded(std::span<const double> history) const = 0;
+
+  /// The utilization level the detector is currently treating as the
+  /// overload boundary (used by VM selection to decide how many VMs to
+  /// evacuate). For LR/LRR this is the fallback threshold.
+  virtual double threshold(std::span<const double> history) const = 0;
+};
+
+std::unique_ptr<OverloadDetector> make_detector(DetectorKind kind,
+                                                const DetectorParams& params);
+
+/// Ordinary least-squares fit y = a + b·x over x = 0..n-1; returns the
+/// prediction at x = n. Exposed for tests.
+double ols_forecast(std::span<const double> ys);
+
+/// Iteratively reweighted least squares with bisquare weights (robust to the
+/// utilization spikes PlanetLab workloads exhibit); prediction at x = n.
+double robust_forecast(std::span<const double> ys, int iterations = 5);
+
+}  // namespace megh

@@ -1,0 +1,74 @@
+// Tabular Q-learning baseline (Watkins & Dayan), as discussed in Sec. 2.2.
+//
+// The paper relegates Q-learning behind MadVM because it requires an
+// offline training phase before it can be deployed online and degrades when
+// the live workload drifts from the training one. This implementation makes
+// that property explicit: `pretrain()` runs the policy in high-exploration
+// training mode against a (training) trace; afterwards the policy runs with
+// a small exploration rate. The ablation bench contrasts pretrained vs
+// untrained deployment.
+//
+// State: (overloaded-host fraction bucket, mean active-host utilization
+// bucket, active-host fraction bucket). Macro-actions: do nothing /
+// evacuate the most overloaded host's MMT pick / consolidate the least
+// utilized host / both. Reward: −step cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/policy.hpp"
+
+namespace megh {
+
+struct QLearningConfig {
+  int overload_buckets = 5;
+  int util_buckets = 5;
+  int active_buckets = 5;
+  double alpha = 0.1;          // learning rate
+  double gamma = 0.9;
+  double epsilon_train = 0.4;  // exploration while training
+  double epsilon_run = 0.02;   // exploration after deployment
+  double placement_ceiling = 0.7;
+  std::uint64_t seed = 13;
+};
+
+class QLearningPolicy : public MigrationPolicy {
+ public:
+  explicit QLearningPolicy(const QLearningConfig& config = {});
+
+  std::string name() const override {
+    return training_ ? "Q-learning(train)" : "Q-learning";
+  }
+  void begin(const Datacenter& dc, const CostConfig& cost,
+             double interval_s) override;
+  std::vector<MigrationAction> decide(const StepObservation& obs) override;
+  void observe_cost(double step_cost) override;
+  std::map<std::string, double> stats() const override;
+
+  /// Switch between offline-training and deployment exploration rates.
+  /// begin() does NOT reset the Q-table, so train-then-deploy works by
+  /// running two simulations with the same policy object.
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  int num_states() const;
+  static constexpr int kNumActions = 4;
+  double q(int state, int action) const;
+
+ private:
+  int encode_state(const StepObservation& obs) const;
+  std::vector<MigrationAction> macro_action(int action,
+                                            const StepObservation& obs);
+
+  QLearningConfig config_;
+  Rng rng_;
+  bool training_ = true;
+  double beta_ = 0.7;
+  std::vector<double> q_;  // [state * kNumActions + action]
+  int last_state_ = -1;
+  int last_action_ = -1;
+  long long updates_ = 0;
+};
+
+}  // namespace megh

@@ -1,0 +1,58 @@
+// Sandpiper-style black-box hotspot mitigation (Wood et al., NSDI'07 — the
+// paper's reference [17] for hotspot elimination).
+//
+// Sandpiper characterizes each host by its *volume*
+//     vol = 1/(1 − cpu) · 1/(1 − mem) · [1/(1 − net)]
+// (higher = more loaded across resources), detects a hotspot when a host
+// stays overloaded for k consecutive observations (sustained, not
+// transient), and then migrates the VM with the highest volume-to-size
+// ratio (most load moved per byte of RAM copied) to the least-volume host
+// that fits. It mitigates hotspots only — no energy consolidation — which
+// makes it a useful contrast to both the MMT family (consolidation-driven)
+// and Megh (cost-driven).
+//
+// This reproduction uses the two resources the simulator models: CPU
+// utilization and RAM occupancy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/policy.hpp"
+
+namespace megh {
+
+struct SandpiperConfig {
+  /// CPU utilization above which a host counts as hot.
+  double hotspot_threshold = 0.7;
+  /// Consecutive hot observations required before acting (Sandpiper's
+  /// sustained-overload rule; avoids reacting to one-interval spikes).
+  int sustain_steps = 2;
+  /// Post-placement CPU ceiling for migration targets.
+  double placement_ceiling = 0.7;
+  /// Cap on migrations per hotspot per step (Sandpiper moves one VM at a
+  /// time and re-evaluates).
+  int moves_per_hotspot = 1;
+};
+
+/// Host volume from CPU utilization and RAM occupancy fractions (each
+/// clamped below 1 to keep the product finite).
+double sandpiper_volume(double cpu_util, double ram_fraction);
+
+class SandpiperPolicy : public MigrationPolicy {
+ public:
+  explicit SandpiperPolicy(const SandpiperConfig& config = {});
+
+  std::string name() const override { return "Sandpiper"; }
+  void begin(const Datacenter& dc, const CostConfig& cost,
+             double interval_s) override;
+  std::vector<MigrationAction> decide(const StepObservation& obs) override;
+  std::map<std::string, double> stats() const override;
+
+ private:
+  SandpiperConfig config_;
+  std::vector<int> hot_streak_;  // consecutive hot observations per host
+  long long hotspots_resolved_ = 0;
+};
+
+}  // namespace megh

@@ -1,0 +1,20 @@
+#include "baselines/simple_policies.hpp"
+
+namespace megh {
+
+std::vector<MigrationAction> RandomPolicy::decide(const StepObservation& obs) {
+  const Datacenter& dc = *obs.dc;
+  std::vector<MigrationAction> out;
+  for (int i = 0; i < migrations_per_step_; ++i) {
+    const int vm =
+        static_cast<int>(rng_.index(static_cast<std::size_t>(dc.num_vms())));
+    const int host =
+        static_cast<int>(rng_.index(static_cast<std::size_t>(dc.num_hosts())));
+    if (host != dc.host_of(vm) && dc.fits(vm, host)) {
+      out.push_back(MigrationAction{vm, host});
+    }
+  }
+  return out;
+}
+
+}  // namespace megh

@@ -1,0 +1,36 @@
+// Reference policies used by tests, examples and ablations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/policy.hpp"
+
+namespace megh {
+
+/// Never migrates: the static-allocation lower bound on migration count and
+/// the baseline for "does learning beat doing nothing".
+class NoMigrationPolicy : public MigrationPolicy {
+ public:
+  std::string name() const override { return "NoMigration"; }
+  std::vector<MigrationAction> decide(const StepObservation&) override {
+    return {};
+  }
+};
+
+/// Migrates `migrations_per_step` random VMs to random RAM-feasible hosts —
+/// the sanity floor every learning policy must beat.
+class RandomPolicy : public MigrationPolicy {
+ public:
+  explicit RandomPolicy(int migrations_per_step = 1, std::uint64_t seed = 5)
+      : migrations_per_step_(migrations_per_step), rng_(seed) {}
+
+  std::string name() const override { return "Random"; }
+  std::vector<MigrationAction> decide(const StepObservation& obs) override;
+
+ private:
+  int migrations_per_step_;
+  Rng rng_;
+};
+
+}  // namespace megh

@@ -1,0 +1,62 @@
+#include "baselines/vm_selection.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sim/host_spec.hpp"
+
+namespace megh {
+
+std::string vm_selection_name(VmSelectionKind kind) {
+  switch (kind) {
+    case VmSelectionKind::kMinMigrationTime: return "MMT";
+    case VmSelectionKind::kMaxUtilization: return "MaxUtil";
+    case VmSelectionKind::kMinUtilization: return "MinUtil";
+    case VmSelectionKind::kRandom: return "Random";
+  }
+  return "?";
+}
+
+int select_vm(VmSelectionKind kind, const Datacenter& dc,
+              std::span<const int> vms, Rng& rng) {
+  MEGH_REQUIRE(!vms.empty(), "select_vm: empty VM list");
+  switch (kind) {
+    case VmSelectionKind::kMinMigrationTime:
+      return *std::min_element(vms.begin(), vms.end(), [&](int a, int b) {
+        const double ta = migration_time_s(dc.vm_spec(a).ram_mb,
+                                           dc.vm_spec(a).bw_mbps);
+        const double tb = migration_time_s(dc.vm_spec(b).ram_mb,
+                                           dc.vm_spec(b).bw_mbps);
+        return ta < tb;
+      });
+    case VmSelectionKind::kMaxUtilization:
+      return *std::max_element(vms.begin(), vms.end(), [&](int a, int b) {
+        return dc.vm_demand_mips(a) < dc.vm_demand_mips(b);
+      });
+    case VmSelectionKind::kMinUtilization:
+      return *std::min_element(vms.begin(), vms.end(), [&](int a, int b) {
+        return dc.vm_demand_mips(a) < dc.vm_demand_mips(b);
+      });
+    case VmSelectionKind::kRandom:
+      return vms[rng.index(vms.size())];
+  }
+  throw ConfigError("unknown VM selection kind");
+}
+
+std::vector<int> select_vms_until_under(VmSelectionKind kind,
+                                        const Datacenter& dc, int host,
+                                        double target_util, Rng& rng) {
+  std::vector<int> remaining(dc.vms_on(host).begin(), dc.vms_on(host).end());
+  std::vector<int> selected;
+  double demand = dc.host_demand_mips(host);
+  const double capacity = dc.host_spec(host).mips;
+  while (!remaining.empty() && demand > target_util * capacity) {
+    const int vm = select_vm(kind, dc, remaining, rng);
+    selected.push_back(vm);
+    demand -= dc.vm_demand_mips(vm);
+    remaining.erase(std::find(remaining.begin(), remaining.end(), vm));
+  }
+  return selected;
+}
+
+}  // namespace megh

@@ -1,0 +1,39 @@
+// VM selection policies for evacuating an overloaded host.
+//
+// The paper's comparators all use Minimum Migration Time (MMT): among the
+// host's VMs pick the one with the smallest RAM/bandwidth ratio, i.e. the
+// fastest to move (Sec. 2.1). Alternative selectors are provided for
+// ablations and tests.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/datacenter.hpp"
+
+namespace megh {
+
+enum class VmSelectionKind {
+  kMinMigrationTime,  // MMT: smallest RAM/BW
+  kMaxUtilization,    // biggest CPU demand first (fastest relief)
+  kMinUtilization,    // smallest CPU demand first
+  kRandom,
+};
+
+std::string vm_selection_name(VmSelectionKind kind);
+
+/// Pick one VM from `vms` according to the policy. `rng` is used only by
+/// kRandom. Requires a non-empty list.
+int select_vm(VmSelectionKind kind, const Datacenter& dc,
+              std::span<const int> vms, Rng& rng);
+
+/// Repeatedly select VMs from `host` until its demanded utilization would
+/// drop to `target_util` or below (or no VMs remain). Returns the VMs in
+/// selection order; the datacenter is not modified.
+std::vector<int> select_vms_until_under(VmSelectionKind kind,
+                                        const Datacenter& dc, int host,
+                                        double target_util, Rng& rng);
+
+}  // namespace megh

@@ -1,0 +1,90 @@
+#include "common/csv.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace megh {
+
+CsvWriter::CsvWriter(const std::filesystem::path& path) : path_(path) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  out_.open(path);
+  if (!out_) {
+    throw IoError("cannot open CSV for writing: " + path.string());
+  }
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  row_str(names);
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    const double v = cells[i];
+    if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+      out_ << static_cast<long long>(v);
+    } else {
+      out_ << strf("%.10g", v);
+    }
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_str(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::comment(const std::string& text) { out_ << "# " << text << '\n'; }
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw IoError("CSV column not found: " + name);
+}
+
+CsvTable read_csv(const std::filesystem::path& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("cannot open CSV for reading: " + path.string());
+  }
+  CsvTable table;
+  std::string line;
+  bool header_done = !has_header;
+  std::size_t expected_cols = 0;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view t = trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    const auto fields = split(t, ',');
+    if (!header_done) {
+      for (const auto& f : fields) table.header.emplace_back(trim(f));
+      header_done = true;
+      expected_cols = fields.size();
+      continue;
+    }
+    if (expected_cols == 0) expected_cols = fields.size();
+    if (fields.size() != expected_cols) {
+      throw IoError("ragged CSV row at " + path.string() + ":" +
+                    std::to_string(line_no));
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& f : fields) {
+      row.push_back(parse_double(f, path.string() + ":" + std::to_string(line_no)));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace megh

@@ -1,0 +1,56 @@
+// Minimal CSV reading/writing used for trace files and bench outputs.
+//
+// The format is deliberately plain: comma-separated, '#'-prefixed comment
+// lines, no quoting (none of our data needs it).
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace megh {
+
+/// Streams rows of doubles/strings into a CSV file; creates parent
+/// directories on open. The file is flushed and closed by the destructor.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::filesystem::path& path);
+
+  /// Write a header row (once, typically first).
+  void header(const std::vector<std::string>& names);
+
+  /// Write one row of numeric cells.
+  void row(const std::vector<double>& cells);
+
+  /// Write one row of preformatted string cells.
+  void row_str(const std::vector<std::string>& cells);
+
+  /// Write a '#'-prefixed comment line.
+  void comment(const std::string& text);
+
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+  std::ofstream out_;
+};
+
+/// Fully materialized CSV contents: a header (possibly empty) and numeric
+/// rows. Ragged rows are rejected.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  std::size_t num_rows() const { return rows.size(); }
+  std::size_t num_cols() const { return rows.empty() ? header.size() : rows[0].size(); }
+
+  /// Index of a header column; throws IoError if absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Read a whole CSV file of doubles. `has_header` controls whether the first
+/// non-comment line is parsed as column names.
+CsvTable read_csv(const std::filesystem::path& path, bool has_header);
+
+}  // namespace megh

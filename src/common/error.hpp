@@ -1,0 +1,55 @@
+// Error handling primitives for the megh library.
+//
+// Policy (following the C++ Core Guidelines, E.*):
+//  - `megh::Error` (an exception) reports *user-facing* failures: bad
+//    configuration, malformed input files, impossible scenario parameters.
+//  - `MEGH_ASSERT` guards *internal invariants*; violations are programming
+//    bugs. Assertions stay on in release builds — the simulator is cheap
+//    enough that correctness beats the last few percent of speed.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace megh {
+
+/// Base exception for all user-facing errors raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a configuration value is out of its documented domain.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an input file (trace CSV, etc.) cannot be read or parsed.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace megh
+
+/// Always-on invariant check. `msg` may use string concatenation.
+#define MEGH_ASSERT(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::megh::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));    \
+    }                                                                   \
+  } while (false)
+
+/// Validate a user-supplied condition; throws ConfigError on failure.
+#define MEGH_REQUIRE(expr, msg)                  \
+  do {                                           \
+    if (!(expr)) {                               \
+      throw ::megh::ConfigError((msg));          \
+    }                                            \
+  } while (false)

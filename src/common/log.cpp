@@ -1,0 +1,52 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace megh {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("MEGH_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level));
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_storage().load());
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) > static_cast<int>(log_level())) return;
+  std::fprintf(stderr, "[megh %s] %s\n", tag(level), msg.c_str());
+}
+
+}  // namespace megh

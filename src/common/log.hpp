@@ -1,0 +1,26 @@
+// Leveled stderr logging. The level is process-global and settable both
+// programmatically and via the MEGH_LOG environment variable
+// (error|warn|info|debug). Benches default to `info`, tests to `warn`.
+#pragma once
+
+#include <string>
+
+namespace megh {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Set the global log threshold.
+void set_log_level(LogLevel level);
+
+/// Current threshold (initialized from MEGH_LOG on first use).
+LogLevel log_level();
+
+/// Emit a message if `level` passes the threshold. Prefer the macros below.
+void log_message(LogLevel level, const std::string& msg);
+
+}  // namespace megh
+
+#define MEGH_LOG_ERROR(msg) ::megh::log_message(::megh::LogLevel::kError, (msg))
+#define MEGH_LOG_WARN(msg) ::megh::log_message(::megh::LogLevel::kWarn, (msg))
+#define MEGH_LOG_INFO(msg) ::megh::log_message(::megh::LogLevel::kInfo, (msg))
+#define MEGH_LOG_DEBUG(msg) ::megh::log_message(::megh::LogLevel::kDebug, (msg))

@@ -1,0 +1,29 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace megh {
+
+double Rng::log_uniform(double lo, double hi) {
+  MEGH_ASSERT(lo > 0.0 && hi >= lo, "log_uniform requires 0 < lo <= hi");
+  const double u = uniform(std::log(lo), std::log(hi));
+  return std::exp(u);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  MEGH_REQUIRE(!weights.empty(), "weighted_index: empty weight vector");
+  double total = 0.0;
+  for (double w : weights) {
+    MEGH_REQUIRE(w >= 0.0, "weighted_index: negative weight");
+    total += w;
+  }
+  MEGH_REQUIRE(total > 0.0, "weighted_index: all weights are zero");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: r stayed positive by epsilon
+}
+
+}  // namespace megh

@@ -1,0 +1,91 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library takes an explicit `Rng&` (or a
+// seed) so that experiments are reproducible run-to-run and the test suite
+// can pin behaviour. A single global RNG is deliberately not provided.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+
+#include "common/error.hpp"
+
+namespace megh {
+
+/// Seeded pseudo-random generator with the distribution helpers the
+/// simulator and learners need. Thin wrapper over std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    MEGH_ASSERT(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    MEGH_ASSERT(lo <= hi, "uniform_int(lo, hi) requires lo <= hi");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal draw scaled to N(mean, stddev^2).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return mean + stddev * normal_(engine_);
+  }
+
+  /// Log-normal draw: exp(N(mu, sigma^2)).
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Exponential draw with the given rate (lambda > 0).
+  double exponential(double rate) {
+    MEGH_ASSERT(rate > 0.0, "exponential rate must be positive");
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p) {
+    MEGH_ASSERT(p >= 0.0 && p <= 1.0, "bernoulli p out of [0,1]");
+    return uniform() < p;
+  }
+
+  /// Log-uniform draw in [lo, hi], lo > 0. Used for Google-style task
+  /// durations spread over several orders of magnitude.
+  double log_uniform(double lo, double hi);
+
+  /// Pick a uniformly random index into a container of size n (n > 0).
+  std::size_t index(std::size_t n) {
+    MEGH_ASSERT(n > 0, "index(n) requires n > 0");
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Sample an index from an (unnormalized, non-negative) weight vector.
+  /// Throws ConfigError if all weights are zero or any weight is negative.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    std::shuffle(c.begin(), c.end(), engine_);
+  }
+
+  /// Derive an independent child generator (for per-VM streams).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace megh

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used to time policy decision calls — the
+// "execution time per step" metric reported throughout the paper's
+// evaluation (Tables 2/3, Figures 2(d), 3(d), 4(d), 5(d), 6).
+#pragma once
+
+#include <chrono>
+
+namespace megh {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart the watch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/reset, in milliseconds.
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  double elapsed_s() const { return elapsed_ms() / 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace megh

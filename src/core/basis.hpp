@@ -1,0 +1,54 @@
+// The sparse action basis (Sec. 5, Theorem 1).
+//
+// Megh projects the combinatorial state-action space onto d = N × M basis
+// vectors φ_{jk}, one per action "migrate VM j to PM k" (k equal to j's
+// current host encodes the no-op, answering *when* to migrate). Each φ_{jk}
+// is the unit vector e_{jk}, so the projection space never needs to be
+// materialized — an action is just its flat index.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace megh {
+
+class ActionBasis {
+ public:
+  ActionBasis(int num_vms, int num_hosts)
+      : num_vms_(num_vms), num_hosts_(num_hosts) {
+    MEGH_REQUIRE(num_vms > 0 && num_hosts > 0,
+                 "action basis requires positive VM and host counts");
+  }
+
+  /// Dimension d = N × M of the projected space.
+  std::int64_t dim() const {
+    return static_cast<std::int64_t>(num_vms_) * num_hosts_;
+  }
+
+  /// Flat index of action (vm → host).
+  std::int64_t index(int vm, int host) const {
+    MEGH_ASSERT(vm >= 0 && vm < num_vms_ && host >= 0 && host < num_hosts_,
+                "action out of range");
+    return static_cast<std::int64_t>(vm) * num_hosts_ + host;
+  }
+
+  int vm_of(std::int64_t action) const {
+    MEGH_ASSERT(action >= 0 && action < dim(), "action index out of range");
+    return static_cast<int>(action / num_hosts_);
+  }
+
+  int host_of(std::int64_t action) const {
+    MEGH_ASSERT(action >= 0 && action < dim(), "action index out of range");
+    return static_cast<int>(action % num_hosts_);
+  }
+
+  int num_vms() const { return num_vms_; }
+  int num_hosts() const { return num_hosts_; }
+
+ private:
+  int num_vms_;
+  int num_hosts_;
+};
+
+}  // namespace megh

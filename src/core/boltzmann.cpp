@@ -1,0 +1,50 @@
+#include "core/boltzmann.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace megh {
+
+BoltzmannSelector::BoltzmannSelector(double temp0, double epsilon)
+    : temp_(temp0), epsilon_(epsilon) {
+  MEGH_REQUIRE(temp0 > 0.0, "Boltzmann Temp0 must be positive");
+  MEGH_REQUIRE(epsilon >= 0.0, "Boltzmann epsilon must be non-negative");
+}
+
+std::vector<double> BoltzmannSelector::weights(
+    std::span<const double> q_values) const {
+  MEGH_ASSERT(!q_values.empty(), "Boltzmann weights need at least one action");
+  const double min_q = *std::min_element(q_values.begin(), q_values.end());
+  std::vector<double> w;
+  w.reserve(q_values.size());
+  // Guard against a fully-decayed temperature: exp argument is <= 0, so
+  // weights lie in [0, 1]; a tiny temp simply drives non-minimal weights
+  // to 0 (greedy behaviour), which is the intended limit.
+  const double temp = std::max(temp_, 1e-12);
+  for (double q : q_values) {
+    w.push_back(std::exp(-(q - min_q) / temp));
+  }
+  return w;
+}
+
+std::size_t BoltzmannSelector::sample(std::span<const double> q_values,
+                                      Rng& rng) const {
+  const std::vector<double> w = weights(q_values);
+  double total = 0.0;
+  for (double x : w) total += x;
+  if (!(total > 0.0) || !std::isfinite(total)) return greedy(q_values);
+  return rng.weighted_index(w);
+}
+
+std::size_t BoltzmannSelector::greedy(std::span<const double> q_values) {
+  MEGH_ASSERT(!q_values.empty(), "greedy selection needs at least one action");
+  return static_cast<std::size_t>(
+      std::min_element(q_values.begin(), q_values.end()) - q_values.begin());
+}
+
+void BoltzmannSelector::decay() { temp_ *= std::exp(-epsilon_); }
+
+}  // namespace megh

@@ -1,0 +1,236 @@
+#include "core/candidates.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <span>
+#include <numeric>
+#include <unordered_set>
+
+#include "sim/placement.hpp"
+
+namespace megh {
+
+namespace {
+
+bool target_feasible(const Datacenter& dc, std::span<const double> host_util,
+                     int vm, int host, double util_ceiling) {
+  if (!dc.fits(vm, host)) return false;
+  const double capacity = dc.host_spec(host).mips;
+  const double post = host_util[static_cast<std::size_t>(host)] * capacity +
+                      dc.vm_demand_mips(vm);
+  return post <= util_ceiling * capacity + 1e-9;
+}
+
+/// PABFD over the cached utilizations (placement.cpp's generic version
+/// recomputes host demand per probe, which dominates Megh's decide() at
+/// 800-host scale).
+std::optional<int> cached_pabfd(const Datacenter& dc,
+                                std::span<const double> host_util, int vm,
+                                double util_ceiling) {
+  std::optional<int> best;
+  double best_increase = std::numeric_limits<double>::infinity();
+  bool best_active = false;
+  const int current = dc.host_of(vm);
+  const double vm_mips = dc.vm_demand_mips(vm);
+  for (int h = 0; h < dc.num_hosts(); ++h) {
+    if (h == current) continue;
+    if (!dc.fits(vm, h)) continue;
+    const double capacity = dc.host_spec(h).mips;
+    const double before = host_util[static_cast<std::size_t>(h)];
+    const double after = before + vm_mips / capacity;
+    if (after > util_ceiling + 1e-9) continue;
+    const bool active = dc.is_active(h);
+    if (best.has_value() && best_active && !active) continue;
+    const PowerModel& power = dc.host_spec(h).power;
+    const double increase =
+        power.watts(std::min(1.0, after)) -
+        (active ? power.watts(std::min(1.0, before)) : power.sleep_watts());
+    const bool better = !best.has_value() || (active && !best_active) ||
+                        (active == best_active && increase < best_increase);
+    if (better) {
+      best = h;
+      best_increase = increase;
+      best_active = active;
+    }
+  }
+  return best;
+}
+
+void add_candidate(std::vector<CandidateAction>& out, const ActionBasis& basis,
+                   int vm, int host, int current, CandidateGroup group) {
+  out.push_back(CandidateAction{vm, host, basis.index(vm, host),
+                                host == current, group});
+}
+
+/// Full enumeration: every (vm, feasible host) pair plus the no-op.
+std::vector<CandidateAction> enumerate_all(const Datacenter& dc,
+                                           std::span<const double> host_util,
+                                           const ActionBasis& basis,
+                                           double util_ceiling) {
+  std::vector<CandidateAction> out;
+  out.reserve(static_cast<std::size_t>(dc.num_vms()) *
+              static_cast<std::size_t>(dc.num_hosts()) / 4);
+  for (int vm = 0; vm < dc.num_vms(); ++vm) {
+    const int current = dc.host_of(vm);
+    add_candidate(out, basis, vm, current, current,
+                  CandidateGroup::kExploration);
+    for (int h = 0; h < dc.num_hosts(); ++h) {
+      if (h == current) continue;
+      if (target_feasible(dc, host_util, vm, h, util_ceiling)) {
+        add_candidate(out, basis, vm, h, current,
+                      CandidateGroup::kExploration);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CandidateAction> generate_candidates(
+    const Datacenter& dc, std::span<const double> host_util, double beta,
+    const ActionBasis& basis, const CandidateConfig& config, Rng& rng,
+    const FatTreeTopology* network) {
+  if (!config.network_aware) network = nullptr;
+  MEGH_ASSERT(static_cast<int>(host_util.size()) == dc.num_hosts(),
+              "host_util size mismatch");
+  if (basis.dim() <= config.full_enumeration_limit) {
+    return enumerate_all(dc, host_util, basis, config.target_util_ceiling);
+  }
+
+  // --- select source VMs (tagged by why they were selected) ---
+  enum class Why { kOverloaded, kConsolidation, kRandom };
+  std::vector<std::pair<int, Why>> sources;
+  std::unordered_set<int> seen;
+  const auto push_source = [&](int vm, Why why) {
+    if (seen.insert(vm).second) sources.emplace_back(vm, why);
+  };
+
+  // 1. VMs on overloaded hosts, most-overloaded hosts first.
+  std::vector<int> overloaded;
+  for (int h = 0; h < dc.num_hosts(); ++h) {
+    if (host_util[static_cast<std::size_t>(h)] > beta) overloaded.push_back(h);
+  }
+  std::sort(overloaded.begin(), overloaded.end(), [&](int a, int b) {
+    return host_util[static_cast<std::size_t>(a)] >
+           host_util[static_cast<std::size_t>(b)];
+  });
+  for (int h : overloaded) {
+    for (int vm : dc.vms_on(h)) {
+      if (static_cast<int>(sources.size()) >= config.max_overloaded_sources)
+        break;
+      push_source(vm, Why::kOverloaded);
+    }
+  }
+
+  // 2. Consolidation: VMs on the least-utilized active hosts.
+  std::vector<int> active;
+  for (int h = 0; h < dc.num_hosts(); ++h) {
+    if (dc.is_active(h)) active.push_back(h);
+  }
+  std::sort(active.begin(), active.end(), [&](int a, int b) {
+    return host_util[static_cast<std::size_t>(a)] <
+           host_util[static_cast<std::size_t>(b)];
+  });
+  int consolidation_added = 0;
+  for (int h : active) {
+    if (consolidation_added >= config.consolidation_sources) break;
+    for (int vm : dc.vms_on(h)) {
+      if (consolidation_added >= config.consolidation_sources) break;
+      push_source(vm, Why::kConsolidation);
+      ++consolidation_added;
+    }
+  }
+
+  // 3. Random exploration sources.
+  for (int i = 0; i < config.random_sources && dc.num_vms() > 0; ++i) {
+    push_source(static_cast<int>(rng.index(
+                    static_cast<std::size_t>(dc.num_vms()))),
+                Why::kRandom);
+  }
+
+  // --- targets per source ---
+  std::vector<CandidateAction> out;
+  out.reserve(sources.size() *
+              static_cast<std::size_t>(config.targets_per_source + 2));
+  std::unordered_set<std::int64_t> index_seen;
+  CandidateGroup group = CandidateGroup::kExploration;
+  const auto push_candidate = [&](int vm, int host, int current) {
+    if (index_seen.insert(basis.index(vm, host)).second) {
+      add_candidate(out, basis, vm, host, current, group);
+    }
+  };
+  for (const auto& [vm, why] : sources) {
+    const int current = dc.host_of(vm);
+    group = why == Why::kOverloaded  ? CandidateGroup::kOverloaded
+            : why == Why::kConsolidation ? CandidateGroup::kConsolidation
+                                         : CandidateGroup::kExploration;
+    push_candidate(vm, current, current);  // no-op first
+
+    // PABFD target (power-aware best fit) as a high-quality candidate —
+    // except for consolidation sources, whose menu is packing-only.
+    if (why != Why::kConsolidation) {
+      if (const auto pabfd =
+              cached_pabfd(dc, host_util, vm, config.target_util_ceiling)) {
+        push_candidate(vm, *pabfd, current);
+      }
+    }
+
+    // Packing target: busiest active host that still fits under the pack
+    // ceiling (consolidation move). With a fabric attached, an in-pod
+    // packing host is preferred (short copy path); global fallback.
+    int pack = -1, pack_local = -1;
+    double pack_util = -1.0, pack_local_util = -1.0;
+    for (int h = 0; h < dc.num_hosts(); ++h) {
+      if (h == current || !dc.is_active(h)) continue;
+      const double u = host_util[static_cast<std::size_t>(h)];
+      if (u <= pack_local_util && u <= pack_util) continue;
+      if (!target_feasible(dc, host_util, vm, h, config.pack_ceiling)) continue;
+      if (u > pack_util) {
+        pack = h;
+        pack_util = u;
+      }
+      if (network != nullptr && u > pack_local_util &&
+          network->pod_of(h) == network->pod_of(current)) {
+        pack_local = h;
+        pack_local_util = u;
+      }
+    }
+    if (pack_local >= 0) {
+      push_candidate(vm, pack_local, current);
+    } else if (pack >= 0) {
+      push_candidate(vm, pack, current);
+    }
+
+    // Random feasible targets (spread moves) — offered for overloaded and
+    // exploration sources. Consolidation sources get packing moves only,
+    // so the consolidation draw never un-packs a host.
+    if (why == Why::kConsolidation) continue;
+    int added = 0;
+    const int probes = std::min(dc.num_hosts(), 4 * config.targets_per_source);
+    for (int i = 0; i < probes && added < config.targets_per_source; ++i) {
+      int h;
+      if (network != nullptr && rng.bernoulli(config.local_probe_fraction)) {
+        // Network-aware probe: a host from the source's own pod (short
+        // migration path on the fabric).
+        const int pod = network->pod_of(current);
+        const int pod_base = pod * network->hosts_per_pod();
+        h = pod_base + static_cast<int>(rng.index(static_cast<std::size_t>(
+                           network->hosts_per_pod())));
+        if (h >= dc.num_hosts()) continue;  // fabric ports beyond the fleet
+      } else {
+        h = static_cast<int>(
+            rng.index(static_cast<std::size_t>(dc.num_hosts())));
+      }
+      if (h == current) continue;
+      if (!target_feasible(dc, host_util, vm, h, config.target_util_ceiling))
+        continue;
+      push_candidate(vm, h, current);
+      ++added;
+    }
+  }
+  return out;
+}
+
+}  // namespace megh

@@ -1,0 +1,76 @@
+// Candidate action generation for Megh.
+//
+// The projected space has d = N × M actions. For small systems Megh scores
+// all of them every step; at data-center scale (800 × 1052 ≈ 841k actions)
+// that would dominate the per-step time, so — mirroring the sparsity-driven
+// data-structure discussion of Sec. 5.2 — the actor restricts each step's
+// Boltzmann draw to a candidate set built from the situations Sec. 3.1
+// describes Megh acting on:
+//   * VMs on overloaded hosts (must be considered for evacuation),
+//   * VMs on the least-utilized hosts (consolidation opportunities),
+//   * a small random sample of other VMs (persistent exploration),
+// each paired with its current host (the no-op answering "when") plus a
+// sample of feasible targets including the PABFD choice.
+//
+// Every candidate's Q-value is still read from the full θ over d, so the
+// critic is exact; only the actor's search support is sparsified.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/basis.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/network.hpp"
+
+namespace megh {
+
+struct CandidateConfig {
+  /// If d = N × M is at most this, enumerate every feasible action instead
+  /// of sampling (exact actor).
+  std::int64_t full_enumeration_limit = 1'500;
+
+  int max_overloaded_sources = 48;  // VMs taken from overloaded hosts
+  int consolidation_sources = 16;   // VMs from the least-utilized hosts
+  int random_sources = 8;           // uniformly random VMs
+  int targets_per_source = 6;       // sampled feasible targets per VM
+  /// Post-placement utilization ceiling used when sampling targets
+  /// (candidates only; the engine itself enforces nothing but RAM).
+  double target_util_ceiling = 1.0;
+  /// A "packing" target — the busiest active host that still fits the VM
+  /// under this post-placement utilization — is offered for every source,
+  /// giving the learner a consolidation move to evaluate each step.
+  double pack_ceiling = 0.65;
+  /// Use the fabric (when the simulation exposes one) to prefer short
+  /// migration paths: in-pod packing targets and mostly-local random
+  /// probes. Disable to make Megh network-oblivious (ablation).
+  bool network_aware = true;
+  /// When network_aware and a fabric is attached, this fraction of each
+  /// source's random target probes is drawn from the source's own pod
+  /// (short, fast migration paths); the rest stay global so cross-pod
+  /// moves remain learnable.
+  double local_probe_fraction = 0.75;
+};
+
+/// Why a candidate's source VM was selected; the actor makes one draw per
+/// overloaded host (kOverloaded), one consolidation draw (kConsolidation)
+/// and one global draw each step.
+enum class CandidateGroup { kOverloaded, kConsolidation, kExploration };
+
+struct CandidateAction {
+  int vm = 0;
+  int host = 0;               // == current host ⇒ no-op
+  std::int64_t index = 0;     // flat basis index
+  bool is_noop = false;
+  CandidateGroup group = CandidateGroup::kExploration;
+};
+
+/// Build this step's candidate set. `host_util` is the demanded utilization
+/// per host; `beta` the overload threshold. Always returns at least the
+/// no-op candidates for the selected source VMs.
+std::vector<CandidateAction> generate_candidates(
+    const Datacenter& dc, std::span<const double> host_util, double beta,
+    const ActionBasis& basis, const CandidateConfig& config, Rng& rng,
+    const FatTreeTopology* network = nullptr);
+
+}  // namespace megh

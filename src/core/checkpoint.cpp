@@ -1,0 +1,175 @@
+#include "core/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "core/megh_policy.hpp"
+
+namespace megh {
+
+namespace {
+
+constexpr const char* kMagic = "megh-checkpoint v1";
+
+void write_vector(std::ofstream& out, const char* tag,
+                  const SparseVector& v) {
+  out << tag << ' ' << v.nnz() << '\n';
+  for (const auto& [i, value] : v.entries()) {
+    out << i << ' ' << strf("%.17g", value) << '\n';
+  }
+}
+
+SparseVector read_vector(std::istream& in, const char* tag,
+                         std::int64_t dim, const std::string& context) {
+  std::string name;
+  std::size_t nnz = 0;
+  if (!(in >> name >> nnz) || name != tag) {
+    throw IoError("checkpoint: expected section '" + std::string(tag) +
+                  "' in " + context);
+  }
+  SparseVector v(dim);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    std::int64_t i = 0;
+    double value = 0.0;
+    if (!(in >> i >> value)) {
+      throw IoError("checkpoint: truncated section '" + std::string(tag) +
+                    "' in " + context);
+    }
+    MEGH_REQUIRE(i >= 0 && i < dim,
+                 "checkpoint: index out of range in " + context);
+    v.set(i, value);
+  }
+  return v;
+}
+
+}  // namespace
+
+void save_learner(const LspiLearner& learner,
+                  const std::filesystem::path& path) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open checkpoint for writing: " + path.string());
+  out << kMagic << '\n';
+  out << "dim " << learner.dim() << " gamma " << strf("%.17g", learner.gamma())
+      << '\n';
+  write_vector(out, "z", learner.z());
+  write_vector(out, "theta", learner.theta());
+
+  const SparseMatrix& B = learner.B();
+  // Diagonal (dense but typically constant-dominated): store only entries,
+  // one per line; then off-diagonal triplets.
+  out << "Bdiag " << B.dim() << '\n';
+  for (std::int64_t i = 0; i < B.dim(); ++i) {
+    out << strf("%.17g", B.get(i, i)) << '\n';
+  }
+  out << "Boffdiag " << B.offdiag_nnz() << '\n';
+  // Walk rows via row() views (row_cols adjacency is private).
+  for (std::int64_t r = 0; r < B.dim(); ++r) {
+    const SparseVector row = B.row(r);
+    for (const auto& [c, value] : row.entries()) {
+      if (c == r) continue;
+      out << r << ' ' << c << ' ' << strf("%.17g", value) << '\n';
+    }
+  }
+  if (!out) throw IoError("write failure on checkpoint: " + path.string());
+}
+
+LspiLearner load_learner(const std::filesystem::path& path, double delta,
+                         int max_update_support) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open checkpoint: " + path.string());
+  std::string magic;
+  std::getline(in, magic);
+  if (trim(magic) != kMagic) {
+    throw ConfigError("not a megh checkpoint (bad magic): " + path.string());
+  }
+  std::string key;
+  std::int64_t dim = 0;
+  double gamma = 0.0;
+  if (!(in >> key >> dim) || key != "dim" || !(in >> key >> gamma) ||
+      key != "gamma") {
+    throw IoError("checkpoint: malformed header in " + path.string());
+  }
+  MEGH_REQUIRE(dim > 0, "checkpoint: non-positive dimension");
+  MEGH_REQUIRE(gamma >= 0.0 && gamma < 1.0, "checkpoint: gamma out of range");
+
+  SparseVector z = read_vector(in, "z", dim, path.string());
+  SparseVector theta = read_vector(in, "theta", dim, path.string());
+
+  std::int64_t diag_count = 0;
+  if (!(in >> key >> diag_count) || key != "Bdiag" || diag_count != dim) {
+    throw IoError("checkpoint: malformed Bdiag section in " + path.string());
+  }
+  SparseMatrix B(dim, 0.0);
+  for (std::int64_t i = 0; i < dim; ++i) {
+    double value = 0.0;
+    if (!(in >> value)) {
+      throw IoError("checkpoint: truncated Bdiag in " + path.string());
+    }
+    B.set(i, i, value);
+  }
+  std::size_t offdiag = 0;
+  if (!(in >> key >> offdiag) || key != "Boffdiag") {
+    throw IoError("checkpoint: malformed Boffdiag section in " +
+                  path.string());
+  }
+  for (std::size_t k = 0; k < offdiag; ++k) {
+    std::int64_t r = 0, c = 0;
+    double value = 0.0;
+    if (!(in >> r >> c >> value)) {
+      throw IoError("checkpoint: truncated Boffdiag in " + path.string());
+    }
+    MEGH_REQUIRE(r >= 0 && r < dim && c >= 0 && c < dim,
+                 "checkpoint: B index out of range");
+    B.set(r, c, value);
+  }
+
+  LspiLearner learner(dim, gamma, delta, max_update_support);
+  learner.restore(std::move(B), std::move(z), std::move(theta));
+  return learner;
+}
+
+void save_megh_policy(const MeghPolicy& policy,
+                      const std::filesystem::path& path) {
+  save_learner(policy.learner(), path);
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw IoError("cannot append policy state: " + path.string());
+  out << "policy " << strf("%.17g", policy.temperature()) << ' '
+      << strf("%.17g", policy.cost_baseline()) << ' '
+      << (policy.baseline_initialized() ? 1 : 0) << '\n';
+}
+
+void load_megh_policy(MeghPolicy& policy, const std::filesystem::path& path) {
+  LspiLearner& learner = policy.mutable_learner();
+  LspiLearner loaded = load_learner(path);
+  MEGH_REQUIRE(loaded.dim() == learner.dim(),
+               strf("checkpoint dimension %lld does not match policy %lld",
+                    static_cast<long long>(loaded.dim()),
+                    static_cast<long long>(learner.dim())));
+  learner.restore(loaded.B(), loaded.z(), loaded.theta());
+
+  // Trailing policy line.
+  std::ifstream in(path);
+  std::string line, policy_line;
+  while (std::getline(in, line)) {
+    if (starts_with(trim(line), "policy ")) policy_line = std::string(trim(line));
+  }
+  MEGH_REQUIRE(!policy_line.empty(),
+               "checkpoint has no policy section: " + path.string());
+  std::istringstream ps(policy_line);
+  std::string key;
+  double temp = 0.0, baseline = 0.0;
+  int initialized = 0;
+  if (!(ps >> key >> temp >> baseline >> initialized)) {
+    throw IoError("checkpoint: malformed policy line in " + path.string());
+  }
+  policy.set_temperature(temp);
+  policy.set_cost_baseline(baseline, initialized != 0);
+}
+
+}  // namespace megh

@@ -1,0 +1,46 @@
+// Learner checkpointing: persist and restore Megh's learned state so a
+// scheduler can be warm-started after a restart or migrated between
+// control-plane nodes — "learn as you go" without forgetting on redeploy.
+//
+// The format is a versioned plain-text file:
+//   megh-checkpoint v1
+//   dim <d> gamma <g>
+//   temp <t>
+//   baseline <b> <initialized>
+//   z <nnz> followed by "index value" lines
+//   theta <nnz> ...
+//   B <diag-entries> <offdiag-nnz> followed by diag values then triplets
+// Plain text keeps the files diffable and the loader trivially fuzzable;
+// Megh's state is small (Fig. 7: tens of thousands of nonzeros for an
+// 800-PM week), so compactness is not a concern.
+#pragma once
+
+#include <filesystem>
+
+#include "core/lspi.hpp"
+
+namespace megh {
+
+class MeghPolicy;
+
+/// Write the learner's full state. Throws IoError on I/O failure.
+void save_learner(const LspiLearner& learner,
+                  const std::filesystem::path& path);
+
+/// Restore a learner saved with save_learner. The returned learner resumes
+/// exactly (same B, z, θ and counters are reset to zero — counters are
+/// diagnostics, not state). Throws IoError on parse failure and
+/// ConfigError on version/shape mismatch.
+LspiLearner load_learner(const std::filesystem::path& path,
+                         double delta = 1.0, int max_update_support = 0);
+
+/// Checkpoint a whole MeghPolicy (learner + temperature + advantage
+/// baseline). The policy must have been begun (it owns a learner).
+void save_megh_policy(const MeghPolicy& policy,
+                      const std::filesystem::path& path);
+
+/// Restore into a MeghPolicy that has already been begun on a datacenter of
+/// the same shape (N × M must match). Throws ConfigError on mismatch.
+void load_megh_policy(MeghPolicy& policy, const std::filesystem::path& path);
+
+}  // namespace megh

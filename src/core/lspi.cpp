@@ -1,0 +1,95 @@
+#include "core/lspi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace megh {
+
+LspiLearner::LspiLearner(std::int64_t dim, double gamma, double delta,
+                         int max_update_support)
+    : dim_(dim),
+      gamma_(gamma),
+      max_update_support_(max_update_support),
+      B_(dim, 0.0),
+      z_(dim),
+      theta_(dim) {
+  MEGH_REQUIRE(dim > 0, "LSPI dimension must be positive");
+  MEGH_REQUIRE(gamma >= 0.0 && gamma < 1.0, "gamma must lie in [0, 1)");
+  MEGH_REQUIRE(max_update_support >= 0,
+               "max_update_support must be non-negative");
+  const double d = delta > 0.0 ? delta : static_cast<double>(dim);
+  B_ = SparseMatrix(dim, 1.0 / d);
+}
+
+void LspiLearner::truncate_support(SparseVector& v, std::int64_t keep1,
+                                   std::int64_t keep2) const {
+  if (max_update_support_ <= 0 ||
+      v.nnz() <= static_cast<std::size_t>(max_update_support_)) {
+    return;
+  }
+  // Keep the largest-magnitude entries; the action indices themselves
+  // (keep1/keep2) are always retained so the denominator stays exact.
+  std::vector<std::pair<std::int64_t, double>> entries(v.entries().begin(),
+                                                       v.entries().end());
+  const std::size_t keep = static_cast<std::size_t>(max_update_support_);
+  std::nth_element(entries.begin(),
+                   entries.begin() + static_cast<std::ptrdiff_t>(keep),
+                   entries.end(), [](const auto& a, const auto& b) {
+                     return std::abs(a.second) > std::abs(b.second);
+                   });
+  SparseVector out(v.dim());
+  for (std::size_t i = 0; i < keep; ++i) {
+    out.set(entries[i].first, entries[i].second);
+  }
+  out.set(keep1, v.get(keep1));
+  out.set(keep2, v.get(keep2));
+  v = std::move(out);
+}
+
+void LspiLearner::update(std::int64_t a, double cost, std::int64_t b) {
+  MEGH_ASSERT(a >= 0 && a < dim_ && b >= 0 && b < dim_,
+              "LSPI update: action index out of range");
+  ++updates_;
+
+  // u = B e_a (column a), w = (e_a − γ e_b)ᵀ B (row a minus γ·row b).
+  SparseVector u = B_.col(a);
+  SparseVector w = B_.row(a);
+  w.axpy(-gamma_, B_.row(b));
+  truncate_support(u, a, b);
+  truncate_support(w, a, b);
+
+  // Denominator: 1 + (e_a − γ e_b)ᵀ B e_a = 1 + u[a] − γ u[b].
+  const double denom = 1.0 + u.get(a) - gamma_ * u.get(b);
+
+  // z ← z + C e_a  and incremental θ:
+  //   θ' = B'z' = θ + C·u − u·(w·z')/denom     (see lspi.hpp header)
+  z_.add(a, cost);
+  if (std::abs(denom) < 1e-12) {
+    // Singular update: keep B as-is (θ' = B z' = θ + C·u).
+    ++singular_skips_;
+    theta_.axpy(cost, u);
+    return;
+  }
+  const double wz = w.dot(z_);
+  theta_.axpy(cost - wz / denom, u);
+
+  // B ← B − u wᵀ / denom.
+  B_.rank1_update(u, w, -1.0 / denom);
+}
+
+void LspiLearner::restore(SparseMatrix b, SparseVector z,
+                          SparseVector theta) {
+  MEGH_REQUIRE(b.dim() == dim_ && z.dim() == dim_ && theta.dim() == dim_,
+               "LspiLearner::restore: shape mismatch");
+  B_ = std::move(b);
+  z_ = std::move(z);
+  theta_ = std::move(theta);
+  updates_ = 0;
+  singular_skips_ = 0;
+}
+
+}  // namespace megh

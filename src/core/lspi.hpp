@@ -1,0 +1,81 @@
+// Megh's critic: least-squares policy iteration over the sparse action
+// basis (Algorithm 1 of the paper).
+//
+// State per learner:
+//   B = T⁻¹  — inverse transition operator, initialized to δ⁻¹·I (δ = d);
+//   z        — discounted cost accumulator, z_{t+1} = z_t + φ_{a} C;
+//   θ = B z  — the projection vector; V(s') = θᵀφ_a, i.e. Q(a) = θ[a].
+//
+// The transition update T_{t+1} = T_t + φ_a (φ_a − γ φ_b)ᵀ (Eq. 10) is
+// applied to B directly through the Sherman–Morrison identity (Eq. 11).
+// Because φ_a and φ_b are unit vectors, the update touches only column a and
+// rows a/b of B, and θ is maintained incrementally through the same rank-1
+// identity — never a dense d-vector refresh. This realizes the paper's
+// O(#migrations) per-step cost claim (Sec. 5.2).
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/sparse_matrix.hpp"
+#include "linalg/sparse_vector.hpp"
+
+namespace megh {
+
+class LspiLearner {
+ public:
+  /// `dim` = d = N × M. `delta` <= 0 selects the paper's δ = d
+  /// initialization B₀ = (1/δ)·I. `max_update_support` > 0 truncates each
+  /// Sherman–Morrison factor (u = B φ_a and w = (φ_a − γφ_b)ᵀ B) to its
+  /// largest-magnitude entries before the rank-1 update, bounding B's
+  /// fill-in so the per-step cost stays O(1) over long runs — the
+  /// practical realization of the paper's sparse data structure
+  /// (Sec. 5.2). 0 keeps the update exact (used by the algebra tests).
+  LspiLearner(std::int64_t dim, double gamma, double delta = -1.0,
+              int max_update_support = 0);
+
+  /// One SARSA-style transition: action `a` was taken, cost `cost` was
+  /// observed, and the policy's next action is `b` (φ_{π_t(s_{t+1})}).
+  /// Updates B (Sherman–Morrison), z, and θ incrementally.
+  void update(std::int64_t a, double cost, std::int64_t b);
+
+  /// Q(a) = θ[a]: the estimated discounted cost-to-go of action a.
+  double q_value(std::int64_t a) const { return theta_.get(a); }
+
+  std::int64_t dim() const { return dim_; }
+  double gamma() const { return gamma_; }
+
+  /// Size of the learned model — the paper's "number of non-zero elements
+  /// in the Q-table" (Fig. 7): nnz(θ) plus off-diagonal nnz of B.
+  std::size_t qtable_nnz() const {
+    return theta_.nnz() + B_.offdiag_nnz();
+  }
+
+  std::size_t theta_nnz() const { return theta_.nnz(); }
+  const SparseVector& theta() const { return theta_; }
+  const SparseMatrix& B() const { return B_; }
+  const SparseVector& z() const { return z_; }
+
+  /// Replace the learned state wholesale (checkpoint restore). Shapes must
+  /// match dim(); counters are reset (they are diagnostics, not state).
+  void restore(SparseMatrix b, SparseVector z, SparseVector theta);
+
+  /// Number of update() calls (diagnostics/tests).
+  long long updates() const { return updates_; }
+  /// Updates skipped because the Sherman–Morrison denominator was singular.
+  long long singular_skips() const { return singular_skips_; }
+
+ private:
+  void truncate_support(SparseVector& v, std::int64_t keep1,
+                        std::int64_t keep2) const;
+
+  std::int64_t dim_;
+  double gamma_;
+  int max_update_support_;
+  SparseMatrix B_;
+  SparseVector z_;
+  SparseVector theta_;
+  long long updates_ = 0;
+  long long singular_skips_ = 0;
+};
+
+}  // namespace megh

@@ -1,0 +1,187 @@
+#include "core/megh_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace megh {
+
+MeghPolicy::MeghPolicy(const MeghConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      selector_(config.temp0, config.epsilon) {
+  MEGH_REQUIRE(config.max_migration_fraction > 0.0 &&
+                   config.max_migration_fraction <= 1.0,
+               "Megh: max_migration_fraction must lie in (0, 1]");
+}
+
+void MeghPolicy::begin(const Datacenter& dc, const CostConfig& cost,
+                       double interval_s) {
+  (void)interval_s;
+  basis_ = std::make_unique<ActionBasis>(dc.num_vms(), dc.num_hosts());
+  learner_ = std::make_unique<LspiLearner>(basis_->dim(), config_.gamma,
+                                           config_.delta,
+                                           config_.max_update_support);
+  beta_ = cost.beta_overload;
+  migration_budget_ = std::max(
+      1, static_cast<int>(std::ceil(config_.max_migration_fraction *
+                                    dc.num_vms())));
+  pending_actions_.clear();
+  has_pending_cost_ = false;
+  total_migrations_selected_ = 0;
+  cost_baseline_ = 0.0;
+  baseline_initialized_ = false;
+}
+
+std::vector<MigrationAction> MeghPolicy::decide(const StepObservation& obs) {
+  MEGH_REQUIRE(basis_ != nullptr, "MeghPolicy::decide before begin()");
+  const Datacenter& dc = *obs.dc;
+
+  // 1. Candidates and their Q-values.
+  std::vector<CandidateAction> candidates = generate_candidates(
+      dc, obs.host_util, beta_, *basis_, config_.candidates, rng_,
+      obs.network);
+  MEGH_ASSERT(!candidates.empty(), "candidate set must never be empty");
+  std::vector<double> q;
+  q.reserve(candidates.size());
+  for (const CandidateAction& c : candidates) {
+    q.push_back(learner_->q_value(c.index));
+  }
+
+  // 2. Close the previous step's transitions: φ_b = the greedy action under
+  //    the current policy at the state we have just arrived in.
+  if (has_pending_cost_ && !pending_actions_.empty()) {
+    const std::int64_t b = candidates[BoltzmannSelector::greedy(q)].index;
+    double effective_cost = pending_cost_;
+    if (config_.advantage_baseline) {
+      if (!baseline_initialized_) {
+        cost_baseline_ = pending_cost_;
+        baseline_initialized_ = true;
+      }
+      effective_cost = pending_cost_ - cost_baseline_;
+      cost_baseline_ += config_.baseline_weight *
+                        (pending_cost_ - cost_baseline_);
+    }
+    const double share =
+        effective_cost / static_cast<double>(pending_actions_.size());
+    for (const std::int64_t a : pending_actions_) {
+      learner_->update(a, share, b);
+    }
+    // θ changed; refresh the candidates' Q-values before acting on them.
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      q[i] = learner_->q_value(candidates[i].index);
+    }
+  }
+  pending_actions_.clear();
+  has_pending_cost_ = false;
+
+  // 3. Boltzmann-sample actions, at most one per VM. Algorithm 1 picks a
+  //    single action per iteration; the 2% budget (Sec. 6.1) is a ceiling
+  //    reached only under pressure. Per Sec. 3.1 the system reacts to each
+  //    overloaded PM, so we make one draw *restricted to that host's VMs*
+  //    per overloaded host (its no-ops stay drawable — "when to migrate"
+  //    remains learned), plus one global draw, all within the budget.
+  std::vector<double> weights = selector_.weights(q);
+  std::vector<MigrationAction> actions;
+  std::unordered_set<int> used_vms;
+  const auto take = [&](std::size_t i) {
+    const CandidateAction& c = candidates[i];
+    if (used_vms.insert(c.vm).second) {
+      pending_actions_.push_back(c.index);
+      if (!c.is_noop) {
+        actions.push_back(MigrationAction{c.vm, c.host});
+        ++total_migrations_selected_;
+      }
+    }
+    // Remove every candidate of this VM from further draws.
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (candidates[j].vm == c.vm) weights[j] = 0.0;
+    }
+  };
+  const auto draw_from = [&](const std::vector<std::size_t>& subset) {
+    double total = 0.0;
+    for (std::size_t j : subset) total += weights[j];
+    if (!(total > 0.0) || !std::isfinite(total)) return;
+    double r = rng_.uniform() * total;
+    for (std::size_t j : subset) {
+      r -= weights[j];
+      if (r <= 0.0) {
+        take(j);
+        return;
+      }
+    }
+    take(subset.back());
+  };
+
+  // Reactive draws: one per overloaded host, over that host's candidates.
+  // Overload response has first claim on the whole budget.
+  int budget = migration_budget_;
+  std::vector<std::size_t> subset;
+  for (int h = 0; h < dc.num_hosts() && budget > 0; ++h) {
+    if (obs.host_util[static_cast<std::size_t>(h)] <= beta_) continue;
+    subset.clear();
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (dc.host_of(candidates[j].vm) == h) subset.push_back(j);
+    }
+    if (subset.empty()) continue;
+    draw_from(subset);
+    --budget;
+  }
+
+  // One consolidation draw: restricted to consolidation-source candidates
+  // (their no-ops included, so "leave it where it is" stays learnable).
+  if (budget > 0) {
+    subset.clear();
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (candidates[j].group == CandidateGroup::kConsolidation) {
+        subset.push_back(j);
+      }
+    }
+    if (!subset.empty()) {
+      draw_from(subset);
+      --budget;
+    }
+  }
+
+  // One global draw (exploration), if any budget remains.
+  if (budget > 0) {
+    subset.resize(candidates.size());
+    for (std::size_t j = 0; j < candidates.size(); ++j) subset[j] = j;
+    draw_from(subset);
+  }
+
+  // 4. Temperature decay (once per step).
+  selector_.decay();
+  return actions;
+}
+
+void MeghPolicy::observe_cost(double step_cost) {
+  pending_cost_ = step_cost;
+  has_pending_cost_ = true;
+}
+
+std::map<std::string, double> MeghPolicy::stats() const {
+  std::map<std::string, double> out;
+  if (learner_ != nullptr) {
+    out["qtable_nnz"] = static_cast<double>(learner_->qtable_nnz());
+    out["theta_nnz"] = static_cast<double>(learner_->theta_nnz());
+    out["lspi_updates"] = static_cast<double>(learner_->updates());
+  }
+  out["temperature"] = selector_.temperature();
+  out["migrations_selected"] = static_cast<double>(total_migrations_selected_);
+  return out;
+}
+
+const LspiLearner& MeghPolicy::learner() const {
+  MEGH_REQUIRE(learner_ != nullptr, "learner not initialized; call begin()");
+  return *learner_;
+}
+
+LspiLearner& MeghPolicy::mutable_learner() {
+  MEGH_REQUIRE(learner_ != nullptr, "learner not initialized; call begin()");
+  return *learner_;
+}
+
+}  // namespace megh

@@ -1,0 +1,107 @@
+// Megh: the paper's online reinforcement-learning migration policy
+// (Algorithm 1 + Algorithm 2), assembled from the LSPI critic
+// (core/lspi.hpp), the Boltzmann actor (core/boltzmann.hpp) and the
+// candidate generator (core/candidates.hpp).
+//
+// Per step:
+//   1. Build the candidate action set and look up each candidate's
+//      Q(a) = θ[a].
+//   2. Close the previous step's SARSA transitions: every action taken at
+//      t−1 is updated with its share of the observed cost C_t and
+//      φ_{π(s_t)} = this step's greedy candidate (Eq. 10/11).
+//   3. Boltzmann-sample up to ⌈max_migration_fraction · N⌉ actions (one per
+//      VM); sampled no-ops answer "don't migrate".
+//   4. Decay the temperature (Algorithm 2 line 2).
+//
+// The learner never needs a training phase: step 2 runs from the very first
+// interval ("learn as you go").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/basis.hpp"
+#include "core/boltzmann.hpp"
+#include "core/candidates.hpp"
+#include "core/lspi.hpp"
+#include "sim/policy.hpp"
+
+namespace megh {
+
+struct MeghConfig {
+  double gamma = 0.5;     // discount factor (Sec. 6.1: 50:50 old vs new)
+  double temp0 = 3.0;     // initial Boltzmann temperature (Sec. 6.1)
+  double epsilon = 0.01;  // temperature decay rate (Sec. 6.1)
+  /// δ in B₀ = (1/δ)·I. The paper sets δ = d, but at d ~ 10⁴-10⁶ that
+  /// shrinks every Q-value by 1/d and the Boltzmann weights stay uniform
+  /// for the whole run — the critic never influences the actor. δ = 1
+  /// keeps the identical algorithm with a usable signal scale (the
+  /// ablation bench contrasts both). <= 0 selects the paper's δ = d.
+  double delta = 1.0;
+  /// Per-step migration budget as a fraction of N (Sec. 6.1: 2%).
+  double max_migration_fraction = 0.02;
+  /// Subtract an exponential moving average of the step cost before the
+  /// critic update (advantage normalization). The paper's Algorithm 1
+  /// accumulates raw costs — with always-positive costs every *tried*
+  /// action looks worse than an untried one, so exploitation degenerates to
+  /// novelty-seeking. A constant baseline only shifts V (Theorem 1/2 are
+  /// unaffected asymptotically) but makes the greedy step meaningful.
+  /// Disable to run the paper-literal update (ablation bench).
+  bool advantage_baseline = true;
+  /// EMA weight for the baseline.
+  double baseline_weight = 0.05;
+  /// Sherman–Morrison factor truncation (see LspiLearner): bounds B's
+  /// fill-in so per-step time stays flat over week-long runs.
+  int max_update_support = 32;
+  CandidateConfig candidates;
+  std::uint64_t seed = 42;
+};
+
+class MeghPolicy : public MigrationPolicy {
+ public:
+  explicit MeghPolicy(const MeghConfig& config = {});
+
+  std::string name() const override { return "Megh"; }
+  void begin(const Datacenter& dc, const CostConfig& cost,
+             double interval_s) override;
+  std::vector<MigrationAction> decide(const StepObservation& obs) override;
+  void observe_cost(double step_cost) override;
+  std::map<std::string, double> stats() const override;
+
+  /// Expose the critic for tests and the Q-table growth bench (Fig. 7).
+  const LspiLearner& learner() const;
+  double temperature() const { return selector_.temperature(); }
+
+  // --- checkpointing hooks (see core/checkpoint.hpp) ---
+  LspiLearner& mutable_learner();
+  void set_temperature(double temp) { selector_.set_temperature(temp); }
+  double cost_baseline() const { return cost_baseline_; }
+  bool baseline_initialized() const { return baseline_initialized_; }
+  void set_cost_baseline(double baseline, bool initialized) {
+    cost_baseline_ = baseline;
+    baseline_initialized_ = initialized;
+  }
+
+ private:
+  MeghConfig config_;
+  Rng rng_;
+  BoltzmannSelector selector_;
+  std::unique_ptr<ActionBasis> basis_;
+  std::unique_ptr<LspiLearner> learner_;
+  double beta_ = 0.7;
+  int migration_budget_ = 1;
+
+  // SARSA bookkeeping: actions sampled at the previous step and the cost
+  // observed for the interval they shaped.
+  std::vector<std::int64_t> pending_actions_;
+  double pending_cost_ = 0.0;
+  bool has_pending_cost_ = false;
+  long long total_migrations_selected_ = 0;
+
+  // Advantage baseline (EMA of observed step costs).
+  double cost_baseline_ = 0.0;
+  bool baseline_initialized_ = false;
+};
+
+}  // namespace megh

@@ -1,0 +1,54 @@
+// Experiment runner: wires a Scenario, an initial placement, a policy and a
+// SimulationConfig into one reproducible run, and provides the standard
+// policy roster the paper evaluates (Megh + the five MMT variants + MadVM).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "sim/policy.hpp"
+#include "sim/snapshot.hpp"
+
+namespace megh {
+
+struct ExperimentResult {
+  std::string policy;
+  SimulationResult sim;
+};
+
+struct ExperimentOptions {
+  InitialPlacement placement = InitialPlacement::kRandom;
+  std::uint64_t placement_seed = 3;
+  /// Steps to run (-1 = whole trace).
+  int steps = -1;
+  /// Per-step migration cap fraction (0 = uncapped). The paper caps Megh at
+  /// 2% and leaves heuristics uncapped (Sec. 6.1).
+  double max_migration_fraction = 0.0;
+  /// Optional fat-tree fabric (see sim/network.hpp).
+  std::shared_ptr<const FatTreeTopology> network;
+};
+
+/// Run one policy over the scenario.
+ExperimentResult run_experiment(const Scenario& scenario,
+                                MigrationPolicy& policy,
+                                const ExperimentOptions& options);
+
+/// A named policy factory; the roster functions below return these so bench
+/// binaries can iterate "algorithm → fresh policy instance".
+struct PolicyEntry {
+  std::string name;
+  std::function<std::unique_ptr<MigrationPolicy>()> make;
+  /// Cap applied when running this policy (see ExperimentOptions).
+  double max_migration_fraction = 0.0;
+};
+
+/// Tables 2/3 roster: THR-MMT, IQR-MMT, MAD-MMT, LR-MMT, LRR-MMT, Megh.
+std::vector<PolicyEntry> paper_roster(std::uint64_t seed = 42);
+
+/// Fig. 4/5 roster: Megh and MadVM.
+std::vector<PolicyEntry> rl_roster(std::uint64_t seed = 42);
+
+}  // namespace megh

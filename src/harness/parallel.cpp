@@ -1,0 +1,51 @@
+#include "harness/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+
+namespace megh {
+
+int default_parallelism(std::size_t items) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int threads = hw == 0 ? 1 : static_cast<int>(hw);
+  if (items == 0) return 1;
+  return std::min<int>(threads, static_cast<int>(items));
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn, int threads) {
+  MEGH_REQUIRE(threads >= 0, "parallel_for: negative thread count");
+  if (count == 0) return;
+  const int workers = threads == 0 ? default_parallelism(count)
+                                   : std::min<int>(threads,
+                                                   static_cast<int>(count));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace megh

@@ -1,0 +1,38 @@
+// Parallel sweep runner for repeat-heavy experiments (Figs 6 and 8 run 25
+// repeats per parameter cell in the paper). Each work item runs a fully
+// independent simulation, so a plain fork-join over std::thread is safe —
+// the library shares no mutable global state (policies own their RNGs, the
+// engine owns its datacenter copy).
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace megh {
+
+/// Number of worker threads to use by default (hardware concurrency,
+/// at least 1, capped to the number of items).
+int default_parallelism(std::size_t items);
+
+/// Run fn(i) for i in [0, count) across up to `threads` workers (0 = auto).
+/// Exceptions thrown by items are collected; the first one is rethrown
+/// after every item has finished (so partial results stay consistent).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  int threads = 0);
+
+/// Map items through fn in parallel, preserving order.
+template <typename T, typename Fn>
+auto parallel_map(const std::vector<T>& items, Fn fn, int threads = 0)
+    -> std::vector<decltype(fn(items.front()))> {
+  using Result = decltype(fn(items.front()));
+  std::vector<Result> out(items.size());
+  parallel_for(
+      items.size(),
+      [&](std::size_t i) { out[i] = fn(items[i]); }, threads);
+  return out;
+}
+
+}  // namespace megh

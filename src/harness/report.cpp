@@ -1,0 +1,143 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/csv.hpp"
+#include "common/string_util.hpp"
+#include "metrics/convergence.hpp"
+
+namespace megh {
+
+std::filesystem::path bench_output_dir() {
+  if (const char* env = std::getenv("MEGH_BENCH_OUT")) {
+    return std::filesystem::path(env);
+  }
+  return std::filesystem::path("bench_results");
+}
+
+void print_table(const std::string& title,
+                 const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n== %s ==\n", title.c_str());
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows) print_row(row);
+}
+
+void print_performance_table(const std::string& title,
+                             const std::vector<ExperimentResult>& results,
+                             const std::string& csv_name) {
+  std::vector<std::string> header{"Metric"};
+  for (const auto& r : results) header.push_back(r.policy);
+
+  const auto metric_row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> row{label};
+    for (const auto& r : results) row.push_back(getter(r));
+    return row;
+  };
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back(metric_row("Total cost (USD)", [](const ExperimentResult& r) {
+    return strf("%.0f", r.sim.totals.total_cost_usd);
+  }));
+  rows.push_back(metric_row("  energy (USD)", [](const ExperimentResult& r) {
+    return strf("%.0f", r.sim.totals.energy_cost_usd);
+  }));
+  rows.push_back(metric_row("  SLA (USD)", [](const ExperimentResult& r) {
+    return strf("%.0f", r.sim.totals.sla_cost_usd);
+  }));
+  rows.push_back(metric_row("#VM migrations", [](const ExperimentResult& r) {
+    return strf("%lld", r.sim.totals.migrations);
+  }));
+  rows.push_back(metric_row("#Active hosts", [](const ExperimentResult& r) {
+    return strf("%.0f", r.sim.totals.mean_active_hosts);
+  }));
+  rows.push_back(metric_row("Exec time (ms)", [](const ExperimentResult& r) {
+    return strf("%.3f", r.sim.totals.mean_exec_ms);
+  }));
+  rows.push_back(metric_row("Energy (kWh)", [](const ExperimentResult& r) {
+    return strf("%.1f", r.sim.totals.energy_kwh);
+  }));
+  rows.push_back(metric_row("SLATAH", [](const ExperimentResult& r) {
+    return strf("%.5f", r.sim.totals.slatah);
+  }));
+  rows.push_back(metric_row("PDM", [](const ExperimentResult& r) {
+    return strf("%.6f", r.sim.totals.pdm);
+  }));
+  rows.push_back(metric_row("SLAV (x1e6)", [](const ExperimentResult& r) {
+    return strf("%.3f", 1e6 * r.sim.totals.slav);
+  }));
+  print_table(title, header, rows);
+
+  CsvWriter csv(bench_output_dir() / (csv_name + ".csv"));
+  csv.header({"policy", "total_cost_usd", "energy_cost_usd", "sla_cost_usd",
+              "migrations", "mean_active_hosts", "mean_exec_ms",
+              "max_exec_ms", "steps", "energy_kwh", "slatah", "pdm", "slav",
+              "esv"});
+  for (const auto& r : results) {
+    csv.row_str({r.policy, strf("%.4f", r.sim.totals.total_cost_usd),
+                 strf("%.4f", r.sim.totals.energy_cost_usd),
+                 strf("%.4f", r.sim.totals.sla_cost_usd),
+                 strf("%lld", r.sim.totals.migrations),
+                 strf("%.2f", r.sim.totals.mean_active_hosts),
+                 strf("%.4f", r.sim.totals.mean_exec_ms),
+                 strf("%.4f", r.sim.totals.max_exec_ms),
+                 strf("%d", r.sim.totals.steps),
+                 strf("%.4f", r.sim.totals.energy_kwh),
+                 strf("%.8f", r.sim.totals.slatah),
+                 strf("%.8f", r.sim.totals.pdm),
+                 strf("%.10g", r.sim.totals.slav),
+                 strf("%.10g", r.sim.totals.esv)});
+  }
+  std::printf("wrote %s\n",
+              (bench_output_dir() / (csv_name + ".csv")).string().c_str());
+}
+
+void write_series_csvs(const std::vector<ExperimentResult>& results,
+                       const std::string& csv_name) {
+  for (const auto& r : results) {
+    TimeSeries series;
+    double cumulative_migrations = 0.0;
+    for (const auto& step : r.sim.steps) {
+      series.push("step_cost_usd", step.step_cost_usd);
+      series.push("energy_cost_usd", step.energy_cost_usd);
+      series.push("sla_cost_usd", step.sla_cost_usd);
+      cumulative_migrations += step.migrations;
+      series.push("cumulative_migrations", cumulative_migrations);
+      series.push("active_hosts", step.active_hosts);
+      series.push("overloaded_hosts", step.overloaded_hosts);
+      series.push("exec_ms", step.exec_ms);
+    }
+    std::string policy = r.policy;
+    std::replace(policy.begin(), policy.end(), ' ', '_');
+    series.write_csv(bench_output_dir() / (csv_name + "_" + policy + ".csv"));
+  }
+}
+
+std::string convergence_summary(const ExperimentResult& result) {
+  const std::vector<double> cost = result.sim.series("step_cost");
+  const auto step = convergence_step(cost);
+  if (!step.has_value()) {
+    return strf("%s: per-step cost did not converge", result.policy.c_str());
+  }
+  return strf("%s: per-step cost converges at step %d (stable mean %.2f USD)",
+              result.policy.c_str(), *step, tail_mean(cost, *step));
+}
+
+}  // namespace megh

@@ -1,0 +1,38 @@
+// Bench reporting: aligned stdout tables matching the paper's rows, plus
+// CSV dumps under the bench output directory for downstream plotting.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "metrics/timeseries.hpp"
+
+namespace megh {
+
+/// Where bench CSVs go: $MEGH_BENCH_OUT or ./bench_results.
+std::filesystem::path bench_output_dir();
+
+/// Print an aligned table: `header` then `rows` (all cells preformatted).
+void print_table(const std::string& title,
+                 const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// The paper's Tables 2/3 layout: one column per algorithm, rows = total
+/// cost (USD), #VM migrations, mean active hosts, exec time (ms/step).
+/// Also writes `<csv_name>.csv` with one row per algorithm.
+void print_performance_table(const std::string& title,
+                             const std::vector<ExperimentResult>& results,
+                             const std::string& csv_name);
+
+/// Dump the Fig. 2/3/4/5 panel series (per-step cost, cumulative
+/// migrations, active hosts, exec time) for each result as
+/// `<csv_name>_<policy>.csv`.
+void write_series_csvs(const std::vector<ExperimentResult>& results,
+                       const std::string& csv_name);
+
+/// Convergence-step summary line for a result (paper Sec. 6.3 claims).
+std::string convergence_summary(const ExperimentResult& result);
+
+}  // namespace megh

@@ -1,0 +1,96 @@
+#include "harness/scenario.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "trace/google_synth.hpp"
+#include "trace/planetlab_synth.hpp"
+
+namespace megh {
+
+Scenario make_planetlab_scenario(int hosts, int vms, int steps,
+                                 std::uint64_t seed) {
+  MEGH_REQUIRE(hosts > 0 && vms > 0 && steps > 0,
+               "planetlab scenario: shape must be positive");
+  Scenario s;
+  s.name = "PlanetLab";
+  s.hosts = standard_host_fleet(hosts);
+  Rng rng(seed);
+  s.vms = sample_vm_fleet(vms, rng);
+  PlanetLabSynthConfig trace_config;
+  trace_config.num_vms = vms;
+  trace_config.num_steps = steps;
+  trace_config.seed = seed + 1000;
+  s.trace = generate_planetlab(trace_config);
+  return s;
+}
+
+Scenario make_google_scenario(int hosts, int vms, int steps,
+                              std::uint64_t seed) {
+  MEGH_REQUIRE(hosts > 0 && vms > 0 && steps > 0,
+               "google scenario: shape must be positive");
+  Scenario s;
+  s.name = "GoogleCluster";
+  s.hosts = standard_host_fleet(hosts);
+  Rng rng(seed);
+  s.vms = sample_google_vm_fleet(vms, rng);
+  GoogleSynthConfig trace_config;
+  trace_config.num_vms = vms;
+  trace_config.num_steps = steps;
+  trace_config.seed = seed + 2000;
+  GoogleTrace trace = generate_google(trace_config);
+  s.trace = std::move(trace.table);
+  s.task_durations_s = std::move(trace.task_durations_s);
+  return s;
+}
+
+Scenario subset_scenario(const Scenario& base, int hosts, int vms,
+                         std::uint64_t seed) {
+  MEGH_REQUIRE(hosts > 0 && hosts <= static_cast<int>(base.hosts.size()),
+               "subset: host count out of range");
+  MEGH_REQUIRE(vms > 0 && vms <= static_cast<int>(base.vms.size()),
+               "subset: vm count out of range");
+  Scenario s;
+  s.name = base.name + "-subset";
+  Rng rng(seed);
+
+  // Keep the 50:50 G4/G5 mix: the base fleet alternates models, so taking a
+  // prefix of a shuffled index list could skew it; instead take hosts/2 of
+  // each model.
+  std::vector<int> g4, g5;
+  for (int h = 0; h < static_cast<int>(base.hosts.size()); ++h) {
+    (h % 2 == 0 ? g4 : g5).push_back(h);
+  }
+  rng.shuffle(g4);
+  rng.shuffle(g5);
+  for (int i = 0; i < hosts; ++i) {
+    const auto& pool = i % 2 == 0 ? g4 : g5;
+    s.hosts.push_back(base.hosts[static_cast<std::size_t>(
+        pool[static_cast<std::size_t>(i / 2) % pool.size()])]);
+  }
+
+  std::vector<int> vm_idx(base.vms.size());
+  std::iota(vm_idx.begin(), vm_idx.end(), 0);
+  rng.shuffle(vm_idx);
+  vm_idx.resize(static_cast<std::size_t>(vms));
+  for (int i : vm_idx) s.vms.push_back(base.vms[static_cast<std::size_t>(i)]);
+  s.trace = base.trace.select_vms(vm_idx);
+  return s;
+}
+
+Datacenter build_datacenter(const Scenario& scenario,
+                            InitialPlacement placement, std::uint64_t seed) {
+  Datacenter dc(scenario.hosts, scenario.vms);
+  Rng rng(seed);
+  place_initial(dc, placement, rng);
+  return dc;
+}
+
+SimulationConfig default_sim_config(double max_migration_fraction) {
+  SimulationConfig config;
+  config.interval_s = 300.0;
+  config.max_migration_fraction = max_migration_fraction;
+  return config;
+}
+
+}  // namespace megh

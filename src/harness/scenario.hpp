@@ -1,0 +1,51 @@
+// Standard experimental scenarios (Sec. 6.1–6.2): host fleet + VM fleet +
+// workload trace bundles for the PlanetLab and Google Cluster setups, plus
+// subset sampling for the MadVM comparison (100 PMs / 150 VMs) and the
+// scalability sweep (m, n ∈ {100..800}).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/datacenter.hpp"
+#include "sim/placement.hpp"
+#include "sim/simulation.hpp"
+#include "trace/trace_table.hpp"
+
+namespace megh {
+
+struct Scenario {
+  std::string name;
+  std::vector<HostSpec> hosts;
+  std::vector<VmSpec> vms;
+  TraceTable trace;
+  /// Google scenarios also carry the sampled task durations (Fig. 1b).
+  std::vector<double> task_durations_s;
+};
+
+/// PlanetLab setup: `hosts` alternating G4/G5, `vms` with paper-range
+/// specs, 7 days (2016 steps) of PlanetLab-like workload.
+Scenario make_planetlab_scenario(int hosts = 800, int vms = 1052,
+                                 int steps = 2016, std::uint64_t seed = 1);
+
+/// Google Cluster setup: 500 hosts, 2000 VMs, task-structured workload.
+Scenario make_google_scenario(int hosts = 500, int vms = 2000,
+                              int steps = 2016, std::uint64_t seed = 2);
+
+/// Random subset of an existing scenario: `hosts` PMs (keeping the 50:50
+/// G4/G5 mix) and `vms` VMs with their traces. Used by the MadVM comparison
+/// and the scalability sweep (Sec. 6.3–6.4).
+Scenario subset_scenario(const Scenario& base, int hosts, int vms,
+                         std::uint64_t seed);
+
+/// Build a datacenter from the scenario and place every VM.
+Datacenter build_datacenter(const Scenario& scenario,
+                            InitialPlacement placement, std::uint64_t seed);
+
+/// The paper's simulation constants (τ = 300 s, cost model of Sec. 6.1).
+/// `max_migration_fraction` is 0.02 for Megh runs and 0 (uncapped) for the
+/// comparators, matching Sec. 6.1.
+SimulationConfig default_sim_config(double max_migration_fraction = 0.0);
+
+}  // namespace megh

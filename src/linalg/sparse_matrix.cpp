@@ -1,0 +1,124 @@
+#include "linalg/sparse_matrix.hpp"
+
+#include <cmath>
+
+namespace megh {
+
+SparseMatrix::SparseMatrix(Index n, double diag_value) : n_(n) {
+  MEGH_ASSERT(n >= 0, "SparseMatrix dimension must be non-negative");
+  diag_.assign(static_cast<std::size_t>(n), diag_value);
+}
+
+double SparseMatrix::get(Index r, Index c) const {
+  check(r, c);
+  if (r == c) return diag_[static_cast<std::size_t>(r)];
+  const auto it = off_.find(key(r, c));
+  return it == off_.end() ? 0.0 : it->second;
+}
+
+void SparseMatrix::set(Index r, Index c, double v) {
+  check(r, c);
+  if (r == c) {
+    diag_[static_cast<std::size_t>(r)] = v;
+    return;
+  }
+  set_off(r, c, v);
+}
+
+void SparseMatrix::set_off(Index r, Index c, double v) {
+  const std::uint64_t k = key(r, c);
+  if (std::abs(v) < kZeroTolerance) {
+    if (off_.erase(k) > 0) {
+      auto rit = row_cols_.find(r);
+      if (rit != row_cols_.end()) {
+        rit->second.erase(c);
+        if (rit->second.empty()) row_cols_.erase(rit);
+      }
+      auto cit = col_rows_.find(c);
+      if (cit != col_rows_.end()) {
+        cit->second.erase(r);
+        if (cit->second.empty()) col_rows_.erase(cit);
+      }
+    }
+    return;
+  }
+  const bool inserted = off_.insert_or_assign(k, v).second;
+  if (inserted) {
+    row_cols_[r].insert(c);
+    col_rows_[c].insert(r);
+  }
+}
+
+void SparseMatrix::add(Index r, Index c, double v) {
+  if (v == 0.0) return;
+  set(r, c, get(r, c) + v);
+}
+
+std::size_t SparseMatrix::nnz() const {
+  std::size_t count = off_.size();
+  for (double d : diag_) {
+    if (std::abs(d) >= kZeroTolerance) ++count;
+  }
+  return count;
+}
+
+SparseVector SparseMatrix::row(Index r) const {
+  MEGH_ASSERT(r >= 0 && r < n_, "row index out of range");
+  SparseVector out(n_);
+  const double d = diag_[static_cast<std::size_t>(r)];
+  if (std::abs(d) >= kZeroTolerance) out.set(r, d);
+  const auto it = row_cols_.find(r);
+  if (it != row_cols_.end()) {
+    for (Index c : it->second) out.set(c, off_.at(key(r, c)));
+  }
+  return out;
+}
+
+SparseVector SparseMatrix::col(Index c) const {
+  MEGH_ASSERT(c >= 0 && c < n_, "col index out of range");
+  SparseVector out(n_);
+  const double d = diag_[static_cast<std::size_t>(c)];
+  if (std::abs(d) >= kZeroTolerance) out.set(c, d);
+  const auto it = col_rows_.find(c);
+  if (it != col_rows_.end()) {
+    for (Index r : it->second) out.set(r, off_.at(key(r, c)));
+  }
+  return out;
+}
+
+SparseVector SparseMatrix::multiply(const SparseVector& x) const {
+  SparseVector y(n_);
+  for (const auto& [c, xv] : x.entries()) {
+    MEGH_ASSERT(c >= 0 && c < n_, "multiply: x index out of range");
+    const double d = diag_[static_cast<std::size_t>(c)];
+    if (d != 0.0) y.add(c, d * xv);
+    const auto it = col_rows_.find(c);
+    if (it != col_rows_.end()) {
+      for (Index r : it->second) y.add(r, off_.at(key(r, c)) * xv);
+    }
+  }
+  return y;
+}
+
+void SparseMatrix::rank1_update(const SparseVector& u, const SparseVector& v,
+                                double scale) {
+  if (scale == 0.0) return;
+  for (const auto& [r, uv] : u.entries()) {
+    for (const auto& [c, vv] : v.entries()) {
+      add(r, c, scale * uv * vv);
+    }
+  }
+}
+
+DenseMatrix SparseMatrix::to_dense() const {
+  DenseMatrix out(n_, n_, 0.0);
+  for (Index i = 0; i < n_; ++i) out.at(i, i) = diag_[static_cast<std::size_t>(i)];
+  for (const auto& [k, v] : off_) {
+    const Index r = static_cast<Index>(k >> 32);
+    const Index c = static_cast<Index>(k & 0xffffffffULL);
+    out.at(r, c) = v;
+  }
+  return out;
+}
+
+}  // namespace megh

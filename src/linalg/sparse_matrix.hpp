@@ -1,0 +1,81 @@
+// Sparse square matrix stored as an explicit dense diagonal plus a
+// hash-mapped set of off-diagonal entries with row/column adjacency.
+//
+// This layout is exactly what Megh's inverse transition operator
+// B = T⁻¹ needs (Sec. 5.2 of the paper): B starts as δ⁻¹·I — pure diagonal —
+// and every Sherman–Morrison step adds a rank-1 term whose factors are unit
+// basis vectors, touching only a handful of rows/columns. Storing the
+// diagonal densely keeps the initial footprint at O(d) doubles and makes
+// row/column extraction O(nnz in that row/column).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/sparse_vector.hpp"
+
+namespace megh {
+
+class SparseMatrix {
+ public:
+  using Index = std::int64_t;
+
+  static constexpr double kZeroTolerance = 1e-12;
+
+  SparseMatrix() = default;
+
+  /// n×n matrix initialized to `diag_value`·I.
+  explicit SparseMatrix(Index n, double diag_value = 0.0);
+
+  Index dim() const { return n_; }
+
+  double get(Index r, Index c) const;
+  void set(Index r, Index c, double v);
+  void add(Index r, Index c, double v);
+
+  /// Number of stored nonzero entries (diagonal + off-diagonal).
+  std::size_t nnz() const;
+
+  /// Number of stored off-diagonal nonzeros.
+  std::size_t offdiag_nnz() const { return off_.size(); }
+
+  /// Extract row r / column c as a sparse vector.
+  SparseVector row(Index r) const;
+  SparseVector col(Index c) const;
+
+  /// y = M x for sparse x (cost: sum over x's nonzeros of column nnz).
+  SparseVector multiply(const SparseVector& x) const;
+
+  /// M += scale * u vᵀ for sparse u, v.
+  void rank1_update(const SparseVector& u, const SparseVector& v,
+                    double scale);
+
+  /// Materialize (tests/small dims only).
+  DenseMatrix to_dense() const;
+
+ private:
+  static std::uint64_t key(Index r, Index c) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) << 32) |
+           static_cast<std::uint32_t>(c);
+  }
+
+  void check(Index r, Index c) const {
+    MEGH_ASSERT(r >= 0 && r < n_ && c >= 0 && c < n_,
+                "SparseMatrix index out of range");
+  }
+
+  void set_off(Index r, Index c, double v);
+
+  Index n_ = 0;
+  std::vector<double> diag_;
+  std::unordered_map<std::uint64_t, double> off_;
+  // Adjacency: which off-diagonal columns exist in each row, and rows in
+  // each column. Only nonempty rows/cols are present.
+  std::unordered_map<Index, std::unordered_set<Index>> row_cols_;
+  std::unordered_map<Index, std::unordered_set<Index>> col_rows_;
+};
+
+}  // namespace megh

@@ -1,0 +1,68 @@
+#include "linalg/sparse_vector.hpp"
+
+#include <cmath>
+
+namespace megh {
+
+void SparseVector::set(Index i, double v) {
+  check_index(i);
+  if (std::abs(v) < kZeroTolerance) {
+    entries_.erase(i);
+  } else {
+    entries_[i] = v;
+  }
+}
+
+void SparseVector::add(Index i, double v) {
+  check_index(i);
+  const auto it = entries_.find(i);
+  if (it == entries_.end()) {
+    if (std::abs(v) >= kZeroTolerance) entries_.emplace(i, v);
+    return;
+  }
+  it->second += v;
+  if (std::abs(it->second) < kZeroTolerance) entries_.erase(it);
+}
+
+void SparseVector::axpy(double scale, const SparseVector& other) {
+  if (scale == 0.0) return;
+  for (const auto& [i, v] : other.entries_) add(i, scale * v);
+}
+
+void SparseVector::scale(double s) {
+  if (s == 0.0) {
+    entries_.clear();
+    return;
+  }
+  for (auto& [i, v] : entries_) v *= s;
+}
+
+double SparseVector::dot(const SparseVector& other) const {
+  const SparseVector& small = nnz() <= other.nnz() ? *this : other;
+  const SparseVector& big = nnz() <= other.nnz() ? other : *this;
+  double sum = 0.0;
+  for (const auto& [i, v] : small.entries_) {
+    const auto it = big.entries_.find(i);
+    if (it != big.entries_.end()) sum += v * it->second;
+  }
+  return sum;
+}
+
+double SparseVector::dot(std::span<const double> dense) const {
+  double sum = 0.0;
+  for (const auto& [i, v] : entries_) {
+    MEGH_ASSERT(static_cast<std::size_t>(i) < dense.size(),
+                "sparse/dense dot dimension mismatch");
+    sum += v * dense[static_cast<std::size_t>(i)];
+  }
+  return sum;
+}
+
+std::vector<double> SparseVector::to_dense() const {
+  MEGH_ASSERT(dim_ > 0, "to_dense needs a bounded dimension");
+  std::vector<double> out(static_cast<std::size_t>(dim_), 0.0);
+  for (const auto& [i, v] : entries_) out[static_cast<std::size_t>(i)] = v;
+  return out;
+}
+
+}  // namespace megh

@@ -1,0 +1,76 @@
+// Sparse vector with hash-map storage.
+//
+// Used for Megh's `z` accumulator (z_{t+1} = z_t + φ_{a_t} C_{t+1}, Alg. 1
+// line 10) and as the row/column views of the sparse inverse-operator
+// matrix. Entries whose magnitude drops below `kZeroTolerance` are pruned so
+// nnz counts (Fig. 7) stay meaningful.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace megh {
+
+class SparseVector {
+ public:
+  using Index = std::int64_t;
+
+  /// Magnitude below which an entry counts as (and is stored as) zero.
+  static constexpr double kZeroTolerance = 1e-12;
+
+  SparseVector() = default;
+  explicit SparseVector(Index dim) : dim_(dim) {
+    MEGH_ASSERT(dim >= 0, "SparseVector dimension must be non-negative");
+  }
+
+  Index dim() const { return dim_; }
+  std::size_t nnz() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  double get(Index i) const {
+    check_index(i);
+    const auto it = entries_.find(i);
+    return it == entries_.end() ? 0.0 : it->second;
+  }
+
+  /// Set entry i; values under tolerance erase the entry.
+  void set(Index i, double v);
+
+  /// entries[i] += v.
+  void add(Index i, double v);
+
+  /// *this += scale * other.
+  void axpy(double scale, const SparseVector& other);
+
+  /// Scale all entries.
+  void scale(double s);
+
+  void clear() { entries_.clear(); }
+
+  /// Dot with another sparse vector (iterates the smaller one).
+  double dot(const SparseVector& other) const;
+
+  /// Dot with a dense vector of matching dimension.
+  double dot(std::span<const double> dense) const;
+
+  /// Materialize as dense (for tests / small dims).
+  std::vector<double> to_dense() const;
+
+  /// Unordered iteration over (index, value) pairs.
+  const std::unordered_map<Index, double>& entries() const { return entries_; }
+
+ private:
+  void check_index(Index i) const {
+    MEGH_ASSERT(i >= 0 && (dim_ == 0 || i < dim_),
+                "SparseVector index out of range");
+  }
+
+  Index dim_ = 0;  // 0 means "unbounded" (dimension checks disabled)
+  std::unordered_map<Index, double> entries_;
+};
+
+}  // namespace megh

@@ -1,0 +1,33 @@
+// Boxplot summary statistics, as plotted in Figure 8 (parameter
+// sensitivity): median and the 90-percentile spread of per-step cost for
+// each parameter value, plus quartiles and mean.
+#pragma once
+
+#include <span>
+
+#include "metrics/percentile.hpp"
+
+namespace megh {
+
+struct BoxplotStats {
+  double p5 = 0.0;      // lower whisker (5th percentile)
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double p95 = 0.0;     // upper whisker (95th percentile)
+  double mean = 0.0;
+};
+
+inline BoxplotStats boxplot_stats(std::span<const double> xs) {
+  Samples s{std::vector<double>(xs.begin(), xs.end())};
+  BoxplotStats out;
+  out.p5 = s.percentile(5.0);
+  out.q1 = s.q1();
+  out.median = s.median();
+  out.q3 = s.q3();
+  out.p95 = s.percentile(95.0);
+  out.mean = s.mean();
+  return out;
+}
+
+}  // namespace megh

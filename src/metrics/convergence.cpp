@@ -1,0 +1,72 @@
+#include "metrics/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace megh {
+
+namespace {
+
+struct WindowStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+WindowStats window_stats(std::span<const double> series, int start, int window) {
+  double mean = 0.0;
+  for (int i = start; i < start + window; ++i) {
+    mean += series[static_cast<std::size_t>(i)];
+  }
+  mean /= window;
+  double var = 0.0;
+  for (int i = start; i < start + window; ++i) {
+    const double d = series[static_cast<std::size_t>(i)] - mean;
+    var += d * d;
+  }
+  var /= std::max(1, window - 1);
+  return {mean, std::sqrt(var)};
+}
+
+}  // namespace
+
+std::optional<int> convergence_step(std::span<const double> series,
+                                    const ConvergenceConfig& config) {
+  MEGH_REQUIRE(config.window >= 2, "convergence window must be >= 2");
+  const int n = static_cast<int>(series.size());
+  if (n < config.window) return std::nullopt;
+  constexpr double kEps = 1e-9;
+
+  const int last_start =
+      n - config.window * (1 + std::max(0, config.min_tail_windows));
+  for (int t = 0; t <= last_start; ++t) {
+    const WindowStats first = window_stats(series, t, config.window);
+    const double scale = std::abs(first.mean) + kEps;
+    if (first.stddev / scale > config.cv_threshold) continue;
+    // Check drift of all later (non-overlapping) windows.
+    bool stable = true;
+    for (int u = t + config.window; u + config.window <= n;
+         u += config.window) {
+      const WindowStats w = window_stats(series, u, config.window);
+      if (std::abs(w.mean - first.mean) > config.drift_band * scale) {
+        stable = false;
+        break;
+      }
+    }
+    if (stable) return t;
+  }
+  return std::nullopt;
+}
+
+double tail_mean(std::span<const double> series, int from_step) {
+  MEGH_REQUIRE(from_step >= 0, "tail_mean from_step must be >= 0");
+  const int n = static_cast<int>(series.size());
+  if (from_step >= n) return 0.0;
+  double sum = 0.0;
+  for (int i = from_step; i < n; ++i) sum += series[static_cast<std::size_t>(i)];
+  return sum / (n - from_step);
+}
+
+}  // namespace megh

@@ -1,0 +1,33 @@
+// Convergence detection for per-step cost series.
+//
+// The paper claims Megh converges in ~100 steps on both datasets while
+// THR-MMT takes ~600/~300 and MadVM ~200/~700 (Sec. 6.3). We operationalize
+// "converged at step t" as: the rolling window starting at t has a
+// coefficient of variation below a threshold, and every subsequent window's
+// mean stays within a band of that window's mean. The same detector runs on
+// every algorithm so the comparison is fair.
+#pragma once
+
+#include <optional>
+#include <span>
+
+namespace megh {
+
+struct ConvergenceConfig {
+  int window = 50;          // steps per rolling window
+  double cv_threshold = 0.25;   // window stddev / |mean| must drop below this
+  double drift_band = 0.25;     // later window means must stay within ±band
+  /// A convergence point must leave at least this many full windows after
+  /// it; otherwise "converged" right at the series tail would be vacuous.
+  int min_tail_windows = 3;
+};
+
+/// First step index at which the series is considered converged, or nullopt
+/// if it never converges under the given config.
+std::optional<int> convergence_step(std::span<const double> series,
+                                    const ConvergenceConfig& config = {});
+
+/// Mean of the series after the given step (for "stable cost" reporting).
+double tail_mean(std::span<const double> series, int from_step);
+
+}  // namespace megh

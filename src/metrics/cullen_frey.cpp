@@ -1,0 +1,113 @@
+#include "metrics/cullen_frey.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace megh {
+
+MomentSummary compute_moments(std::span<const double> xs) {
+  MEGH_REQUIRE(xs.size() >= 4, "compute_moments needs at least 4 samples");
+  const double n = static_cast<double>(xs.size());
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= n;
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (double x : xs) {
+    const double d = x - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  m2 /= n;
+  m3 /= n;
+  m4 /= n;
+  MomentSummary out;
+  out.mean = mean;
+  out.variance = m2;
+  if (m2 > 0.0) {
+    out.skewness = m3 / std::pow(m2, 1.5);
+    out.kurtosis = m4 / (m2 * m2);
+  } else {
+    out.skewness = 0.0;
+    out.kurtosis = 0.0;
+  }
+  return out;
+}
+
+CullenFreyPoint cullen_frey_point(std::span<const double> xs) {
+  const MomentSummary m = compute_moments(xs);
+  return {m.skewness * m.skewness, m.kurtosis};
+}
+
+namespace {
+
+double point_distance(double s2a, double ka, double s2b, double kb) {
+  const double ds = s2a - s2b;
+  const double dk = ka - kb;
+  return std::sqrt(ds * ds + dk * dk);
+}
+
+/// Nearest distance from p to a parametric curve k = f(s²), sampled over s².
+template <typename F>
+double curve_distance(const CullenFreyPoint& p, F kurtosis_of_s2) {
+  double best = std::numeric_limits<double>::infinity();
+  for (double s2 = 0.0; s2 <= 64.0; s2 += 0.05) {
+    best = std::min(best, point_distance(p.squared_skewness, p.kurtosis, s2,
+                                         kurtosis_of_s2(s2)));
+  }
+  return best;
+}
+
+}  // namespace
+
+double distance_to_family(const CullenFreyPoint& p, const std::string& family) {
+  if (family == "normal") {
+    return point_distance(p.squared_skewness, p.kurtosis, 0.0, 3.0);
+  }
+  if (family == "uniform") {
+    return point_distance(p.squared_skewness, p.kurtosis, 0.0, 1.8);
+  }
+  if (family == "exponential") {
+    return point_distance(p.squared_skewness, p.kurtosis, 4.0, 9.0);
+  }
+  if (family == "logistic") {
+    return point_distance(p.squared_skewness, p.kurtosis, 0.0, 4.2);
+  }
+  if (family == "gamma") {
+    // Gamma: skew² = 4/k, kurtosis = 3 + 6/k  ⇒ kurtosis = 3 + 1.5·skew².
+    return curve_distance(p, [](double s2) { return 3.0 + 1.5 * s2; });
+  }
+  if (family == "lognormal") {
+    // Lognormal: with w = exp(sigma²), skew = (w+2)√(w−1),
+    // kurtosis = w⁴ + 2w³ + 3w² − 3. Parameterize by w ∈ (1, 3].
+    double best = std::numeric_limits<double>::infinity();
+    for (double w = 1.0005; w <= 3.0; w += 0.002) {
+      const double skew = (w + 2.0) * std::sqrt(w - 1.0);
+      const double kurt = w * w * w * w + 2.0 * w * w * w + 3.0 * w * w - 3.0;
+      best = std::min(best, point_distance(p.squared_skewness, p.kurtosis,
+                                           skew * skew, kurt));
+    }
+    return best;
+  }
+  throw ConfigError("unknown Cullen-Frey family: " + family);
+}
+
+NearestFamily nearest_family(const CullenFreyPoint& p) {
+  static const char* kFamilies[] = {"normal",   "uniform", "exponential",
+                                    "logistic", "gamma",   "lognormal"};
+  NearestFamily out;
+  out.distance = std::numeric_limits<double>::infinity();
+  for (const char* f : kFamilies) {
+    const double d = distance_to_family(p, f);
+    if (d < out.distance) {
+      out.distance = d;
+      out.family = f;
+    }
+  }
+  return out;
+}
+
+}  // namespace megh

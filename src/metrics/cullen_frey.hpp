@@ -1,0 +1,48 @@
+// Cullen–Frey analysis: locate an empirical distribution on the
+// (skewness², kurtosis) plane and measure its distance from standard
+// parametric families.
+//
+// The paper (Sec. 6.2) plots Cullen–Frey graphs for the PlanetLab and Google
+// workloads to argue that neither matches a standard distribution — the
+// motivation for a prior-free learner. We reproduce the computation so the
+// trace generators can be validated for the same property.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace megh {
+
+struct MomentSummary {
+  double mean = 0.0;
+  double variance = 0.0;
+  double skewness = 0.0;  // standardized third moment
+  double kurtosis = 0.0;  // standardized fourth moment (normal = 3)
+};
+
+/// Sample moments (population denominators, as Cullen–Frey uses).
+MomentSummary compute_moments(std::span<const double> xs);
+
+struct CullenFreyPoint {
+  double squared_skewness = 0.0;
+  double kurtosis = 0.0;
+};
+
+CullenFreyPoint cullen_frey_point(std::span<const double> xs);
+
+/// Distance from the sample's (skew², kurtosis) point to the locus of a
+/// named family: "normal" (0,3), "uniform" (0,1.8), "exponential" (4,9),
+/// "logistic" (0,4.2), "lognormal" / "gamma" (parametric curves — nearest
+/// point on the curve is used).
+double distance_to_family(const CullenFreyPoint& p, const std::string& family);
+
+/// Name of the closest standard family and its distance. A large
+/// `min_distance` (relative to the kurtosis scale) indicates the sample does
+/// not match any standard distribution — the paper's observation.
+struct NearestFamily {
+  std::string family;
+  double distance = 0.0;
+};
+NearestFamily nearest_family(const CullenFreyPoint& p);
+
+}  // namespace megh

@@ -1,0 +1,74 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace megh {
+
+Histogram::Histogram(std::vector<double> edges, bool log_scale)
+    : edges_(std::move(edges)), log_scale_(log_scale) {
+  MEGH_ASSERT(edges_.size() >= 2, "histogram needs at least one bin");
+  counts_.assign(edges_.size() - 1, 0);
+}
+
+Histogram Histogram::linear(double lo, double hi, int bins) {
+  MEGH_REQUIRE(hi > lo && bins > 0, "histogram: need hi > lo and bins > 0");
+  std::vector<double> edges(static_cast<std::size_t>(bins) + 1);
+  for (int i = 0; i <= bins; ++i) {
+    edges[static_cast<std::size_t>(i)] = lo + (hi - lo) * i / bins;
+  }
+  return Histogram(std::move(edges), /*log_scale=*/false);
+}
+
+Histogram Histogram::logarithmic(double lo, double hi, int bins) {
+  MEGH_REQUIRE(lo > 0 && hi > lo && bins > 0,
+               "log histogram: need 0 < lo < hi and bins > 0");
+  std::vector<double> edges(static_cast<std::size_t>(bins) + 1);
+  const double llo = std::log10(lo);
+  const double lhi = std::log10(hi);
+  for (int i = 0; i <= bins; ++i) {
+    edges[static_cast<std::size_t>(i)] =
+        std::pow(10.0, llo + (lhi - llo) * i / bins);
+  }
+  return Histogram(std::move(edges), /*log_scale=*/true);
+}
+
+void Histogram::add(double x) {
+  if (x < edges_.front()) {
+    ++underflow_;
+    return;
+  }
+  if (x >= edges_.back()) {
+    ++overflow_;
+    return;
+  }
+  // Binary search for the bin.
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  const std::size_t bin = static_cast<std::size_t>(it - edges_.begin()) - 1;
+  ++counts_[bin];
+  ++total_;
+}
+
+double Histogram::fraction(int bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[static_cast<std::size_t>(bin)]) /
+         static_cast<double>(total_);
+}
+
+std::string Histogram::ascii(int width) const {
+  std::int64_t max_count = 1;
+  for (const auto c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const int bar = static_cast<int>(counts_[i] * width / max_count);
+    out += strf("%12.4g - %-12.4g |", edges_[i], edges_[i + 1]);
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += strf(" %lld\n", static_cast<long long>(counts_[i]));
+  }
+  return out;
+}
+
+}  // namespace megh

@@ -1,0 +1,49 @@
+// Fixed-bin histograms with linear or logarithmic bin edges.
+//
+// The log-spaced variant reproduces Figure 1(b): the distribution of Google
+// Cluster task durations spanning 10¹–10⁶ seconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace megh {
+
+class Histogram {
+ public:
+  /// Linear bins covering [lo, hi) in `bins` equal pieces.
+  static Histogram linear(double lo, double hi, int bins);
+
+  /// Log10-spaced bins covering [lo, hi), lo > 0.
+  static Histogram logarithmic(double lo, double hi, int bins);
+
+  void add(double x);
+
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  std::int64_t count(int bin) const { return counts_[static_cast<std::size_t>(bin)]; }
+  std::int64_t total() const { return total_; }
+  std::int64_t underflow() const { return underflow_; }
+  std::int64_t overflow() const { return overflow_; }
+
+  double bin_lo(int bin) const { return edges_[static_cast<std::size_t>(bin)]; }
+  double bin_hi(int bin) const { return edges_[static_cast<std::size_t>(bin) + 1]; }
+
+  /// Fraction of in-range samples in this bin.
+  double fraction(int bin) const;
+
+  /// Render as a simple ASCII bar chart (for bench stdout).
+  std::string ascii(int width = 50) const;
+
+ private:
+  Histogram(std::vector<double> edges, bool log_scale);
+
+  std::vector<double> edges_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+  std::int64_t underflow_ = 0;
+  std::int64_t overflow_ = 0;
+  bool log_scale_ = false;
+};
+
+}  // namespace megh

@@ -1,0 +1,62 @@
+#include "metrics/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace megh {
+
+void Samples::ensure_sorted() const {
+  if (sorted_) return;
+  sorted_values_ = values_;
+  std::sort(sorted_values_.begin(), sorted_values_.end());
+  sorted_ = true;
+}
+
+double Samples::percentile(double p) const {
+  MEGH_ASSERT(!values_.empty(), "percentile of empty sample set");
+  MEGH_ASSERT(p >= 0.0 && p <= 100.0, "percentile p out of [0,100]");
+  ensure_sorted();
+  const std::size_t n = sorted_values_.size();
+  if (n == 1) return sorted_values_[0];
+  const double rank = p / 100.0 * static_cast<double>(n - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = std::min(lo + 1, n - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_values_[lo] * (1.0 - frac) + sorted_values_[hi] * frac;
+}
+
+double Samples::mad(bool normalized) const {
+  MEGH_ASSERT(!values_.empty(), "mad of empty sample set");
+  const double med = median();
+  std::vector<double> dev;
+  dev.reserve(values_.size());
+  for (double v : values_) dev.push_back(std::abs(v - med));
+  std::sort(dev.begin(), dev.end());
+  const Samples dev_samples(std::move(dev));
+  const double raw = dev_samples.median();
+  return normalized ? 1.4826 * raw : raw;
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double v : values_) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values_.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  Samples s(std::vector<double>(xs.begin(), xs.end()));
+  return s.percentile(p);
+}
+
+}  // namespace megh

@@ -1,0 +1,52 @@
+// Exact percentile computation over stored samples, with linear
+// interpolation between order statistics (the "type 7" estimator used by
+// R/numpy, so numbers are comparable with common analysis tooling).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace megh {
+
+class Samples {
+ public:
+  Samples() = default;
+  explicit Samples(std::vector<double> values) : values_(std::move(values)) {}
+
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// p in [0, 100]. Requires at least one sample.
+  double percentile(double p) const;
+
+  double median() const { return percentile(50.0); }
+  double q1() const { return percentile(25.0); }
+  double q3() const { return percentile(75.0); }
+  double iqr() const { return q3() - q1(); }
+
+  /// Median absolute deviation (scaled by 1.4826 for normal consistency
+  /// when `normalized` is true — the MAD-MMT detector uses the raw value).
+  double mad(bool normalized = false) const;
+
+  double mean() const;
+  double stddev() const;
+
+  std::span<const double> values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_values_;
+  mutable bool sorted_ = false;
+};
+
+/// One-shot percentile over a span (copies + sorts).
+double percentile(std::span<const double> xs, double p);
+
+}  // namespace megh

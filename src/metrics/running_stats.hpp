@@ -1,0 +1,37 @@
+// Streaming first/second-moment statistics (Welford's algorithm).
+//
+// Used everywhere a mean/stddev/min/max over a stream is needed without
+// storing samples: per-step cost summaries, workload trace statistics
+// (Fig. 1a), execution-time aggregation (Tables 2/3).
+#pragma once
+
+#include <cstdint>
+
+namespace megh {
+
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+  std::int64_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace megh

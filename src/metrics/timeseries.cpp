@@ -1,0 +1,80 @@
+#include "metrics/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace megh {
+
+void TimeSeries::push(const std::string& name, double value) {
+  series_[name].push_back(value);
+}
+
+std::span<const double> TimeSeries::get(const std::string& name) const {
+  const auto it = series_.find(name);
+  MEGH_REQUIRE(it != series_.end(), "unknown series: " + name);
+  return it->second;
+}
+
+std::vector<std::string> TimeSeries::names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, _] : series_) out.push_back(name);
+  return out;
+}
+
+std::size_t TimeSeries::length() const {
+  std::size_t n = 0;
+  for (const auto& [_, values] : series_) n = std::max(n, values.size());
+  return n;
+}
+
+std::vector<double> TimeSeries::cumulative(const std::string& name) const {
+  const auto values = get(name);
+  std::vector<double> out(values.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    sum += values[i];
+    out[i] = sum;
+  }
+  return out;
+}
+
+std::vector<double> TimeSeries::rolling_mean(const std::string& name,
+                                             int window) const {
+  MEGH_REQUIRE(window >= 1, "rolling_mean window must be >= 1");
+  const auto values = get(name);
+  const int n = static_cast<int>(values.size());
+  std::vector<double> out(values.size());
+  const int half = window / 2;
+  for (int i = 0; i < n; ++i) {
+    const int lo = std::max(0, i - half);
+    const int hi = std::min(n - 1, i + half);
+    double sum = 0.0;
+    for (int j = lo; j <= hi; ++j) sum += values[static_cast<std::size_t>(j)];
+    out[static_cast<std::size_t>(i)] = sum / (hi - lo + 1);
+  }
+  return out;
+}
+
+void TimeSeries::write_csv(const std::filesystem::path& path) const {
+  CsvWriter w(path);
+  std::vector<std::string> header{"step"};
+  for (const auto& [name, _] : series_) header.push_back(name);
+  w.header(header);
+  const std::size_t n = length();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row{static_cast<double>(i)};
+    for (const auto& [_, values] : series_) {
+      row.push_back(i < values.size()
+                        ? values[i]
+                        : std::numeric_limits<double>::quiet_NaN());
+    }
+    w.row(row);
+  }
+}
+
+}  // namespace megh

@@ -1,0 +1,40 @@
+// Named per-step series container used by the experiment harness to collect
+// the panels of Figures 2–5 (per-step cost, cumulative migrations, active
+// hosts, execution time) and dump them as CSV.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace megh {
+
+class TimeSeries {
+ public:
+  /// Append a value to the named series (creates it on first use).
+  void push(const std::string& name, double value);
+
+  bool has(const std::string& name) const { return series_.count(name) > 0; }
+  std::span<const double> get(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// Number of points in the longest series.
+  std::size_t length() const;
+
+  /// Running sum transform of a series (e.g. cumulative migrations).
+  std::vector<double> cumulative(const std::string& name) const;
+
+  /// Centered-window rolling mean (window clipped at the edges).
+  std::vector<double> rolling_mean(const std::string& name, int window) const;
+
+  /// Write all series as CSV columns (step index first). Ragged series are
+  /// padded with NaN.
+  void write_csv(const std::filesystem::path& path) const;
+
+ private:
+  std::map<std::string, std::vector<double>> series_;
+};
+
+}  // namespace megh

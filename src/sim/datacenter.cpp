@@ -1,0 +1,172 @@
+#include "sim/datacenter.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace megh {
+
+Datacenter::Datacenter(std::vector<HostSpec> hosts, std::vector<VmSpec> vms)
+    : hosts_(std::move(hosts)), vms_(std::move(vms)) {
+  MEGH_REQUIRE(!hosts_.empty(), "datacenter needs at least one host");
+  vm_host_.assign(vms_.size(), kUnplaced);
+  host_vms_.assign(hosts_.size(), {});
+  host_ram_used_.assign(hosts_.size(), 0.0);
+  vm_util_.assign(vms_.size(), 0.0);
+  for (const auto& h : hosts_) {
+    MEGH_REQUIRE(h.mips > 0 && h.ram_mb > 0 && h.bw_mbps > 0,
+                 "host spec must have positive capacities");
+  }
+  for (const auto& v : vms_) {
+    MEGH_REQUIRE(v.mips > 0 && v.ram_mb > 0 && v.bw_mbps > 0,
+                 "vm spec must have positive capacities");
+  }
+}
+
+void Datacenter::check_host(int host) const {
+  MEGH_ASSERT(host >= 0 && host < num_hosts(), "host index out of range");
+}
+
+void Datacenter::check_vm(int vm) const {
+  MEGH_ASSERT(vm >= 0 && vm < num_vms(), "vm index out of range");
+}
+
+const HostSpec& Datacenter::host_spec(int host) const {
+  check_host(host);
+  return hosts_[static_cast<std::size_t>(host)];
+}
+
+const VmSpec& Datacenter::vm_spec(int vm) const {
+  check_vm(vm);
+  return vms_[static_cast<std::size_t>(vm)];
+}
+
+int Datacenter::host_of(int vm) const {
+  check_vm(vm);
+  return vm_host_[static_cast<std::size_t>(vm)];
+}
+
+std::span<const int> Datacenter::vms_on(int host) const {
+  check_host(host);
+  return host_vms_[static_cast<std::size_t>(host)];
+}
+
+double Datacenter::host_ram_used(int host) const {
+  check_host(host);
+  return host_ram_used_[static_cast<std::size_t>(host)];
+}
+
+bool Datacenter::fits(int vm, int host) const {
+  check_vm(vm);
+  check_host(host);
+  return host_ram_used_[static_cast<std::size_t>(host)] +
+             vms_[static_cast<std::size_t>(vm)].ram_mb <=
+         hosts_[static_cast<std::size_t>(host)].ram_mb + 1e-9;
+}
+
+void Datacenter::place(int vm, int host) {
+  check_vm(vm);
+  check_host(host);
+  MEGH_REQUIRE(vm_host_[static_cast<std::size_t>(vm)] == kUnplaced,
+               strf("place: vm %d is already placed", vm));
+  MEGH_REQUIRE(fits(vm, host),
+               strf("place: vm %d does not fit on host %d by RAM", vm, host));
+  vm_host_[static_cast<std::size_t>(vm)] = host;
+  host_vms_[static_cast<std::size_t>(host)].push_back(vm);
+  host_ram_used_[static_cast<std::size_t>(host)] +=
+      vms_[static_cast<std::size_t>(vm)].ram_mb;
+}
+
+bool Datacenter::migrate(int vm, int host) {
+  check_vm(vm);
+  check_host(host);
+  const int current = vm_host_[static_cast<std::size_t>(vm)];
+  MEGH_REQUIRE(current != kUnplaced, strf("migrate: vm %d is not placed", vm));
+  if (current == host) return false;
+  if (!fits(vm, host)) return false;
+  unplace(vm);
+  place(vm, host);
+  return true;
+}
+
+void Datacenter::unplace(int vm) {
+  check_vm(vm);
+  const int host = vm_host_[static_cast<std::size_t>(vm)];
+  MEGH_REQUIRE(host != kUnplaced, strf("unplace: vm %d is not placed", vm));
+  auto& list = host_vms_[static_cast<std::size_t>(host)];
+  const auto it = std::find(list.begin(), list.end(), vm);
+  MEGH_ASSERT(it != list.end(), "datacenter invariant: vm missing from host list");
+  list.erase(it);
+  host_ram_used_[static_cast<std::size_t>(host)] -=
+      vms_[static_cast<std::size_t>(vm)].ram_mb;
+  vm_host_[static_cast<std::size_t>(vm)] = kUnplaced;
+}
+
+void Datacenter::set_demands(std::span<const double> vm_utilization) {
+  MEGH_REQUIRE(vm_utilization.size() == vm_util_.size(),
+               "set_demands: size mismatch");
+  for (std::size_t i = 0; i < vm_utilization.size(); ++i) {
+    const double u = vm_utilization[i];
+    MEGH_ASSERT(u >= 0.0 && u <= 1.0, "vm utilization must lie in [0,1]");
+    vm_util_[i] = u;
+  }
+}
+
+double Datacenter::vm_utilization(int vm) const {
+  check_vm(vm);
+  return vm_util_[static_cast<std::size_t>(vm)];
+}
+
+double Datacenter::vm_demand_mips(int vm) const {
+  check_vm(vm);
+  return vm_util_[static_cast<std::size_t>(vm)] *
+         vms_[static_cast<std::size_t>(vm)].mips;
+}
+
+double Datacenter::host_demand_mips(int host) const {
+  check_host(host);
+  double total = 0.0;
+  for (int vm : host_vms_[static_cast<std::size_t>(host)]) {
+    total += vm_demand_mips(vm);
+  }
+  return total;
+}
+
+double Datacenter::host_utilization(int host) const {
+  check_host(host);
+  return host_demand_mips(host) / hosts_[static_cast<std::size_t>(host)].mips;
+}
+
+double Datacenter::vm_service_fraction(int vm) const {
+  check_vm(vm);
+  const int host = vm_host_[static_cast<std::size_t>(vm)];
+  if (host == kUnplaced) return 0.0;
+  const double demand = host_demand_mips(host);
+  const double capacity = hosts_[static_cast<std::size_t>(host)].mips;
+  if (demand <= capacity || demand <= 0.0) return 1.0;
+  return capacity / demand;
+}
+
+bool Datacenter::is_active(int host) const {
+  check_host(host);
+  return !host_vms_[static_cast<std::size_t>(host)].empty();
+}
+
+int Datacenter::active_host_count() const {
+  int count = 0;
+  for (int h = 0; h < num_hosts(); ++h) {
+    if (is_active(h)) ++count;
+  }
+  return count;
+}
+
+std::vector<double> Datacenter::all_host_utilization() const {
+  std::vector<double> out(static_cast<std::size_t>(num_hosts()));
+  for (int h = 0; h < num_hosts(); ++h) {
+    out[static_cast<std::size_t>(h)] = host_utilization(h);
+  }
+  return out;
+}
+
+}  // namespace megh

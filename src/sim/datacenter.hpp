@@ -1,0 +1,93 @@
+// Data-center topology and current allocation state.
+//
+// Holds the host fleet, the VM fleet, the VM→host assignment and the
+// current per-VM demanded utilization. Placement feasibility is governed by
+// RAM (hard constraint — a VM's memory must fit) while CPU may be
+// oversubscribed: when demand exceeds a host's MIPS, VMs receive capacity
+// proportionally — that is precisely the overload situation the policies are
+// trying to avoid (Sec. 3.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/host_spec.hpp"
+
+namespace megh {
+
+/// Sentinel for "VM not placed on any host".
+inline constexpr int kUnplaced = -1;
+
+class Datacenter {
+ public:
+  Datacenter(std::vector<HostSpec> hosts, std::vector<VmSpec> vms);
+
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  int num_vms() const { return static_cast<int>(vms_.size()); }
+
+  const HostSpec& host_spec(int host) const;
+  const VmSpec& vm_spec(int vm) const;
+
+  /// Host currently running `vm` (kUnplaced if none).
+  int host_of(int vm) const;
+
+  /// VMs currently on `host`.
+  std::span<const int> vms_on(int host) const;
+
+  /// RAM in use on `host` (MB).
+  double host_ram_used(int host) const;
+
+  /// True if `vm` (or a VM needing `ram_mb`) fits on `host` by RAM.
+  bool fits(int vm, int host) const;
+
+  /// Place an unplaced VM. Throws Error if already placed or RAM does not fit.
+  void place(int vm, int host);
+
+  /// Move a placed VM to a new host. Returns false (no change) when the
+  /// target equals the current host or RAM does not fit.
+  bool migrate(int vm, int host);
+
+  /// Remove a VM from its host (used by scenario setup/tests).
+  void unplace(int vm);
+
+  /// Update the demanded utilization of every VM (fraction of its MIPS).
+  void set_demands(std::span<const double> vm_utilization);
+
+  /// Demanded utilization of `vm` (fraction of its own MIPS).
+  double vm_utilization(int vm) const;
+
+  /// MIPS demanded by `vm` right now.
+  double vm_demand_mips(int vm) const;
+
+  /// Total MIPS demanded on `host`.
+  double host_demand_mips(int host) const;
+
+  /// Demanded utilization of `host` = demand / capacity. May exceed 1 when
+  /// oversubscribed; callers clamp where physical limits apply.
+  double host_utilization(int host) const;
+
+  /// Fraction of its demand a VM actually receives on its current host
+  /// (1 when the host is not oversubscribed; proportional share otherwise).
+  double vm_service_fraction(int vm) const;
+
+  /// Host has at least one VM.
+  bool is_active(int host) const;
+
+  int active_host_count() const;
+
+  /// Current demanded utilization of every host (convenience for policies).
+  std::vector<double> all_host_utilization() const;
+
+ private:
+  void check_host(int host) const;
+  void check_vm(int vm) const;
+
+  std::vector<HostSpec> hosts_;
+  std::vector<VmSpec> vms_;
+  std::vector<int> vm_host_;
+  std::vector<std::vector<int>> host_vms_;
+  std::vector<double> host_ram_used_;
+  std::vector<double> vm_util_;
+};
+
+}  // namespace megh

@@ -1,0 +1,66 @@
+#include "sim/host_spec.hpp"
+
+#include "common/error.hpp"
+
+namespace megh {
+
+HostSpec hp_proliant_g4_spec() {
+  return HostSpec{"HP ProLiant ML110 G4", 2 * 1860.0, 4096.0, 1000.0,
+                  hp_proliant_g4_power()};
+}
+
+HostSpec hp_proliant_g5_spec() {
+  return HostSpec{"HP ProLiant ML110 G5", 2 * 2660.0, 4096.0, 1000.0,
+                  hp_proliant_g5_power()};
+}
+
+std::vector<HostSpec> standard_host_fleet(int count) {
+  MEGH_REQUIRE(count > 0, "host fleet size must be positive");
+  std::vector<HostSpec> fleet;
+  fleet.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    fleet.push_back(i % 2 == 0 ? hp_proliant_g4_spec()
+                               : hp_proliant_g5_spec());
+  }
+  return fleet;
+}
+
+VmSpec sample_vm_spec(Rng& rng) {
+  VmSpec spec;
+  spec.mips = rng.uniform(500.0, 2500.0);
+  spec.ram_mb = rng.uniform(512.0, 2560.0);
+  spec.bw_mbps = 100.0;
+  return spec;
+}
+
+std::vector<VmSpec> sample_vm_fleet(int count, Rng& rng) {
+  MEGH_REQUIRE(count > 0, "vm fleet size must be positive");
+  std::vector<VmSpec> fleet;
+  fleet.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) fleet.push_back(sample_vm_spec(rng));
+  return fleet;
+}
+
+VmSpec sample_google_vm_spec(Rng& rng) {
+  VmSpec spec;
+  spec.mips = rng.uniform(500.0, 1500.0);
+  spec.ram_mb = rng.uniform(256.0, 1024.0);
+  spec.bw_mbps = 100.0;
+  return spec;
+}
+
+std::vector<VmSpec> sample_google_vm_fleet(int count, Rng& rng) {
+  MEGH_REQUIRE(count > 0, "vm fleet size must be positive");
+  std::vector<VmSpec> fleet;
+  fleet.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) fleet.push_back(sample_google_vm_spec(rng));
+  return fleet;
+}
+
+double migration_time_s(double ram_mb, double bw_mbps) {
+  MEGH_REQUIRE(ram_mb > 0.0 && bw_mbps > 0.0,
+               "migration_time_s requires positive RAM and bandwidth");
+  return ram_mb * 8.0 / bw_mbps;  // MB → Mbit, divided by Mbit/s
+}
+
+}  // namespace megh

@@ -1,0 +1,63 @@
+// Physical machine and virtual machine specifications.
+//
+// Sec. 3.1: a PM is characterized by CPU capacity (all cores folded into one
+// cumulative MIPS figure, as the paper does), RAM and network bandwidth; a
+// VM by its provisioned MIPS, RAM and bandwidth. Sec. 6.2 fixes the
+// PlanetLab fleet: half HP ProLiant ML110 G4 (2 × 1860 MIPS), half G5
+// (2 × 2660 MIPS), each with 4 GB RAM and 1 Gbps networking; VMs get 1 vCPU
+// of 500–2500 MIPS, 0.5–2.5 GB RAM and 100 Mbps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/power_model.hpp"
+
+namespace megh {
+
+struct HostSpec {
+  std::string model;
+  double mips = 0.0;     // cumulative CPU capacity
+  double ram_mb = 0.0;
+  double bw_mbps = 0.0;  // network bandwidth (used for migration time)
+  PowerModel power;
+};
+
+struct VmSpec {
+  double mips = 0.0;     // provisioned CPU capacity
+  double ram_mb = 0.0;
+  double bw_mbps = 0.0;
+};
+
+/// HP ProLiant ML110 G4: 2 cores × 1860 MIPS, 4 GB RAM, 1 Gbps.
+HostSpec hp_proliant_g4_spec();
+
+/// HP ProLiant ML110 G5: 2 cores × 2660 MIPS, 4 GB RAM, 1 Gbps.
+HostSpec hp_proliant_g5_spec();
+
+/// The paper's heterogeneous fleet: `count` hosts, alternating G4/G5 so any
+/// prefix keeps the 50:50 ratio (Sec. 6.2/6.3).
+std::vector<HostSpec> standard_host_fleet(int count);
+
+/// Draw a VM spec from the paper's ranges: MIPS ~ U[500, 2500],
+/// RAM ~ U[512, 2560] MB, 100 Mbps.
+VmSpec sample_vm_spec(Rng& rng);
+
+/// `count` VM specs drawn with sample_vm_spec.
+std::vector<VmSpec> sample_vm_fleet(int count, Rng& rng);
+
+/// Google-Cluster-style VM: small task containers. The paper's 2000 VMs on
+/// 500 4-GB hosts cannot fit the PlanetLab VM RAM range (it would need
+/// ~3 TB); Google tasks are small, so: MIPS ~ U[500, 1500],
+/// RAM ~ U[256, 1024] MB, 100 Mbps. (Documented substitution, DESIGN.md §4.)
+VmSpec sample_google_vm_spec(Rng& rng);
+
+std::vector<VmSpec> sample_google_vm_fleet(int count, Rng& rng);
+
+/// Expected live-migration time of a VM over the given bandwidth:
+/// TM = memory / bandwidth (Sec. 3.3). ram in MB, bw in Mbps, result in
+/// seconds (MB → Mbit conversion included).
+double migration_time_s(double ram_mb, double bw_mbps);
+
+}  // namespace megh

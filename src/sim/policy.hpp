@@ -1,0 +1,74 @@
+// The migration-policy interface: the single seam between the simulator and
+// every decision algorithm (Megh, the MMT family, MadVM, Q-learning, and any
+// user-supplied scheduler — see examples/custom_policy.cpp).
+//
+// A policy answers the paper's three questions each interval: *when* to
+// migrate (return no actions to do nothing), *which* VM, and *where*
+// (the target host of each action).
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/network.hpp"
+
+namespace megh {
+
+/// One migration decision: move `vm` to `target_host`. Actions whose target
+/// equals the VM's current host are no-ops; infeasible actions (RAM) are
+/// rejected by the engine and counted in StepSnapshot::rejected_migrations.
+struct MigrationAction {
+  int vm = 0;
+  int target_host = 0;
+};
+
+/// Everything a policy may look at when deciding.
+struct StepObservation {
+  int step = 0;
+  double interval_s = 0.0;
+  const Datacenter* dc = nullptr;
+  /// Demanded utilization of each VM (fraction of the VM's MIPS).
+  std::span<const double> vm_util;
+  /// Demanded utilization of each host (fraction of host MIPS; may be > 1).
+  std::span<const double> host_util;
+  /// Cost C(s_{t-1}, s_t) observed for the previous interval (0 at step 0).
+  double last_step_cost = 0.0;
+  const CostConfig* cost = nullptr;
+  /// Fat-tree fabric when the simulation has one attached (else nullptr).
+  /// Network-aware policies may prefer short migration paths.
+  const FatTreeTopology* network = nullptr;
+};
+
+class MigrationPolicy {
+ public:
+  virtual ~MigrationPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before the first step with the initial allocation.
+  virtual void begin(const Datacenter& dc, const CostConfig& cost,
+                     double interval_s) {
+    (void)dc;
+    (void)cost;
+    (void)interval_s;
+  }
+
+  /// Decide this interval's migrations. This call is wall-clock timed by the
+  /// engine — it is the "execution time" metric of the paper's evaluation.
+  virtual std::vector<MigrationAction> decide(const StepObservation& obs) = 0;
+
+  /// Feedback: the realized cost of the interval the last decide() shaped.
+  /// Learning policies (Megh, MadVM, Q-learning) update here; heuristics
+  /// ignore it.
+  virtual void observe_cost(double step_cost) { (void)step_cost; }
+
+  /// Optional introspection counters (e.g. Megh's Q-table nnz for Fig. 7),
+  /// merged into each StepSnapshot.
+  virtual std::map<std::string, double> stats() const { return {}; }
+};
+
+}  // namespace megh

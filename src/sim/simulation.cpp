@@ -1,0 +1,230 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.hpp"
+#include "common/string_util.hpp"
+#include "metrics/running_stats.hpp"
+#include "sim/sla.hpp"
+
+namespace megh {
+
+std::vector<double> SimulationResult::series(const std::string& field) const {
+  std::vector<double> out;
+  out.reserve(steps.size());
+  for (const auto& s : steps) {
+    if (field == "step_cost") {
+      out.push_back(s.step_cost_usd);
+    } else if (field == "energy_cost") {
+      out.push_back(s.energy_cost_usd);
+    } else if (field == "sla_cost") {
+      out.push_back(s.sla_cost_usd);
+    } else if (field == "migrations") {
+      out.push_back(s.migrations);
+    } else if (field == "cross_pod_migrations") {
+      out.push_back(s.cross_pod_migrations);
+    } else if (field == "active_hosts") {
+      out.push_back(s.active_hosts);
+    } else if (field == "overloaded_hosts") {
+      out.push_back(s.overloaded_hosts);
+    } else if (field == "exec_ms") {
+      out.push_back(s.exec_ms);
+    } else if (field == "mean_host_util") {
+      out.push_back(s.mean_host_util);
+    } else {
+      const auto it = s.policy_stats.find(field);
+      MEGH_REQUIRE(it != s.policy_stats.end(),
+                   "unknown snapshot field: " + field);
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+Simulation::Simulation(Datacenter dc, const TraceTable& trace,
+                       SimulationConfig config)
+    : dc_(std::move(dc)), trace_(trace), config_(config) {
+  config_.cost.validate();
+  MEGH_REQUIRE(config_.interval_s > 0, "interval must be positive");
+  MEGH_REQUIRE(trace_.num_vms() == dc_.num_vms(),
+               strf("trace has %d VMs but datacenter has %d", trace_.num_vms(),
+                    dc_.num_vms()));
+  MEGH_REQUIRE(trace_.num_steps() > 0, "trace has no steps");
+  if (config_.network != nullptr) {
+    MEGH_REQUIRE(config_.network->capacity() >= dc_.num_hosts(),
+                 strf("fat-tree capacity %d < %d hosts",
+                      config_.network->capacity(), dc_.num_hosts()));
+  }
+  for (int vm = 0; vm < dc_.num_vms(); ++vm) {
+    MEGH_REQUIRE(dc_.host_of(vm) != kUnplaced,
+                 strf("vm %d is unplaced; run place_initial first", vm));
+  }
+}
+
+SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
+  const int steps =
+      num_steps < 0 ? trace_.num_steps() : std::min(num_steps, trace_.num_steps());
+  SimulationResult result;
+  result.steps.reserve(static_cast<std::size_t>(steps));
+  SlaAccountant sla(dc_.num_vms(), config_.cost);
+
+  policy.begin(dc_, config_.cost, config_.interval_s);
+
+  const int migration_cap =
+      config_.max_migration_fraction > 0
+          ? std::max(1, static_cast<int>(std::ceil(
+                            config_.max_migration_fraction * dc_.num_vms())))
+          : dc_.num_vms();
+
+  double last_step_cost = 0.0;
+  std::vector<double> vm_util(static_cast<std::size_t>(dc_.num_vms()));
+  RunningStats active_hosts_stats, exec_stats;
+  // SLATAH bookkeeping (Beloglazov): per host, active time and time spent
+  // above the overload threshold.
+  std::vector<double> host_active_s(static_cast<std::size_t>(dc_.num_hosts()),
+                                    0.0);
+  std::vector<double> host_overload_s(
+      static_cast<std::size_t>(dc_.num_hosts()), 0.0);
+  double total_watt_seconds = 0.0;
+
+  for (int step = 0; step < steps; ++step) {
+    // 1. New demands.
+    for (int vm = 0; vm < dc_.num_vms(); ++vm) {
+      vm_util[static_cast<std::size_t>(vm)] = trace_.at(vm, step);
+    }
+    dc_.set_demands(vm_util);
+    sla.begin_interval(config_.interval_s);
+
+    // 2. Policy decision (timed).
+    StepObservation obs;
+    obs.step = step;
+    obs.interval_s = config_.interval_s;
+    obs.dc = &dc_;
+    obs.vm_util = vm_util;
+    const std::vector<double> host_util = dc_.all_host_utilization();
+    obs.host_util = host_util;
+    obs.last_step_cost = last_step_cost;
+    obs.cost = &config_.cost;
+    obs.network = config_.network.get();
+
+    Stopwatch watch;
+    const std::vector<MigrationAction> actions = policy.decide(obs);
+    const double exec_ms = watch.elapsed_ms();
+
+    // 3. Apply migrations.
+    StepSnapshot snap;
+    snap.step = step;
+    snap.exec_ms = exec_ms;
+    for (const MigrationAction& a : actions) {
+      if (a.vm < 0 || a.vm >= dc_.num_vms() || a.target_host < 0 ||
+          a.target_host >= dc_.num_hosts()) {
+        ++snap.rejected_migrations;
+        continue;
+      }
+      if (snap.migrations >= migration_cap) {
+        ++snap.rejected_migrations;
+        continue;
+      }
+      const int source = dc_.host_of(a.vm);
+      if (!dc_.migrate(a.vm, a.target_host)) {
+        ++snap.rejected_migrations;  // no-op or RAM misfit
+        continue;
+      }
+      ++snap.migrations;
+      double bw = dc_.host_spec(source).bw_mbps;
+      if (config_.network != nullptr) {
+        bw = config_.network->path_bandwidth_mbps(source, a.target_host);
+        switch (config_.network->hops(source, a.target_host)) {
+          case 2: ++snap.same_edge_migrations; break;
+          case 4: ++snap.same_pod_migrations; break;
+          default: ++snap.cross_pod_migrations; break;
+        }
+      }
+      const double ram = dc_.vm_spec(a.vm).ram_mb;
+      if (config_.migration_model ==
+          SimulationConfig::MigrationTimeModel::kPreCopy) {
+        const MigrationEstimate est = precopy_migration(
+            ram, bw,
+            effective_dirty_rate(dc_.vm_utilization(a.vm), config_.precopy),
+            config_.precopy);
+        // Stop-and-copy is hard downtime (charged in full, bypassing the
+        // degradation fraction); the copy rounds degrade service and go
+        // through add_migration_downtime's scaling.
+        sla.add_overload_downtime(a.vm, est.downtime_s);
+        sla.add_migration_downtime(a.vm, est.copy_s);
+      } else {
+        sla.add_migration_downtime(a.vm, migration_time_s(ram, bw));
+      }
+    }
+
+    // 4. Overload accounting on the post-migration allocation.
+    RunningStats util_stats;
+    for (int h = 0; h < dc_.num_hosts(); ++h) {
+      if (!dc_.is_active(h)) continue;
+      const double util = dc_.host_utilization(h);
+      util_stats.add(std::min(1.0, util));
+      host_active_s[static_cast<std::size_t>(h)] += config_.interval_s;
+      if (util > config_.cost.beta_overload) {
+        ++snap.overloaded_hosts;
+        host_overload_s[static_cast<std::size_t>(h)] += config_.interval_s;
+      }
+      const double downtime = sla.overload_downtime_s(util, config_.interval_s);
+      if (downtime > 0.0) {
+        for (int vm : dc_.vms_on(h)) sla.add_overload_downtime(vm, downtime);
+      }
+    }
+    snap.active_hosts = dc_.active_host_count();
+    snap.mean_host_util = util_stats.mean();
+
+    // 5. Costs.
+    total_watt_seconds += datacenter_power_watts(dc_) * config_.interval_s;
+    snap.energy_cost_usd =
+        interval_energy_cost_usd(dc_, config_.interval_s, config_.cost);
+    snap.sla_cost_usd = sla.settle_interval();
+    snap.step_cost_usd = snap.energy_cost_usd + snap.sla_cost_usd;
+    last_step_cost = snap.step_cost_usd;
+    policy.observe_cost(snap.step_cost_usd);
+    snap.policy_stats = policy.stats();
+
+    // 6. Totals.
+    result.totals.total_cost_usd += snap.step_cost_usd;
+    result.totals.energy_cost_usd += snap.energy_cost_usd;
+    result.totals.sla_cost_usd += snap.sla_cost_usd;
+    result.totals.migrations += snap.migrations;
+    result.totals.cross_pod_migrations += snap.cross_pod_migrations;
+    active_hosts_stats.add(snap.active_hosts);
+    exec_stats.add(exec_ms);
+    result.steps.push_back(std::move(snap));
+  }
+
+  // Composite SLA metrics (Beloglazov): SLATAH over hosts that were ever
+  // active, PDM over all VMs, SLAV/ESV products.
+  RunningStats slatah_stats;
+  for (int h = 0; h < dc_.num_hosts(); ++h) {
+    const std::size_t i = static_cast<std::size_t>(h);
+    if (host_active_s[i] > 0.0) {
+      slatah_stats.add(host_overload_s[i] / host_active_s[i]);
+    }
+  }
+  RunningStats pdm_stats;
+  for (int vm = 0; vm < dc_.num_vms(); ++vm) {
+    const double requested = sla.requested_s(vm);
+    if (requested > 0.0) {
+      pdm_stats.add(sla.migration_downtime_s(vm) / requested);
+    }
+  }
+  result.totals.slatah = slatah_stats.mean();
+  result.totals.pdm = pdm_stats.mean();
+  result.totals.slav = result.totals.slatah * result.totals.pdm;
+  result.totals.energy_kwh = total_watt_seconds / 3.6e6;
+  result.totals.esv = result.totals.energy_kwh * result.totals.slav;
+
+  result.totals.steps = steps;
+  result.totals.mean_active_hosts = active_hosts_stats.mean();
+  result.totals.mean_exec_ms = exec_stats.mean();
+  result.totals.max_exec_ms = exec_stats.max();
+  return result;
+}
+
+}  // namespace megh

@@ -1,0 +1,66 @@
+// The discrete-time simulation engine — the reproduction's stand-in for
+// CloudSim's power-aware datacenter loop.
+//
+// Per interval (τ = 300 s by default, Sec. 6.1):
+//   1. demands are read from the trace;
+//   2. the policy is asked for migrations (wall-clock timed);
+//   3. valid migrations are applied, charging RAM/BW migration downtime;
+//   4. overload downtime is charged for hosts above β;
+//   5. energy (Eq. 2) and SLA (Eq. 3) costs are settled into the step cost
+//      C(s_{t-1}, s_t) (Eq. 6) and fed back to the policy;
+//   6. a StepSnapshot is recorded.
+#pragma once
+
+#include <memory>
+
+#include "sim/cost_model.hpp"
+#include "sim/datacenter.hpp"
+#include "sim/migration_model.hpp"
+#include "sim/network.hpp"
+#include "sim/policy.hpp"
+#include "sim/snapshot.hpp"
+#include "trace/trace_table.hpp"
+
+namespace megh {
+
+struct SimulationConfig {
+  double interval_s = 300.0;
+  CostConfig cost;
+  /// Cap on migrations applied per step, as a fraction of the VM count
+  /// (paper Sec. 6.1: "we allow a maximum 2% of VMs to be migrated by
+  /// Megh" — the engine enforces it uniformly so no policy can cheat).
+  /// <= 0 disables the cap. MMT algorithms in the paper are uncapped.
+  double max_migration_fraction = 0.0;
+  /// Migration timing model: kFlat is the paper's RAM/BW bulk copy;
+  /// kPreCopy simulates iterative pre-copy rounds (Clark et al. [4]) where
+  /// only the final stop-and-copy pause is hard downtime and busy guests
+  /// (higher dirty rates) cost more to move.
+  enum class MigrationTimeModel { kFlat, kPreCopy };
+  MigrationTimeModel migration_model = MigrationTimeModel::kFlat;
+  PreCopyConfig precopy;
+  /// Optional fat-tree fabric (paper Sec. 7 future work). When set,
+  /// migration copy time uses the source→target path bandwidth instead of
+  /// the source host NIC, and snapshots count per-tier migrations. The
+  /// topology must have capacity >= the datacenter's host count.
+  std::shared_ptr<const FatTreeTopology> network;
+};
+
+class Simulation {
+ public:
+  /// The datacenter must have every VM placed; the trace must cover at
+  /// least one step and exactly dc.num_vms() VMs.
+  Simulation(Datacenter dc, const TraceTable& trace, SimulationConfig config);
+
+  /// Run `num_steps` (default: the whole trace) under `policy`.
+  SimulationResult run(MigrationPolicy& policy, int num_steps = -1);
+
+  /// Access the (final) datacenter state after run().
+  const Datacenter& datacenter() const { return dc_; }
+
+ private:
+  Datacenter dc_;
+  const TraceTable& trace_;
+  SimulationConfig config_;
+};
+
+}  // namespace megh

@@ -1,0 +1,81 @@
+// SLA violation accounting (Sec. 3.3).
+//
+// Per VM the accountant tracks requested time T_r, downtime from host
+// overloading (Eq. 4) and downtime from live migrations (Eq. 5). A VM's
+// downtime percentage selects its payback tier: (0.05%, 0.10%] ⇒ 16.7%,
+// > 0.10% ⇒ 33.3% of the user's money (Sec. 3.3/6.1).
+//
+// Two accounting modes (CostConfig::sla_accounting):
+//  * kWindowed (default) — the percentage is computed over a trailing
+//    window; each interval a VM spends in a tier costs
+//    tier_fraction × vm_price × interval. Stationary and recoverable.
+//  * kCumulative — paper-literal: the percentage accumulates since t = 0
+//    and the cost level is tier_fraction × (all money paid so far); the
+//    per-interval cost is the non-negative level increase (ΔC_v ≥ 0).
+#pragma once
+
+#include <vector>
+
+#include "sim/cost_model.hpp"
+
+namespace megh {
+
+class SlaAccountant {
+ public:
+  SlaAccountant(int num_vms, const CostConfig& config);
+
+  /// Open a new interval: every VM requests `interval_s` more service time
+  /// and the trailing window advances one slot.
+  void begin_interval(double interval_s);
+
+  /// Charge overload downtime to a VM (seconds within the open interval).
+  void add_overload_downtime(int vm, double seconds);
+
+  /// Charge live-migration downtime to a VM (scaled by
+  /// migration_downtime_fraction).
+  void add_migration_downtime(int vm, double seconds);
+
+  /// Downtime seconds appropriate for a host at `utilization` under the
+  /// configured OverloadDowntimeMode (0 when utilization <= beta).
+  double overload_downtime_s(double utilization, double interval_s) const;
+
+  /// Close the interval and return ΔC_v.
+  double settle_interval();
+
+  // --- inspection ---
+  double requested_s(int vm) const;        // cumulative since t=0
+  double downtime_s(int vm) const;         // cumulative since t=0
+  /// Cumulative downtime attributable to live migrations only (after the
+  /// migration_downtime_fraction scaling) — the numerator of Beloglazov's
+  /// PDM metric.
+  double migration_downtime_s(int vm) const;
+  double cumulative_downtime_pct(int vm) const;
+  double windowed_downtime_pct(int vm) const;
+  /// Tier under the *configured* accounting mode: 0 (none), 1, or 2.
+  int tier(int vm) const;
+  int num_vms_in_tier(int t) const;
+  double total_sla_cost() const { return total_cost_; }
+
+ private:
+  int tier_of_pct(double pct) const;
+  double cumulative_level(int vm) const;
+  void check_vm(int vm) const;
+
+  CostConfig config_;
+  int num_vms_;
+  double interval_s_ = 0.0;
+  long long intervals_seen_ = 0;
+
+  std::vector<double> requested_s_;
+  std::vector<double> downtime_s_;
+  std::vector<double> migration_downtime_s_;
+  std::vector<double> last_level_;  // kCumulative bookkeeping
+
+  // Trailing window: per-VM ring buffer of per-interval downtime seconds.
+  std::vector<float> window_;       // [vm * window_steps + slot]
+  std::vector<double> window_sum_;
+  int window_slot_ = -1;
+  double total_cost_ = 0.0;
+};
+
+}  // namespace megh

@@ -1,0 +1,58 @@
+// Per-step measurement record produced by the simulation engine — the raw
+// material for every table and figure in the paper's evaluation.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace megh {
+
+struct StepSnapshot {
+  int step = 0;
+  double energy_cost_usd = 0.0;   // ΔC_p for this interval
+  double sla_cost_usd = 0.0;      // ΔC_v for this interval
+  double step_cost_usd = 0.0;     // C(s_{t-1}, s_t) = ΔC_p + ΔC_v
+  int migrations = 0;             // applied this interval
+  int rejected_migrations = 0;    // requested but infeasible/no-op
+  // With a network topology attached: migrations by path tier.
+  int same_edge_migrations = 0;   // 2 hops
+  int same_pod_migrations = 0;    // 4 hops
+  int cross_pod_migrations = 0;   // 6 hops
+  int active_hosts = 0;
+  int overloaded_hosts = 0;       // hosts above beta after migrations
+  double mean_host_util = 0.0;    // over active hosts
+  double exec_ms = 0.0;           // wall-clock time of policy.decide()
+  std::map<std::string, double> policy_stats;
+};
+
+struct SimulationTotals {
+  double total_cost_usd = 0.0;
+  double energy_cost_usd = 0.0;
+  double sla_cost_usd = 0.0;
+  // --- Beloglazov composite SLA metrics (the comparators' native units) ---
+  /// SLATAH: mean over hosts of (time overloaded / time active).
+  double slatah = 0.0;
+  /// PDM: mean over VMs of (migration downtime / requested time).
+  double pdm = 0.0;
+  /// SLAV = SLATAH × PDM.
+  double slav = 0.0;
+  /// ESV = energy (kWh) × SLAV.
+  double esv = 0.0;
+  double energy_kwh = 0.0;
+  long long migrations = 0;
+  long long cross_pod_migrations = 0;
+  double mean_active_hosts = 0.0;
+  double mean_exec_ms = 0.0;
+  double max_exec_ms = 0.0;
+  int steps = 0;
+};
+
+struct SimulationResult {
+  std::vector<StepSnapshot> steps;
+  SimulationTotals totals;
+
+  std::vector<double> series(const std::string& field) const;
+};
+
+}  // namespace megh

@@ -1,0 +1,29 @@
+// Trace persistence.
+//
+// Two formats are supported:
+//  * matrix CSV: one row per VM, one column per step, utilization in [0,1]
+//    (the repo's native format, produced by save_trace_csv);
+//  * PlanetLab/CloudSim directory format: one file per VM, one integer
+//    utilization percentage (0–100) per line — so users who do have the real
+//    CoMoN trace files can drop them in and run the benches on real data.
+#pragma once
+
+#include <filesystem>
+
+#include "trace/trace_table.hpp"
+
+namespace megh {
+
+/// Write a trace as a matrix CSV (one row per VM).
+void save_trace_csv(const TraceTable& trace, const std::filesystem::path& path);
+
+/// Read a matrix CSV trace. Values may be fractions in [0,1] or percentages
+/// in [0,100] — detected from the file's maximum value.
+TraceTable load_trace_csv(const std::filesystem::path& path);
+
+/// Read a CloudSim/PlanetLab-style directory: every regular file is one
+/// VM's series of newline-separated utilization percentages. Files are read
+/// in lexicographic order; series are truncated to the shortest file.
+TraceTable load_planetlab_directory(const std::filesystem::path& dir);
+
+}  // namespace megh

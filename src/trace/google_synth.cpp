@@ -1,0 +1,94 @@
+#include "trace/google_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace megh {
+
+namespace {
+
+double sample_duration(const GoogleSynthConfig& config, Rng& rng) {
+  const double r = rng.uniform();
+  if (r < config.short_bump_fraction) {
+    return rng.log_uniform(config.duration_lo_s, config.short_bump_hi_s);
+  }
+  if (r < config.short_bump_fraction + config.long_bump_fraction) {
+    return rng.log_uniform(config.long_bump_lo_s, config.duration_hi_s);
+  }
+  return rng.log_uniform(config.duration_lo_s, config.duration_hi_s);
+}
+
+double sample_util(const GoogleSynthConfig& config, Rng& rng) {
+  const double u = rng.lognormal(config.task_util_mu, config.task_util_sigma);
+  return std::clamp(u, config.floor, config.task_util_cap);
+}
+
+}  // namespace
+
+GoogleTrace generate_google(const GoogleSynthConfig& config) {
+  MEGH_REQUIRE(config.num_vms > 0 && config.num_steps > 0,
+               "google synth: shape must be positive");
+  MEGH_REQUIRE(config.duration_lo_s > 0 &&
+                   config.duration_hi_s > config.duration_lo_s,
+               "google synth: invalid duration bounds");
+  GoogleTrace out;
+  out.table = TraceTable(config.num_vms, config.num_steps);
+  Rng master(config.seed);
+
+  for (int vm = 0; vm < config.num_vms; ++vm) {
+    Rng rng = master.fork();
+    double t = 0.0;  // simulated wall time within this VM's stream (seconds)
+    const double horizon = config.num_steps * config.interval_s;
+
+    // State machine: alternate (task, idle gap). Optionally start mid-task.
+    double task_end = 0.0;
+    double task_util = 0.0;
+    bool busy = rng.bernoulli(config.initial_busy_fraction);
+    if (busy) {
+      const double dur = sample_duration(config, rng);
+      out.task_durations_s.push_back(dur);
+      // Uniform phase within the task.
+      task_end = dur * rng.uniform();
+      task_util = sample_util(config, rng);
+    } else {
+      // Stagger: idle VMs wait out the remainder of an idle gap before
+      // their first task.
+      task_end = rng.exponential(1.0 / config.idle_gap_mean_s);
+    }
+
+    for (int step = 0; step < config.num_steps; ++step) {
+      const double step_start = step * config.interval_s;
+      const double step_end = step_start + config.interval_s;
+      // Accumulate utilization over the interval (busy fraction × task util).
+      double busy_weighted = 0.0;
+      t = step_start;
+      while (t < step_end) {
+        if (busy) {
+          const double until = std::min(task_end, step_end);
+          busy_weighted += (until - t) * task_util;
+          t = until;
+          if (t >= task_end) {
+            busy = false;
+            task_end = t + rng.exponential(1.0 / config.idle_gap_mean_s);
+          }
+        } else {
+          const double until = std::min(task_end, step_end);
+          t = until;
+          if (t >= task_end && t < horizon) {
+            busy = true;
+            const double dur = sample_duration(config, rng);
+            out.task_durations_s.push_back(dur);
+            task_util = sample_util(config, rng);
+            task_end = t + dur;
+          }
+          if (t >= horizon) break;
+        }
+      }
+      const double util = busy_weighted / config.interval_s;
+      out.table.set(vm, step, std::clamp(util, 0.0, 1.0));
+    }
+  }
+  return out;
+}
+
+}  // namespace megh

@@ -1,0 +1,81 @@
+#include "trace/planetlab_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace megh {
+
+namespace {
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+TraceTable generate_planetlab(const PlanetLabSynthConfig& config) {
+  MEGH_REQUIRE(config.num_vms > 0 && config.num_steps > 0,
+               "planetlab synth: shape must be positive");
+  MEGH_REQUIRE(config.p_enter_heavy >= 0.0 && config.p_enter_heavy <= 1.0 &&
+                   config.p_exit_heavy >= 0.0 && config.p_exit_heavy <= 1.0,
+               "planetlab synth: regime probabilities must lie in [0,1]");
+  MEGH_REQUIRE(config.diurnal_amplitude >= 0.0 &&
+                   config.diurnal_amplitude <= 1.0,
+               "planetlab synth: diurnal amplitude must lie in [0,1]");
+  MEGH_REQUIRE(config.diurnal_period_steps > 0,
+               "planetlab synth: diurnal period must be positive");
+  TraceTable trace(config.num_vms, config.num_steps);
+  Rng master(config.seed);
+
+  for (int vm = 0; vm < config.num_vms; ++vm) {
+    Rng rng = master.fork();
+    // Drawn only when enabled so the default configuration's streams stay
+    // bit-identical with earlier versions (seed stability).
+    const double phase =
+        config.diurnal_amplitude > 0.0
+            ? rng.uniform(0.0, 2.0 * 3.14159265358979323846)
+            : 0.0;
+    const bool persistent_heavy =
+        rng.bernoulli(config.persistent_heavy_fraction);
+    const double baseline =
+        persistent_heavy
+            ? config.persistent_heavy_level * rng.uniform(0.8, 1.2)
+            : rng.lognormal(config.light_baseline_mu,
+                            config.light_baseline_sigma);
+    bool heavy = persistent_heavy;
+    double heavy_level =
+        rng.uniform(config.heavy_level_lo, config.heavy_level_hi);
+    double u = clamp01(baseline);
+
+    for (int step = 0; step < config.num_steps; ++step) {
+      if (!persistent_heavy) {
+        if (!heavy && rng.bernoulli(config.p_enter_heavy)) {
+          heavy = true;
+          heavy_level =
+              rng.uniform(config.heavy_level_lo, config.heavy_level_hi);
+        } else if (heavy && rng.bernoulli(config.p_exit_heavy)) {
+          heavy = false;
+        }
+      }
+      if (heavy) {
+        u = heavy_level + rng.normal(0.0, config.heavy_noise_sigma);
+      } else {
+        // AR(1) around the personal baseline.
+        u = baseline + config.light_ar_coefficient * (u - baseline) +
+            rng.normal(0.0, config.light_noise_sigma);
+      }
+      double value = u;
+      if (config.diurnal_amplitude > 0.0) {
+        const double cycle = std::sin(
+            2.0 * 3.14159265358979323846 * step /
+                config.diurnal_period_steps +
+            phase);
+        value *= 1.0 + config.diurnal_amplitude * cycle;
+      }
+      value = clamp01(std::max(value, config.floor));
+      u = clamp01(std::max(u, config.floor));
+      trace.set(vm, step, value);
+    }
+  }
+  return trace;
+}
+
+}  // namespace megh

@@ -1,0 +1,57 @@
+#include "trace/trace_stats.hpp"
+
+#include "metrics/running_stats.hpp"
+
+namespace megh {
+
+StepAggregates compute_step_aggregates(const TraceTable& trace) {
+  StepAggregates out;
+  const int steps = trace.num_steps();
+  out.mean.reserve(static_cast<std::size_t>(steps));
+  out.stddev.reserve(static_cast<std::size_t>(steps));
+  out.min.reserve(static_cast<std::size_t>(steps));
+  out.max.reserve(static_cast<std::size_t>(steps));
+  for (int s = 0; s < steps; ++s) {
+    RunningStats stats;
+    for (int vm = 0; vm < trace.num_vms(); ++vm) stats.add(trace.at(vm, s));
+    out.mean.push_back(stats.mean());
+    out.stddev.push_back(stats.stddev());
+    out.min.push_back(stats.min());
+    out.max.push_back(stats.max());
+  }
+  return out;
+}
+
+TraceSummary summarize_trace(const TraceTable& trace) {
+  TraceSummary out;
+  RunningStats all;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(trace.num_vms()) *
+                  static_cast<std::size_t>(trace.num_steps()));
+  for (int vm = 0; vm < trace.num_vms(); ++vm) {
+    for (int s = 0; s < trace.num_steps(); ++s) {
+      const double u = trace.at(vm, s);
+      all.add(u);
+      samples.push_back(u);
+    }
+  }
+  out.mean = all.mean();
+  out.stddev = all.stddev();
+  out.min = all.min();
+  out.max = all.max();
+
+  const StepAggregates agg = compute_step_aggregates(trace);
+  RunningStats maxes, mins;
+  for (double v : agg.max) maxes.add(v);
+  for (double v : agg.min) mins.add(v);
+  out.mean_step_max = maxes.mean();
+  out.mean_step_min = mins.mean();
+
+  if (samples.size() >= 4) {
+    out.cullen_frey = cullen_frey_point(samples);
+    out.nearest = nearest_family(out.cullen_frey);
+  }
+  return out;
+}
+
+}  // namespace megh

@@ -1,0 +1,65 @@
+#include "trace/trace_table.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace megh {
+
+TraceTable::TraceTable(int num_vms, int num_steps)
+    : num_vms_(num_vms), num_steps_(num_steps) {
+  MEGH_REQUIRE(num_vms >= 0 && num_steps >= 0,
+               "TraceTable shape must be non-negative");
+  data_.assign(static_cast<std::size_t>(num_vms) *
+                   static_cast<std::size_t>(num_steps),
+               0.0f);
+}
+
+void TraceTable::set(int vm, int step, double utilization) {
+  check(vm, step);
+  MEGH_ASSERT(utilization >= 0.0 && utilization <= 1.0,
+              "utilization must lie in [0, 1]");
+  data_[index(vm, step)] = static_cast<float>(utilization);
+}
+
+std::span<const float> TraceTable::vm_series(int vm) const {
+  MEGH_ASSERT(vm >= 0 && vm < num_vms_, "vm index out of range");
+  return {data_.data() + index(vm, 0), static_cast<std::size_t>(num_steps_)};
+}
+
+TraceTable TraceTable::select_vms(std::span<const int> vm_indices) const {
+  TraceTable out(static_cast<int>(vm_indices.size()), num_steps_);
+  for (std::size_t i = 0; i < vm_indices.size(); ++i) {
+    const int src = vm_indices[i];
+    MEGH_REQUIRE(src >= 0 && src < num_vms_,
+                 "select_vms: vm index out of range");
+    for (int s = 0; s < num_steps_; ++s) {
+      out.data_[out.index(static_cast<int>(i), s)] = data_[index(src, s)];
+    }
+  }
+  return out;
+}
+
+TraceTable TraceTable::sample_vms(int count, Rng& rng) const {
+  MEGH_REQUIRE(count >= 0 && count <= num_vms_,
+               "sample_vms: count out of range");
+  std::vector<int> indices(static_cast<std::size_t>(num_vms_));
+  std::iota(indices.begin(), indices.end(), 0);
+  rng.shuffle(indices);
+  indices.resize(static_cast<std::size_t>(count));
+  std::sort(indices.begin(), indices.end());
+  return select_vms(indices);
+}
+
+TraceTable TraceTable::truncate_steps(int steps) const {
+  MEGH_REQUIRE(steps >= 0 && steps <= num_steps_,
+               "truncate_steps: steps out of range");
+  TraceTable out(num_vms_, steps);
+  for (int vm = 0; vm < num_vms_; ++vm) {
+    for (int s = 0; s < steps; ++s) {
+      out.data_[out.index(vm, s)] = data_[index(vm, s)];
+    }
+  }
+  return out;
+}
+
+}  // namespace megh

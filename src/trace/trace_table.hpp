@@ -1,0 +1,63 @@
+// Materialized workload trace: per-VM CPU utilization (fraction of the VM's
+// provisioned MIPS, in [0, 1]) sampled at a fixed interval.
+//
+// This is the single workload abstraction the whole system consumes — the
+// paper follows CloudSim in characterizing workloads purely by CPU
+// utilization sampled every 5 minutes (Sec. 3.1, 6.1). Generators
+// (PlanetLab-like, Google-like) and the CSV loader all produce TraceTables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace megh {
+
+class TraceTable {
+ public:
+  TraceTable() = default;
+  TraceTable(int num_vms, int num_steps);
+
+  int num_vms() const { return num_vms_; }
+  int num_steps() const { return num_steps_; }
+
+  /// Utilization of `vm` at `step`, in [0, 1].
+  double at(int vm, int step) const {
+    check(vm, step);
+    return data_[index(vm, step)];
+  }
+
+  void set(int vm, int step, double utilization);
+
+  /// All steps of one VM.
+  std::span<const float> vm_series(int vm) const;
+
+  /// Copy a subset of VMs (used by the scalability and MadVM experiments,
+  /// which sample random subsets of the full trace).
+  TraceTable select_vms(std::span<const int> vm_indices) const;
+
+  /// Pick `count` distinct random VMs.
+  TraceTable sample_vms(int count, Rng& rng) const;
+
+  /// Truncate (or error if longer than available) to the first `steps` steps.
+  TraceTable truncate_steps(int steps) const;
+
+ private:
+  void check(int vm, int step) const {
+    MEGH_ASSERT(vm >= 0 && vm < num_vms_ && step >= 0 && step < num_steps_,
+                "TraceTable index out of range");
+  }
+  std::size_t index(int vm, int step) const {
+    return static_cast<std::size_t>(vm) * static_cast<std::size_t>(num_steps_) +
+           static_cast<std::size_t>(step);
+  }
+
+  int num_vms_ = 0;
+  int num_steps_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace megh

@@ -1,0 +1,60 @@
+#include "baselines/simple_policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/placement.hpp"
+#include "sim/simulation.hpp"
+
+namespace megh {
+namespace {
+
+struct World {
+  Datacenter dc;
+  TraceTable trace;
+
+  static World make(int hosts, int vms, int steps) {
+    std::vector<VmSpec> specs(static_cast<std::size_t>(vms),
+                              VmSpec{1000.0, 512.0, 100.0});
+    Datacenter dc(standard_host_fleet(hosts), specs);
+    Rng rng(1);
+    place_initial(dc, InitialPlacement::kRoundRobin, rng);
+    TraceTable trace(vms, steps);
+    for (int vm = 0; vm < vms; ++vm) {
+      for (int s = 0; s < steps; ++s) trace.set(vm, s, 0.2);
+    }
+    return {std::move(dc), std::move(trace)};
+  }
+};
+
+TEST(NoMigrationTest, NeverMoves) {
+  World w = World::make(4, 8, 20);
+  NoMigrationPolicy policy;
+  Simulation sim(std::move(w.dc), w.trace, SimulationConfig{});
+  const SimulationResult r = sim.run(policy);
+  EXPECT_EQ(r.totals.migrations, 0);
+  EXPECT_EQ(policy.name(), "NoMigration");
+}
+
+TEST(RandomPolicyTest, MovesAboutOnePerStep) {
+  World w = World::make(6, 8, 100);
+  RandomPolicy policy(/*migrations_per_step=*/1, /*seed=*/9);
+  Simulation sim(std::move(w.dc), w.trace, SimulationConfig{});
+  const SimulationResult r = sim.run(policy);
+  EXPECT_GT(r.totals.migrations, 50);
+  EXPECT_LE(r.totals.migrations, 100);
+}
+
+TEST(RandomPolicyTest, SingleActionsAlwaysFeasible) {
+  // With one action per step, decide-time feasibility equals apply-time
+  // feasibility (multi-action plans can self-conflict).
+  World w = World::make(4, 6, 50);
+  RandomPolicy policy(1, 11);
+  Simulation sim(std::move(w.dc), w.trace, SimulationConfig{});
+  const SimulationResult r = sim.run(policy);
+  for (const auto& s : r.steps) {
+    EXPECT_EQ(s.rejected_migrations, 0);
+  }
+}
+
+}  // namespace
+}  // namespace megh

@@ -1,0 +1,94 @@
+#include "baselines/vm_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megh {
+namespace {
+
+Datacenter make_dc() {
+  std::vector<HostSpec> hosts{hp_proliant_g4_spec()};
+  // VM 0: small RAM (fast to migrate), low demand.
+  // VM 1: big RAM (slow), high demand.
+  // VM 2: medium.
+  std::vector<VmSpec> vms{{1000, 512, 100}, {2000, 2560, 100},
+                          {1500, 1024, 100}};
+  Datacenter dc(std::move(hosts), std::move(vms));
+  for (int vm = 0; vm < 3; ++vm) dc.place(vm, 0);
+  const std::vector<double> demands{0.2, 0.9, 0.5};
+  dc.set_demands(demands);
+  return dc;
+}
+
+TEST(VmSelectionTest, MmtPicksSmallestRam) {
+  Datacenter dc = make_dc();
+  Rng rng(1);
+  EXPECT_EQ(select_vm(VmSelectionKind::kMinMigrationTime, dc, dc.vms_on(0),
+                      rng),
+            0);
+}
+
+TEST(VmSelectionTest, MaxAndMinUtilization) {
+  Datacenter dc = make_dc();
+  Rng rng(1);
+  EXPECT_EQ(select_vm(VmSelectionKind::kMaxUtilization, dc, dc.vms_on(0), rng),
+            1);
+  EXPECT_EQ(select_vm(VmSelectionKind::kMinUtilization, dc, dc.vms_on(0), rng),
+            0);
+}
+
+TEST(VmSelectionTest, RandomCoversAll) {
+  Datacenter dc = make_dc();
+  Rng rng(2);
+  std::set<int> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(select_vm(VmSelectionKind::kRandom, dc, dc.vms_on(0), rng));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(VmSelectionTest, EmptyListRejected) {
+  Datacenter dc = make_dc();
+  Rng rng(1);
+  EXPECT_THROW(select_vm(VmSelectionKind::kMinMigrationTime, dc, {}, rng),
+               ConfigError);
+}
+
+TEST(SelectUntilUnderTest, StopsWhenTargetReached) {
+  Datacenter dc = make_dc();
+  Rng rng(1);
+  // Demand: 200 + 1800 + 750 = 2750 MIPS on 3720 → util 0.739.
+  // Target 0.5 → need to shed > 890 MIPS. MMT order: vm0 (200, not enough),
+  // then vm2 (750) → total 950 shed → under target.
+  const auto selected =
+      select_vms_until_under(VmSelectionKind::kMinMigrationTime, dc, 0, 0.5,
+                             rng);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0], 0);
+  EXPECT_EQ(selected[1], 2);
+}
+
+TEST(SelectUntilUnderTest, AlreadyUnderSelectsNothing) {
+  Datacenter dc = make_dc();
+  Rng rng(1);
+  EXPECT_TRUE(select_vms_until_under(VmSelectionKind::kMinMigrationTime, dc,
+                                     0, 0.99, rng)
+                  .empty());
+}
+
+TEST(SelectUntilUnderTest, ImpossibleTargetSelectsEverything) {
+  Datacenter dc = make_dc();
+  Rng rng(1);
+  const auto selected = select_vms_until_under(
+      VmSelectionKind::kMaxUtilization, dc, 0, 0.0, rng);
+  EXPECT_EQ(selected.size(), 3u);
+}
+
+TEST(VmSelectionNamesTest, AllNamed) {
+  EXPECT_EQ(vm_selection_name(VmSelectionKind::kMinMigrationTime), "MMT");
+  EXPECT_EQ(vm_selection_name(VmSelectionKind::kRandom), "Random");
+}
+
+}  // namespace
+}  // namespace megh

@@ -1,0 +1,81 @@
+#include "common/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megh {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> items) {
+  return {items};
+}
+
+TEST(ArgsTest, DefaultsApplyWhenUnset) {
+  Args args;
+  args.add_flag("hosts", "host count", "800");
+  const auto argv = argv_of({"prog"});
+  ASSERT_TRUE(args.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(args.get_int("hosts"), 800);
+  EXPECT_FALSE(args.is_set("hosts"));
+}
+
+TEST(ArgsTest, SpaceAndEqualsSyntax) {
+  Args args;
+  args.add_flag("a", "", "0");
+  args.add_flag("b", "", "0");
+  const auto argv = argv_of({"prog", "--a", "5", "--b=7"});
+  ASSERT_TRUE(args.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(args.get_int("a"), 5);
+  EXPECT_EQ(args.get_int("b"), 7);
+  EXPECT_TRUE(args.is_set("a"));
+}
+
+TEST(ArgsTest, BooleanFlags) {
+  Args args;
+  args.add_bool("full", "run full scale");
+  const auto argv = argv_of({"prog", "--full"});
+  ASSERT_TRUE(args.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(args.get_bool("full"));
+}
+
+TEST(ArgsTest, UnknownFlagThrows) {
+  Args args;
+  args.add_flag("a", "", "0");
+  const auto argv = argv_of({"prog", "--typo", "1"});
+  EXPECT_THROW(args.parse(static_cast<int>(argv.size()), argv.data()),
+               ConfigError);
+}
+
+TEST(ArgsTest, MissingValueThrows) {
+  Args args;
+  args.add_flag("a", "", "0");
+  const auto argv = argv_of({"prog", "--a"});
+  EXPECT_THROW(args.parse(static_cast<int>(argv.size()), argv.data()),
+               ConfigError);
+}
+
+TEST(ArgsTest, PositionalArgumentRejected) {
+  Args args;
+  const auto argv = argv_of({"prog", "stray"});
+  EXPECT_THROW(args.parse(static_cast<int>(argv.size()), argv.data()),
+               ConfigError);
+}
+
+TEST(ArgsTest, HelpReturnsFalse) {
+  Args args;
+  args.add_flag("a", "alpha", "1");
+  const auto argv = argv_of({"prog", "--help"});
+  EXPECT_FALSE(args.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(ArgsTest, DoubleParsing) {
+  Args args;
+  args.add_flag("x", "", "2.5");
+  const auto argv = argv_of({"prog"});
+  ASSERT_TRUE(args.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(args.get_double("x"), 2.5);
+}
+
+}  // namespace
+}  // namespace megh

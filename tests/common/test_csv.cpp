@@ -1,0 +1,88 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/error.hpp"
+
+namespace megh {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+        (std::string("megh_csv_test_") +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CsvTest, RoundTripWithHeader) {
+  const auto path = dir_ / "t.csv";
+  {
+    CsvWriter w(path);
+    w.header({"a", "b"});
+    w.row({1.0, 2.5});
+    w.row({-3.0, 4.0});
+  }
+  const CsvTable t = read_csv(path, /*has_header=*/true);
+  ASSERT_EQ(t.header.size(), 2u);
+  EXPECT_EQ(t.header[0], "a");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(t.rows[0][1], 2.5);
+  EXPECT_DOUBLE_EQ(t.rows[1][0], -3.0);
+  EXPECT_EQ(t.column("b"), 1u);
+  EXPECT_THROW(t.column("zz"), IoError);
+}
+
+TEST_F(CsvTest, CommentsAndBlankLinesSkipped) {
+  const auto path = dir_ / "c.csv";
+  {
+    CsvWriter w(path);
+    w.comment("a comment");
+    w.row({1.0});
+    w.comment("another");
+    w.row({2.0});
+  }
+  const CsvTable t = read_csv(path, /*has_header=*/false);
+  ASSERT_EQ(t.num_rows(), 2u);
+}
+
+TEST_F(CsvTest, RaggedRowsRejected) {
+  const auto path = dir_ / "r.csv";
+  {
+    std::ofstream out(path);
+    out << "1,2\n1,2,3\n";
+  }
+  EXPECT_THROW(read_csv(path, false), IoError);
+}
+
+TEST_F(CsvTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv(dir_ / "nope.csv", false), IoError);
+}
+
+TEST_F(CsvTest, IntegersWrittenWithoutDecimals) {
+  const auto path = dir_ / "i.csv";
+  {
+    CsvWriter w(path);
+    w.row({42.0, 0.5});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "42,0.5");
+}
+
+TEST_F(CsvTest, WriterCreatesParentDirectories) {
+  const auto path = dir_ / "deep" / "nested" / "f.csv";
+  CsvWriter w(path);
+  w.row({1.0});
+  EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+}  // namespace
+}  // namespace megh

@@ -1,0 +1,146 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace megh {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBoundsAndCoverage) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values appear
+}
+
+TEST(RngTest, NormalMeanAndStddev) {
+  Rng rng(42);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(RngTest, LogUniformStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.log_uniform(10.0, 1e6);
+    EXPECT_GE(x, 10.0 - 1e-9);
+    EXPECT_LE(x, 1e6 + 1e-3);
+  }
+}
+
+TEST(RngTest, LogUniformCoversOrdersOfMagnitude) {
+  // Roughly equal mass per decade is the defining property.
+  Rng rng(9);
+  int decade_counts[5] = {0, 0, 0, 0, 0};  // [10,100), ..., [1e5,1e6)
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.log_uniform(10.0, 1e6);
+    const int d = static_cast<int>(std::log10(x)) - 1;
+    if (d >= 0 && d < 5) ++decade_counts[d];
+  }
+  for (int d = 0; d < 5; ++d) {
+    EXPECT_NEAR(decade_counts[d], n / 5, n / 20) << "decade " << d;
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(3);
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[rng.weighted_index(w)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, WeightedIndexRejectsBadInput) {
+  Rng rng(3);
+  EXPECT_THROW(rng.weighted_index(std::vector<double>{}), ConfigError);
+  EXPECT_THROW(rng.weighted_index(std::vector<double>{0.0, 0.0}), ConfigError);
+  EXPECT_THROW(rng.weighted_index(std::vector<double>{1.0, -1.0}), ConfigError);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(77);
+  Rng child = parent.fork();
+  // The child must not replay the parent's stream.
+  Rng parent2(77);
+  (void)parent2.engine()();  // consume the value used to seed the child
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.uniform() == parent.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace megh

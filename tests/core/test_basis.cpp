@@ -1,0 +1,55 @@
+#include "core/basis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megh {
+namespace {
+
+TEST(ActionBasisTest, DimensionIsNTimesM) {
+  const ActionBasis basis(1052, 800);
+  EXPECT_EQ(basis.dim(), 841600);
+}
+
+TEST(ActionBasisTest, IndexRoundTrip) {
+  const ActionBasis basis(7, 5);
+  for (int vm = 0; vm < 7; ++vm) {
+    for (int host = 0; host < 5; ++host) {
+      const std::int64_t a = basis.index(vm, host);
+      EXPECT_EQ(basis.vm_of(a), vm);
+      EXPECT_EQ(basis.host_of(a), host);
+    }
+  }
+}
+
+TEST(ActionBasisTest, IndicesAreDenseAndUnique) {
+  const ActionBasis basis(3, 4);
+  std::vector<bool> seen(12, false);
+  for (int vm = 0; vm < 3; ++vm) {
+    for (int host = 0; host < 4; ++host) {
+      const auto a = basis.index(vm, host);
+      ASSERT_GE(a, 0);
+      ASSERT_LT(a, 12);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(a)]);
+      seen[static_cast<std::size_t>(a)] = true;
+    }
+  }
+}
+
+TEST(ActionBasisTest, LargeScaleNoOverflow) {
+  // 100k VMs × 100k hosts exceeds 32-bit: must still round-trip.
+  const ActionBasis basis(100000, 100000);
+  const std::int64_t a = basis.index(99999, 99999);
+  EXPECT_EQ(basis.vm_of(a), 99999);
+  EXPECT_EQ(basis.host_of(a), 99999);
+  EXPECT_EQ(basis.dim(), 10000000000LL);
+}
+
+TEST(ActionBasisTest, InvalidShapeRejected) {
+  EXPECT_THROW(ActionBasis(0, 5), ConfigError);
+  EXPECT_THROW(ActionBasis(5, 0), ConfigError);
+}
+
+}  // namespace
+}  // namespace megh

@@ -1,0 +1,80 @@
+#include "core/boltzmann.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace megh {
+namespace {
+
+TEST(BoltzmannTest, WeightsAreOneForMinAndBelowOneOtherwise) {
+  BoltzmannSelector sel(1.0, 0.0);
+  const std::vector<double> q{3.0, 1.0, 2.0};
+  const auto w = sel.weights(q);
+  EXPECT_DOUBLE_EQ(w[1], 1.0);  // the minimum
+  EXPECT_LT(w[0], w[2]);        // higher cost → smaller weight
+  EXPECT_LT(w[2], 1.0);
+}
+
+TEST(BoltzmannTest, HighTemperatureIsNearUniform) {
+  BoltzmannSelector sel(1e6, 0.0);
+  const std::vector<double> q{0.0, 5.0, 10.0};
+  const auto w = sel.weights(q);
+  EXPECT_NEAR(w[0], w[2], 1e-4);
+}
+
+TEST(BoltzmannTest, LowTemperatureIsGreedy) {
+  BoltzmannSelector sel(1e-9, 0.0);
+  const std::vector<double> q{0.5, 0.1, 0.9};
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sel.sample(q, rng), 1u);
+  }
+}
+
+TEST(BoltzmannTest, SamplingFollowsWeights) {
+  BoltzmannSelector sel(1.0, 0.0);
+  const std::vector<double> q{0.0, std::log(4.0)};  // weights 1 and 1/4
+  Rng rng(2);
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[sel.sample(q, rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 4.0, 0.4);
+}
+
+TEST(BoltzmannTest, DecayMatchesAlgorithmTwo) {
+  BoltzmannSelector sel(3.0, 0.01);
+  sel.decay();
+  EXPECT_NEAR(sel.temperature(), 3.0 * std::exp(-0.01), 1e-12);
+  for (int i = 0; i < 99; ++i) sel.decay();
+  EXPECT_NEAR(sel.temperature(), 3.0 * std::exp(-1.0), 1e-9);
+}
+
+TEST(BoltzmannTest, GreedyPicksMinimum) {
+  const std::vector<double> q{2.0, -1.0, 0.0};
+  EXPECT_EQ(BoltzmannSelector::greedy(q), 1u);
+}
+
+TEST(BoltzmannTest, FullyDecayedTemperatureStillSamples) {
+  BoltzmannSelector sel(3.0, 0.5);
+  for (int i = 0; i < 200; ++i) sel.decay();  // temp ~ 3e-44
+  const std::vector<double> q{1.0, 0.5, 2.0};
+  Rng rng(3);
+  EXPECT_EQ(sel.sample(q, rng), 1u);  // greedy fallback, no NaNs
+}
+
+TEST(BoltzmannTest, InvalidConfigRejected) {
+  EXPECT_THROW(BoltzmannSelector(0.0, 0.01), ConfigError);
+  EXPECT_THROW(BoltzmannSelector(1.0, -0.1), ConfigError);
+}
+
+TEST(BoltzmannTest, EqualQValuesUniform) {
+  BoltzmannSelector sel(0.001, 0.0);  // even at tiny temperature
+  const std::vector<double> q{1.0, 1.0, 1.0};
+  Rng rng(4);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 30000; ++i) ++counts[sel.sample(q, rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 700);
+}
+
+}  // namespace
+}  // namespace megh

@@ -1,0 +1,143 @@
+#include "core/candidates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/placement.hpp"
+
+namespace megh {
+namespace {
+
+struct World {
+  Datacenter dc;
+  ActionBasis basis;
+  std::vector<double> host_util;
+
+  static World make(int hosts, int vms, double util) {
+    std::vector<VmSpec> specs(static_cast<std::size_t>(vms),
+                              VmSpec{1000.0, 512.0, 100.0});
+    Datacenter dc(standard_host_fleet(hosts), specs);
+    Rng rng(3);
+    place_initial(dc, InitialPlacement::kRoundRobin, rng);
+    std::vector<double> demands(static_cast<std::size_t>(vms), util);
+    dc.set_demands(demands);
+    auto host_util = dc.all_host_utilization();
+    return {std::move(dc), ActionBasis(vms, hosts), std::move(host_util)};
+  }
+};
+
+TEST(CandidatesTest, FullEnumerationCoversEveryFeasiblePair) {
+  World w = World::make(3, 4, 0.1);  // d = 12 <= limit → enumerate
+  CandidateConfig config;
+  Rng rng(1);
+  const auto cands = generate_candidates(w.dc, w.host_util, 0.7, w.basis,
+                                         config, rng);
+  // 4 VMs × 3 hosts, everything feasible at low load.
+  EXPECT_EQ(cands.size(), 12u);
+  int noops = 0;
+  for (const auto& c : cands) {
+    if (c.is_noop) {
+      ++noops;
+      EXPECT_EQ(c.host, w.dc.host_of(c.vm));
+    }
+    EXPECT_EQ(c.index, w.basis.index(c.vm, c.host));
+  }
+  EXPECT_EQ(noops, 4);
+}
+
+TEST(CandidatesTest, SampledModeAlwaysOffersNoops) {
+  World w = World::make(30, 60, 0.1);  // d = 1800 > limit → sampled
+  CandidateConfig config;
+  Rng rng(1);
+  const auto cands = generate_candidates(w.dc, w.host_util, 0.7, w.basis,
+                                         config, rng);
+  ASSERT_FALSE(cands.empty());
+  std::set<int> vms_with_noop;
+  std::set<int> vms_seen;
+  for (const auto& c : cands) {
+    vms_seen.insert(c.vm);
+    if (c.is_noop) vms_with_noop.insert(c.vm);
+  }
+  EXPECT_EQ(vms_with_noop, vms_seen);  // every source has its no-op
+}
+
+TEST(CandidatesTest, NoDuplicateIndices) {
+  World w = World::make(30, 60, 0.1);
+  CandidateConfig config;
+  Rng rng(2);
+  const auto cands = generate_candidates(w.dc, w.host_util, 0.7, w.basis,
+                                         config, rng);
+  std::set<std::int64_t> indices;
+  for (const auto& c : cands) {
+    EXPECT_TRUE(indices.insert(c.index).second) << "duplicate " << c.index;
+  }
+}
+
+TEST(CandidatesTest, OverloadedHostVmsAreSources) {
+  World w = World::make(30, 60, 0.1);
+  // Overload host 0 artificially.
+  w.host_util[0] = 0.95;
+  CandidateConfig config;
+  Rng rng(3);
+  const auto cands = generate_candidates(w.dc, w.host_util, 0.7, w.basis,
+                                         config, rng);
+  std::set<int> sources;
+  for (const auto& c : cands) sources.insert(c.vm);
+  for (int vm : w.dc.vms_on(0)) {
+    EXPECT_TRUE(sources.count(vm)) << "overloaded host VM " << vm
+                                   << " missing from sources";
+  }
+  // Overloaded sources are tagged.
+  for (const auto& c : cands) {
+    if (w.dc.host_of(c.vm) == 0) {
+      EXPECT_EQ(c.group, CandidateGroup::kOverloaded);
+    }
+  }
+}
+
+TEST(CandidatesTest, ConsolidationSourcesTaggedAndPackOnly) {
+  World w = World::make(30, 60, 0.1);
+  CandidateConfig config;
+  config.random_sources = 0;
+  Rng rng(4);
+  const auto cands = generate_candidates(w.dc, w.host_util, 0.7, w.basis,
+                                         config, rng);
+  int consolidation_moves = 0;
+  for (const auto& c : cands) {
+    if (c.group != CandidateGroup::kConsolidation || c.is_noop) continue;
+    ++consolidation_moves;
+    // A consolidation move must target a host at least as utilized as the
+    // source (packing direction), under the pack ceiling.
+    const double post =
+        (w.dc.host_demand_mips(c.host) + w.dc.vm_demand_mips(c.vm)) /
+        w.dc.host_spec(c.host).mips;
+    EXPECT_LE(post, config.pack_ceiling + 1e-9);
+  }
+  EXPECT_GT(consolidation_moves, 0);
+}
+
+TEST(CandidatesTest, TargetsRespectRamFeasibility) {
+  // Tiny hosts: 4 GB, VMs of 3 GB → at most one per host, so any move
+  // candidate must target an empty host.
+  std::vector<VmSpec> specs(10, VmSpec{1000.0, 3072.0, 100.0});
+  Datacenter dc(standard_host_fleet(20), specs);
+  Rng prng(5);
+  place_initial(dc, InitialPlacement::kFirstFit, prng);
+  std::vector<double> demands(10, 0.1);
+  dc.set_demands(demands);
+  const auto host_util = dc.all_host_utilization();
+  const ActionBasis basis(10, 20);
+  CandidateConfig config;
+  config.full_enumeration_limit = 0;  // force sampled path
+  Rng rng(6);
+  const auto cands =
+      generate_candidates(dc, host_util, 0.7, basis, config, rng);
+  for (const auto& c : cands) {
+    if (c.is_noop) continue;
+    EXPECT_TRUE(dc.fits(c.vm, c.host));
+  }
+}
+
+}  // namespace
+}  // namespace megh

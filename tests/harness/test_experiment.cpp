@@ -1,0 +1,66 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/simple_policies.hpp"
+
+namespace megh {
+namespace {
+
+TEST(ExperimentTest, RunsPolicyOverScenario) {
+  const Scenario s = make_planetlab_scenario(10, 15, 30, 1);
+  NoMigrationPolicy policy;
+  ExperimentOptions options;
+  const ExperimentResult r = run_experiment(s, policy, options);
+  EXPECT_EQ(r.policy, "NoMigration");
+  EXPECT_EQ(r.sim.totals.steps, 30);
+  EXPECT_GT(r.sim.totals.total_cost_usd, 0.0);
+}
+
+TEST(ExperimentTest, StepLimitHonored) {
+  const Scenario s = make_planetlab_scenario(10, 15, 30, 1);
+  NoMigrationPolicy policy;
+  ExperimentOptions options;
+  options.steps = 7;
+  const ExperimentResult r = run_experiment(s, policy, options);
+  EXPECT_EQ(r.sim.totals.steps, 7);
+}
+
+TEST(PaperRosterTest, SixAlgorithmsInTableOrder) {
+  const auto roster = paper_roster();
+  ASSERT_EQ(roster.size(), 6u);
+  EXPECT_EQ(roster[0].name, "THR-MMT");
+  EXPECT_EQ(roster[5].name, "Megh");
+  // Only Megh is capped at 2% (Sec. 6.1).
+  for (const auto& entry : roster) {
+    if (entry.name == "Megh") {
+      EXPECT_DOUBLE_EQ(entry.max_migration_fraction, 0.02);
+    } else {
+      EXPECT_DOUBLE_EQ(entry.max_migration_fraction, 0.0);
+    }
+  }
+}
+
+TEST(PaperRosterTest, FactoriesProduceWorkingPolicies) {
+  const Scenario s = make_planetlab_scenario(8, 10, 8, 2);
+  for (const auto& entry : paper_roster(3)) {
+    auto policy = entry.make();
+    ASSERT_NE(policy, nullptr);
+    ExperimentOptions options;
+    options.max_migration_fraction = entry.max_migration_fraction;
+    const ExperimentResult r = run_experiment(s, *policy, options);
+    EXPECT_EQ(r.sim.totals.steps, 8) << entry.name;
+  }
+}
+
+TEST(RlRosterTest, MeghAndMadVm) {
+  const auto roster = rl_roster();
+  ASSERT_EQ(roster.size(), 2u);
+  EXPECT_EQ(roster[0].name, "Megh");
+  EXPECT_EQ(roster[1].name, "MadVM");
+  auto madvm = roster[1].make();
+  EXPECT_EQ(madvm->name(), "MadVM");
+}
+
+}  // namespace
+}  // namespace megh

@@ -1,0 +1,85 @@
+#include "harness/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "baselines/simple_policies.hpp"
+#include "harness/experiment.hpp"
+
+namespace megh {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(257);
+  parallel_for(visits.size(), [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroItemsIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+               /*threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ExceptionPropagatesAfterCompletion) {
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      parallel_for(64,
+                   [&](std::size_t i) {
+                     if (i == 7) throw ConfigError("boom");
+                     ++completed;
+                   },
+                   4),
+      ConfigError);
+  EXPECT_EQ(completed.load(), 63);  // everything else still ran
+}
+
+TEST(ParallelMapTest, PreservesOrder) {
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  const auto doubled =
+      parallel_map(items, [](int x) { return 2 * x; });
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(doubled[i], 2 * static_cast<int>(i));
+  }
+}
+
+TEST(ParallelExperimentsTest, ConcurrentRunsMatchSequential) {
+  // The core thread-safety property the sweep benches rely on: running the
+  // same seeded experiment concurrently and sequentially yields identical
+  // totals.
+  const Scenario scenario = make_planetlab_scenario(12, 18, 40, 5);
+  const auto run_one = [&](std::uint64_t seed) {
+    RandomPolicy policy(1, seed);
+    ExperimentOptions options;
+    return run_experiment(scenario, policy, options).sim.totals;
+  };
+  std::vector<std::uint64_t> seeds{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto parallel_totals = parallel_map(
+      seeds, [&](std::uint64_t s) { return run_one(s); }, 4);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const auto sequential = run_one(seeds[i]);
+    EXPECT_DOUBLE_EQ(parallel_totals[i].total_cost_usd,
+                     sequential.total_cost_usd)
+        << "seed " << seeds[i];
+    EXPECT_EQ(parallel_totals[i].migrations, sequential.migrations);
+  }
+}
+
+TEST(DefaultParallelismTest, Bounds) {
+  EXPECT_GE(default_parallelism(100), 1);
+  EXPECT_LE(default_parallelism(2), 2);
+  EXPECT_EQ(default_parallelism(0), 1);
+}
+
+}  // namespace
+}  // namespace megh

@@ -1,0 +1,81 @@
+#include "harness/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "baselines/simple_policies.hpp"
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/string_util.hpp"
+
+namespace megh {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+        (std::string("megh_report_test_") +
+         ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    setenv("MEGH_BENCH_OUT", dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    unsetenv("MEGH_BENCH_OUT");
+    std::filesystem::remove_all(dir_);
+  }
+  std::filesystem::path dir_;
+};
+
+ExperimentResult small_result() {
+  const Scenario s = make_planetlab_scenario(8, 10, 20, 1);
+  static NoMigrationPolicy policy;
+  return run_experiment(s, policy, ExperimentOptions{});
+}
+
+TEST_F(ReportTest, OutputDirFollowsEnv) {
+  EXPECT_EQ(bench_output_dir(), dir_);
+}
+
+TEST_F(ReportTest, PerformanceTableWritesCsv) {
+  std::vector<ExperimentResult> results{small_result()};
+  print_performance_table("test", results, "unit_test_table");
+  // First column is the policy name (a string), so parse by hand.
+  std::ifstream in(dir_ / "unit_test_table.csv");
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  const auto head = split(header, ',');
+  const auto cells = split(row, ',');
+  ASSERT_EQ(head.size(), cells.size());
+  ASSERT_GE(head.size(), 9u);
+  EXPECT_EQ(head[0], "policy");
+  EXPECT_EQ(cells[0], "NoMigration");
+  EXPECT_GT(parse_double(cells[1], "total_cost"), 0.0);
+  EXPECT_EQ(cells[4], "0");        // migrations
+  EXPECT_EQ(cells[8], "20");       // steps
+}
+
+TEST_F(ReportTest, SeriesCsvHasAllPanels) {
+  std::vector<ExperimentResult> results{small_result()};
+  write_series_csvs(results, "unit_series");
+  const CsvTable t = read_csv(dir_ / "unit_series_NoMigration.csv", true);
+  EXPECT_EQ(t.num_rows(), 20u);
+  // The four panels of Figs 2-5 plus extras.
+  for (const char* column : {"step_cost_usd", "cumulative_migrations",
+                             "active_hosts", "exec_ms"}) {
+    EXPECT_NO_THROW(t.column(column)) << column;
+  }
+}
+
+TEST_F(ReportTest, ConvergenceSummaryMentionsPolicy) {
+  const ExperimentResult r = small_result();
+  const std::string line = convergence_summary(r);
+  EXPECT_NE(line.find("NoMigration"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace megh

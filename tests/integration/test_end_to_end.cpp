@@ -1,0 +1,103 @@
+// End-to-end behavioural checks: the qualitative claims of the paper's
+// evaluation must hold on small fixed-seed scenarios. These are the
+// "shape" assertions — who wins, and in which direction each metric moves.
+#include <gtest/gtest.h>
+
+#include "baselines/mmt_policy.hpp"
+#include "baselines/simple_policies.hpp"
+#include "core/megh_policy.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/convergence.hpp"
+
+namespace megh {
+namespace {
+
+ExperimentResult run(const Scenario& s, MigrationPolicy& policy, double cap) {
+  ExperimentOptions options;
+  options.max_migration_fraction = cap;
+  return run_experiment(s, policy, options);
+}
+
+class PlanetLabEndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new Scenario(make_planetlab_scenario(80, 120, 576, 11));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static Scenario* scenario_;
+};
+
+Scenario* PlanetLabEndToEnd::scenario_ = nullptr;
+
+TEST_F(PlanetLabEndToEnd, MeghBeatsThrMmtOnTotalCost) {
+  auto thr = make_thr_mmt();
+  const ExperimentResult mmt = run(*scenario_, *thr, 0.0);
+  MeghPolicy megh;
+  const ExperimentResult rl = run(*scenario_, megh, 0.02);
+  EXPECT_LT(rl.sim.totals.total_cost_usd, mmt.sim.totals.total_cost_usd);
+}
+
+TEST_F(PlanetLabEndToEnd, MeghMigratesFarLessThanMmt) {
+  auto thr = make_thr_mmt();
+  const ExperimentResult mmt = run(*scenario_, *thr, 0.0);
+  MeghPolicy megh;
+  const ExperimentResult rl = run(*scenario_, megh, 0.02);
+  EXPECT_LT(rl.sim.totals.migrations * 3, mmt.sim.totals.migrations);
+}
+
+TEST_F(PlanetLabEndToEnd, MeghBeatsDoingNothing) {
+  NoMigrationPolicy nothing;
+  const ExperimentResult static_run = run(*scenario_, nothing, 0.0);
+  MeghPolicy megh;
+  const ExperimentResult rl = run(*scenario_, megh, 0.02);
+  EXPECT_LT(rl.sim.totals.total_cost_usd,
+            static_run.sim.totals.total_cost_usd);
+}
+
+TEST_F(PlanetLabEndToEnd, MeghReducesOverloadSlaVersusStatic) {
+  NoMigrationPolicy nothing;
+  const ExperimentResult static_run = run(*scenario_, nothing, 0.0);
+  MeghPolicy megh;
+  const ExperimentResult rl = run(*scenario_, megh, 0.02);
+  EXPECT_LT(rl.sim.totals.sla_cost_usd, static_run.sim.totals.sla_cost_usd);
+}
+
+TEST_F(PlanetLabEndToEnd, MeghPerStepCostConverges) {
+  MeghPolicy megh;
+  const ExperimentResult rl = run(*scenario_, megh, 0.02);
+  const auto series = rl.sim.series("step_cost");
+  EXPECT_TRUE(convergence_step(series).has_value());
+}
+
+TEST(GoogleEndToEnd, MeghCompetitiveOnTaskWorkload) {
+  const Scenario s = make_google_scenario(60, 150, 576, 12);
+  auto thr = make_thr_mmt();
+  ExperimentOptions options;
+  const ExperimentResult mmt = run_experiment(s, *thr, options);
+  MeghPolicy megh;
+  options.max_migration_fraction = 0.02;
+  const ExperimentResult rl = run_experiment(s, megh, options);
+  // Paper Table 3: Megh wins by a small (2.5%) margin; at this reduced
+  // scale seed-to-seed variance swamps that, so assert cost parity within
+  // 25% — the discriminating Google claim is the migration gap below.
+  EXPECT_LT(rl.sim.totals.total_cost_usd,
+            mmt.sim.totals.total_cost_usd * 1.25);
+  // And the migration gap stays large (paper: 97×).
+  EXPECT_LT(rl.sim.totals.migrations * 3, mmt.sim.totals.migrations);
+}
+
+TEST(GoogleEndToEnd, MeghSlaNearZeroOnLightTasks) {
+  const Scenario s = make_google_scenario(40, 100, 300, 13);
+  MeghPolicy megh;
+  ExperimentOptions options;
+  options.max_migration_fraction = 0.02;
+  const ExperimentResult rl = run_experiment(s, megh, options);
+  EXPECT_LT(rl.sim.totals.sla_cost_usd,
+            rl.sim.totals.energy_cost_usd * 0.25);
+}
+
+}  // namespace
+}  // namespace megh

@@ -1,0 +1,88 @@
+// Every algorithm in the paper's rosters must run the same scenario to
+// completion with sane outputs — the smoke layer under the bench harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/madvm.hpp"
+#include "baselines/qlearning.hpp"
+#include "harness/experiment.hpp"
+
+namespace megh {
+namespace {
+
+class RosterSweep : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new Scenario(make_planetlab_scenario(20, 30, 60, 21));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static Scenario* scenario_;
+};
+
+Scenario* RosterSweep::scenario_ = nullptr;
+
+TEST_P(RosterSweep, RunsCleanly) {
+  const auto roster = paper_roster(77);
+  ASSERT_LT(GetParam(), roster.size());
+  const PolicyEntry& entry = roster[GetParam()];
+  auto policy = entry.make();
+  ExperimentOptions options;
+  options.max_migration_fraction = entry.max_migration_fraction;
+  const ExperimentResult r = run_experiment(*scenario_, *policy, options);
+
+  EXPECT_EQ(r.policy, entry.name);
+  EXPECT_EQ(r.sim.totals.steps, 60);
+  EXPECT_TRUE(std::isfinite(r.sim.totals.total_cost_usd));
+  EXPECT_GT(r.sim.totals.total_cost_usd, 0.0);
+  EXPECT_GE(r.sim.totals.migrations, 0);
+  EXPECT_GT(r.sim.totals.mean_active_hosts, 0.0);
+  EXPECT_LE(r.sim.totals.mean_active_hosts, 20.0);
+  for (const auto& step : r.sim.steps) {
+    EXPECT_GE(step.step_cost_usd, 0.0);
+    EXPECT_GE(step.exec_ms, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRoster, RosterSweep,
+                         ::testing::Range<std::size_t>(0, 6));
+
+TEST(RlAlgorithmsIntegration, MadVmAndQLearningRunTheSubsetScenario) {
+  // The Fig. 4 configuration, miniaturized: 10 PMs / 15 VMs subset.
+  const Scenario base = make_planetlab_scenario(40, 60, 60, 31);
+  const Scenario sub = subset_scenario(base, 10, 15, 32);
+
+  MadVmPolicy madvm;
+  ExperimentOptions options;
+  const ExperimentResult m = run_experiment(sub, madvm, options);
+  EXPECT_EQ(m.sim.totals.steps, 60);
+
+  QLearningPolicy ql;
+  ql.set_training(true);
+  const ExperimentResult train = run_experiment(sub, ql, options);
+  EXPECT_EQ(train.sim.totals.steps, 60);
+  ql.set_training(false);
+  const ExperimentResult deploy = run_experiment(sub, ql, options);
+  EXPECT_EQ(deploy.sim.totals.steps, 60);
+}
+
+TEST(ExecTimeIntegration, MeghDecisionsAreMilliseconds) {
+  // The real-time claim, scaled down: mean decision latency well under the
+  // 300 s interval and under 50 ms even on the test machine.
+  const Scenario s = make_planetlab_scenario(30, 45, 60, 41);
+  const auto roster = paper_roster(5);
+  for (const auto& entry : roster) {
+    if (entry.name != "Megh") continue;
+    auto policy = entry.make();
+    ExperimentOptions options;
+    options.max_migration_fraction = entry.max_migration_fraction;
+    const ExperimentResult r = run_experiment(s, *policy, options);
+    EXPECT_LT(r.sim.totals.mean_exec_ms, 50.0);
+  }
+}
+
+}  // namespace
+}  // namespace megh

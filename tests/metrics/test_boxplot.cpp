@@ -1,0 +1,49 @@
+#include "metrics/boxplot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace megh {
+namespace {
+
+TEST(BoxplotTest, OrderingInvariantHolds) {
+  Rng rng(1);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.lognormal(0.0, 1.0));
+  const BoxplotStats b = boxplot_stats(xs);
+  EXPECT_LE(b.p5, b.q1);
+  EXPECT_LE(b.q1, b.median);
+  EXPECT_LE(b.median, b.q3);
+  EXPECT_LE(b.q3, b.p95);
+}
+
+TEST(BoxplotTest, SymmetricDataHasMedianNearMean) {
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  const BoxplotStats b = boxplot_stats(xs);
+  EXPECT_NEAR(b.median, b.mean, 0.1);
+  EXPECT_NEAR(b.median, 10.0, 0.1);
+}
+
+TEST(BoxplotTest, SkewedDataHasMeanAboveMedian) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.lognormal(0.0, 1.5));
+  const BoxplotStats b = boxplot_stats(xs);
+  EXPECT_GT(b.mean, b.median);
+}
+
+TEST(BoxplotTest, ConstantData) {
+  const std::vector<double> xs(10, 3.0);
+  const BoxplotStats b = boxplot_stats(xs);
+  EXPECT_DOUBLE_EQ(b.p5, 3.0);
+  EXPECT_DOUBLE_EQ(b.p95, 3.0);
+  EXPECT_DOUBLE_EQ(b.mean, 3.0);
+}
+
+}  // namespace
+}  // namespace megh

@@ -1,0 +1,87 @@
+#include "metrics/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace megh {
+namespace {
+
+std::vector<double> noisy_plateau(int transient, int total, double start,
+                                  double plateau, double noise, Rng& rng) {
+  std::vector<double> xs;
+  for (int i = 0; i < total; ++i) {
+    const double base =
+        i < transient
+            ? start + (plateau - start) * i / transient
+            : plateau;
+    xs.push_back(base + rng.normal(0.0, noise));
+  }
+  return xs;
+}
+
+TEST(ConvergenceTest, FlatSeriesConvergesImmediately) {
+  const std::vector<double> xs(200, 5.0);
+  const auto step = convergence_step(xs);
+  ASSERT_TRUE(step.has_value());
+  EXPECT_EQ(*step, 0);
+}
+
+TEST(ConvergenceTest, DecayingSeriesConvergesAfterTransient) {
+  Rng rng(1);
+  const auto xs = noisy_plateau(100, 600, 10.0, 2.0, 0.05, rng);
+  const auto step = convergence_step(xs);
+  ASSERT_TRUE(step.has_value());
+  EXPECT_GE(*step, 40);
+  EXPECT_LE(*step, 160);
+}
+
+TEST(ConvergenceTest, RegimeOscillationNeverConverges) {
+  // Alternating plateaus: any window is either mixed (high CV) or sits on
+  // one plateau while a later window sits on the other (drift) — the
+  // detector must reject both.
+  std::vector<double> xs;
+  for (int i = 0; i < 800; ++i) xs.push_back((i / 100) % 2 == 0 ? 1.0 : 2.0);
+  EXPECT_FALSE(convergence_step(xs).has_value());
+}
+
+TEST(ConvergenceTest, HighRelativeVarianceNeverConverges) {
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(1.0 + rng.normal(0.0, 2.0));
+  ConvergenceConfig config;
+  config.cv_threshold = 0.1;
+  EXPECT_FALSE(convergence_step(xs, config).has_value());
+}
+
+TEST(ConvergenceTest, ShortSeriesReturnsNullopt) {
+  const std::vector<double> xs(10, 1.0);
+  ConvergenceConfig config;
+  config.window = 50;
+  EXPECT_FALSE(convergence_step(xs, config).has_value());
+}
+
+TEST(ConvergenceTest, LaterConvergencePointForSlowerAlgorithm) {
+  // The detector must order a fast-converging and a slow-converging series
+  // correctly — that ordering is the paper's Megh-vs-MMT claim.
+  Rng rng(3);
+  const auto fast = noisy_plateau(80, 800, 8.0, 2.0, 0.05, rng);
+  const auto slow = noisy_plateau(400, 800, 8.0, 2.0, 0.05, rng);
+  const auto fast_step = convergence_step(fast);
+  const auto slow_step = convergence_step(slow);
+  ASSERT_TRUE(fast_step.has_value());
+  ASSERT_TRUE(slow_step.has_value());
+  EXPECT_LT(*fast_step, *slow_step);
+}
+
+TEST(TailMeanTest, ComputesSuffixMean) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(tail_mean(xs, 2), 3.5);
+  EXPECT_DOUBLE_EQ(tail_mean(xs, 0), 2.5);
+  EXPECT_DOUBLE_EQ(tail_mean(xs, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace megh

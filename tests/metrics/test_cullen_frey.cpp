@@ -1,0 +1,91 @@
+// The Cullen–Frey machinery must place known distributions near their
+// theoretical loci — that is what legitimizes using it to claim the
+// synthetic workloads match no standard family (paper Sec. 6.2).
+#include "metrics/cullen_frey.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace megh {
+namespace {
+
+std::vector<double> draw(int n, Rng& rng, const char* kind) {
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (std::string(kind) == "normal") {
+      xs.push_back(rng.normal(5.0, 2.0));
+    } else if (std::string(kind) == "uniform") {
+      xs.push_back(rng.uniform(0.0, 1.0));
+    } else {
+      xs.push_back(rng.exponential(1.5));
+    }
+  }
+  return xs;
+}
+
+TEST(MomentsTest, KnownSmallSample) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const MomentSummary m = compute_moments(xs);
+  EXPECT_DOUBLE_EQ(m.mean, 2.5);
+  EXPECT_DOUBLE_EQ(m.variance, 1.25);  // population variance
+  EXPECT_NEAR(m.skewness, 0.0, 1e-12);
+}
+
+TEST(MomentsTest, RequiresFourSamples) {
+  EXPECT_THROW(compute_moments(std::vector<double>{1.0, 2.0}), ConfigError);
+}
+
+TEST(CullenFreyTest, NormalSamplesNearestNormal) {
+  Rng rng(1);
+  const auto xs = draw(50000, rng, "normal");
+  const auto p = cullen_frey_point(xs);
+  EXPECT_NEAR(p.squared_skewness, 0.0, 0.05);
+  EXPECT_NEAR(p.kurtosis, 3.0, 0.15);
+  EXPECT_EQ(nearest_family(p).family, "normal");
+}
+
+TEST(CullenFreyTest, UniformSamplesNearestUniform) {
+  Rng rng(2);
+  const auto p = cullen_frey_point(draw(50000, rng, "uniform"));
+  EXPECT_NEAR(p.kurtosis, 1.8, 0.1);
+  EXPECT_EQ(nearest_family(p).family, "uniform");
+}
+
+TEST(CullenFreyTest, ExponentialSamplesNearExponentialLocus) {
+  Rng rng(3);
+  const auto p = cullen_frey_point(draw(200000, rng, "exponential"));
+  // Theoretical (4, 9); heavy-tail sampling noise is large, so just check
+  // the exponential point is among the closest families.
+  const double d_exp = distance_to_family(p, "exponential");
+  EXPECT_LT(d_exp, distance_to_family(p, "normal"));
+  EXPECT_LT(d_exp, distance_to_family(p, "uniform"));
+}
+
+TEST(CullenFreyTest, GammaCurvePassesThroughExponentialPoint) {
+  // Exponential is gamma with k=1: skew²=4, kurtosis=9 lies on the curve.
+  const CullenFreyPoint p{4.0, 9.0};
+  EXPECT_LT(distance_to_family(p, "gamma"), 0.05);
+}
+
+TEST(CullenFreyTest, UnknownFamilyThrows) {
+  EXPECT_THROW(distance_to_family(CullenFreyPoint{}, "cauchy"), ConfigError);
+}
+
+TEST(CullenFreyTest, BimodalWorkloadFarFromEveryFamily) {
+  // A 0/0.9 two-point mixture — the shape of bursty CPU utilization — must
+  // sit far from all standard families, the paper's Fig. 1 argument.
+  std::vector<double> xs;
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.bernoulli(0.12) ? 0.9 : 0.02);
+  }
+  const auto nearest = nearest_family(cullen_frey_point(xs));
+  EXPECT_GT(nearest.distance, 0.5);
+}
+
+}  // namespace
+}  // namespace megh

@@ -1,0 +1,69 @@
+#include "metrics/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megh {
+namespace {
+
+TEST(HistogramTest, LinearBinning) {
+  Histogram h = Histogram::linear(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(4), 1);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST(HistogramTest, UnderflowOverflow) {
+  Histogram h = Histogram::linear(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // right edge exclusive → overflow
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.total(), 1);
+}
+
+TEST(HistogramTest, LogBinEdgesAreDecades) {
+  Histogram h = Histogram::logarithmic(10.0, 1e6, 5);
+  EXPECT_NEAR(h.bin_lo(0), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_hi(0), 100.0, 1e-6);
+  EXPECT_NEAR(h.bin_hi(4), 1e6, 1e-2);
+  h.add(11.0);
+  h.add(150.0);
+  h.add(5e5);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(4), 1);
+}
+
+TEST(HistogramTest, FractionNormalizes) {
+  Histogram h = Histogram::linear(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  EXPECT_NEAR(h.fraction(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.fraction(1), 1.0 / 3.0, 1e-12);
+}
+
+TEST(HistogramTest, InvalidConfigRejected) {
+  EXPECT_THROW(Histogram::linear(1.0, 1.0, 5), ConfigError);
+  EXPECT_THROW(Histogram::linear(0.0, 1.0, 0), ConfigError);
+  EXPECT_THROW(Histogram::logarithmic(0.0, 10.0, 2), ConfigError);
+}
+
+TEST(HistogramTest, AsciiRendersOneLinePerBin) {
+  Histogram h = Histogram::linear(0.0, 1.0, 3);
+  h.add(0.1);
+  const std::string art = h.ascii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace megh

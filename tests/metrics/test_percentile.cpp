@@ -1,0 +1,63 @@
+#include "metrics/percentile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace megh {
+namespace {
+
+TEST(PercentileTest, MedianOfOddAndEven) {
+  Samples odd({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(odd.median(), 2.0);
+  Samples even({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(PercentileTest, ExtremesAreMinMax) {
+  Samples s({5.0, -1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.percentile(0), -1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+}
+
+TEST(PercentileTest, LinearInterpolationType7) {
+  Samples s({10.0, 20.0, 30.0, 40.0});
+  // rank = 0.25 * 3 = 0.75 → 10 + 0.75 * 10
+  EXPECT_DOUBLE_EQ(s.q1(), 17.5);
+  EXPECT_DOUBLE_EQ(s.q3(), 32.5);
+  EXPECT_DOUBLE_EQ(s.iqr(), 15.0);
+}
+
+TEST(PercentileTest, SingleSample) {
+  Samples s({7.0});
+  EXPECT_DOUBLE_EQ(s.percentile(1), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 7.0);
+}
+
+TEST(PercentileTest, AddInvalidatesSortCache) {
+  Samples s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(PercentileTest, MadOfKnownSet) {
+  // median = 2, |x - 2| = {1, 0, 0, 1, 7} → median = 1
+  Samples s({1.0, 2.0, 2.0, 3.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mad(), 1.0);
+  EXPECT_NEAR(s.mad(/*normalized=*/true), 1.4826, 1e-9);
+}
+
+TEST(PercentileTest, MeanAndStddev) {
+  Samples s({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(PercentileTest, FreeFunctionMatchesClass) {
+  const std::vector<double> xs{9.0, 1.0, 5.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 4.0);
+}
+
+}  // namespace
+}  // namespace megh

@@ -1,0 +1,68 @@
+#include "metrics/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace megh {
+namespace {
+
+TEST(TimeSeriesTest, PushAndGet) {
+  TimeSeries ts;
+  ts.push("a", 1.0);
+  ts.push("a", 2.0);
+  ts.push("b", 5.0);
+  EXPECT_TRUE(ts.has("a"));
+  EXPECT_FALSE(ts.has("c"));
+  ASSERT_EQ(ts.get("a").size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.get("b")[0], 5.0);
+  EXPECT_EQ(ts.length(), 2u);
+  EXPECT_THROW(ts.get("zz"), ConfigError);
+}
+
+TEST(TimeSeriesTest, Cumulative) {
+  TimeSeries ts;
+  for (double x : {1.0, 2.0, 3.0}) ts.push("m", x);
+  const auto cum = ts.cumulative("m");
+  EXPECT_DOUBLE_EQ(cum[0], 1.0);
+  EXPECT_DOUBLE_EQ(cum[1], 3.0);
+  EXPECT_DOUBLE_EQ(cum[2], 6.0);
+}
+
+TEST(TimeSeriesTest, RollingMeanSmoothsAndPreservesConstants) {
+  TimeSeries ts;
+  for (int i = 0; i < 20; ++i) ts.push("c", 4.0);
+  for (double v : ts.rolling_mean("c", 5)) EXPECT_DOUBLE_EQ(v, 4.0);
+
+  TimeSeries spike;
+  for (int i = 0; i < 9; ++i) spike.push("s", i == 4 ? 9.0 : 0.0);
+  const auto smoothed = spike.rolling_mean("s", 3);
+  EXPECT_DOUBLE_EQ(smoothed[4], 3.0);  // (0+9+0)/3
+  EXPECT_DOUBLE_EQ(smoothed[0], 0.0);
+}
+
+TEST(TimeSeriesTest, CsvRoundTripPadsRagged) {
+  const auto dir = std::filesystem::temp_directory_path() / "megh_ts_csvroundtrip_test";
+  std::filesystem::create_directories(dir);
+  TimeSeries ts;
+  ts.push("long", 1.0);
+  ts.push("long", 2.0);
+  ts.push("short", 7.0);
+  const auto path = dir / "ts.csv";
+  ts.write_csv(path);
+  const CsvTable t = read_csv(path, /*has_header=*/true);
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.header[0], "step");
+  // Second row of "short" must be NaN-padded.
+  const std::size_t short_col = t.column("short");
+  EXPECT_TRUE(std::isnan(t.rows[1][short_col]));
+  EXPECT_DOUBLE_EQ(t.rows[1][t.column("long")], 2.0);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace megh

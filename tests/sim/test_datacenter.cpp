@@ -1,0 +1,133 @@
+#include "sim/datacenter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megh {
+namespace {
+
+Datacenter two_host_dc() {
+  std::vector<HostSpec> hosts{hp_proliant_g4_spec(), hp_proliant_g5_spec()};
+  std::vector<VmSpec> vms{{1000.0, 1024.0, 100.0},
+                          {2000.0, 2048.0, 100.0},
+                          {500.0, 3072.0, 100.0}};
+  return Datacenter(std::move(hosts), std::move(vms));
+}
+
+TEST(DatacenterTest, PlaceAndTopologyQueries) {
+  Datacenter dc = two_host_dc();
+  EXPECT_EQ(dc.host_of(0), kUnplaced);
+  dc.place(0, 0);
+  dc.place(1, 0);
+  dc.place(2, 1);
+  EXPECT_EQ(dc.host_of(0), 0);
+  EXPECT_EQ(dc.vms_on(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(dc.host_ram_used(0), 3072.0);
+  EXPECT_TRUE(dc.is_active(1));
+  EXPECT_EQ(dc.active_host_count(), 2);
+}
+
+TEST(DatacenterTest, DoublePlaceRejected) {
+  Datacenter dc = two_host_dc();
+  dc.place(0, 0);
+  EXPECT_THROW(dc.place(0, 1), ConfigError);
+}
+
+TEST(DatacenterTest, RamFeasibility) {
+  Datacenter dc = two_host_dc();
+  dc.place(1, 0);  // 2048 MB of 4096
+  EXPECT_TRUE(dc.fits(0, 0));   // +1024 fits
+  EXPECT_FALSE(dc.fits(2, 0));  // +3072 does not
+  EXPECT_THROW(dc.place(2, 0), ConfigError);
+}
+
+TEST(DatacenterTest, MigrateMovesRamAndLists) {
+  Datacenter dc = two_host_dc();
+  dc.place(0, 0);
+  EXPECT_TRUE(dc.migrate(0, 1));
+  EXPECT_EQ(dc.host_of(0), 1);
+  EXPECT_DOUBLE_EQ(dc.host_ram_used(0), 0.0);
+  EXPECT_DOUBLE_EQ(dc.host_ram_used(1), 1024.0);
+  EXPECT_FALSE(dc.is_active(0));
+}
+
+TEST(DatacenterTest, MigrateToSameHostIsNoop) {
+  Datacenter dc = two_host_dc();
+  dc.place(0, 0);
+  EXPECT_FALSE(dc.migrate(0, 0));
+  EXPECT_EQ(dc.host_of(0), 0);
+}
+
+TEST(DatacenterTest, MigrateRespectsRam) {
+  Datacenter dc = two_host_dc();
+  dc.place(2, 0);  // 3072 MB
+  dc.place(1, 1);  // 2048 MB on host 1
+  EXPECT_FALSE(dc.migrate(2, 1));  // 3072 + 2048 > 4096
+  EXPECT_EQ(dc.host_of(2), 0);
+}
+
+TEST(DatacenterTest, DemandsAndUtilization) {
+  Datacenter dc = two_host_dc();
+  dc.place(0, 0);  // 1000 MIPS VM on 3720 MIPS host
+  dc.place(1, 0);  // 2000 MIPS VM
+  dc.place(2, 1);
+  const std::vector<double> demands{0.5, 1.0, 0.0};
+  dc.set_demands(demands);
+  EXPECT_DOUBLE_EQ(dc.vm_demand_mips(0), 500.0);
+  EXPECT_DOUBLE_EQ(dc.host_demand_mips(0), 2500.0);
+  EXPECT_NEAR(dc.host_utilization(0), 2500.0 / 3720.0, 1e-12);
+}
+
+TEST(DatacenterTest, OversubscriptionServiceFraction) {
+  std::vector<HostSpec> hosts{hp_proliant_g4_spec()};  // 3720 MIPS
+  std::vector<VmSpec> vms{{2500.0, 512.0, 100.0}, {2500.0, 512.0, 100.0}};
+  Datacenter dc(std::move(hosts), std::move(vms));
+  dc.place(0, 0);
+  dc.place(1, 0);
+  const std::vector<double> demands{1.0, 1.0};  // 5000 MIPS demanded
+  dc.set_demands(demands);
+  EXPECT_GT(dc.host_utilization(0), 1.0);
+  EXPECT_NEAR(dc.vm_service_fraction(0), 3720.0 / 5000.0, 1e-12);
+}
+
+TEST(DatacenterTest, FullServiceWhenNotOversubscribed) {
+  Datacenter dc = two_host_dc();
+  dc.place(0, 0);  // 1024 MB
+  dc.place(2, 0);  // 3072 MB → host 0 exactly full
+  dc.place(1, 1);
+  const std::vector<double> demands{0.2, 0.0, 0.0};
+  dc.set_demands(demands);
+  EXPECT_DOUBLE_EQ(dc.vm_service_fraction(0), 1.0);
+}
+
+TEST(DatacenterTest, SetDemandsSizeMismatchRejected) {
+  Datacenter dc = two_host_dc();
+  const std::vector<double> wrong{0.5};
+  EXPECT_THROW(dc.set_demands(wrong), ConfigError);
+}
+
+TEST(DatacenterTest, AllHostUtilizationMatchesPerHost) {
+  Datacenter dc = two_host_dc();
+  dc.place(0, 0);
+  dc.place(1, 0);
+  dc.place(2, 1);
+  const std::vector<double> demands{1.0, 0.0, 1.0};
+  dc.set_demands(demands);
+  const auto all = dc.all_host_utilization();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[0], dc.host_utilization(0));
+  EXPECT_DOUBLE_EQ(all[1], dc.host_utilization(1));
+}
+
+TEST(DatacenterTest, UnplaceRestoresCapacity) {
+  Datacenter dc = two_host_dc();
+  dc.place(2, 0);
+  dc.unplace(2);
+  EXPECT_EQ(dc.host_of(2), kUnplaced);
+  EXPECT_DOUBLE_EQ(dc.host_ram_used(0), 0.0);
+  EXPECT_THROW(dc.unplace(2), ConfigError);
+}
+
+}  // namespace
+}  // namespace megh

@@ -1,0 +1,72 @@
+#include "sim/host_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megh {
+namespace {
+
+TEST(HostSpecTest, PaperHostParameters) {
+  const HostSpec g4 = hp_proliant_g4_spec();
+  EXPECT_DOUBLE_EQ(g4.mips, 3720.0);  // 2 × 1860
+  EXPECT_DOUBLE_EQ(g4.ram_mb, 4096.0);
+  EXPECT_DOUBLE_EQ(g4.bw_mbps, 1000.0);
+  const HostSpec g5 = hp_proliant_g5_spec();
+  EXPECT_DOUBLE_EQ(g5.mips, 5320.0);  // 2 × 2660
+}
+
+TEST(HostSpecTest, FleetAlternatesFiftyFifty) {
+  const auto fleet = standard_host_fleet(10);
+  int g4 = 0;
+  for (const auto& h : fleet) {
+    if (h.model == "HP ProLiant ML110 G4") ++g4;
+  }
+  EXPECT_EQ(g4, 5);
+  // Any even prefix keeps the ratio.
+  EXPECT_EQ(fleet[0].model, "HP ProLiant ML110 G4");
+  EXPECT_EQ(fleet[1].model, "HP ProLiant ML110 G5");
+}
+
+TEST(HostSpecTest, VmSpecsWithinPaperRanges) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const VmSpec vm = sample_vm_spec(rng);
+    EXPECT_GE(vm.mips, 500.0);
+    EXPECT_LE(vm.mips, 2500.0);
+    EXPECT_GE(vm.ram_mb, 512.0);
+    EXPECT_LE(vm.ram_mb, 2560.0);
+    EXPECT_DOUBLE_EQ(vm.bw_mbps, 100.0);
+  }
+}
+
+TEST(HostSpecTest, GoogleVmSpecsSmaller) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const VmSpec vm = sample_google_vm_spec(rng);
+    EXPECT_GE(vm.mips, 500.0);
+    EXPECT_LE(vm.mips, 1500.0);
+    EXPECT_GE(vm.ram_mb, 256.0);
+    EXPECT_LE(vm.ram_mb, 1024.0);
+  }
+}
+
+TEST(MigrationTimeTest, HalfGigabyteOverGigabitIsFourSeconds) {
+  // The paper's sanity anchor (Sec. 6.3): a 0.5 GB VM takes >= 4000 ms.
+  EXPECT_NEAR(migration_time_s(512.0, 1000.0), 4.096, 1e-9);
+}
+
+TEST(MigrationTimeTest, ScalesLinearlyWithRamAndInverselyWithBw) {
+  EXPECT_NEAR(migration_time_s(1024.0, 1000.0),
+              2.0 * migration_time_s(512.0, 1000.0), 1e-12);
+  EXPECT_NEAR(migration_time_s(512.0, 2000.0),
+              0.5 * migration_time_s(512.0, 1000.0), 1e-12);
+}
+
+TEST(MigrationTimeTest, RejectsNonPositiveInputs) {
+  EXPECT_THROW(migration_time_s(0.0, 100.0), ConfigError);
+  EXPECT_THROW(migration_time_s(512.0, 0.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace megh

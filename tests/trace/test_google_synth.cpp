@@ -1,0 +1,100 @@
+// The Google-like generator must reproduce the features the paper reads off
+// the real cluster trace (Sec. 6.2, Fig. 1b): task durations spanning
+// 10¹–10⁶ s with no standard distribution, staggered activity, low
+// utilization.
+#include "trace/google_synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metrics/histogram.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace megh {
+namespace {
+
+GoogleSynthConfig small_config() {
+  GoogleSynthConfig config;
+  config.num_vms = 150;
+  config.num_steps = 400;
+  config.seed = 21;
+  return config;
+}
+
+TEST(GoogleSynthTest, DeterministicForSeed) {
+  const GoogleTrace a = generate_google(small_config());
+  const GoogleTrace b = generate_google(small_config());
+  ASSERT_EQ(a.task_durations_s.size(), b.task_durations_s.size());
+  for (std::size_t i = 0; i < a.task_durations_s.size(); i += 13) {
+    EXPECT_DOUBLE_EQ(a.task_durations_s[i], b.task_durations_s[i]);
+  }
+}
+
+TEST(GoogleSynthTest, DurationsSpanOrdersOfMagnitude) {
+  const GoogleTrace g = generate_google(small_config());
+  ASSERT_FALSE(g.task_durations_s.empty());
+  const auto [lo, hi] = std::minmax_element(g.task_durations_s.begin(),
+                                            g.task_durations_s.end());
+  EXPECT_LT(*lo, 100.0);
+  EXPECT_GT(*hi, 1e5);
+}
+
+TEST(GoogleSynthTest, EveryDurationDecadeIsPopulated) {
+  const GoogleTrace g = generate_google(small_config());
+  Histogram h = Histogram::logarithmic(10.0, 1e6, 5);
+  for (double d : g.task_durations_s) h.add(d);
+  for (int bin = 0; bin < h.num_bins(); ++bin) {
+    EXPECT_GT(h.count(bin), 0) << "empty decade " << bin;
+  }
+}
+
+TEST(GoogleSynthTest, UtilizationLowOnAverageAndBounded) {
+  const GoogleTrace g = generate_google(small_config());
+  const TraceSummary s = summarize_trace(g.table);
+  EXPECT_LT(s.mean, 0.15);  // mostly idle/small tasks
+  EXPECT_GE(s.min, 0.0);
+  EXPECT_LE(s.max, 1.0);
+}
+
+TEST(GoogleSynthTest, ActivityIsStaggered) {
+  // Unlike PlanetLab, VMs are not all busy at step 0 and not all idle:
+  // at step 0 some fraction is busy, and the busy set changes over time.
+  const GoogleTrace g = generate_google(small_config());
+  int busy_at_0 = 0;
+  for (int vm = 0; vm < g.table.num_vms(); ++vm) {
+    if (g.table.at(vm, 0) > 0.0) ++busy_at_0;
+  }
+  EXPECT_GT(busy_at_0, g.table.num_vms() / 10);
+  EXPECT_LT(busy_at_0, g.table.num_vms() * 9 / 10);
+}
+
+TEST(GoogleSynthTest, IdleGapsExist) {
+  const GoogleTrace g = generate_google(small_config());
+  // Some (vm, step) samples must be exactly idle.
+  int idle = 0;
+  for (int vm = 0; vm < g.table.num_vms(); vm += 3) {
+    for (int s = 0; s < g.table.num_steps(); s += 5) {
+      if (g.table.at(vm, s) == 0.0) ++idle;
+    }
+  }
+  EXPECT_GT(idle, 0);
+}
+
+TEST(GoogleSynthTest, ShortBumpShapesHistogramNonParametrically) {
+  // With the bumps enabled the duration histogram must not be flat across
+  // decades (pure log-uniform would be): the short-task decade dominates.
+  const GoogleTrace g = generate_google(small_config());
+  Histogram h = Histogram::logarithmic(10.0, 1e6, 5);
+  for (double d : g.task_durations_s) h.add(d);
+  EXPECT_GT(h.fraction(0) + h.fraction(1), 0.35);
+}
+
+TEST(GoogleSynthTest, InvalidConfigRejected) {
+  GoogleSynthConfig config = small_config();
+  config.duration_lo_s = -1;
+  EXPECT_THROW(generate_google(config), ConfigError);
+}
+
+}  // namespace
+}  // namespace megh

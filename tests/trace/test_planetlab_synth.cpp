@@ -1,0 +1,145 @@
+// The PlanetLab-like generator must land on the statistics the paper
+// reports for the real trace (Sec. 6.2): ~12% mean, high std, per-step max
+// near saturation, and a marginal distribution matching no standard family.
+#include "trace/planetlab_synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/trace_stats.hpp"
+
+namespace megh {
+namespace {
+
+PlanetLabSynthConfig small_config() {
+  PlanetLabSynthConfig config;
+  config.num_vms = 200;
+  config.num_steps = 500;
+  config.seed = 9;
+  return config;
+}
+
+TEST(PlanetLabSynthTest, DeterministicForSeed) {
+  const TraceTable a = generate_planetlab(small_config());
+  const TraceTable b = generate_planetlab(small_config());
+  for (int vm = 0; vm < a.num_vms(); vm += 17) {
+    for (int s = 0; s < a.num_steps(); s += 29) {
+      EXPECT_DOUBLE_EQ(a.at(vm, s), b.at(vm, s));
+    }
+  }
+}
+
+TEST(PlanetLabSynthTest, DifferentSeedsDiffer) {
+  PlanetLabSynthConfig c2 = small_config();
+  c2.seed = 10;
+  const TraceTable a = generate_planetlab(small_config());
+  const TraceTable b = generate_planetlab(c2);
+  int differing = 0;
+  for (int vm = 0; vm < a.num_vms(); ++vm) {
+    if (a.at(vm, 100) != b.at(vm, 100)) ++differing;
+  }
+  EXPECT_GT(differing, a.num_vms() / 2);
+}
+
+TEST(PlanetLabSynthTest, MatchesPaperAggregateStatistics) {
+  const TraceTable t = generate_planetlab(small_config());
+  const TraceSummary s = summarize_trace(t);
+  // Paper: mean ≈ 12%, std ≈ 34% — accept a generous band around them.
+  EXPECT_GT(s.mean, 0.07);
+  EXPECT_LT(s.mean, 0.18);
+  EXPECT_GT(s.stddev, 0.18);
+  EXPECT_LT(s.stddev, 0.40);
+  // Per-instant max near saturation (paper: ~90%), min small (~5%).
+  EXPECT_GT(s.mean_step_max, 0.75);
+  EXPECT_LT(s.mean_step_min, 0.10);
+}
+
+TEST(PlanetLabSynthTest, NoStandardDistributionFits) {
+  const TraceTable t = generate_planetlab(small_config());
+  const TraceSummary s = summarize_trace(t);
+  EXPECT_GT(s.nearest.distance, 0.5)
+      << "closest family " << s.nearest.family
+      << " is too close — trace should be non-parametric (Fig. 1)";
+}
+
+TEST(PlanetLabSynthTest, ValuesRespectFloorAndCap) {
+  PlanetLabSynthConfig config = small_config();
+  config.floor = 0.02;
+  const TraceTable t = generate_planetlab(config);
+  for (int vm = 0; vm < t.num_vms(); vm += 7) {
+    for (int s = 0; s < t.num_steps(); ++s) {
+      EXPECT_GE(t.at(vm, s), 0.02 - 1e-6);
+      EXPECT_LE(t.at(vm, s), 1.0);
+    }
+  }
+}
+
+TEST(PlanetLabSynthTest, HeavySpellsPersist) {
+  // Regime switching should produce runs of consecutive heavy samples, not
+  // isolated spikes: count heavy samples whose successor is also heavy.
+  const TraceTable t = generate_planetlab(small_config());
+  int heavy = 0, heavy_pairs = 0;
+  for (int vm = 0; vm < t.num_vms(); ++vm) {
+    for (int s = 0; s + 1 < t.num_steps(); ++s) {
+      if (t.at(vm, s) > 0.6) {
+        ++heavy;
+        if (t.at(vm, s + 1) > 0.6) ++heavy_pairs;
+      }
+    }
+  }
+  ASSERT_GT(heavy, 0);
+  EXPECT_GT(static_cast<double>(heavy_pairs) / heavy, 0.5);
+}
+
+TEST(PlanetLabSynthTest, DiurnalCycleIsPeriodicWithDailyPeriod) {
+  // Strip all stochastic dynamics so the diurnal term is the only signal:
+  // each VM's series must then be a clean sinusoid with a 288-step period
+  // and the configured swing.
+  PlanetLabSynthConfig config = small_config();
+  config.num_vms = 20;
+  config.num_steps = 3 * 288;
+  config.p_enter_heavy = 0.0;
+  config.persistent_heavy_fraction = 0.0;
+  config.light_noise_sigma = 0.0;
+  config.light_ar_coefficient = 0.0;
+  config.diurnal_amplitude = 0.5;
+  const TraceTable t = generate_planetlab(config);
+  for (int vm = 0; vm < t.num_vms(); ++vm) {
+    double lo = 1.0, hi = 0.0;
+    for (int s = 0; s < 288; ++s) {
+      lo = std::min(lo, t.at(vm, s));
+      hi = std::max(hi, t.at(vm, s));
+      // Period 288: one day later the value repeats.
+      EXPECT_NEAR(t.at(vm, s), t.at(vm, s + 288), 1e-5) << "vm " << vm;
+    }
+    if (lo > config.floor + 1e-6 && hi < 1.0 - 1e-6) {
+      // Unclamped: swing ratio approaches (1+a)/(1−a) = 3.
+      EXPECT_NEAR(hi / lo, 3.0, 0.1) << "vm " << vm;
+    } else {
+      EXPECT_GT(hi, lo);  // clamped but still swinging
+    }
+  }
+}
+
+TEST(PlanetLabSynthTest, DiurnalConfigValidated) {
+  PlanetLabSynthConfig config = small_config();
+  config.diurnal_amplitude = 1.5;
+  EXPECT_THROW(generate_planetlab(config), ConfigError);
+  config = small_config();
+  config.diurnal_amplitude = 0.3;
+  config.diurnal_period_steps = 0;
+  EXPECT_THROW(generate_planetlab(config), ConfigError);
+}
+
+TEST(PlanetLabSynthTest, InvalidConfigRejected) {
+  PlanetLabSynthConfig config = small_config();
+  config.num_vms = 0;
+  EXPECT_THROW(generate_planetlab(config), ConfigError);
+  config = small_config();
+  config.p_enter_heavy = 1.5;
+  EXPECT_THROW(generate_planetlab(config), ConfigError);
+}
+
+}  // namespace
+}  // namespace megh

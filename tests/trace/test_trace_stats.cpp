@@ -1,0 +1,46 @@
+#include "trace/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace megh {
+namespace {
+
+TraceTable tiny_trace() {
+  TraceTable t(3, 2);
+  // step 0: {0.1, 0.5, 0.9}; step 1: {0.2, 0.2, 0.2}
+  t.set(0, 0, 0.1);
+  t.set(1, 0, 0.5);
+  t.set(2, 0, 0.9);
+  t.set(0, 1, 0.2);
+  t.set(1, 1, 0.2);
+  t.set(2, 1, 0.2);
+  return t;
+}
+
+TEST(StepAggregatesTest, PerStepValues) {
+  const StepAggregates agg = compute_step_aggregates(tiny_trace());
+  ASSERT_EQ(agg.mean.size(), 2u);
+  EXPECT_NEAR(agg.mean[0], 0.5, 1e-6);
+  EXPECT_NEAR(agg.min[0], 0.1, 1e-6);
+  EXPECT_NEAR(agg.max[0], 0.9, 1e-6);
+  EXPECT_NEAR(agg.stddev[1], 0.0, 1e-6);
+  EXPECT_NEAR(agg.max[1], 0.2, 1e-6);
+}
+
+TEST(TraceSummaryTest, GrandStatistics) {
+  const TraceSummary s = summarize_trace(tiny_trace());
+  EXPECT_NEAR(s.mean, (0.1 + 0.5 + 0.9 + 0.6) / 6.0, 1e-6);
+  EXPECT_NEAR(s.min, 0.1, 1e-6);
+  EXPECT_NEAR(s.max, 0.9, 1e-6);
+  EXPECT_NEAR(s.mean_step_max, (0.9 + 0.2) / 2.0, 1e-6);
+  EXPECT_NEAR(s.mean_step_min, (0.1 + 0.2) / 2.0, 1e-6);
+}
+
+TEST(TraceSummaryTest, CullenFreyComputedWhenEnoughSamples) {
+  const TraceSummary s = summarize_trace(tiny_trace());
+  EXPECT_FALSE(s.nearest.family.empty());
+  EXPECT_GE(s.cullen_frey.kurtosis, 0.0);
+}
+
+}  // namespace
+}  // namespace megh

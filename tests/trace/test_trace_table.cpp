@@ -1,0 +1,71 @@
+#include "trace/trace_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megh {
+namespace {
+
+TEST(TraceTableTest, SetAndAt) {
+  TraceTable t(3, 4);
+  t.set(1, 2, 0.75);
+  EXPECT_FLOAT_EQ(static_cast<float>(t.at(1, 2)), 0.75f);
+  EXPECT_DOUBLE_EQ(t.at(0, 0), 0.0);
+}
+
+TEST(TraceTableTest, RejectsOutOfRangeUtilization) {
+  TraceTable t(1, 1);
+  EXPECT_DEATH(t.set(0, 0, 1.5), "utilization");
+  EXPECT_DEATH(t.set(0, 0, -0.1), "utilization");
+}
+
+TEST(TraceTableTest, VmSeriesSpansAllSteps) {
+  TraceTable t(2, 3);
+  for (int s = 0; s < 3; ++s) t.set(1, s, 0.1 * (s + 1));
+  const auto series = t.vm_series(1);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_FLOAT_EQ(series[2], 0.3f);
+}
+
+TEST(TraceTableTest, SelectVmsCopiesRows) {
+  TraceTable t(3, 2);
+  t.set(0, 0, 0.1);
+  t.set(2, 0, 0.9);
+  const std::vector<int> pick{2, 0};
+  const TraceTable sub = t.select_vms(pick);
+  EXPECT_EQ(sub.num_vms(), 2);
+  EXPECT_FLOAT_EQ(static_cast<float>(sub.at(0, 0)), 0.9f);
+  EXPECT_FLOAT_EQ(static_cast<float>(sub.at(1, 0)), 0.1f);
+}
+
+TEST(TraceTableTest, SelectVmsValidatesIndices) {
+  TraceTable t(2, 2);
+  const std::vector<int> bad{5};
+  EXPECT_THROW(t.select_vms(bad), ConfigError);
+}
+
+TEST(TraceTableTest, SampleVmsIsDeterministicPerSeed) {
+  TraceTable t(20, 2);
+  for (int vm = 0; vm < 20; ++vm) t.set(vm, 0, vm / 20.0);
+  Rng r1(5), r2(5);
+  const TraceTable a = t.sample_vms(7, r1);
+  const TraceTable b = t.sample_vms(7, r2);
+  ASSERT_EQ(a.num_vms(), 7);
+  for (int vm = 0; vm < 7; ++vm) {
+    EXPECT_DOUBLE_EQ(a.at(vm, 0), b.at(vm, 0));
+  }
+}
+
+TEST(TraceTableTest, TruncateSteps) {
+  TraceTable t(1, 5);
+  t.set(0, 4, 0.5);
+  t.set(0, 1, 0.2);
+  const TraceTable cut = t.truncate_steps(2);
+  EXPECT_EQ(cut.num_steps(), 2);
+  EXPECT_FLOAT_EQ(static_cast<float>(cut.at(0, 1)), 0.2f);
+  EXPECT_THROW(t.truncate_steps(6), ConfigError);
+}
+
+}  // namespace
+}  // namespace megh
