@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_megh.dir/bench_ablation_megh.cpp.o"
+  "CMakeFiles/bench_ablation_megh.dir/bench_ablation_megh.cpp.o.d"
+  "bench_ablation_megh"
+  "bench_ablation_megh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_megh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_megh_vs_thr_planetlab.dir/bench_fig2_megh_vs_thr_planetlab.cpp.o"
+  "CMakeFiles/bench_fig2_megh_vs_thr_planetlab.dir/bench_fig2_megh_vs_thr_planetlab.cpp.o.d"
+  "bench_fig2_megh_vs_thr_planetlab"
+  "bench_fig2_megh_vs_thr_planetlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_megh_vs_thr_planetlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

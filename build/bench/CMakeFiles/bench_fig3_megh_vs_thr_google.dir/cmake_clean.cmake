@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_megh_vs_thr_google.dir/bench_fig3_megh_vs_thr_google.cpp.o"
+  "CMakeFiles/bench_fig3_megh_vs_thr_google.dir/bench_fig3_megh_vs_thr_google.cpp.o.d"
+  "bench_fig3_megh_vs_thr_google"
+  "bench_fig3_megh_vs_thr_google.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_megh_vs_thr_google.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_megh_vs_madvm_planetlab.dir/bench_fig4_megh_vs_madvm_planetlab.cpp.o"
+  "CMakeFiles/bench_fig4_megh_vs_madvm_planetlab.dir/bench_fig4_megh_vs_madvm_planetlab.cpp.o.d"
+  "bench_fig4_megh_vs_madvm_planetlab"
+  "bench_fig4_megh_vs_madvm_planetlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_megh_vs_madvm_planetlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

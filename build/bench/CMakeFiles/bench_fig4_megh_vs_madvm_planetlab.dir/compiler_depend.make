@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_megh_vs_madvm_planetlab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_policy_step.dir/micro/bench_micro_policy_step.cpp.o"
+  "CMakeFiles/bench_micro_policy_step.dir/micro/bench_micro_policy_step.cpp.o.d"
+  "bench_micro_policy_step"
+  "bench_micro_policy_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_policy_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network_extension.dir/bench_network_extension.cpp.o"
+  "CMakeFiles/bench_network_extension.dir/bench_network_extension.cpp.o.d"
+  "bench_network_extension"
+  "bench_network_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

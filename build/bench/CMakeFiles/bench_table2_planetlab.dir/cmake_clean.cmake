@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_planetlab.dir/bench_table2_planetlab.cpp.o"
+  "CMakeFiles/bench_table2_planetlab.dir/bench_table2_planetlab.cpp.o.d"
+  "bench_table2_planetlab"
+  "bench_table2_planetlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_planetlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

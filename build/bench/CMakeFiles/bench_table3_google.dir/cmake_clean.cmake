@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_google.dir/bench_table3_google.cpp.o"
+  "CMakeFiles/bench_table3_google.dir/bench_table3_google.cpp.o.d"
+  "bench_table3_google"
+  "bench_table3_google.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_google.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fat_tree_network.dir/fat_tree_network.cpp.o"
+  "CMakeFiles/fat_tree_network.dir/fat_tree_network.cpp.o.d"
+  "fat_tree_network"
+  "fat_tree_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fat_tree_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

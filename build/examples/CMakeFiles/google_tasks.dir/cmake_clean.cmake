@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/google_tasks.dir/google_tasks.cpp.o"
+  "CMakeFiles/google_tasks.dir/google_tasks.cpp.o.d"
+  "google_tasks"
+  "google_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/google_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planetlab_consolidation.dir/planetlab_consolidation.cpp.o"
+  "CMakeFiles/planetlab_consolidation.dir/planetlab_consolidation.cpp.o.d"
+  "planetlab_consolidation"
+  "planetlab_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planetlab_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/detectors.cpp" "src/baselines/CMakeFiles/megh_baselines.dir/detectors.cpp.o" "gcc" "src/baselines/CMakeFiles/megh_baselines.dir/detectors.cpp.o.d"
+  "/root/repo/src/baselines/madvm.cpp" "src/baselines/CMakeFiles/megh_baselines.dir/madvm.cpp.o" "gcc" "src/baselines/CMakeFiles/megh_baselines.dir/madvm.cpp.o.d"
+  "/root/repo/src/baselines/mmt_policy.cpp" "src/baselines/CMakeFiles/megh_baselines.dir/mmt_policy.cpp.o" "gcc" "src/baselines/CMakeFiles/megh_baselines.dir/mmt_policy.cpp.o.d"
+  "/root/repo/src/baselines/qlearning.cpp" "src/baselines/CMakeFiles/megh_baselines.dir/qlearning.cpp.o" "gcc" "src/baselines/CMakeFiles/megh_baselines.dir/qlearning.cpp.o.d"
+  "/root/repo/src/baselines/sandpiper.cpp" "src/baselines/CMakeFiles/megh_baselines.dir/sandpiper.cpp.o" "gcc" "src/baselines/CMakeFiles/megh_baselines.dir/sandpiper.cpp.o.d"
+  "/root/repo/src/baselines/simple_policies.cpp" "src/baselines/CMakeFiles/megh_baselines.dir/simple_policies.cpp.o" "gcc" "src/baselines/CMakeFiles/megh_baselines.dir/simple_policies.cpp.o.d"
+  "/root/repo/src/baselines/vm_selection.cpp" "src/baselines/CMakeFiles/megh_baselines.dir/vm_selection.cpp.o" "gcc" "src/baselines/CMakeFiles/megh_baselines.dir/vm_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/megh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/megh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/megh_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/megh_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megh_baselines.dir/detectors.cpp.o"
+  "CMakeFiles/megh_baselines.dir/detectors.cpp.o.d"
+  "CMakeFiles/megh_baselines.dir/madvm.cpp.o"
+  "CMakeFiles/megh_baselines.dir/madvm.cpp.o.d"
+  "CMakeFiles/megh_baselines.dir/mmt_policy.cpp.o"
+  "CMakeFiles/megh_baselines.dir/mmt_policy.cpp.o.d"
+  "CMakeFiles/megh_baselines.dir/qlearning.cpp.o"
+  "CMakeFiles/megh_baselines.dir/qlearning.cpp.o.d"
+  "CMakeFiles/megh_baselines.dir/sandpiper.cpp.o"
+  "CMakeFiles/megh_baselines.dir/sandpiper.cpp.o.d"
+  "CMakeFiles/megh_baselines.dir/simple_policies.cpp.o"
+  "CMakeFiles/megh_baselines.dir/simple_policies.cpp.o.d"
+  "CMakeFiles/megh_baselines.dir/vm_selection.cpp.o"
+  "CMakeFiles/megh_baselines.dir/vm_selection.cpp.o.d"
+  "libmegh_baselines.a"
+  "libmegh_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megh_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megh_common.dir/args.cpp.o"
+  "CMakeFiles/megh_common.dir/args.cpp.o.d"
+  "CMakeFiles/megh_common.dir/csv.cpp.o"
+  "CMakeFiles/megh_common.dir/csv.cpp.o.d"
+  "CMakeFiles/megh_common.dir/error.cpp.o"
+  "CMakeFiles/megh_common.dir/error.cpp.o.d"
+  "CMakeFiles/megh_common.dir/log.cpp.o"
+  "CMakeFiles/megh_common.dir/log.cpp.o.d"
+  "CMakeFiles/megh_common.dir/rng.cpp.o"
+  "CMakeFiles/megh_common.dir/rng.cpp.o.d"
+  "CMakeFiles/megh_common.dir/string_util.cpp.o"
+  "CMakeFiles/megh_common.dir/string_util.cpp.o.d"
+  "libmegh_common.a"
+  "libmegh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

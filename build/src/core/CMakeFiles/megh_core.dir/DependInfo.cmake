@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/boltzmann.cpp" "src/core/CMakeFiles/megh_core.dir/boltzmann.cpp.o" "gcc" "src/core/CMakeFiles/megh_core.dir/boltzmann.cpp.o.d"
+  "/root/repo/src/core/candidates.cpp" "src/core/CMakeFiles/megh_core.dir/candidates.cpp.o" "gcc" "src/core/CMakeFiles/megh_core.dir/candidates.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/core/CMakeFiles/megh_core.dir/checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/megh_core.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/core/lspi.cpp" "src/core/CMakeFiles/megh_core.dir/lspi.cpp.o" "gcc" "src/core/CMakeFiles/megh_core.dir/lspi.cpp.o.d"
+  "/root/repo/src/core/megh_policy.cpp" "src/core/CMakeFiles/megh_core.dir/megh_policy.cpp.o" "gcc" "src/core/CMakeFiles/megh_core.dir/megh_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/megh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/megh_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/megh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/megh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/megh_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

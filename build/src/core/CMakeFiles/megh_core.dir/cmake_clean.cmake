@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megh_core.dir/boltzmann.cpp.o"
+  "CMakeFiles/megh_core.dir/boltzmann.cpp.o.d"
+  "CMakeFiles/megh_core.dir/candidates.cpp.o"
+  "CMakeFiles/megh_core.dir/candidates.cpp.o.d"
+  "CMakeFiles/megh_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/megh_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/megh_core.dir/lspi.cpp.o"
+  "CMakeFiles/megh_core.dir/lspi.cpp.o.d"
+  "CMakeFiles/megh_core.dir/megh_policy.cpp.o"
+  "CMakeFiles/megh_core.dir/megh_policy.cpp.o.d"
+  "libmegh_core.a"
+  "libmegh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

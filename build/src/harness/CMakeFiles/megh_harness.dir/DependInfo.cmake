@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/experiment.cpp" "src/harness/CMakeFiles/megh_harness.dir/experiment.cpp.o" "gcc" "src/harness/CMakeFiles/megh_harness.dir/experiment.cpp.o.d"
+  "/root/repo/src/harness/parallel.cpp" "src/harness/CMakeFiles/megh_harness.dir/parallel.cpp.o" "gcc" "src/harness/CMakeFiles/megh_harness.dir/parallel.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/harness/CMakeFiles/megh_harness.dir/report.cpp.o" "gcc" "src/harness/CMakeFiles/megh_harness.dir/report.cpp.o.d"
+  "/root/repo/src/harness/scenario.cpp" "src/harness/CMakeFiles/megh_harness.dir/scenario.cpp.o" "gcc" "src/harness/CMakeFiles/megh_harness.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/megh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/megh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/megh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/megh_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/megh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/megh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/megh_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

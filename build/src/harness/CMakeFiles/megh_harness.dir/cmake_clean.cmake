@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megh_harness.dir/experiment.cpp.o"
+  "CMakeFiles/megh_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/megh_harness.dir/parallel.cpp.o"
+  "CMakeFiles/megh_harness.dir/parallel.cpp.o.d"
+  "CMakeFiles/megh_harness.dir/report.cpp.o"
+  "CMakeFiles/megh_harness.dir/report.cpp.o.d"
+  "CMakeFiles/megh_harness.dir/scenario.cpp.o"
+  "CMakeFiles/megh_harness.dir/scenario.cpp.o.d"
+  "libmegh_harness.a"
+  "libmegh_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megh_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megh_linalg.dir/dense_matrix.cpp.o"
+  "CMakeFiles/megh_linalg.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/megh_linalg.dir/sherman_morrison.cpp.o"
+  "CMakeFiles/megh_linalg.dir/sherman_morrison.cpp.o.d"
+  "CMakeFiles/megh_linalg.dir/sparse_matrix.cpp.o"
+  "CMakeFiles/megh_linalg.dir/sparse_matrix.cpp.o.d"
+  "CMakeFiles/megh_linalg.dir/sparse_vector.cpp.o"
+  "CMakeFiles/megh_linalg.dir/sparse_vector.cpp.o.d"
+  "libmegh_linalg.a"
+  "libmegh_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megh_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmegh_linalg.a"
+)

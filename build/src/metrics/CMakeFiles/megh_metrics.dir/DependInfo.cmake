@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/convergence.cpp" "src/metrics/CMakeFiles/megh_metrics.dir/convergence.cpp.o" "gcc" "src/metrics/CMakeFiles/megh_metrics.dir/convergence.cpp.o.d"
+  "/root/repo/src/metrics/cullen_frey.cpp" "src/metrics/CMakeFiles/megh_metrics.dir/cullen_frey.cpp.o" "gcc" "src/metrics/CMakeFiles/megh_metrics.dir/cullen_frey.cpp.o.d"
+  "/root/repo/src/metrics/histogram.cpp" "src/metrics/CMakeFiles/megh_metrics.dir/histogram.cpp.o" "gcc" "src/metrics/CMakeFiles/megh_metrics.dir/histogram.cpp.o.d"
+  "/root/repo/src/metrics/percentile.cpp" "src/metrics/CMakeFiles/megh_metrics.dir/percentile.cpp.o" "gcc" "src/metrics/CMakeFiles/megh_metrics.dir/percentile.cpp.o.d"
+  "/root/repo/src/metrics/running_stats.cpp" "src/metrics/CMakeFiles/megh_metrics.dir/running_stats.cpp.o" "gcc" "src/metrics/CMakeFiles/megh_metrics.dir/running_stats.cpp.o.d"
+  "/root/repo/src/metrics/timeseries.cpp" "src/metrics/CMakeFiles/megh_metrics.dir/timeseries.cpp.o" "gcc" "src/metrics/CMakeFiles/megh_metrics.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/megh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

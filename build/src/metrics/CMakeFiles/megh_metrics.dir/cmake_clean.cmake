@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megh_metrics.dir/convergence.cpp.o"
+  "CMakeFiles/megh_metrics.dir/convergence.cpp.o.d"
+  "CMakeFiles/megh_metrics.dir/cullen_frey.cpp.o"
+  "CMakeFiles/megh_metrics.dir/cullen_frey.cpp.o.d"
+  "CMakeFiles/megh_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/megh_metrics.dir/histogram.cpp.o.d"
+  "CMakeFiles/megh_metrics.dir/percentile.cpp.o"
+  "CMakeFiles/megh_metrics.dir/percentile.cpp.o.d"
+  "CMakeFiles/megh_metrics.dir/running_stats.cpp.o"
+  "CMakeFiles/megh_metrics.dir/running_stats.cpp.o.d"
+  "CMakeFiles/megh_metrics.dir/timeseries.cpp.o"
+  "CMakeFiles/megh_metrics.dir/timeseries.cpp.o.d"
+  "libmegh_metrics.a"
+  "libmegh_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megh_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/megh_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/megh_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/datacenter.cpp" "src/sim/CMakeFiles/megh_sim.dir/datacenter.cpp.o" "gcc" "src/sim/CMakeFiles/megh_sim.dir/datacenter.cpp.o.d"
+  "/root/repo/src/sim/host_spec.cpp" "src/sim/CMakeFiles/megh_sim.dir/host_spec.cpp.o" "gcc" "src/sim/CMakeFiles/megh_sim.dir/host_spec.cpp.o.d"
+  "/root/repo/src/sim/migration_model.cpp" "src/sim/CMakeFiles/megh_sim.dir/migration_model.cpp.o" "gcc" "src/sim/CMakeFiles/megh_sim.dir/migration_model.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/megh_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/megh_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/placement.cpp" "src/sim/CMakeFiles/megh_sim.dir/placement.cpp.o" "gcc" "src/sim/CMakeFiles/megh_sim.dir/placement.cpp.o.d"
+  "/root/repo/src/sim/power_model.cpp" "src/sim/CMakeFiles/megh_sim.dir/power_model.cpp.o" "gcc" "src/sim/CMakeFiles/megh_sim.dir/power_model.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/megh_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/megh_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/sim/sla.cpp" "src/sim/CMakeFiles/megh_sim.dir/sla.cpp.o" "gcc" "src/sim/CMakeFiles/megh_sim.dir/sla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/megh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/megh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/megh_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

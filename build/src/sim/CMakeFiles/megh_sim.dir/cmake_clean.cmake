@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megh_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/megh_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/megh_sim.dir/datacenter.cpp.o"
+  "CMakeFiles/megh_sim.dir/datacenter.cpp.o.d"
+  "CMakeFiles/megh_sim.dir/host_spec.cpp.o"
+  "CMakeFiles/megh_sim.dir/host_spec.cpp.o.d"
+  "CMakeFiles/megh_sim.dir/migration_model.cpp.o"
+  "CMakeFiles/megh_sim.dir/migration_model.cpp.o.d"
+  "CMakeFiles/megh_sim.dir/network.cpp.o"
+  "CMakeFiles/megh_sim.dir/network.cpp.o.d"
+  "CMakeFiles/megh_sim.dir/placement.cpp.o"
+  "CMakeFiles/megh_sim.dir/placement.cpp.o.d"
+  "CMakeFiles/megh_sim.dir/power_model.cpp.o"
+  "CMakeFiles/megh_sim.dir/power_model.cpp.o.d"
+  "CMakeFiles/megh_sim.dir/simulation.cpp.o"
+  "CMakeFiles/megh_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/megh_sim.dir/sla.cpp.o"
+  "CMakeFiles/megh_sim.dir/sla.cpp.o.d"
+  "libmegh_sim.a"
+  "libmegh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megh_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

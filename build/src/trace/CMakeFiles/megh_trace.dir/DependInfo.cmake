@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/csv_trace.cpp" "src/trace/CMakeFiles/megh_trace.dir/csv_trace.cpp.o" "gcc" "src/trace/CMakeFiles/megh_trace.dir/csv_trace.cpp.o.d"
+  "/root/repo/src/trace/google_synth.cpp" "src/trace/CMakeFiles/megh_trace.dir/google_synth.cpp.o" "gcc" "src/trace/CMakeFiles/megh_trace.dir/google_synth.cpp.o.d"
+  "/root/repo/src/trace/planetlab_synth.cpp" "src/trace/CMakeFiles/megh_trace.dir/planetlab_synth.cpp.o" "gcc" "src/trace/CMakeFiles/megh_trace.dir/planetlab_synth.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/trace/CMakeFiles/megh_trace.dir/trace_stats.cpp.o" "gcc" "src/trace/CMakeFiles/megh_trace.dir/trace_stats.cpp.o.d"
+  "/root/repo/src/trace/trace_table.cpp" "src/trace/CMakeFiles/megh_trace.dir/trace_table.cpp.o" "gcc" "src/trace/CMakeFiles/megh_trace.dir/trace_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/megh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/megh_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megh_trace.dir/csv_trace.cpp.o"
+  "CMakeFiles/megh_trace.dir/csv_trace.cpp.o.d"
+  "CMakeFiles/megh_trace.dir/google_synth.cpp.o"
+  "CMakeFiles/megh_trace.dir/google_synth.cpp.o.d"
+  "CMakeFiles/megh_trace.dir/planetlab_synth.cpp.o"
+  "CMakeFiles/megh_trace.dir/planetlab_synth.cpp.o.d"
+  "CMakeFiles/megh_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/megh_trace.dir/trace_stats.cpp.o.d"
+  "CMakeFiles/megh_trace.dir/trace_table.cpp.o"
+  "CMakeFiles/megh_trace.dir/trace_table.cpp.o.d"
+  "libmegh_trace.a"
+  "libmegh_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megh_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/test_detectors.cpp" "tests/CMakeFiles/baselines_test.dir/baselines/test_detectors.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/test_detectors.cpp.o.d"
+  "/root/repo/tests/baselines/test_madvm.cpp" "tests/CMakeFiles/baselines_test.dir/baselines/test_madvm.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/test_madvm.cpp.o.d"
+  "/root/repo/tests/baselines/test_mmt_policy.cpp" "tests/CMakeFiles/baselines_test.dir/baselines/test_mmt_policy.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/test_mmt_policy.cpp.o.d"
+  "/root/repo/tests/baselines/test_qlearning.cpp" "tests/CMakeFiles/baselines_test.dir/baselines/test_qlearning.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/test_qlearning.cpp.o.d"
+  "/root/repo/tests/baselines/test_sandpiper.cpp" "tests/CMakeFiles/baselines_test.dir/baselines/test_sandpiper.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/test_sandpiper.cpp.o.d"
+  "/root/repo/tests/baselines/test_simple_policies.cpp" "tests/CMakeFiles/baselines_test.dir/baselines/test_simple_policies.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/test_simple_policies.cpp.o.d"
+  "/root/repo/tests/baselines/test_vm_selection.cpp" "tests/CMakeFiles/baselines_test.dir/baselines/test_vm_selection.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/test_vm_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/megh_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/megh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/megh_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/megh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/megh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/megh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/megh_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/megh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

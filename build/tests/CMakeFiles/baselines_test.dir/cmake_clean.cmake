@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_test.dir/baselines/test_detectors.cpp.o"
+  "CMakeFiles/baselines_test.dir/baselines/test_detectors.cpp.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/test_madvm.cpp.o"
+  "CMakeFiles/baselines_test.dir/baselines/test_madvm.cpp.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/test_mmt_policy.cpp.o"
+  "CMakeFiles/baselines_test.dir/baselines/test_mmt_policy.cpp.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/test_qlearning.cpp.o"
+  "CMakeFiles/baselines_test.dir/baselines/test_qlearning.cpp.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/test_sandpiper.cpp.o"
+  "CMakeFiles/baselines_test.dir/baselines/test_sandpiper.cpp.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/test_simple_policies.cpp.o"
+  "CMakeFiles/baselines_test.dir/baselines/test_simple_policies.cpp.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/test_vm_selection.cpp.o"
+  "CMakeFiles/baselines_test.dir/baselines/test_vm_selection.cpp.o.d"
+  "baselines_test"
+  "baselines_test.pdb"
+  "baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

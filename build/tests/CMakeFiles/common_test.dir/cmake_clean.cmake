@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/common/test_args.cpp.o"
+  "CMakeFiles/common_test.dir/common/test_args.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/test_csv.cpp.o"
+  "CMakeFiles/common_test.dir/common/test_csv.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/test_rng.cpp.o"
+  "CMakeFiles/common_test.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/common_test.dir/common/test_string_util.cpp.o"
+  "CMakeFiles/common_test.dir/common/test_string_util.cpp.o.d"
+  "common_test"
+  "common_test.pdb"
+  "common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_basis.cpp" "tests/CMakeFiles/core_test.dir/core/test_basis.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/test_basis.cpp.o.d"
+  "/root/repo/tests/core/test_boltzmann.cpp" "tests/CMakeFiles/core_test.dir/core/test_boltzmann.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/test_boltzmann.cpp.o.d"
+  "/root/repo/tests/core/test_candidates.cpp" "tests/CMakeFiles/core_test.dir/core/test_candidates.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/test_candidates.cpp.o.d"
+  "/root/repo/tests/core/test_checkpoint.cpp" "tests/CMakeFiles/core_test.dir/core/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/core/test_lspi.cpp" "tests/CMakeFiles/core_test.dir/core/test_lspi.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/test_lspi.cpp.o.d"
+  "/root/repo/tests/core/test_megh_policy.cpp" "tests/CMakeFiles/core_test.dir/core/test_megh_policy.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/test_megh_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/megh_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/megh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/megh_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/megh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/megh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/megh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/megh_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/megh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/test_basis.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_basis.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_boltzmann.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_boltzmann.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_candidates.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_candidates.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_checkpoint.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_checkpoint.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_lspi.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_lspi.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/test_megh_policy.cpp.o"
+  "CMakeFiles/core_test.dir/core/test_megh_policy.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

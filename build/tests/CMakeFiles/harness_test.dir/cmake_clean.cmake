@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_test.dir/harness/test_experiment.cpp.o"
+  "CMakeFiles/harness_test.dir/harness/test_experiment.cpp.o.d"
+  "CMakeFiles/harness_test.dir/harness/test_parallel.cpp.o"
+  "CMakeFiles/harness_test.dir/harness/test_parallel.cpp.o.d"
+  "CMakeFiles/harness_test.dir/harness/test_report.cpp.o"
+  "CMakeFiles/harness_test.dir/harness/test_report.cpp.o.d"
+  "CMakeFiles/harness_test.dir/harness/test_scenario.cpp.o"
+  "CMakeFiles/harness_test.dir/harness/test_scenario.cpp.o.d"
+  "harness_test"
+  "harness_test.pdb"
+  "harness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

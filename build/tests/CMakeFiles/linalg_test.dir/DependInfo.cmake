@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linalg/test_dense_matrix.cpp" "tests/CMakeFiles/linalg_test.dir/linalg/test_dense_matrix.cpp.o" "gcc" "tests/CMakeFiles/linalg_test.dir/linalg/test_dense_matrix.cpp.o.d"
+  "/root/repo/tests/linalg/test_sherman_morrison.cpp" "tests/CMakeFiles/linalg_test.dir/linalg/test_sherman_morrison.cpp.o" "gcc" "tests/CMakeFiles/linalg_test.dir/linalg/test_sherman_morrison.cpp.o.d"
+  "/root/repo/tests/linalg/test_sparse_matrix.cpp" "tests/CMakeFiles/linalg_test.dir/linalg/test_sparse_matrix.cpp.o" "gcc" "tests/CMakeFiles/linalg_test.dir/linalg/test_sparse_matrix.cpp.o.d"
+  "/root/repo/tests/linalg/test_sparse_vector.cpp" "tests/CMakeFiles/linalg_test.dir/linalg/test_sparse_vector.cpp.o" "gcc" "tests/CMakeFiles/linalg_test.dir/linalg/test_sparse_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/megh_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/megh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/megh_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/megh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/megh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/megh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/megh_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/megh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

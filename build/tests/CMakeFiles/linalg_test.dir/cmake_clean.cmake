@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test.dir/linalg/test_dense_matrix.cpp.o"
+  "CMakeFiles/linalg_test.dir/linalg/test_dense_matrix.cpp.o.d"
+  "CMakeFiles/linalg_test.dir/linalg/test_sherman_morrison.cpp.o"
+  "CMakeFiles/linalg_test.dir/linalg/test_sherman_morrison.cpp.o.d"
+  "CMakeFiles/linalg_test.dir/linalg/test_sparse_matrix.cpp.o"
+  "CMakeFiles/linalg_test.dir/linalg/test_sparse_matrix.cpp.o.d"
+  "CMakeFiles/linalg_test.dir/linalg/test_sparse_vector.cpp.o"
+  "CMakeFiles/linalg_test.dir/linalg/test_sparse_vector.cpp.o.d"
+  "linalg_test"
+  "linalg_test.pdb"
+  "linalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_test.dir/metrics/test_boxplot.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/test_boxplot.cpp.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/test_convergence.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/test_convergence.cpp.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/test_cullen_frey.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/test_cullen_frey.cpp.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/test_histogram.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/test_histogram.cpp.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/test_percentile.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/test_percentile.cpp.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/test_running_stats.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/test_running_stats.cpp.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/test_timeseries.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/test_timeseries.cpp.o.d"
+  "metrics_test"
+  "metrics_test.pdb"
+  "metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

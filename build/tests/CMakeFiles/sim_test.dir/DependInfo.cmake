@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_cost_model.cpp" "tests/CMakeFiles/sim_test.dir/sim/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/test_cost_model.cpp.o.d"
+  "/root/repo/tests/sim/test_datacenter.cpp" "tests/CMakeFiles/sim_test.dir/sim/test_datacenter.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/test_datacenter.cpp.o.d"
+  "/root/repo/tests/sim/test_host_spec.cpp" "tests/CMakeFiles/sim_test.dir/sim/test_host_spec.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/test_host_spec.cpp.o.d"
+  "/root/repo/tests/sim/test_migration_model.cpp" "tests/CMakeFiles/sim_test.dir/sim/test_migration_model.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/test_migration_model.cpp.o.d"
+  "/root/repo/tests/sim/test_network.cpp" "tests/CMakeFiles/sim_test.dir/sim/test_network.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/test_network.cpp.o.d"
+  "/root/repo/tests/sim/test_placement.cpp" "tests/CMakeFiles/sim_test.dir/sim/test_placement.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/test_placement.cpp.o.d"
+  "/root/repo/tests/sim/test_power_model.cpp" "tests/CMakeFiles/sim_test.dir/sim/test_power_model.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/test_power_model.cpp.o.d"
+  "/root/repo/tests/sim/test_simulation.cpp" "tests/CMakeFiles/sim_test.dir/sim/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/test_simulation.cpp.o.d"
+  "/root/repo/tests/sim/test_sla.cpp" "tests/CMakeFiles/sim_test.dir/sim/test_sla.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/test_sla.cpp.o.d"
+  "/root/repo/tests/sim/test_slav_metrics.cpp" "tests/CMakeFiles/sim_test.dir/sim/test_slav_metrics.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/test_slav_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/megh_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/megh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/megh_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/megh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/megh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/megh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/megh_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/megh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/test_cost_model.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/test_cost_model.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/test_datacenter.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/test_datacenter.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/test_host_spec.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/test_host_spec.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/test_migration_model.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/test_migration_model.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/test_network.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/test_network.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/test_placement.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/test_placement.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/test_power_model.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/test_power_model.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/test_simulation.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/test_simulation.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/test_sla.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/test_sla.cpp.o.d"
+  "CMakeFiles/sim_test.dir/sim/test_slav_metrics.cpp.o"
+  "CMakeFiles/sim_test.dir/sim/test_slav_metrics.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_csv_trace.cpp" "tests/CMakeFiles/trace_test.dir/trace/test_csv_trace.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/test_csv_trace.cpp.o.d"
+  "/root/repo/tests/trace/test_google_synth.cpp" "tests/CMakeFiles/trace_test.dir/trace/test_google_synth.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/test_google_synth.cpp.o.d"
+  "/root/repo/tests/trace/test_planetlab_synth.cpp" "tests/CMakeFiles/trace_test.dir/trace/test_planetlab_synth.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/test_planetlab_synth.cpp.o.d"
+  "/root/repo/tests/trace/test_trace_stats.cpp" "tests/CMakeFiles/trace_test.dir/trace/test_trace_stats.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/test_trace_stats.cpp.o.d"
+  "/root/repo/tests/trace/test_trace_table.cpp" "tests/CMakeFiles/trace_test.dir/trace/test_trace_table.cpp.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/test_trace_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/megh_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/megh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/megh_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/megh_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/megh_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/megh_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/megh_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/megh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

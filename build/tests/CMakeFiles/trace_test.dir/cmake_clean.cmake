@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_test.dir/trace/test_csv_trace.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/test_csv_trace.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/test_google_synth.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/test_google_synth.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/test_planetlab_synth.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/test_planetlab_synth.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/test_trace_stats.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/test_trace_stats.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/test_trace_table.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/test_trace_table.cpp.o.d"
+  "trace_test"
+  "trace_test.pdb"
+  "trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

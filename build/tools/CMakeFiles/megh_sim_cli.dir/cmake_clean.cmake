@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/megh_sim_cli.dir/megh_sim.cpp.o"
+  "CMakeFiles/megh_sim_cli.dir/megh_sim.cpp.o.d"
+  "megh_sim"
+  "megh_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/megh_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
