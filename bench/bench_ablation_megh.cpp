@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   args.add_flag("vms", "VM count", "120");
   args.add_flag("steps", "steps per run (--full = 2016)", "576");
   if (!args.parse(argc, argv)) return 0;
+  bench::configure_tracing(args);
   const bool full = bench::full_scale(args);
   const int hosts = static_cast<int>(args.get_int("hosts"));
   const int vms = static_cast<int>(args.get_int("vms"));

@@ -5,9 +5,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "common/args.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace megh::bench {
 
@@ -22,6 +24,30 @@ inline bool full_scale(const Args& args) {
 inline void add_standard_flags(Args& args) {
   args.add_bool("full", "run the paper-scale configuration");
   args.add_flag("seed", "experiment seed", "42");
+  args.add_flag("trace-out", "write per-step telemetry JSONL here", "");
+  args.add_flag("trace-level",
+                "telemetry detail: off | counters | phases "
+                "(default phases when --trace-out is set)",
+                "");
+}
+
+/// Install the telemetry sink requested by --trace-out/--trace-level.
+/// Call once, after parse(). Without --trace-out tracing stays off (the
+/// null sink), so instrumented hot paths cost nothing.
+inline void configure_tracing(const Args& args) {
+  const std::string out = args.get("trace-out");
+  const std::string level_name = args.get("trace-level");
+  if (out.empty() && level_name.empty()) return;
+  const TraceLevel level = level_name.empty()
+                               ? TraceLevel::kPhases
+                               : parse_trace_level(level_name);
+  std::unique_ptr<TraceSink> sink;
+  if (!out.empty() && level != TraceLevel::kOff) {
+    sink = std::make_unique<JsonlTraceSink>(out);
+    std::printf("telemetry: %s records -> %s\n", trace_level_name(level),
+                out.c_str());
+  }
+  Telemetry::instance().configure(std::move(sink), level);
 }
 
 inline void print_banner(const char* experiment, const char* paper_claim) {

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   Args args;
   bench::add_standard_flags(args);
   if (!args.parse(argc, argv)) return 0;
+  bench::configure_tracing(args);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
   bench::print_banner(

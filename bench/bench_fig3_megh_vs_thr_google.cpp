@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   args.add_flag("vms", "VM count (--full = 2000)", "300");
   args.add_flag("steps", "steps (--full = 2016)", "576");
   if (!args.parse(argc, argv)) return 0;
+  bench::configure_tracing(args);
   const bool full = bench::full_scale(args);
   const int hosts = full ? 500 : static_cast<int>(args.get_int("hosts"));
   const int vms = full ? 2000 : static_cast<int>(args.get_int("vms"));

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   args.add_flag("vms", "subset VM count (--full = 150)", "90");
   args.add_flag("steps", "steps (--full = 864, i.e. 3 days)", "288");
   if (!args.parse(argc, argv)) return 0;
+  bench::configure_tracing(args);
   const bool full = bench::full_scale(args);
   const int hosts = full ? 100 : static_cast<int>(args.get_int("hosts"));
   const int vms = full ? 150 : static_cast<int>(args.get_int("vms"));

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   args.add_flag("repeats", "random subsets per cell (--full = 25)", "3");
   args.add_flag("steps", "steps per run (--full = 100)", "30");
   if (!args.parse(argc, argv)) return 0;
+  bench::configure_tracing(args);
   const bool full = bench::full_scale(args);
   const int repeats = full ? 25 : static_cast<int>(args.get_int("repeats"));
   const int steps = full ? 100 : static_cast<int>(args.get_int("steps"));

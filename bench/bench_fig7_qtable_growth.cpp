@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   bench::add_standard_flags(args);
   args.add_flag("steps", "steps per run (--full = 864)", "288");
   if (!args.parse(argc, argv)) return 0;
+  bench::configure_tracing(args);
   const bool full = bench::full_scale(args);
   const int steps = full ? 864 : static_cast<int>(args.get_int("steps"));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));

@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
   args.add_flag("steps", "steps per run", "192");
   args.add_flag("repeats", "runs per parameter value (--full = 25)", "3");
   if (!args.parse(argc, argv)) return 0;
+  bench::configure_tracing(args);
   const bool full = bench::full_scale(args);
   const int hosts = static_cast<int>(args.get_int("hosts"));
   const int vms = static_cast<int>(args.get_int("vms"));

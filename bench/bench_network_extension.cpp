@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   args.add_flag("steps", "steps (--full = 2016)", "576");
   args.add_flag("oversubscription", "fabric oversubscription", "4");
   if (!args.parse(argc, argv)) return 0;
+  bench::configure_tracing(args);
   const bool full = bench::full_scale(args);
   const int hosts = full ? 432 : static_cast<int>(args.get_int("hosts"));
   const int vms = full ? 600 : static_cast<int>(args.get_int("vms"));

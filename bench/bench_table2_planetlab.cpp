@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   args.add_flag("vms", "VM count (--full = 1052)", "160");
   args.add_flag("steps", "5-minute steps (--full = 2016)", "576");
   if (!args.parse(argc, argv)) return 0;
+  bench::configure_tracing(args);
 
   const bool full = bench::full_scale(args);
   const int hosts = full ? 800 : static_cast<int>(args.get_int("hosts"));

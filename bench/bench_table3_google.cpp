@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   args.add_flag("vms", "VM count (--full = 2000)", "300");
   args.add_flag("steps", "5-minute steps (--full = 2016)", "576");
   if (!args.parse(argc, argv)) return 0;
+  bench::configure_tracing(args);
 
   const bool full = bench::full_scale(args);
   const int hosts = full ? 500 : static_cast<int>(args.get_int("hosts"));

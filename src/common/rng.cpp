@@ -19,11 +19,16 @@ std::size_t Rng::weighted_index(std::span<const double> weights) {
   }
   MEGH_REQUIRE(total > 0.0, "weighted_index: all weights are zero");
   double r = uniform() * total;
+  std::size_t last_positive = 0;
   for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > 0.0) last_positive = i;
     r -= weights[i];
     if (r <= 0.0) return i;
   }
-  return weights.size() - 1;  // numerical edge: r stayed positive by epsilon
+  // Numerical edge: r stayed positive by epsilon after the full pass. Fall
+  // back to the last index with positive weight — never a zero-weight
+  // trailing entry, which must stay unselectable.
+  return last_positive;
 }
 
 }  // namespace megh

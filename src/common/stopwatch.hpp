@@ -9,7 +9,13 @@ namespace megh {
 
 class Stopwatch {
  public:
+  /// Tag for a watch that skips the initial clock read; call reset() before
+  /// the first elapsed_*() query. Used by telemetry scope guards so an
+  /// inactive guard never touches the clock.
+  struct Deferred {};
+
   Stopwatch() : start_(Clock::now()) {}
+  explicit Stopwatch(Deferred) : start_() {}
 
   /// Restart the watch.
   void reset() { start_ = Clock::now(); }

@@ -17,15 +17,26 @@ BoltzmannSelector::BoltzmannSelector(double temp0, double epsilon)
 std::vector<double> BoltzmannSelector::weights(
     std::span<const double> q_values) const {
   MEGH_ASSERT(!q_values.empty(), "Boltzmann weights need at least one action");
-  const double min_q = *std::min_element(q_values.begin(), q_values.end());
+  // Non-finite Q-values (a diverged critic, an uninitialized slot) get
+  // weight 0 — unselectable — instead of poisoning every weight with NaN:
+  // exp(-(NaN - min)) or a NaN min_q would otherwise spread through the
+  // whole draw. The min is therefore taken over finite entries only.
+  double min_q = std::numeric_limits<double>::infinity();
+  for (double q : q_values) {
+    if (std::isfinite(q) && q < min_q) min_q = q;
+  }
   std::vector<double> w;
   w.reserve(q_values.size());
+  if (!std::isfinite(min_q)) {  // no finite Q at all
+    w.assign(q_values.size(), 0.0);
+    return w;
+  }
   // Guard against a fully-decayed temperature: exp argument is <= 0, so
   // weights lie in [0, 1]; a tiny temp simply drives non-minimal weights
   // to 0 (greedy behaviour), which is the intended limit.
   const double temp = std::max(temp_, 1e-12);
   for (double q : q_values) {
-    w.push_back(std::exp(-(q - min_q) / temp));
+    w.push_back(std::isfinite(q) ? std::exp(-(q - min_q) / temp) : 0.0);
   }
   return w;
 }
@@ -41,8 +52,18 @@ std::size_t BoltzmannSelector::sample(std::span<const double> q_values,
 
 std::size_t BoltzmannSelector::greedy(std::span<const double> q_values) {
   MEGH_ASSERT(!q_values.empty(), "greedy selection needs at least one action");
-  return static_cast<std::size_t>(
-      std::min_element(q_values.begin(), q_values.end()) - q_values.begin());
+  // Minimum over finite entries only: min_element's comparator is not a
+  // strict weak ordering in the presence of NaN. Index 0 if none is finite.
+  std::size_t best = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < q_values.size(); ++i) {
+    if (!std::isfinite(q_values[i])) continue;
+    if (!found || q_values[i] < q_values[best]) {
+      best = i;
+      found = true;
+    }
+  }
+  return best;
 }
 
 void BoltzmannSelector::decay() { temp_ *= std::exp(-epsilon_); }

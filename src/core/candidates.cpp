@@ -8,10 +8,24 @@
 #include <unordered_set>
 
 #include "sim/placement.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace megh {
 
 namespace {
+
+/// Record the candidate-set size (cumulative count + last-set gauge) on
+/// every exit path of generate_candidates.
+std::vector<CandidateAction> record_candidates(
+    std::vector<CandidateAction> out) {
+  static Counter& generated =
+      Telemetry::instance().counter("megh.candidates_generated");
+  static Gauge& size_gauge =
+      Telemetry::instance().gauge("megh.candidate_set_size");
+  generated.add(static_cast<long long>(out.size()));
+  size_gauge.set(static_cast<double>(out.size()));
+  return out;
+}
 
 bool target_feasible(const Datacenter& dc, std::span<const double> host_util,
                      int vm, int host, double util_ceiling) {
@@ -92,11 +106,13 @@ std::vector<CandidateAction> generate_candidates(
     const Datacenter& dc, std::span<const double> host_util, double beta,
     const ActionBasis& basis, const CandidateConfig& config, Rng& rng,
     const FatTreeTopology* network) {
+  MEGH_TRACE_SCOPE("megh.candidates");
   if (!config.network_aware) network = nullptr;
   MEGH_ASSERT(static_cast<int>(host_util.size()) == dc.num_hosts(),
               "host_util size mismatch");
   if (basis.dim() <= config.full_enumeration_limit) {
-    return enumerate_all(dc, host_util, basis, config.target_util_ceiling);
+    return record_candidates(
+        enumerate_all(dc, host_util, basis, config.target_util_ceiling));
   }
 
   // --- select source VMs (tagged by why they were selected) ---
@@ -230,7 +246,7 @@ std::vector<CandidateAction> generate_candidates(
       ++added;
     }
   }
-  return out;
+  return record_candidates(std::move(out));
 }
 
 }  // namespace megh

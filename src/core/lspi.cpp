@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace megh {
 
@@ -26,11 +27,12 @@ LspiLearner::LspiLearner(std::int64_t dim, double gamma, double delta,
 }
 
 void LspiLearner::truncate_support(SparseVector& v, std::int64_t keep1,
-                                   std::int64_t keep2) const {
+                                   std::int64_t keep2) {
   if (max_update_support_ <= 0 ||
       v.nnz() <= static_cast<std::size_t>(max_update_support_)) {
     return;
   }
+  ++truncations_;
   // Keep the largest-magnitude entries; the action indices themselves
   // (keep1/keep2) are always retained so the denominator stays exact.
   std::vector<std::pair<std::int64_t, double>> entries(v.entries().begin(),
@@ -53,14 +55,26 @@ void LspiLearner::truncate_support(SparseVector& v, std::int64_t keep1,
 void LspiLearner::update(std::int64_t a, double cost, std::int64_t b) {
   MEGH_ASSERT(a >= 0 && a < dim_ && b >= 0 && b < dim_,
               "LSPI update: action index out of range");
+  MEGH_TRACE_SCOPE("lspi.update");
+  // Registered once; afterwards each increment is a relaxed atomic add.
+  static Counter& rank1_counter =
+      Telemetry::instance().counter("lspi.rank1_updates");
+  static Counter& singular_counter =
+      Telemetry::instance().counter("lspi.singular_skips");
+  static Counter& truncation_counter =
+      Telemetry::instance().counter("lspi.truncations");
+  static Gauge& fill_gauge =
+      Telemetry::instance().gauge("lspi.b_offdiag_nnz");
   ++updates_;
 
   // u = B e_a (column a), w = (e_a − γ e_b)ᵀ B (row a minus γ·row b).
   SparseVector u = B_.col(a);
   SparseVector w = B_.row(a);
   w.axpy(-gamma_, B_.row(b));
+  const long long truncations_before = truncations_;
   truncate_support(u, a, b);
   truncate_support(w, a, b);
+  truncation_counter.add(truncations_ - truncations_before);
 
   // Denominator: 1 + (e_a − γ e_b)ᵀ B e_a = 1 + u[a] − γ u[b].
   const double denom = 1.0 + u.get(a) - gamma_ * u.get(b);
@@ -71,6 +85,7 @@ void LspiLearner::update(std::int64_t a, double cost, std::int64_t b) {
   if (std::abs(denom) < 1e-12) {
     // Singular update: keep B as-is (θ' = B z' = θ + C·u).
     ++singular_skips_;
+    singular_counter.add(1);
     theta_.axpy(cost, u);
     return;
   }
@@ -79,6 +94,8 @@ void LspiLearner::update(std::int64_t a, double cost, std::int64_t b) {
 
   // B ← B − u wᵀ / denom.
   B_.rank1_update(u, w, -1.0 / denom);
+  rank1_counter.add(1);
+  fill_gauge.set(static_cast<double>(B_.offdiag_nnz()));
 }
 
 void LspiLearner::restore(SparseMatrix b, SparseVector z,

@@ -63,10 +63,12 @@ class LspiLearner {
   long long updates() const { return updates_; }
   /// Updates skipped because the Sherman–Morrison denominator was singular.
   long long singular_skips() const { return singular_skips_; }
+  /// Sherman–Morrison factors clipped to max_update_support entries.
+  long long truncations() const { return truncations_; }
 
  private:
   void truncate_support(SparseVector& v, std::int64_t keep1,
-                        std::int64_t keep2) const;
+                        std::int64_t keep2);
 
   std::int64_t dim_;
   double gamma_;
@@ -76,6 +78,7 @@ class LspiLearner {
   SparseVector theta_;
   long long updates_ = 0;
   long long singular_skips_ = 0;
+  long long truncations_ = 0;
 };
 
 }  // namespace megh

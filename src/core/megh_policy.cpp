@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace megh {
 
@@ -37,6 +38,7 @@ void MeghPolicy::begin(const Datacenter& dc, const CostConfig& cost,
 
 std::vector<MigrationAction> MeghPolicy::decide(const StepObservation& obs) {
   MEGH_REQUIRE(basis_ != nullptr, "MeghPolicy::decide before begin()");
+  MEGH_TRACE_SCOPE("megh.decide");
   const Datacenter& dc = *obs.dc;
 
   // 1. Candidates and their Q-values.
@@ -168,6 +170,12 @@ std::map<std::string, double> MeghPolicy::stats() const {
     out["qtable_nnz"] = static_cast<double>(learner_->qtable_nnz());
     out["theta_nnz"] = static_cast<double>(learner_->theta_nnz());
     out["lspi_updates"] = static_cast<double>(learner_->updates());
+    // A degenerate Sherman–Morrison denominator silently skips the B
+    // update; surface it (plus truncation pressure and B fill-in) so
+    // snapshots show *why* the critic stalls instead of hiding it.
+    out["singular_skips"] = static_cast<double>(learner_->singular_skips());
+    out["truncations"] = static_cast<double>(learner_->truncations());
+    out["b_offdiag_nnz"] = static_cast<double>(learner_->B().offdiag_nnz());
   }
   out["temperature"] = selector_.temperature();
   out["migrations_selected"] = static_cast<double>(total_migrations_selected_);

@@ -40,14 +40,14 @@ double Samples::mad(bool normalized) const {
 }
 
 double Samples::mean() const {
-  if (values_.empty()) return 0.0;
+  MEGH_ASSERT(!values_.empty(), "mean of empty sample set");
   double s = 0.0;
   for (double v : values_) s += v;
   return s / static_cast<double>(values_.size());
 }
 
 double Samples::stddev() const {
-  if (values_.size() < 2) return 0.0;
+  MEGH_ASSERT(values_.size() >= 2, "stddev needs at least 2 samples");
   const double m = mean();
   double s = 0.0;
   for (double v : values_) s += (v - m) * (v - m);

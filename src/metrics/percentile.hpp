@@ -33,7 +33,10 @@ class Samples {
   /// when `normalized` is true — the MAD-MMT detector uses the raw value).
   double mad(bool normalized = false) const;
 
+  /// Requires at least one sample (asserts, like percentile()/mad() — an
+  /// empty sample set is a bug at the call site, not a zero).
   double mean() const;
+  /// Sample standard deviation (n−1 denominator); requires >= 2 samples.
   double stddev() const;
 
   std::span<const double> values() const { return values_; }

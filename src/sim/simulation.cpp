@@ -7,6 +7,7 @@
 #include "common/string_util.hpp"
 #include "metrics/running_stats.hpp"
 #include "sim/sla.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace megh {
 
@@ -88,13 +89,21 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
       static_cast<std::size_t>(dc_.num_hosts()), 0.0);
   double total_watt_seconds = 0.0;
 
+  Telemetry& telemetry = Telemetry::instance();
+  Counter& steps_counter = telemetry.counter("sim.steps");
+  Counter& applied_counter = telemetry.counter("sim.migrations_applied");
+  Counter& rejected_counter = telemetry.counter("sim.migrations_rejected");
+
   for (int step = 0; step < steps; ++step) {
-    // 1. New demands.
-    for (int vm = 0; vm < dc_.num_vms(); ++vm) {
-      vm_util[static_cast<std::size_t>(vm)] = trace_.at(vm, step);
+    {
+      // 1. New demands.
+      MEGH_TRACE_SCOPE("sim.trace_read");
+      for (int vm = 0; vm < dc_.num_vms(); ++vm) {
+        vm_util[static_cast<std::size_t>(vm)] = trace_.at(vm, step);
+      }
+      dc_.set_demands(vm_util);
+      sla.begin_interval(config_.interval_s);
     }
-    dc_.set_demands(vm_util);
-    sla.begin_interval(config_.interval_s);
 
     // 2. Policy decision (timed).
     StepObservation obs;
@@ -109,13 +118,19 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
     obs.network = config_.network.get();
 
     Stopwatch watch;
-    const std::vector<MigrationAction> actions = policy.decide(obs);
+    std::vector<MigrationAction> actions;
+    {
+      MEGH_TRACE_SCOPE("sim.decide");
+      actions = policy.decide(obs);
+    }
     const double exec_ms = watch.elapsed_ms();
 
     // 3. Apply migrations.
     StepSnapshot snap;
     snap.step = step;
     snap.exec_ms = exec_ms;
+    {
+    MEGH_TRACE_SCOPE("sim.migrate");
     for (const MigrationAction& a : actions) {
       if (a.vm < 0 || a.vm >= dc_.num_vms() || a.target_host < 0 ||
           a.target_host >= dc_.num_hosts()) {
@@ -157,6 +172,10 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
         sla.add_migration_downtime(a.vm, migration_time_s(ram, bw));
       }
     }
+    }
+
+    {
+    MEGH_TRACE_SCOPE("sim.settle");  // covers 4–6
 
     // 4. Overload accounting on the post-migration allocation.
     RunningStats util_stats;
@@ -195,7 +214,14 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
     result.totals.cross_pod_migrations += snap.cross_pod_migrations;
     active_hosts_stats.add(snap.active_hosts);
     exec_stats.add(exec_ms);
+    steps_counter.add(1);
+    applied_counter.add(snap.migrations);
+    rejected_counter.add(snap.rejected_migrations);
     result.steps.push_back(std::move(snap));
+    }
+
+    // Per-step telemetry flush, after the interval's costs are settled.
+    telemetry.flush_step(step);
   }
 
   // Composite SLA metrics (Beloglazov): SLATAH over hosts that were ever

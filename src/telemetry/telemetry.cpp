@@ -1,0 +1,126 @@
+#include "telemetry/telemetry.hpp"
+
+#include "common/error.hpp"
+
+namespace megh {
+
+TraceLevel parse_trace_level(const std::string& name) {
+  if (name == "off") return TraceLevel::kOff;
+  if (name == "counters") return TraceLevel::kCounters;
+  if (name == "phases") return TraceLevel::kPhases;
+  throw ConfigError("unknown trace level '" + name +
+                    "' (off | counters | phases)");
+}
+
+const char* trace_level_name(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kOff: return "off";
+    case TraceLevel::kCounters: return "counters";
+    case TraceLevel::kPhases: return "phases";
+  }
+  return "?";
+}
+
+Telemetry::Telemetry() : sink_(std::make_unique<NullTraceSink>()) {}
+
+Telemetry& Telemetry::instance() {
+  static Telemetry telemetry;
+  return telemetry;
+}
+
+void Telemetry::configure(std::unique_ptr<TraceSink> sink, TraceLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) sink_->flush();
+  sink_ = sink != nullptr ? std::move(sink)
+                          : std::make_unique<NullTraceSink>();
+  level_.store(level, std::memory_order_relaxed);
+  timing_enabled_.store(level >= TraceLevel::kPhases,
+                        std::memory_order_relaxed);
+}
+
+Counter& Telemetry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Telemetry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+void Telemetry::record_phase(const char* name, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PhaseAccum& accum = phases_[name];
+  accum.step_ms += ms;
+  ++accum.step_count;
+  accum.total_ms += ms;
+  ++accum.total_count;
+}
+
+void Telemetry::flush_step(int step) {
+  if (level() == TraceLevel::kOff) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceRecord record;
+  record.step = step;
+  if (level_.load(std::memory_order_relaxed) >= TraceLevel::kPhases) {
+    for (auto& [name, accum] : phases_) {
+      if (accum.step_count == 0) continue;
+      record.phase_ms[name] = accum.step_ms;
+      record.phase_count[name] = accum.step_count;
+      accum.step_ms = 0.0;
+      accum.step_count = 0;
+    }
+  }
+  for (const auto& [name, counter] : counters_) {
+    record.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    record.gauges[name] = gauge->value();
+  }
+  sink_->write(record);
+}
+
+std::map<std::string, double> Telemetry::phase_totals_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, accum] : phases_) {
+    out[name] = accum.total_ms;
+  }
+  return out;
+}
+
+std::map<std::string, long long> Telemetry::counter_values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, long long> out;
+  for (const auto& [name, counter] : counters_) {
+    out[name] = counter->value();
+  }
+  return out;
+}
+
+std::map<std::string, double> Telemetry::gauge_values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, gauge] : gauges_) {
+    out[name] = gauge->value();
+  }
+  return out;
+}
+
+void Telemetry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_ != nullptr) sink_->flush();
+  sink_ = std::make_unique<NullTraceSink>();
+  level_.store(TraceLevel::kOff, std::memory_order_relaxed);
+  timing_enabled_.store(false, std::memory_order_relaxed);
+  // Zero, never erase: call sites cache Counter/Gauge references.
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  phases_.clear();
+}
+
+}  // namespace megh

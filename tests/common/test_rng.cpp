@@ -114,6 +114,34 @@ TEST(RngTest, WeightedIndexFollowsWeights) {
   EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
 }
 
+TEST(RngTest, WeightedIndexNeverPicksTrailingZeroWeight) {
+  // The epsilon fallback (when accumulated floating-point sums leave the
+  // draw slightly past the last positive weight) must land on the last
+  // *positive* index, not a trailing zero-weight one.
+  Rng rng(13);
+  const std::vector<double> w{1.0, 0.0};
+  for (int i = 0; i < 50000; ++i) {
+    EXPECT_EQ(rng.weighted_index(w), 0u);
+  }
+}
+
+TEST(RngTest, WeightedIndexSingleElement) {
+  Rng rng(13);
+  const std::vector<double> w{0.25};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.weighted_index(w), 0u);
+  }
+}
+
+TEST(RngTest, WeightedIndexTinyWeightsStillNormalize) {
+  // Denormal-scale weights: the draw must stay in range and respect ratios.
+  Rng rng(17);
+  const std::vector<double> w{1e-300, 3e-300};
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[0], 3.0, 0.4);
+}
+
 TEST(RngTest, WeightedIndexRejectsBadInput) {
   Rng rng(3);
   EXPECT_THROW(rng.weighted_index(std::vector<double>{}), ConfigError);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace megh {
 namespace {
@@ -60,6 +61,46 @@ TEST(BoltzmannTest, FullyDecayedTemperatureStillSamples) {
   const std::vector<double> q{1.0, 0.5, 2.0};
   Rng rng(3);
   EXPECT_EQ(sel.sample(q, rng), 1u);  // greedy fallback, no NaNs
+}
+
+TEST(BoltzmannTest, NonFiniteQValuesAreUnselectable) {
+  BoltzmannSelector sel(1.0, 0.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> q{nan, 0.5, inf, 1.0};
+  const auto w = sel.weights(q);
+  EXPECT_EQ(w[0], 0.0);
+  EXPECT_EQ(w[2], 0.0);
+  EXPECT_DOUBLE_EQ(w[1], 1.0);  // finite minimum still gets weight 1
+  EXPECT_GT(w[3], 0.0);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const auto pick = sel.sample(q, rng);
+    EXPECT_TRUE(pick == 1u || pick == 3u);
+  }
+  EXPECT_EQ(BoltzmannSelector::greedy(q), 1u);
+}
+
+TEST(BoltzmannTest, AllNonFiniteQFallsBackToFirstAction) {
+  BoltzmannSelector sel(1.0, 0.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> q{nan, nan};
+  const auto w = sel.weights(q);
+  EXPECT_EQ(w[0], 0.0);
+  EXPECT_EQ(w[1], 0.0);
+  Rng rng(6);
+  EXPECT_EQ(sel.sample(q, rng), 0u);  // greedy fallback, index 0
+}
+
+TEST(BoltzmannTest, FullyDecayedTemperatureWeightsAreGreedyIndicator) {
+  BoltzmannSelector sel(3.0, 0.5);
+  for (int i = 0; i < 500; ++i) sel.decay();  // temp underflows to ~0
+  const std::vector<double> q{1.0, 0.5, 2.0};
+  const auto w = sel.weights(q);
+  EXPECT_DOUBLE_EQ(w[1], 1.0);  // the minimum keeps weight 1
+  EXPECT_EQ(w[0], 0.0);         // everything else collapses to 0
+  EXPECT_EQ(w[2], 0.0);
+  for (double x : w) EXPECT_TRUE(std::isfinite(x));
 }
 
 TEST(BoltzmannTest, InvalidConfigRejected) {

@@ -54,6 +54,20 @@ TEST(PercentileTest, MeanAndStddev) {
   EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
 }
 
+TEST(PercentileDeathTest, MeanOfEmptySetAsserts) {
+  // Silently returning 0.0 used to mask empty sample sets; mean() now
+  // asserts like percentile() and mad() do.
+  Samples s;
+  EXPECT_DEATH((void)s.mean(), "mean of empty sample set");
+}
+
+TEST(PercentileDeathTest, StddevNeedsTwoSamples) {
+  Samples empty;
+  EXPECT_DEATH((void)empty.stddev(), "stddev needs at least 2 samples");
+  Samples one({5.0});
+  EXPECT_DEATH((void)one.stddev(), "stddev needs at least 2 samples");
+}
+
 TEST(PercentileTest, FreeFunctionMatchesClass) {
   const std::vector<double> xs{9.0, 1.0, 5.0, 3.0};
   EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 4.0);

@@ -11,6 +11,7 @@
 //   megh_sim --policy megh --checkpoint-load megh.ckpt --seed 9
 //   megh_sim --trace my_trace.csv --policy megh --series run.csv
 //   megh_sim --policy megh --oversubscription 4   # fat-tree fabric
+//   megh_sim --policy megh --trace-out run.jsonl  # per-step telemetry
 #include <cstdio>
 #include <memory>
 
@@ -26,6 +27,7 @@
 #include "harness/report.hpp"
 #include "metrics/convergence.hpp"
 #include "metrics/timeseries.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/csv_trace.hpp"
 
 namespace {
@@ -90,8 +92,31 @@ int main(int argc, char** argv) {
   args.add_flag("migration-model",
                 "flat (paper's RAM/BW bulk copy) | precopy (iterative "
                 "pre-copy with stop-and-copy downtime)", "flat");
+  args.add_flag("trace-out",
+                "write per-step phase timings and counters (JSONL) here; "
+                "aggregate with trace_summary", "");
+  args.add_flag("trace-level",
+                "telemetry detail: off | counters | phases "
+                "(default phases when --trace-out is set)", "");
   try {
     if (!args.parse(argc, argv)) return 0;
+
+    // --- telemetry ---
+    JsonlTraceSink* trace_sink = nullptr;
+    if (!args.get("trace-out").empty() || !args.get("trace-level").empty()) {
+      const TraceLevel trace_level =
+          args.get("trace-level").empty()
+              ? TraceLevel::kPhases
+              : parse_trace_level(args.get("trace-level"));
+      std::unique_ptr<TraceSink> sink;
+      if (!args.get("trace-out").empty() &&
+          trace_level != TraceLevel::kOff) {
+        auto jsonl = std::make_unique<JsonlTraceSink>(args.get("trace-out"));
+        trace_sink = jsonl.get();
+        sink = std::move(jsonl);
+      }
+      Telemetry::instance().configure(std::move(sink), trace_level);
+    }
 
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
     const int hosts = static_cast<int>(args.get_int("hosts"));
@@ -203,6 +228,13 @@ int main(int argc, char** argv) {
       save_megh_policy(*megh, args.get("checkpoint-save"));
       std::printf("checkpoint      : wrote %s\n",
                   args.get("checkpoint-save").c_str());
+    }
+    if (trace_sink != nullptr) {
+      trace_sink->flush();
+      std::printf("telemetry       : wrote %lld records to %s "
+                  "(trace_summary --in %s)\n",
+                  trace_sink->lines_written(), trace_sink->path().c_str(),
+                  trace_sink->path().c_str());
     }
     return 0;
   } catch (const Error& e) {

@@ -1,0 +1,137 @@
+// trace_summary — aggregate a telemetry JSONL trace (megh_sim --trace-out,
+// bench --trace-out) into per-phase and counter tables.
+//
+// Per phase it reports call counts, total/mean/max time and the share of
+// all traced time — the breakdown that shows where a step's wall-clock
+// actually goes (candidate generation vs Sherman–Morrison updates vs
+// migration mechanics). Counters are cumulative, so the last record carries
+// the run totals; per-step rates are derived from consecutive records.
+//
+// Usage:
+//   trace_summary --in run.jsonl
+//   trace_summary --in run.jsonl --phases-only
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/args.hpp"
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "harness/report.hpp"
+#include "telemetry/trace_sink.hpp"
+
+namespace {
+
+using namespace megh;
+
+struct PhaseAggregate {
+  long long calls = 0;
+  double total_ms = 0.0;
+  double max_step_ms = 0.0;
+  long long steps_seen = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace megh;
+  Args args;
+  args.add_flag("in", "telemetry JSONL file to aggregate", "");
+  args.add_bool("phases-only", "skip the counter and gauge tables");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    const std::string path = args.get("in");
+    MEGH_REQUIRE(!path.empty(), "--in <trace.jsonl> required");
+
+    std::ifstream in(path);
+    if (!in) throw IoError("cannot open trace file: " + path);
+
+    std::map<std::string, PhaseAggregate> phases;
+    TraceRecord last;
+    long long records = 0;
+    int first_step = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const TraceRecord record = parse_trace_line(line);
+      if (records == 0) first_step = record.step;
+      for (const auto& [name, ms] : record.phase_ms) {
+        PhaseAggregate& agg = phases[name];
+        agg.total_ms += ms;
+        agg.max_step_ms = std::max(agg.max_step_ms, ms);
+        ++agg.steps_seen;
+        const auto it = record.phase_count.find(name);
+        agg.calls += it != record.phase_count.end() ? it->second : 1;
+      }
+      last = record;
+      ++records;
+    }
+    MEGH_REQUIRE(records > 0, "trace file has no records: " + path);
+
+    std::printf("%s: %lld records, steps %d..%d\n\n", path.c_str(), records,
+                first_step, last.step);
+
+    if (!phases.empty()) {
+      double traced_total_ms = 0.0;
+      for (const auto& [name, agg] : phases) {
+        // Only leaf-ish engine phases sum to the traced total; nested
+        // scopes (megh.* inside sim.decide) would double-count, so share
+        // is relative to the sim.* phases when present, else everything.
+        if (starts_with(name, "sim.")) traced_total_ms += agg.total_ms;
+      }
+      const bool have_engine_phases = traced_total_ms > 0.0;
+      if (!have_engine_phases) {
+        for (const auto& [name, agg] : phases) {
+          traced_total_ms += agg.total_ms;
+        }
+      }
+      std::vector<std::vector<std::string>> rows;
+      for (const auto& [name, agg] : phases) {
+        const bool in_total = !have_engine_phases || starts_with(name, "sim.");
+        rows.push_back(
+            {name, strf("%lld", agg.calls), strf("%.3f", agg.total_ms),
+             strf("%.6f", agg.calls > 0
+                              ? agg.total_ms / static_cast<double>(agg.calls)
+                              : 0.0),
+             strf("%.3f", agg.max_step_ms),
+             in_total && traced_total_ms > 0.0
+                 ? strf("%5.1f%%", 100.0 * agg.total_ms / traced_total_ms)
+                 : "    --"});
+      }
+      print_table("Per-phase timings (ms)",
+                  {"phase", "calls", "total", "mean/call", "max/step",
+                   "share"},
+                  rows);
+      std::printf("\n");
+    }
+
+    if (!args.get_bool("phases-only")) {
+      if (!last.counters.empty()) {
+        const double steps =
+            std::max(1.0, static_cast<double>(last.step - first_step + 1));
+        std::vector<std::vector<std::string>> rows;
+        for (const auto& [name, value] : last.counters) {
+          rows.push_back({name, strf("%lld", value),
+                          strf("%.3f", static_cast<double>(value) / steps)});
+        }
+        print_table("Counters (cumulative at last record)",
+                    {"counter", "total", "per step"}, rows);
+        std::printf("\n");
+      }
+      if (!last.gauges.empty()) {
+        std::vector<std::vector<std::string>> rows;
+        for (const auto& [name, value] : last.gauges) {
+          rows.push_back({name, strf("%g", value)});
+        }
+        print_table("Gauges (last record)", {"gauge", "value"}, rows);
+      }
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "trace_summary: %s\n", e.what());
+    return 1;
+  }
+}
