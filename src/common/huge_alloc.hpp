@@ -1,0 +1,89 @@
+// Allocator that backs large allocations with huge pages.
+//
+// The LSPI hot path makes a handful of random accesses per update into
+// multi-megabyte flat arrays (B's row headers, column adjacency, the z/θ
+// accumulator slots). With 4 KiB pages every such access is also a dTLB
+// miss and a page walk — particularly expensive under virtualization,
+// where each guest walk level needs its own nested translation — and
+// hardware may drop software prefetches whose translation misses, which
+// serializes exactly the loads we try to overlap. Backing those arrays
+// with 2 MiB pages keeps the whole working set TLB-resident (tens of
+// entries), so the prefetched misses actually overlap.
+//
+// Allocations of at least one huge page are mmap'd: explicitly reserved
+// huge pages first (MAP_HUGETLB, available when the admin has set
+// /proc/sys/vm/nr_hugepages), then an ordinary anonymous mapping advised
+// with MADV_HUGEPAGE (honored in THP "always" and "madvise" modes).
+// Smaller allocations fall back to malloc. The release path is chosen by
+// the same size threshold, so no per-allocation bookkeeping is needed.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace megh {
+
+template <typename T>
+struct HugePageAllocator {
+  using value_type = T;
+
+  static constexpr std::size_t kHugePageBytes = std::size_t{2} << 20;
+
+  HugePageAllocator() = default;
+  template <typename U>
+  HugePageAllocator(const HugePageAllocator<U>&) {}
+
+  static constexpr std::size_t rounded_bytes(std::size_t bytes) {
+    return (bytes + kHugePageBytes - 1) & ~(kHugePageBytes - 1);
+  }
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+#if defined(__linux__)
+    if (bytes >= kHugePageBytes) {
+      const std::size_t rounded = rounded_bytes(bytes);
+      void* p = ::mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+      if (p == MAP_FAILED) {
+        p = ::mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        if (p == MAP_FAILED) throw std::bad_alloc();
+        ::madvise(p, rounded, MADV_HUGEPAGE);
+      }
+      return static_cast<T*>(p);
+    }
+#endif
+    void* p;
+    if constexpr (alignof(T) > alignof(std::max_align_t)) {
+      const std::size_t aligned = (bytes + alignof(T) - 1) & ~(alignof(T) - 1);
+      p = std::aligned_alloc(alignof(T), aligned);
+    } else {
+      p = std::malloc(bytes);
+    }
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+#if defined(__linux__)
+    const std::size_t bytes = n * sizeof(T);
+    if (bytes >= kHugePageBytes) {
+      ::munmap(p, rounded_bytes(bytes));
+      return;
+    }
+#endif
+    std::free(p);
+  }
+
+  template <typename U>
+  bool operator==(const HugePageAllocator<U>&) const {
+    return true;
+  }
+};
+
+}  // namespace megh

@@ -1,0 +1,11 @@
+// Portable software-prefetch hint. The LSPI hot path is memory-latency
+// bound — a handful of random accesses into multi-megabyte arrays — so
+// issuing the independent loads' prefetches up front lets the misses
+// overlap instead of serializing. No-op where the builtin is unavailable.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MEGH_PREFETCH(addr) __builtin_prefetch((addr))
+#else
+#define MEGH_PREFETCH(addr) ((void)(addr))
+#endif

@@ -68,9 +68,12 @@ void save_learner(const LspiLearner& learner,
     out << strf("%.17g", B.get(i, i)) << '\n';
   }
   out << "Boffdiag " << B.offdiag_nnz() << '\n';
-  // Walk rows via row() views (row_cols adjacency is private).
+  // Walk rows via row views (storage internals are private). Rows come out
+  // sorted by column, so checkpoints are deterministic and reloading them
+  // hits SparseVector/SparseMatrix's fast sorted-append path.
+  SparseVector row(B.dim());
   for (std::int64_t r = 0; r < B.dim(); ++r) {
-    const SparseVector row = B.row(r);
+    B.row_into(r, row);
     for (const auto& [c, value] : row.entries()) {
       if (c == r) continue;
       out << r << ' ' << c << ' ' << strf("%.17g", value) << '\n';

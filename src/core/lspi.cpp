@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <utility>
-#include <vector>
 
 #include "common/error.hpp"
+#include "common/prefetch.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace megh {
@@ -15,15 +15,55 @@ LspiLearner::LspiLearner(std::int64_t dim, double gamma, double delta,
     : dim_(dim),
       gamma_(gamma),
       max_update_support_(max_update_support),
-      B_(dim, 0.0),
-      z_(dim),
-      theta_(dim) {
+      u_scratch_(dim > 0 ? dim : 0),
+      w_scratch_(dim > 0 ? dim : 0),
+      row_b_scratch_(dim > 0 ? dim : 0) {
   MEGH_REQUIRE(dim > 0, "LSPI dimension must be positive");
   MEGH_REQUIRE(gamma >= 0.0 && gamma < 1.0, "gamma must lie in [0, 1)");
   MEGH_REQUIRE(max_update_support >= 0,
                "max_update_support must be non-negative");
   const double d = delta > 0.0 ? delta : static_cast<double>(dim);
   B_ = SparseMatrix(dim, 1.0 / d);
+  acc_.assign(static_cast<std::size_t>(dim), Slot{});
+}
+
+void LspiLearner::slot_add(double& slot, std::size_t& nnz, double v) {
+  const bool was_nonzero = slot != 0.0;
+  double next = slot + v;
+  if (std::abs(next) < SparseVector::kZeroTolerance) next = 0.0;
+  if (was_nonzero && next == 0.0) --nnz;
+  if (!was_nonzero && next != 0.0) ++nnz;
+  slot = next;
+}
+
+void LspiLearner::theta_axpy(double coef, const SparseVector& sparse) {
+  if (coef == 0.0) return;
+  const std::span<const std::int64_t> idx = sparse.indices();
+  const std::span<const double> val = sparse.values();
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    slot_add(acc_[static_cast<std::size_t>(idx[k])].theta, theta_nnz_,
+             coef * val[k]);
+  }
+}
+
+SparseVector LspiLearner::theta() const {
+  SparseVector out(dim_);
+  for (std::size_t i = 0; i < acc_.size(); ++i) {
+    if (acc_[i].theta != 0.0) {
+      out.push_back(static_cast<std::int64_t>(i), acc_[i].theta);
+    }
+  }
+  return out;
+}
+
+SparseVector LspiLearner::z() const {
+  SparseVector out(dim_);
+  for (std::size_t i = 0; i < acc_.size(); ++i) {
+    if (acc_[i].z != 0.0) {
+      out.push_back(static_cast<std::int64_t>(i), acc_[i].z);
+    }
+  }
+  return out;
 }
 
 void LspiLearner::truncate_support(SparseVector& v, std::int64_t keep1,
@@ -35,27 +75,47 @@ void LspiLearner::truncate_support(SparseVector& v, std::int64_t keep1,
   ++truncations_;
   // Keep the largest-magnitude entries; the action indices themselves
   // (keep1/keep2) are always retained so the denominator stays exact.
-  std::vector<std::pair<std::int64_t, double>> entries(v.entries().begin(),
-                                                       v.entries().end());
-  const std::size_t keep = static_cast<std::size_t>(max_update_support_);
-  std::nth_element(entries.begin(),
-                   entries.begin() + static_cast<std::ptrdiff_t>(keep),
-                   entries.end(), [](const auto& a, const auto& b) {
-                     return std::abs(a.second) > std::abs(b.second);
-                   });
-  SparseVector out(v.dim());
-  for (std::size_t i = 0; i < keep; ++i) {
-    out.set(entries[i].first, entries[i].second);
+  const double kept1 = v.get(keep1);
+  const double kept2 = v.get(keep2);
+  trunc_scratch_.clear();
+  trunc_scratch_.reserve(v.nnz());
+  const std::span<const std::int64_t> idx = v.indices();
+  const std::span<const double> val = v.values();
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    trunc_scratch_.emplace_back(idx[k], val[k]);
   }
-  out.set(keep1, v.get(keep1));
-  out.set(keep2, v.get(keep2));
-  v = std::move(out);
+  const std::size_t keep = static_cast<std::size_t>(max_update_support_);
+  // Ties broken toward the smaller index so the kept set is a
+  // deterministic function of the factor's values — replay and
+  // checkpoint-resume runs truncate identically.
+  std::nth_element(trunc_scratch_.begin(),
+                   trunc_scratch_.begin() + static_cast<std::ptrdiff_t>(keep),
+                   trunc_scratch_.end(), [](const auto& a, const auto& b) {
+                     const double ma = std::abs(a.second);
+                     const double mb = std::abs(b.second);
+                     if (ma != mb) return ma > mb;
+                     return a.first < b.first;
+                   });
+  trunc_scratch_.resize(keep);
+  bool has1 = false, has2 = false;
+  for (const auto& [i, value] : trunc_scratch_) {
+    if (i == keep1) has1 = true;
+    if (i == keep2) has2 = true;
+  }
+  // Stored entries always have magnitude >= tolerance, so a nonzero read
+  // means the index was present in v.
+  if (!has1 && kept1 != 0.0) trunc_scratch_.emplace_back(keep1, kept1);
+  if (!has2 && keep2 != keep1 && kept2 != 0.0) {
+    trunc_scratch_.emplace_back(keep2, kept2);
+  }
+  std::sort(trunc_scratch_.begin(), trunc_scratch_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  v.clear();
+  for (const auto& [i, value] : trunc_scratch_) v.push_back(i, value);
 }
 
-void LspiLearner::update(std::int64_t a, double cost, std::int64_t b) {
-  MEGH_ASSERT(a >= 0 && a < dim_ && b >= 0 && b < dim_,
-              "LSPI update: action index out of range");
-  MEGH_TRACE_SCOPE("lspi.update");
+bool LspiLearner::update_fused(std::int64_t a, double cost, std::int64_t b,
+                               const SparseVector& row_b) {
   // Registered once; afterwards each increment is a relaxed atomic add.
   static Counter& rank1_counter =
       Telemetry::instance().counter("lspi.rank1_updates");
@@ -67,35 +127,89 @@ void LspiLearner::update(std::int64_t a, double cost, std::int64_t b) {
       Telemetry::instance().gauge("lspi.b_offdiag_nnz");
   ++updates_;
 
-  // u = B e_a (column a), w = (e_a − γ e_b)ᵀ B (row a minus γ·row b).
-  SparseVector u = B_.col(a);
-  SparseVector w = B_.row(a);
-  w.axpy(-gamma_, B_.row(b));
+  // Kick off the kernel's independent random loads together: the slot pair
+  // (z, θ) at a and b plus B's row/column headers. The kernel is
+  // latency-bound on these misses; overlapping them is most of the cost.
+  MEGH_PREFETCH(acc_.data() + a);
+  if (b != a) MEGH_PREFETCH(acc_.data() + b);
+  B_.prefetch_unit_update(a, b);
+
+  // u = B e_a (column a), w = (e_a − γ e_b)ᵀ B (row a minus γ·row b) —
+  // both extracted into flat sorted scratch, merged in place.
+  B_.col_into(a, u_scratch_);
+  B_.row_into(a, w_scratch_);
+  w_scratch_.axpy(-gamma_, row_b);
   const long long truncations_before = truncations_;
-  truncate_support(u, a, b);
-  truncate_support(w, a, b);
+  truncate_support(u_scratch_, a, b);
+  truncate_support(w_scratch_, a, b);
   truncation_counter.add(truncations_ - truncations_before);
 
   // Denominator: 1 + (e_a − γ e_b)ᵀ B e_a = 1 + u[a] − γ u[b].
-  const double denom = 1.0 + u.get(a) - gamma_ * u.get(b);
+  const double denom = 1.0 + u_scratch_.get(a) - gamma_ * u_scratch_.get(b);
 
   // z ← z + C e_a  and incremental θ:
   //   θ' = B'z' = θ + C·u − u·(w·z')/denom     (see lspi.hpp header)
-  z_.add(a, cost);
+  slot_add(acc_[static_cast<std::size_t>(a)].z, z_nnz_, cost);
   if (std::abs(denom) < 1e-12) {
     // Singular update: keep B as-is (θ' = B z' = θ + C·u).
     ++singular_skips_;
     singular_counter.add(1);
-    theta_.axpy(cost, u);
-    return;
+    theta_axpy(cost, u_scratch_);
+    return false;
   }
-  const double wz = w.dot(z_);
-  theta_.axpy(cost - wz / denom, u);
+  // w·z streams w's sorted support against the dense accumulator slots.
+  double wz = 0.0;
+  {
+    const std::span<const std::int64_t> widx = w_scratch_.indices();
+    const std::span<const double> wval = w_scratch_.values();
+    for (std::size_t k = 0; k < widx.size(); ++k) {
+      wz += wval[k] * acc_[static_cast<std::size_t>(widx[k])].z;
+    }
+  }
+  theta_axpy(cost - wz / denom, u_scratch_);
 
-  // B ← B − u wᵀ / denom.
-  B_.rank1_update(u, w, -1.0 / denom);
+  // B ← B − u wᵀ / denom. The rank-1 touches exactly the rows in supp(u);
+  // the caller's cached row b stays valid unless u[b] ≠ 0.
+  const bool touches_row_b = u_scratch_.get(b) != 0.0;
+  B_.rank1_update(u_scratch_, w_scratch_, -1.0 / denom);
   rank1_counter.add(1);
   fill_gauge.set(static_cast<double>(B_.offdiag_nnz()));
+  return touches_row_b;
+}
+
+void LspiLearner::update(std::int64_t a, double cost, std::int64_t b) {
+  const std::int64_t actions[1] = {a};
+  update_batch(std::span<const std::int64_t>(actions, 1), cost, b);
+}
+
+void LspiLearner::update_batch(std::span<const std::int64_t> actions,
+                               double cost, std::int64_t b) {
+  if (actions.empty()) return;
+  MEGH_ASSERT(b >= 0 && b < dim_,
+              "LSPI update: next-action index out of range");
+  MEGH_TRACE_SCOPE("lspi.update");
+  // Issue the first transition's prefetches before extracting row b, so
+  // the b-row header miss overlaps with the a-side misses instead of
+  // serializing ahead of them.
+  MEGH_PREFETCH(acc_.data() + actions[0]);
+  if (b != actions[0]) MEGH_PREFETCH(acc_.data() + b);
+  B_.prefetch_unit_update(actions[0], b);
+  bool row_b_valid = false;
+  for (std::size_t k = 0; k < actions.size(); ++k) {
+    const std::int64_t a = actions[k];
+    MEGH_ASSERT(a >= 0 && a < dim_, "LSPI update: action index out of range");
+    if (k + 1 < actions.size()) {
+      // Software-pipeline the batch: start the next action's random loads
+      // while this one computes.
+      MEGH_PREFETCH(acc_.data() + actions[k + 1]);
+      B_.prefetch_unit_update(actions[k + 1], b);
+    }
+    if (!row_b_valid) {
+      B_.row_into(b, row_b_scratch_);
+      row_b_valid = true;
+    }
+    if (update_fused(a, cost, b, row_b_scratch_)) row_b_valid = false;
+  }
 }
 
 void LspiLearner::restore(SparseMatrix b, SparseVector z,
@@ -103,10 +217,20 @@ void LspiLearner::restore(SparseMatrix b, SparseVector z,
   MEGH_REQUIRE(b.dim() == dim_ && z.dim() == dim_ && theta.dim() == dim_,
                "LspiLearner::restore: shape mismatch");
   B_ = std::move(b);
-  z_ = std::move(z);
-  theta_ = std::move(theta);
+  std::fill(acc_.begin(), acc_.end(), Slot{});
+  z_nnz_ = 0;
+  theta_nnz_ = 0;
+  for (const auto& [i, value] : z.entries()) {
+    acc_[static_cast<std::size_t>(i)].z = value;
+    if (value != 0.0) ++z_nnz_;
+  }
+  for (const auto& [i, value] : theta.entries()) {
+    acc_[static_cast<std::size_t>(i)].theta = value;
+    if (value != 0.0) ++theta_nnz_;
+  }
   updates_ = 0;
   singular_skips_ = 0;
+  truncations_ = 0;
 }
 
 }  // namespace megh

@@ -12,10 +12,36 @@
 // rows a/b of B, and θ is maintained incrementally through the same rank-1
 // identity — never a dense d-vector refresh. This realizes the paper's
 // O(#migrations) per-step cost claim (Sec. 5.2).
+//
+// The update kernel is fused: the factors u = B e_a and
+// w = (e_a − γ e_b)ᵀ B are extracted into flat sorted scratch buffers
+// (reused across calls — zero steady-state allocation), the denominator,
+// w·z, the θ axpy and the B rank-1 merge all run on those contiguous spans.
+// `update_batch` additionally amortizes row b across a step's multi-action
+// update: Megh closes every pending action against the same greedy b, so
+// B.row(b) is extracted once and re-extracted only when a rank-1 update
+// actually touched row b.
+//
+// Storage split: B's rows/columns have small bounded support (a handful of
+// entries each, kept so by factor truncation), so they live in the flat
+// sorted SparseMatrix. θ and z are the opposite shape — support grows with
+// every distinct action ever touched and updates hit random indices — so
+// they are dense d-slots with incremental nonzero counters: z += C e_a is
+// one store, the θ axpy is O(|u|), q_value is one load, and w·z streams w's
+// sorted support against the dense slots. z[i] and θ[i] are interleaved in
+// one 16-byte slot because every update touches both at the same action
+// index — one cache line serves the pair. The kernel's few random loads
+// (slots of a and b, B's row headers) are software-prefetched up front so
+// their miss latency overlaps. Sparse views are materialized on demand
+// (checkpointing, tests) in O(d).
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
 
+#include "common/huge_alloc.hpp"
 #include "linalg/sparse_matrix.hpp"
 #include "linalg/sparse_vector.hpp"
 
@@ -38,8 +64,18 @@ class LspiLearner {
   /// Updates B (Sherman–Morrison), z, and θ incrementally.
   void update(std::int64_t a, double cost, std::int64_t b);
 
+  /// Apply one update per action against a shared next-action `b` and a
+  /// shared per-action cost. Exactly equivalent to calling update() in a
+  /// loop (same θ/B/z bit for bit, same counters), but B.row(b) is
+  /// extracted once and reused until a rank-1 update touches row b.
+  void update_batch(std::span<const std::int64_t> actions, double cost,
+                    std::int64_t b);
+
   /// Q(a) = θ[a]: the estimated discounted cost-to-go of action a.
-  double q_value(std::int64_t a) const { return theta_.get(a); }
+  double q_value(std::int64_t a) const {
+    MEGH_ASSERT(a >= 0 && a < dim_, "q_value: action index out of range");
+    return acc_[static_cast<std::size_t>(a)].theta;
+  }
 
   std::int64_t dim() const { return dim_; }
   double gamma() const { return gamma_; }
@@ -47,13 +83,15 @@ class LspiLearner {
   /// Size of the learned model — the paper's "number of non-zero elements
   /// in the Q-table" (Fig. 7): nnz(θ) plus off-diagonal nnz of B.
   std::size_t qtable_nnz() const {
-    return theta_.nnz() + B_.offdiag_nnz();
+    return theta_nnz_ + B_.offdiag_nnz();
   }
 
-  std::size_t theta_nnz() const { return theta_.nnz(); }
-  const SparseVector& theta() const { return theta_; }
+  std::size_t theta_nnz() const { return theta_nnz_; }
+  /// Sparse views of the dense-backed accumulators, materialized in
+  /// ascending index order (checkpointing/tests — O(d), not a hot path).
+  SparseVector theta() const;
   const SparseMatrix& B() const { return B_; }
-  const SparseVector& z() const { return z_; }
+  SparseVector z() const;
 
   /// Replace the learned state wholesale (checkpoint restore). Shapes must
   /// match dim(); counters are reset (they are diagnostics, not state).
@@ -70,15 +108,45 @@ class LspiLearner {
   void truncate_support(SparseVector& v, std::int64_t keep1,
                         std::int64_t keep2);
 
+  /// The fused kernel body for a single transition. `row_b` must hold
+  /// B.row(b); returns true when the applied rank-1 update touched row b
+  /// (the caller must then refresh its cached row_b).
+  bool update_fused(std::int64_t a, double cost, std::int64_t b,
+                    const SparseVector& row_b);
+
+  /// One dense accumulator slot: z[i] and θ[i] share a cache line because
+  /// the update kernel touches both at the same action index.
+  struct Slot {
+    double z = 0.0;
+    double theta = 0.0;
+  };
+
+  /// slot += v with pruning to exact zero below tolerance and incremental
+  /// nnz maintenance — the dense twin of SparseVector::add.
+  static void slot_add(double& slot, std::size_t& nnz, double v);
+
+  /// θ += coef · sparse, entrywise via slot_add (order-independent).
+  void theta_axpy(double coef, const SparseVector& sparse);
+
   std::int64_t dim_;
   double gamma_;
   int max_update_support_;
   SparseMatrix B_;
-  SparseVector z_;
-  SparseVector theta_;
+  // Dense interleaved accumulators with exact-zero pruning; *_nnz_ counts
+  // entries with magnitude >= SparseVector::kZeroTolerance. Huge-page
+  // backed: updates hit random slots across the full d range.
+  std::vector<Slot, HugePageAllocator<Slot>> acc_;
+  std::size_t z_nnz_ = 0;
+  std::size_t theta_nnz_ = 0;
   long long updates_ = 0;
   long long singular_skips_ = 0;
   long long truncations_ = 0;
+
+  // Fused-kernel scratch (reused across updates; never observable state).
+  SparseVector u_scratch_;
+  SparseVector w_scratch_;
+  SparseVector row_b_scratch_;
+  std::vector<std::pair<std::int64_t, double>> trunc_scratch_;
 };
 
 }  // namespace megh

@@ -68,9 +68,9 @@ std::vector<MigrationAction> MeghPolicy::decide(const StepObservation& obs) {
     }
     const double share =
         effective_cost / static_cast<double>(pending_actions_.size());
-    for (const std::int64_t a : pending_actions_) {
-      learner_->update(a, share, b);
-    }
+    // All pending actions share the same greedy b, so the batched kernel
+    // extracts B.row(b) once instead of once per action.
+    learner_->update_batch(pending_actions_, share, b);
     // θ changed; refresh the candidates' Q-values before acting on them.
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       q[i] = learner_->q_value(candidates[i].index);
@@ -88,6 +88,14 @@ std::vector<MigrationAction> MeghPolicy::decide(const StepObservation& obs) {
   std::vector<double> weights = selector_.weights(q);
   std::vector<MigrationAction> actions;
   std::unordered_set<int> used_vms;
+  // vm → candidate indices, built once per step so excluding a chosen VM's
+  // remaining candidates is O(candidates of that VM), not a rescan of the
+  // whole candidate set on every draw.
+  std::vector<std::vector<std::size_t>> candidates_of_vm(
+      static_cast<std::size_t>(dc.num_vms()));
+  for (std::size_t j = 0; j < candidates.size(); ++j) {
+    candidates_of_vm[static_cast<std::size_t>(candidates[j].vm)].push_back(j);
+  }
   const auto take = [&](std::size_t i) {
     const CandidateAction& c = candidates[i];
     if (used_vms.insert(c.vm).second) {
@@ -98,8 +106,8 @@ std::vector<MigrationAction> MeghPolicy::decide(const StepObservation& obs) {
       }
     }
     // Remove every candidate of this VM from further draws.
-    for (std::size_t j = 0; j < candidates.size(); ++j) {
-      if (candidates[j].vm == c.vm) weights[j] = 0.0;
+    for (std::size_t j : candidates_of_vm[static_cast<std::size_t>(c.vm)]) {
+      weights[j] = 0.0;
     }
   };
   const auto draw_from = [&](const std::vector<std::size_t>& subset) {
@@ -107,14 +115,21 @@ std::vector<MigrationAction> MeghPolicy::decide(const StepObservation& obs) {
     for (std::size_t j : subset) total += weights[j];
     if (!(total > 0.0) || !std::isfinite(total)) return;
     double r = rng_.uniform() * total;
-    for (std::size_t j : subset) {
+    // Numerical edge: r can stay positive by epsilon after the full pass.
+    // Fall back to the last *positive-weight* candidate — never one whose
+    // weight was zeroed (already-used VM / non-finite Q), mirroring
+    // Rng::weighted_index.
+    std::size_t last_positive = subset.size();
+    for (std::size_t k = 0; k < subset.size(); ++k) {
+      const std::size_t j = subset[k];
+      if (weights[j] > 0.0) last_positive = k;
       r -= weights[j];
       if (r <= 0.0) {
         take(j);
         return;
       }
     }
-    take(subset.back());
+    if (last_positive < subset.size()) take(subset[last_positive]);
   };
 
   // Reactive draws: one per overloaded host, over that host's candidates.

@@ -41,13 +41,16 @@ bool sherman_morrison_update(SparseMatrix& B, const SparseVector& u,
                              const SparseVector& v) {
   // Bu: combine columns of B selected by u's nonzeros.
   SparseVector bu(B.dim());
+  SparseVector scratch(B.dim());
   for (const auto& [c, uv] : u.entries()) {
-    bu.axpy(uv, B.col(c));
+    B.col_into(c, scratch);
+    bu.axpy(uv, scratch);
   }
   // vᵀB: combine rows of B selected by v's nonzeros.
   SparseVector vtB(B.dim());
   for (const auto& [r, vv] : v.entries()) {
-    vtB.axpy(vv, B.row(r));
+    B.row_into(r, scratch);
+    vtB.axpy(vv, scratch);
   }
   const double denom = 1.0 + v.dot(bu);
   if (std::abs(denom) < kSingularTolerance) return false;

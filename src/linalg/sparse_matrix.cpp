@@ -1,51 +1,81 @@
 #include "linalg/sparse_matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace megh {
 
+namespace {
+
+/// First position in `row` with col >= c.
+std::size_t row_find(const std::vector<SparseMatrix::Entry>& row,
+                     SparseMatrix::Index c) {
+  return static_cast<std::size_t>(
+      std::lower_bound(row.begin(), row.end(), c,
+                       [](const SparseMatrix::Entry& e,
+                          SparseMatrix::Index key) { return e.col < key; }) -
+      row.begin());
+}
+
+}  // namespace
+
 SparseMatrix::SparseMatrix(Index n, double diag_value) : n_(n) {
   MEGH_ASSERT(n >= 0, "SparseMatrix dimension must be non-negative");
-  diag_.assign(static_cast<std::size_t>(n), diag_value);
+  rows_.resize(static_cast<std::size_t>(n));
+  for (Row& row : rows_) row.diag = diag_value;
 }
 
 double SparseMatrix::get(Index r, Index c) const {
   check(r, c);
-  if (r == c) return diag_[static_cast<std::size_t>(r)];
-  const auto it = off_.find(key(r, c));
-  return it == off_.end() ? 0.0 : it->second;
+  if (r == c) return rows_[static_cast<std::size_t>(r)].diag;
+  const auto& row = rows_[static_cast<std::size_t>(r)].entries;
+  const std::size_t pos = row_find(row, c);
+  return pos < row.size() && row[pos].col == c ? row[pos].val : 0.0;
 }
 
 void SparseMatrix::set(Index r, Index c, double v) {
   check(r, c);
   if (r == c) {
-    diag_[static_cast<std::size_t>(r)] = v;
+    rows_[static_cast<std::size_t>(r)].diag = v;
     return;
   }
   set_off(r, c, v);
 }
 
+void SparseMatrix::register_col(Index c, Index r) {
+  auto& rows = rows_[static_cast<std::size_t>(c)].cols;
+  const auto it = std::lower_bound(rows.begin(), rows.end(), r);
+  MEGH_ASSERT(it == rows.end() || *it != r,
+              "column adjacency already holds this row");
+  rows.insert(it, r);
+}
+
+void SparseMatrix::unregister_col(Index c, Index r) {
+  auto& rows = rows_[static_cast<std::size_t>(c)].cols;
+  const auto it = std::lower_bound(rows.begin(), rows.end(), r);
+  MEGH_ASSERT(it != rows.end() && *it == r,
+              "column adjacency missing an expected row");
+  rows.erase(it);
+}
+
 void SparseMatrix::set_off(Index r, Index c, double v) {
-  const std::uint64_t k = key(r, c);
+  auto& row = rows_[static_cast<std::size_t>(r)].entries;
+  const std::size_t pos = row_find(row, c);
+  const bool present = pos < row.size() && row[pos].col == c;
   if (std::abs(v) < kZeroTolerance) {
-    if (off_.erase(k) > 0) {
-      auto rit = row_cols_.find(r);
-      if (rit != row_cols_.end()) {
-        rit->second.erase(c);
-        if (rit->second.empty()) row_cols_.erase(rit);
-      }
-      auto cit = col_rows_.find(c);
-      if (cit != col_rows_.end()) {
-        cit->second.erase(r);
-        if (cit->second.empty()) col_rows_.erase(cit);
-      }
+    if (present) {
+      row.erase(row.begin() + static_cast<std::ptrdiff_t>(pos));
+      unregister_col(c, r);
+      --offdiag_nnz_;
     }
     return;
   }
-  const bool inserted = off_.insert_or_assign(k, v).second;
-  if (inserted) {
-    row_cols_[r].insert(c);
-    col_rows_[c].insert(r);
+  if (present) {
+    row[pos].val = v;
+  } else {
+    row.insert(row.begin() + static_cast<std::ptrdiff_t>(pos), Entry{c, v});
+    register_col(c, r);
+    ++offdiag_nnz_;
   }
 }
 
@@ -55,68 +85,219 @@ void SparseMatrix::add(Index r, Index c, double v) {
 }
 
 std::size_t SparseMatrix::nnz() const {
-  std::size_t count = off_.size();
-  for (double d : diag_) {
-    if (std::abs(d) >= kZeroTolerance) ++count;
+  std::size_t count = offdiag_nnz_;
+  for (const Row& row : rows_) {
+    if (std::abs(row.diag) >= kZeroTolerance) ++count;
   }
   return count;
 }
 
-SparseVector SparseMatrix::row(Index r) const {
+void SparseMatrix::row_into(Index r, SparseVector& out) const {
   MEGH_ASSERT(r >= 0 && r < n_, "row index out of range");
-  SparseVector out(n_);
-  const double d = diag_[static_cast<std::size_t>(r)];
-  if (std::abs(d) >= kZeroTolerance) out.set(r, d);
-  const auto it = row_cols_.find(r);
-  if (it != row_cols_.end()) {
-    for (Index c : it->second) out.set(c, off_.at(key(r, c)));
+  out.clear();
+  const auto& row = rows_[static_cast<std::size_t>(r)].entries;
+  out.reserve(row.size() + 1);
+  const double d = rows_[static_cast<std::size_t>(r)].diag;
+  const bool has_diag = std::abs(d) >= kZeroTolerance;
+  bool diag_emitted = !has_diag;
+  for (const Entry& e : row) {
+    if (!diag_emitted && r < e.col) {
+      out.push_back(r, d);
+      diag_emitted = true;
+    }
+    out.push_back(e.col, e.val);
   }
+  if (!diag_emitted) out.push_back(r, d);
+}
+
+void SparseMatrix::col_into(Index c, SparseVector& out) const {
+  MEGH_ASSERT(c >= 0 && c < n_, "col index out of range");
+  out.clear();
+  const auto& rows = rows_[static_cast<std::size_t>(c)].cols;
+  out.reserve(rows.size() + 1);
+  const double d = rows_[static_cast<std::size_t>(c)].diag;
+  const bool has_diag = std::abs(d) >= kZeroTolerance;
+  bool diag_emitted = !has_diag;
+  for (const Index r : rows) {
+    if (!diag_emitted && c < r) {
+      out.push_back(c, d);
+      diag_emitted = true;
+    }
+    const auto& row = rows_[static_cast<std::size_t>(r)].entries;
+    const std::size_t pos = row_find(row, c);
+    MEGH_ASSERT(pos < row.size() && row[pos].col == c,
+                "column adjacency points at a missing row entry");
+    out.push_back(r, row[pos].val);
+  }
+  if (!diag_emitted) out.push_back(c, d);
+}
+
+SparseVector SparseMatrix::row(Index r) const {
+  SparseVector out(n_);
+  row_into(r, out);
   return out;
 }
 
 SparseVector SparseMatrix::col(Index c) const {
-  MEGH_ASSERT(c >= 0 && c < n_, "col index out of range");
   SparseVector out(n_);
-  const double d = diag_[static_cast<std::size_t>(c)];
-  if (std::abs(d) >= kZeroTolerance) out.set(c, d);
-  const auto it = col_rows_.find(c);
-  if (it != col_rows_.end()) {
-    for (Index r : it->second) out.set(r, off_.at(key(r, c)));
-  }
+  col_into(c, out);
   return out;
+}
+
+void SparseMatrix::row_diff_into(Index a, Index b, double gamma,
+                                 SparseVector& out) const {
+  MEGH_ASSERT(a >= 0 && a < n_ && b >= 0 && b < n_,
+              "row_diff index out of range");
+  // Expand both rows (diagonal included) and merge with coefficients
+  // (1, −γ). Sorted two-pointer walk over flat spans; no temporaries.
+  out.clear();
+  const auto& ra = rows_[static_cast<std::size_t>(a)].entries;
+  const auto& rb = rows_[static_cast<std::size_t>(b)].entries;
+  out.reserve(ra.size() + rb.size() + 2);
+
+  // Virtual cursors that splice the dense diagonal entry into each row's
+  // sorted walk.
+  std::size_t ia = 0, ib = 0;
+  bool diag_a_left =
+      std::abs(rows_[static_cast<std::size_t>(a)].diag) >= kZeroTolerance;
+  bool diag_b_left =
+      std::abs(rows_[static_cast<std::size_t>(b)].diag) >= kZeroTolerance;
+  const auto next_a = [&](Index& c, double& v) {
+    const bool row_left = ia < ra.size();
+    if (diag_a_left && (!row_left || a < ra[ia].col)) {
+      c = a;
+      v = rows_[static_cast<std::size_t>(a)].diag;
+      diag_a_left = false;
+      return true;
+    }
+    if (row_left) {
+      c = ra[ia].col;
+      v = ra[ia].val;
+      ++ia;
+      return true;
+    }
+    return false;
+  };
+  const auto next_b = [&](Index& c, double& v) {
+    const bool row_left = ib < rb.size();
+    if (diag_b_left && (!row_left || b < rb[ib].col)) {
+      c = b;
+      v = rows_[static_cast<std::size_t>(b)].diag;
+      diag_b_left = false;
+      return true;
+    }
+    if (row_left) {
+      c = rb[ib].col;
+      v = rb[ib].val;
+      ++ib;
+      return true;
+    }
+    return false;
+  };
+
+  Index ca = 0, cb = 0;
+  double va = 0.0, vb = 0.0;
+  bool have_a = next_a(ca, va);
+  bool have_b = next_b(cb, vb);
+  while (have_a || have_b) {
+    if (have_a && (!have_b || ca < cb)) {
+      out.push_back(ca, va);
+      have_a = next_a(ca, va);
+    } else if (have_b && (!have_a || cb < ca)) {
+      out.push_back(cb, -gamma * vb);
+      have_b = next_b(cb, vb);
+    } else {
+      out.push_back(ca, va - gamma * vb);
+      have_a = next_a(ca, va);
+      have_b = next_b(cb, vb);
+    }
+  }
 }
 
 SparseVector SparseMatrix::multiply(const SparseVector& x) const {
   SparseVector y(n_);
   for (const auto& [c, xv] : x.entries()) {
     MEGH_ASSERT(c >= 0 && c < n_, "multiply: x index out of range");
-    const double d = diag_[static_cast<std::size_t>(c)];
-    if (d != 0.0) y.add(c, d * xv);
-    const auto it = col_rows_.find(c);
-    if (it != col_rows_.end()) {
-      for (Index r : it->second) y.add(r, off_.at(key(r, c)) * xv);
+    const double d = rows_[static_cast<std::size_t>(c)].diag;
+    if (std::abs(d) >= kZeroTolerance) y.add(c, d * xv);
+    for (const Index r : rows_[static_cast<std::size_t>(c)].cols) {
+      const auto& row = rows_[static_cast<std::size_t>(r)].entries;
+      const std::size_t pos = row_find(row, c);
+      MEGH_ASSERT(pos < row.size() && row[pos].col == c,
+                  "column adjacency points at a missing row entry");
+      y.add(r, row[pos].val * xv);
     }
   }
   return y;
 }
 
+void SparseMatrix::merge_into_row(Index r, double coef,
+                                  const SparseVector& v) {
+  auto& row = rows_[static_cast<std::size_t>(r)].entries;
+  const std::span<const Index> vidx = v.indices();
+  const std::span<const double> vval = v.values();
+
+  scratch_row_.clear();
+  scratch_row_.reserve(row.size() + vidx.size());
+  std::size_t i = 0, j = 0;
+  while (i < row.size() || j < vidx.size()) {
+    // Skip v's diagonal entry; the caller folds it into diag_.
+    if (j < vidx.size() && vidx[j] == r) {
+      ++j;
+      continue;
+    }
+    if (j >= vidx.size() || (i < row.size() && row[i].col < vidx[j])) {
+      scratch_row_.push_back(row[i]);
+      ++i;
+    } else if (i < row.size() && row[i].col == vidx[j]) {
+      const double nv = row[i].val + coef * vval[j];
+      if (std::abs(nv) < kZeroTolerance) {
+        unregister_col(row[i].col, r);
+        --offdiag_nnz_;
+      } else {
+        scratch_row_.push_back(Entry{row[i].col, nv});
+      }
+      ++i;
+      ++j;
+    } else {
+      const double nv = coef * vval[j];
+      if (std::abs(nv) >= kZeroTolerance) {
+        scratch_row_.push_back(Entry{vidx[j], nv});
+        register_col(vidx[j], r);
+        ++offdiag_nnz_;
+      }
+      ++j;
+    }
+  }
+  // Copy back instead of swapping buffers: scratch_row_'s capacity then
+  // grows monotonically to the largest row ever merged and each row keeps
+  // its own right-sized buffer, so the steady state allocates nothing
+  // (a swap would ping-pong heterogeneous capacities and realloc per call).
+  row.assign(scratch_row_.begin(), scratch_row_.end());
+}
+
 void SparseMatrix::rank1_update(const SparseVector& u, const SparseVector& v,
                                 double scale) {
   if (scale == 0.0) return;
-  for (const auto& [r, uv] : u.entries()) {
-    for (const auto& [c, vv] : v.entries()) {
-      add(r, c, scale * uv * vv);
-    }
+  const std::span<const Index> uidx = u.indices();
+  const std::span<const double> uval = u.values();
+  for (std::size_t k = 0; k < uidx.size(); ++k) {
+    const Index r = uidx[k];
+    check(r, r);
+    const double coef = scale * uval[k];
+    if (coef == 0.0) continue;
+    rows_[static_cast<std::size_t>(r)].diag += coef * v.get(r);
+    merge_into_row(r, coef, v);
   }
 }
 
 DenseMatrix SparseMatrix::to_dense() const {
   DenseMatrix out(n_, n_, 0.0);
-  for (Index i = 0; i < n_; ++i) out.at(i, i) = diag_[static_cast<std::size_t>(i)];
-  for (const auto& [k, v] : off_) {
-    const Index r = static_cast<Index>(k >> 32);
-    const Index c = static_cast<Index>(k & 0xffffffffULL);
-    out.at(r, c) = v;
+  for (Index r = 0; r < n_; ++r) {
+    out.at(r, r) = rows_[static_cast<std::size_t>(r)].diag;
+    for (const Entry& e : rows_[static_cast<std::size_t>(r)].entries) {
+      out.at(r, e.col) = e.val;
+    }
   }
   return out;
 }

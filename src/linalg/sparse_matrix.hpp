@@ -1,19 +1,26 @@
-// Sparse square matrix stored as an explicit dense diagonal plus a
-// hash-mapped set of off-diagonal entries with row/column adjacency.
+// Sparse square matrix stored as flat CSR-like rows with the diagonal
+// packed into each row's header.
 //
 // This layout is exactly what Megh's inverse transition operator
 // B = T⁻¹ needs (Sec. 5.2 of the paper): B starts as δ⁻¹·I — pure diagonal —
 // and every Sherman–Morrison step adds a rank-1 term whose factors are unit
-// basis vectors, touching only a handful of rows/columns. Storing the
-// diagonal densely keeps the initial footprint at O(d) doubles and makes
-// row/column extraction O(nnz in that row/column).
+// basis vectors, touching only a handful of rows/columns. Each row is one
+// 32-byte header (dense diagonal value + the off-diagonal entry vector)
+// so touching a row costs a single cache line for the diagonal-dominated
+// steady state; off-diagonal entries live in one contiguous array sorted by
+// column, so a rank-1 update is a linear merge per touched row (no hash
+// probes, no ordered-set bookkeeping) and row extraction is a contiguous
+// copy. A per-column sorted list of row indices (values stay row-owned)
+// keeps column extraction O(nnz(col) · log nnz(row)). The unit-update hot
+// path is memory-latency-bound, so `prefetch_unit_update` lets callers
+// overlap the row/column header fetches for an upcoming (a, b) pair.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/huge_alloc.hpp"
+#include "common/prefetch.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "linalg/sparse_vector.hpp"
 
@@ -24,6 +31,12 @@ class SparseMatrix {
   using Index = std::int64_t;
 
   static constexpr double kZeroTolerance = 1e-12;
+
+  /// One off-diagonal row entry; rows are sorted by `col`.
+  struct Entry {
+    Index col;
+    double val;
+  };
 
   SparseMatrix() = default;
 
@@ -40,28 +53,47 @@ class SparseMatrix {
   std::size_t nnz() const;
 
   /// Number of stored off-diagonal nonzeros.
-  std::size_t offdiag_nnz() const { return off_.size(); }
+  std::size_t offdiag_nnz() const { return offdiag_nnz_; }
 
   /// Extract row r / column c as a sparse vector.
   SparseVector row(Index r) const;
   SparseVector col(Index c) const;
 
+  /// Allocation-free extraction into a caller-owned scratch vector
+  /// (cleared first). The fused LSPI kernel reuses the same scratch
+  /// buffers across every update.
+  void row_into(Index r, SparseVector& out) const;
+  void col_into(Index c, SparseVector& out) const;
+
+  /// out = row(a) − gamma·row(b), fused into one sorted merge — the
+  /// Sherman–Morrison factor w = (e_a − γ e_b)ᵀ B without intermediate
+  /// row materialization.
+  void row_diff_into(Index a, Index b, double gamma, SparseVector& out) const;
+
   /// y = M x for sparse x (cost: sum over x's nonzeros of column nnz).
   SparseVector multiply(const SparseVector& x) const;
 
-  /// M += scale * u vᵀ for sparse u, v.
+  /// M += scale * u vᵀ for sparse u, v: one sorted merge per row in
+  /// supp(u), O(nnz(row) + nnz(v)) amortized per row.
   void rank1_update(const SparseVector& u, const SparseVector& v,
                     double scale);
 
   /// Materialize (tests/small dims only).
   DenseMatrix to_dense() const;
 
- private:
-  static std::uint64_t key(Index r, Index c) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r)) << 32) |
-           static_cast<std::uint32_t>(c);
+  /// Hint the caches about an upcoming unit Sherman–Morrison update with
+  /// factors supported on {a, b}: the index records of a and b — each one
+  /// aligned cache line holding the diagonal, the row's entry span, and
+  /// the column's adjacency span. These are the kernel's independent
+  /// random loads; prefetching them together overlaps their miss latency.
+  /// (The array is huge-page backed, so the prefetches' translations stay
+  /// TLB-resident and the hints are not dropped.)
+  void prefetch_unit_update(Index a, Index b) const {
+    MEGH_PREFETCH(rows_.data() + a);
+    if (b != a) MEGH_PREFETCH(rows_.data() + b);
   }
 
+ private:
   void check(Index r, Index c) const {
     MEGH_ASSERT(r >= 0 && r < n_ && c >= 0 && c < n_,
                 "SparseMatrix index out of range");
@@ -69,13 +101,31 @@ class SparseMatrix {
 
   void set_off(Index r, Index c, double v);
 
+  /// rows_[r] += coef · v, skipping v's entry at column r (diagonal handled
+  /// by the caller). Maintains col_rows_ and offdiag_nnz_.
+  void merge_into_row(Index r, double coef, const SparseVector& v);
+
+  void register_col(Index c, Index r);
+  void unregister_col(Index c, Index r);
+
+  /// Per-index storage record: the dense diagonal value, the row's
+  /// off-diagonal entries, and the column's adjacency all ride in one
+  /// 64-byte cache-line-aligned header, so everything the unit-update
+  /// kernel needs about index i (B[i][i], row i, which rows hold column i)
+  /// is one random load. The diagonal-dominated steady state touches
+  /// exactly two such lines per update (indices a and b).
+  struct alignas(64) Row {
+    double diag = 0.0;
+    std::vector<Entry> entries;  // off-diagonal row entries, sorted by col
+    std::vector<Index> cols;     // sorted rows with an entry in this column
+  };
+
+  // The d-sized header array lives on huge pages: the hot path's random
+  // accesses into it stay TLB-resident (see huge_alloc.hpp).
   Index n_ = 0;
-  std::vector<double> diag_;
-  std::unordered_map<std::uint64_t, double> off_;
-  // Adjacency: which off-diagonal columns exist in each row, and rows in
-  // each column. Only nonempty rows/cols are present.
-  std::unordered_map<Index, std::unordered_set<Index>> row_cols_;
-  std::unordered_map<Index, std::unordered_set<Index>> col_rows_;
+  std::vector<Row, HugePageAllocator<Row>> rows_;
+  std::size_t offdiag_nnz_ = 0;
+  std::vector<Entry> scratch_row_;  // merge workspace (avoids realloc)
 };
 
 }  // namespace megh

@@ -1,59 +1,160 @@
 #include "linalg/sparse_vector.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace megh {
 
+std::size_t SparseVector::find(Index i) const {
+  // Hot paths touch the tail (ascending builders, z.add on recent actions);
+  // check it before the binary search.
+  if (idx_.empty() || idx_.back() < i) return idx_.size();
+  return static_cast<std::size_t>(
+      std::lower_bound(idx_.begin(), idx_.end(), i) - idx_.begin());
+}
+
 void SparseVector::set(Index i, double v) {
   check_index(i);
+  const std::size_t pos = find(i);
+  const bool present = pos < idx_.size() && idx_[pos] == i;
   if (std::abs(v) < kZeroTolerance) {
-    entries_.erase(i);
+    if (present) {
+      idx_.erase(idx_.begin() + static_cast<std::ptrdiff_t>(pos));
+      val_.erase(val_.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+    return;
+  }
+  if (present) {
+    val_[pos] = v;
   } else {
-    entries_[i] = v;
+    idx_.insert(idx_.begin() + static_cast<std::ptrdiff_t>(pos), i);
+    val_.insert(val_.begin() + static_cast<std::ptrdiff_t>(pos), v);
   }
 }
 
 void SparseVector::add(Index i, double v) {
   check_index(i);
-  const auto it = entries_.find(i);
-  if (it == entries_.end()) {
-    if (std::abs(v) >= kZeroTolerance) entries_.emplace(i, v);
+  const std::size_t pos = find(i);
+  const bool present = pos < idx_.size() && idx_[pos] == i;
+  if (!present) {
+    if (std::abs(v) >= kZeroTolerance) {
+      idx_.insert(idx_.begin() + static_cast<std::ptrdiff_t>(pos), i);
+      val_.insert(val_.begin() + static_cast<std::ptrdiff_t>(pos), v);
+    }
     return;
   }
-  it->second += v;
-  if (std::abs(it->second) < kZeroTolerance) entries_.erase(it);
+  val_[pos] += v;
+  if (std::abs(val_[pos]) < kZeroTolerance) {
+    idx_.erase(idx_.begin() + static_cast<std::ptrdiff_t>(pos));
+    val_.erase(val_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
 }
 
 void SparseVector::axpy(double scale, const SparseVector& other) {
-  if (scale == 0.0) return;
-  for (const auto& [i, v] : other.entries_) add(i, scale * v);
+  if (scale == 0.0 || other.empty()) return;
+  if (empty()) {
+    idx_ = other.idx_;
+    val_.resize(other.val_.size());
+    for (std::size_t k = 0; k < other.val_.size(); ++k) {
+      val_[k] = scale * other.val_[k];
+    }
+    // Scaling cannot push a magnitude below tolerance unless |scale| < 1;
+    // prune in that case to keep the no-near-zero invariant.
+    if (std::abs(scale) < 1.0) prune_zeros();
+    return;
+  }
+  // Backward in-place merge: grow to the union size, then merge from the
+  // tails so nothing is overwritten before it is consumed.
+  const std::size_t n1 = idx_.size();
+  const std::size_t n2 = other.idx_.size();
+  idx_.resize(n1 + n2);
+  val_.resize(n1 + n2);
+  std::ptrdiff_t i = static_cast<std::ptrdiff_t>(n1) - 1;
+  std::ptrdiff_t j = static_cast<std::ptrdiff_t>(n2) - 1;
+  std::ptrdiff_t out = static_cast<std::ptrdiff_t>(n1 + n2) - 1;
+  while (j >= 0) {
+    if (i >= 0 && idx_[static_cast<std::size_t>(i)] >
+                      other.idx_[static_cast<std::size_t>(j)]) {
+      idx_[static_cast<std::size_t>(out)] = idx_[static_cast<std::size_t>(i)];
+      val_[static_cast<std::size_t>(out)] = val_[static_cast<std::size_t>(i)];
+      --i;
+    } else if (i >= 0 && idx_[static_cast<std::size_t>(i)] ==
+                             other.idx_[static_cast<std::size_t>(j)]) {
+      idx_[static_cast<std::size_t>(out)] = idx_[static_cast<std::size_t>(i)];
+      val_[static_cast<std::size_t>(out)] =
+          val_[static_cast<std::size_t>(i)] +
+          scale * other.val_[static_cast<std::size_t>(j)];
+      --i;
+      --j;
+    } else {
+      idx_[static_cast<std::size_t>(out)] =
+          other.idx_[static_cast<std::size_t>(j)];
+      val_[static_cast<std::size_t>(out)] =
+          scale * other.val_[static_cast<std::size_t>(j)];
+      --j;
+    }
+    --out;
+  }
+  // Remaining head entries (i >= 0) are already in place. Close the gap
+  // left between them and the merged tail, dropping near-zero results.
+  const std::size_t tail_start = static_cast<std::size_t>(out + 1);
+  std::size_t w = static_cast<std::size_t>(i + 1);
+  for (std::size_t r = tail_start; r < idx_.size(); ++r) {
+    if (std::abs(val_[r]) < kZeroTolerance) continue;
+    idx_[w] = idx_[r];
+    val_[w] = val_[r];
+    ++w;
+  }
+  idx_.resize(w);
+  val_.resize(w);
 }
 
 void SparseVector::scale(double s) {
   if (s == 0.0) {
-    entries_.clear();
+    clear();
     return;
   }
-  for (auto& [i, v] : entries_) v *= s;
+  for (double& v : val_) v *= s;
+  if (std::abs(s) < 1.0) prune_zeros();
+}
+
+void SparseVector::prune_zeros() {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < idx_.size(); ++r) {
+    if (std::abs(val_[r]) < kZeroTolerance) continue;
+    idx_[w] = idx_[r];
+    val_[w] = val_[r];
+    ++w;
+  }
+  idx_.resize(w);
+  val_.resize(w);
 }
 
 double SparseVector::dot(const SparseVector& other) const {
-  const SparseVector& small = nnz() <= other.nnz() ? *this : other;
-  const SparseVector& big = nnz() <= other.nnz() ? other : *this;
   double sum = 0.0;
-  for (const auto& [i, v] : small.entries_) {
-    const auto it = big.entries_.find(i);
-    if (it != big.entries_.end()) sum += v * it->second;
+  std::size_t i = 0, j = 0;
+  const std::size_t n1 = idx_.size(), n2 = other.idx_.size();
+  while (i < n1 && j < n2) {
+    const Index a = idx_[i], b = other.idx_[j];
+    if (a == b) {
+      sum += val_[i] * other.val_[j];
+      ++i;
+      ++j;
+    } else if (a < b) {
+      ++i;
+    } else {
+      ++j;
+    }
   }
   return sum;
 }
 
 double SparseVector::dot(std::span<const double> dense) const {
   double sum = 0.0;
-  for (const auto& [i, v] : entries_) {
-    MEGH_ASSERT(static_cast<std::size_t>(i) < dense.size(),
+  for (std::size_t k = 0; k < idx_.size(); ++k) {
+    MEGH_ASSERT(static_cast<std::size_t>(idx_[k]) < dense.size(),
                 "sparse/dense dot dimension mismatch");
-    sum += v * dense[static_cast<std::size_t>(i)];
+    sum += val_[k] * dense[static_cast<std::size_t>(idx_[k])];
   }
   return sum;
 }
@@ -61,7 +162,9 @@ double SparseVector::dot(std::span<const double> dense) const {
 std::vector<double> SparseVector::to_dense() const {
   MEGH_ASSERT(dim_ > 0, "to_dense needs a bounded dimension");
   std::vector<double> out(static_cast<std::size_t>(dim_), 0.0);
-  for (const auto& [i, v] : entries_) out[static_cast<std::size_t>(i)] = v;
+  for (std::size_t k = 0; k < idx_.size(); ++k) {
+    out[static_cast<std::size_t>(idx_[k])] = val_[k];
+  }
   return out;
 }
 
