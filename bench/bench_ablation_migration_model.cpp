@@ -6,118 +6,152 @@
 // downtime, so churn-heavy THR-MMT loses more cost than Megh when the model
 // is switched on; busier guests become visibly more expensive to move.
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "bench_common.hpp"
 #include "baselines/mmt_policy.hpp"
 #include "common/csv.hpp"
 #include "common/string_util.hpp"
 #include "core/megh_policy.hpp"
+#include "harness/experiment_registry.hpp"
 #include "harness/report.hpp"
-#include "harness/scenario.hpp"
 
-using namespace megh;
-
+namespace megh {
 namespace {
 
-SimulationTotals run_with_model(const Scenario& scenario,
-                                MigrationPolicy& policy, double cap,
-                                SimulationConfig::MigrationTimeModel model,
-                                double dirty_rate) {
-  Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 3);
-  SimulationConfig config = default_sim_config(cap);
-  config.migration_model = model;
-  config.precopy.dirty_rate_mb_per_s = dirty_rate;
-  Simulation sim(std::move(dc), scenario.trace, config);
-  return sim.run(policy).totals;
+struct ModelVariant {
+  const char* label;
+  SimulationConfig::MigrationTimeModel model;
+  double dirty_rate;
+};
+
+constexpr ModelVariant kVariants[] = {
+    {"flat", SimulationConfig::MigrationTimeModel::kFlat, 0.0},
+    {"precopy (20 MB/s dirty)",
+     SimulationConfig::MigrationTimeModel::kPreCopy, 20.0},
+    {"precopy (80 MB/s dirty)",
+     SimulationConfig::MigrationTimeModel::kPreCopy, 80.0},
+};
+
+double cost_of(const ExperimentOutput& output, const std::string& label,
+               const std::string& group) {
+  const CellResult* cell = output.find(label, group);
+  return cell ? cell->result.sim.totals.total_cost_usd : 0.0;
 }
+
+ExperimentSpec migration_model_spec() {
+  ExperimentSpec spec;
+  spec.name = "ablation_migration";
+  spec.paper_ref = "—";
+  spec.title =
+      "Ablation — migration timing model (flat vs iterative pre-copy)";
+  spec.paper_claim =
+      "pre-copy adds dirty-rate-dependent downtime; churny policies pay "
+      "more than frugal ones when it is enabled";
+  spec.order = 120;
+  spec.params = {
+      {"hosts", 80, 80, 24, "PM count"},
+      {"vms", 120, 120, 36, "VM count"},
+      {"steps", 576, 2016, 60, "steps per run"},
+  };
+  spec.plan = [](const ScaleValues& scale, std::uint64_t seed) {
+    ExperimentPlan plan;
+    plan.scenarios.push_back(make_planetlab_scenario(
+        scale.get_int("hosts"), scale.get_int("vms"), scale.get_int("steps"),
+        seed));
+    for (const ModelVariant& variant : kVariants) {
+      const auto model = variant.model;
+      const double dirty_rate = variant.dirty_rate;
+      const auto with_model = [model, dirty_rate](SimulationConfig& config) {
+        config.migration_model = model;
+        config.precopy.dirty_rate_mb_per_s = dirty_rate;
+      };
+      {
+        CellSpec cell;
+        cell.label = "Megh";
+        cell.group = variant.label;
+        cell.rng_stream = seed;
+        cell.params = {{"dirty_rate", dirty_rate}};
+        cell.make = [seed] {
+          MeghConfig config;
+          config.seed = seed;
+          return std::make_unique<MeghPolicy>(config);
+        };
+        cell.options.max_migration_fraction = 0.02;
+        cell.options.configure_sim = with_model;
+        plan.cells.push_back(std::move(cell));
+      }
+      {
+        CellSpec cell;
+        cell.label = "THR-MMT";
+        cell.group = variant.label;
+        cell.rng_stream = seed;
+        cell.params = {{"dirty_rate", dirty_rate}};
+        cell.make = [seed] { return make_thr_mmt(0.7, seed); };
+        cell.options.configure_sim = with_model;
+        plan.cells.push_back(std::move(cell));
+      }
+    }
+    return plan;
+  };
+  spec.post = [](const ExperimentPlan&, ExperimentOutput& output) {
+    const auto path = bench_output_dir() / "ablation_migration_model.csv";
+    CsvWriter csv(path);
+    csv.header({"policy", "model", "dirty_rate_mb_s", "total_cost_usd",
+                "sla_cost_usd", "migrations", "pdm"});
+    std::vector<std::vector<std::string>> rows;
+    for (const CellResult& cell : output.cells) {
+      const SimulationTotals& t = cell.result.sim.totals;
+      rows.push_back({cell.label, cell.group, strf("%.1f", t.total_cost_usd),
+                      strf("%.1f", t.sla_cost_usd),
+                      strf("%lld", t.migrations), strf("%.6f", t.pdm)});
+      csv.row_str({cell.label, cell.group,
+                   strf("%.1f", cell.params.at("dirty_rate")),
+                   strf("%.4f", t.total_cost_usd),
+                   strf("%.4f", t.sla_cost_usd), strf("%lld", t.migrations),
+                   strf("%.8f", t.pdm)});
+    }
+    print_table("Migration-model ablation",
+                {"policy", "model", "cost", "SLA", "migrations", "PDM"},
+                rows);
+    record_artifact(output, path.string());
+  };
+  spec.checks = {
+      {.description = "pre-copy raises THR-MMT's cost",
+       .custom =
+           [](const ExperimentOutput& output) {
+             const double flat = cost_of(output, "THR-MMT", "flat");
+             const double hot =
+                 cost_of(output, "THR-MMT", "precopy (80 MB/s dirty)");
+             CheckOutcome outcome;
+             outcome.status = hot > flat ? CheckOutcome::Status::kPass
+                                         : CheckOutcome::Status::kFail;
+             outcome.detail = strf("%.1f -> %.1f", flat, hot);
+             return outcome;
+           }},
+      {.description =
+           "churny THR-MMT pays a larger absolute penalty than Megh",
+       .custom =
+           [](const ExperimentOutput& output) {
+             const double thr_penalty =
+                 cost_of(output, "THR-MMT", "precopy (80 MB/s dirty)") -
+                 cost_of(output, "THR-MMT", "flat");
+             const double megh_penalty =
+                 cost_of(output, "Megh", "precopy (80 MB/s dirty)") -
+                 cost_of(output, "Megh", "flat");
+             CheckOutcome outcome;
+             outcome.status = thr_penalty > megh_penalty
+                                  ? CheckOutcome::Status::kPass
+                                  : CheckOutcome::Status::kFail;
+             outcome.detail = strf("+%.1f vs +%.1f USD", thr_penalty,
+                                   megh_penalty);
+             return outcome;
+           }},
+  };
+  return spec;
+}
+
+const ExperimentRegistrar registrar(migration_model_spec());
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  Args args;
-  bench::add_standard_flags(args);
-  args.add_flag("hosts", "PM count", "80");
-  args.add_flag("vms", "VM count", "120");
-  args.add_flag("steps", "steps per run (--full = 2016)", "576");
-  if (!args.parse(argc, argv)) return 0;
-  bench::configure_tracing(args);
-  const bool full = bench::full_scale(args);
-  const int hosts = static_cast<int>(args.get_int("hosts"));
-  const int vms = static_cast<int>(args.get_int("vms"));
-  const int steps = full ? 2016 : static_cast<int>(args.get_int("steps"));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-
-  bench::print_banner(
-      "Ablation — migration timing model (flat vs iterative pre-copy)",
-      "pre-copy adds dirty-rate-dependent downtime; churny policies pay "
-      "more than frugal ones when it is enabled");
-
-  const Scenario scenario = make_planetlab_scenario(hosts, vms, steps, seed);
-  CsvWriter csv(bench_output_dir() / "ablation_migration_model.csv");
-  csv.header({"policy", "model", "dirty_rate_mb_s", "total_cost_usd",
-              "sla_cost_usd", "migrations", "pdm"});
-  std::vector<std::vector<std::string>> rows;
-
-  struct Cell {
-    const char* label;
-    SimulationConfig::MigrationTimeModel model;
-    double dirty_rate;
-  };
-  const Cell cells[] = {
-      {"flat", SimulationConfig::MigrationTimeModel::kFlat, 0.0},
-      {"precopy (20 MB/s dirty)", SimulationConfig::MigrationTimeModel::kPreCopy,
-       20.0},
-      {"precopy (80 MB/s dirty)", SimulationConfig::MigrationTimeModel::kPreCopy,
-       80.0},
-  };
-
-  double megh_flat = 0, megh_hot = 0, thr_flat = 0, thr_hot = 0;
-  for (const Cell& cell : cells) {
-    {
-      MeghConfig config;
-      config.seed = seed;
-      MeghPolicy megh(config);
-      const SimulationTotals t =
-          run_with_model(scenario, megh, 0.02, cell.model, cell.dirty_rate);
-      rows.push_back({"Megh", cell.label, strf("%.1f", t.total_cost_usd),
-                      strf("%.1f", t.sla_cost_usd),
-                      strf("%lld", t.migrations), strf("%.6f", t.pdm)});
-      csv.row_str({"Megh", cell.label, strf("%.1f", cell.dirty_rate),
-                   strf("%.4f", t.total_cost_usd),
-                   strf("%.4f", t.sla_cost_usd), strf("%lld", t.migrations),
-                   strf("%.8f", t.pdm)});
-      if (cell.dirty_rate == 0.0) megh_flat = t.total_cost_usd;
-      if (cell.dirty_rate == 80.0) megh_hot = t.total_cost_usd;
-    }
-    {
-      auto thr = make_thr_mmt(0.7, seed);
-      const SimulationTotals t =
-          run_with_model(scenario, *thr, 0.0, cell.model, cell.dirty_rate);
-      rows.push_back({"THR-MMT", cell.label, strf("%.1f", t.total_cost_usd),
-                      strf("%.1f", t.sla_cost_usd),
-                      strf("%lld", t.migrations), strf("%.6f", t.pdm)});
-      csv.row_str({"THR-MMT", cell.label, strf("%.1f", cell.dirty_rate),
-                   strf("%.4f", t.total_cost_usd),
-                   strf("%.4f", t.sla_cost_usd), strf("%lld", t.migrations),
-                   strf("%.8f", t.pdm)});
-      if (cell.dirty_rate == 0.0) thr_flat = t.total_cost_usd;
-      if (cell.dirty_rate == 80.0) thr_hot = t.total_cost_usd;
-    }
-  }
-
-  print_table("Migration-model ablation",
-              {"policy", "model", "cost", "SLA", "migrations", "PDM"}, rows);
-
-  std::printf("\nshape checks:\n");
-  std::printf("  pre-copy raises THR-MMT's cost: %s (%.1f -> %.1f)\n",
-              thr_hot > thr_flat ? "PASS" : "FAIL", thr_flat, thr_hot);
-  const double megh_penalty = megh_hot - megh_flat;
-  const double thr_penalty = thr_hot - thr_flat;
-  std::printf("  churny THR-MMT pays a larger absolute penalty than Megh: "
-              "%s (+%.1f vs +%.1f USD)\n",
-              thr_penalty > megh_penalty ? "PASS" : "FAIL", thr_penalty,
-              megh_penalty);
-  std::printf("wrote %s\n",
-              (bench_output_dir() / "ablation_migration_model.csv").c_str());
-  return 0;
-}
+}  // namespace megh

@@ -1,6 +1,7 @@
-// Shared plumbing for the bench binaries: the --full switch (paper-scale
-// configurations vs fast defaults), standard flags, and a paper-reference
-// printing helper so every bench shows "paper reported → we measured".
+// Shared plumbing for the megh_bench driver: standard flags (scale
+// selection, seed, worker count, telemetry) and their resolution helpers.
+// Scale-dependent configuration itself lives in each ExperimentSpec's scale
+// table (see harness/experiment_spec.hpp) — not here.
 #pragma once
 
 #include <cstdio>
@@ -9,6 +10,7 @@
 #include <string>
 
 #include "common/args.hpp"
+#include "common/string_util.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace megh::bench {
@@ -21,9 +23,24 @@ inline bool full_scale(const Args& args) {
   return env != nullptr && std::string(env) == "1";
 }
 
+/// Worker threads for the engine's cell shards: --jobs when given, else the
+/// MEGH_JOBS environment variable, else 0 (= default_parallelism). Use
+/// --jobs 1 for timing-grade per-step exec_ms numbers.
+inline int jobs(const Args& args) {
+  if (args.is_set("jobs")) return static_cast<int>(args.get_int("jobs"));
+  if (const char* env = std::getenv("MEGH_JOBS")) {
+    return static_cast<int>(parse_int(env, "MEGH_JOBS"));
+  }
+  return static_cast<int>(args.get_int("jobs"));
+}
+
 inline void add_standard_flags(Args& args) {
-  args.add_bool("full", "run the paper-scale configuration");
+  args.add_bool("full", "run the paper-scale configuration (= --scale full)");
   args.add_flag("seed", "experiment seed", "42");
+  args.add_flag("jobs",
+                "worker threads for experiment cells; 0 = all cores, 1 = "
+                "timing-grade (env fallback: MEGH_JOBS)",
+                "0");
   args.add_flag("trace-out", "write per-step telemetry JSONL here", "");
   args.add_flag("trace-level",
                 "telemetry detail: off | counters | phases "
@@ -48,13 +65,6 @@ inline void configure_tracing(const Args& args) {
                 out.c_str());
   }
   Telemetry::instance().configure(std::move(sink), level);
-}
-
-inline void print_banner(const char* experiment, const char* paper_claim) {
-  std::printf("==============================================================\n");
-  std::printf("%s\n", experiment);
-  std::printf("paper: %s\n", paper_claim);
-  std::printf("==============================================================\n");
 }
 
 }  // namespace megh::bench

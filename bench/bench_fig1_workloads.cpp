@@ -3,80 +3,110 @@
 // duration distribution on a log scale. Also prints the Cullen–Frey
 // nearest-family distances backing the paper's "no standard distribution"
 // claim (Sec. 6.2).
+//
+// This spec has no policy cells — it characterizes the workloads the other
+// experiments run on, so everything happens in the post hook over the
+// plan's two scenarios.
 #include <cstdio>
 
-#include "bench_common.hpp"
 #include "common/csv.hpp"
+#include "harness/experiment_registry.hpp"
 #include "harness/report.hpp"
-#include "harness/scenario.hpp"
 #include "metrics/histogram.hpp"
 #include "metrics/timeseries.hpp"
 #include "trace/trace_stats.hpp"
 
-using namespace megh;
+namespace megh {
+namespace {
 
-int main(int argc, char** argv) {
-  Args args;
-  bench::add_standard_flags(args);
-  if (!args.parse(argc, argv)) return 0;
-  bench::configure_tracing(args);
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-
-  bench::print_banner(
-      "Figure 1 — workload dynamics and task-duration distribution",
+ExperimentSpec fig1_spec() {
+  ExperimentSpec spec;
+  spec.name = "fig1";
+  spec.paper_ref = "Figure 1";
+  spec.title = "Figure 1 — workload dynamics and task-duration distribution";
+  spec.paper_claim =
       "PlanetLab: mean ~12%, std ~34%, per-instant range ~5-90%; Google "
-      "task durations span 10^1..10^6 s and match no standard distribution");
+      "task durations span 10^1..10^6 s and match no standard distribution";
+  spec.order = 10;
+  // The workload characterization is cheap, so reduced already runs the
+  // paper-sized traces; only the CI smoke tier shrinks them.
+  spec.params = {
+      {"pl_hosts", 800, 800, 100, "PlanetLab PM count"},
+      {"pl_vms", 1052, 1052, 150, "PlanetLab VM count"},
+      {"gg_hosts", 500, 500, 100, "Google PM count"},
+      {"gg_vms", 2000, 2000, 300, "Google VM count"},
+      {"steps", 2016, 2016, 288, "5-minute steps"},
+  };
+  spec.plan = [](const ScaleValues& scale, std::uint64_t seed) {
+    ExperimentPlan plan;
+    plan.scenarios.push_back(make_planetlab_scenario(
+        scale.get_int("pl_hosts"), scale.get_int("pl_vms"),
+        scale.get_int("steps"), seed));
+    plan.scenarios.push_back(make_google_scenario(
+        scale.get_int("gg_hosts"), scale.get_int("gg_vms"),
+        scale.get_int("steps"), seed + 1));
+    return plan;
+  };
+  spec.post = [](const ExperimentPlan& plan, ExperimentOutput& output) {
+    // ---- Fig 1(a): PlanetLab dynamics ----
+    const Scenario& pl = plan.scenarios[0];
+    const StepAggregates agg = compute_step_aggregates(pl.trace);
+    const TraceSummary summary = summarize_trace(pl.trace);
 
-  // ---- Fig 1(a): PlanetLab dynamics ----
-  const Scenario pl = make_planetlab_scenario(800, 1052, 2016, seed);
-  const StepAggregates agg = compute_step_aggregates(pl.trace);
-  const TraceSummary summary = summarize_trace(pl.trace);
+    std::printf("\nFig 1(a) PlanetLab-like trace (%d VMs x %d steps)\n",
+                pl.trace.num_vms(), pl.trace.num_steps());
+    std::printf("  grand mean utilization : %.1f%%   (paper ~12%%)\n",
+                100.0 * summary.mean);
+    std::printf("  grand std deviation    : %.1f%%   (paper ~34%%)\n",
+                100.0 * summary.stddev);
+    std::printf("  mean per-step max      : %.1f%%   (paper ~90%%)\n",
+                100.0 * summary.mean_step_max);
+    std::printf("  mean per-step min      : %.1f%%   (paper ~5%%)\n",
+                100.0 * summary.mean_step_min);
+    std::printf("  Cullen-Frey            : skew^2=%.2f kurtosis=%.2f, "
+                "nearest family '%s' at distance %.2f (large = "
+                "non-parametric)\n",
+                summary.cullen_frey.squared_skewness,
+                summary.cullen_frey.kurtosis, summary.nearest.family.c_str(),
+                summary.nearest.distance);
 
-  std::printf("\nFig 1(a) PlanetLab-like trace (%d VMs x %d steps)\n",
-              pl.trace.num_vms(), pl.trace.num_steps());
-  std::printf("  grand mean utilization : %.1f%%   (paper ~12%%)\n",
-              100.0 * summary.mean);
-  std::printf("  grand std deviation    : %.1f%%   (paper ~34%%)\n",
-              100.0 * summary.stddev);
-  std::printf("  mean per-step max      : %.1f%%   (paper ~90%%)\n",
-              100.0 * summary.mean_step_max);
-  std::printf("  mean per-step min      : %.1f%%   (paper ~5%%)\n",
-              100.0 * summary.mean_step_min);
-  std::printf("  Cullen-Frey            : skew^2=%.2f kurtosis=%.2f, "
-              "nearest family '%s' at distance %.2f (large = non-parametric)\n",
-              summary.cullen_frey.squared_skewness, summary.cullen_frey.kurtosis,
-              summary.nearest.family.c_str(), summary.nearest.distance);
+    TimeSeries fig1a;
+    for (std::size_t i = 0; i < agg.mean.size(); ++i) {
+      fig1a.push("mean", agg.mean[i]);
+      fig1a.push("stddev", agg.stddev[i]);
+      fig1a.push("min", agg.min[i]);
+      fig1a.push("max", agg.max[i]);
+    }
+    const auto path_a = bench_output_dir() / "fig1a_planetlab_dynamics.csv";
+    fig1a.write_csv(path_a);
 
-  TimeSeries fig1a;
-  for (std::size_t i = 0; i < agg.mean.size(); ++i) {
-    fig1a.push("mean", agg.mean[i]);
-    fig1a.push("stddev", agg.stddev[i]);
-    fig1a.push("min", agg.min[i]);
-    fig1a.push("max", agg.max[i]);
-  }
-  fig1a.write_csv(bench_output_dir() / "fig1a_planetlab_dynamics.csv");
+    // ---- Fig 1(b): Google task durations ----
+    const Scenario& gg = plan.scenarios[1];
+    Histogram hist = Histogram::logarithmic(10.0, 1e6, 12);
+    for (double d : gg.task_durations_s) hist.add(d);
+    std::printf("\nFig 1(b) Google-like task durations (%zu tasks)\n%s",
+                gg.task_durations_s.size(), hist.ascii(48).c_str());
 
-  // ---- Fig 1(b): Google task durations ----
-  const Scenario gg = make_google_scenario(500, 2000, 2016, seed + 1);
-  Histogram hist = Histogram::logarithmic(10.0, 1e6, 12);
-  for (double d : gg.task_durations_s) hist.add(d);
-  std::printf("\nFig 1(b) Google-like task durations (%zu tasks)\n%s",
-              gg.task_durations_s.size(), hist.ascii(48).c_str());
+    const TraceSummary gs = summarize_trace(gg.trace);
+    std::printf("  trace mean utilization : %.1f%% (low, task-structured)\n",
+                100.0 * gs.mean);
+    std::printf("  Cullen-Frey nearest    : '%s' at distance %.2f\n",
+                gs.nearest.family.c_str(), gs.nearest.distance);
 
-  const TraceSummary gs = summarize_trace(gg.trace);
-  std::printf("  trace mean utilization : %.1f%% (low, task-structured)\n",
-              100.0 * gs.mean);
-  std::printf("  Cullen-Frey nearest    : '%s' at distance %.2f\n",
-              gs.nearest.family.c_str(), gs.nearest.distance);
-
-  CsvWriter csv(bench_output_dir() / "fig1b_google_durations.csv");
-  csv.header({"bin_lo_s", "bin_hi_s", "count", "fraction"});
-  for (int b = 0; b < hist.num_bins(); ++b) {
-    csv.row({hist.bin_lo(b), hist.bin_hi(b),
-             static_cast<double>(hist.count(b)), hist.fraction(b)});
-  }
-  std::printf("\nwrote %s and %s\n",
-              (bench_output_dir() / "fig1a_planetlab_dynamics.csv").c_str(),
-              (bench_output_dir() / "fig1b_google_durations.csv").c_str());
-  return 0;
+    const auto path_b = bench_output_dir() / "fig1b_google_durations.csv";
+    CsvWriter csv(path_b);
+    csv.header({"bin_lo_s", "bin_hi_s", "count", "fraction"});
+    for (int b = 0; b < hist.num_bins(); ++b) {
+      csv.row({hist.bin_lo(b), hist.bin_hi(b),
+               static_cast<double>(hist.count(b)), hist.fraction(b)});
+    }
+    record_artifact(output, path_a.string());
+    record_artifact(output, path_b.string());
+  };
+  return spec;
 }
+
+const ExperimentRegistrar registrar(fig1_spec());
+
+}  // namespace
+}  // namespace megh

@@ -5,106 +5,78 @@
 // Paper shape: Megh's per-step cost converges in ~100 steps with low
 // variance (THR-MMT ~600 steps, high variance even afterwards); cumulative
 // migrations grow ~140x slower for Megh; Megh runs 1.41x faster per step.
-#include <cstdio>
-
-#include "bench_common.hpp"
 #include "baselines/mmt_policy.hpp"
+#include "bench_panels.hpp"
 #include "core/megh_policy.hpp"
-#include "harness/experiment.hpp"
-#include "harness/report.hpp"
-#include "metrics/convergence.hpp"
-#include "metrics/running_stats.hpp"
+#include "harness/experiment_registry.hpp"
 
-using namespace megh;
+namespace megh {
+namespace {
 
-int main(int argc, char** argv) {
-  Args args;
-  bench::add_standard_flags(args);
-  args.add_flag("hosts", "PM count (--full = 800)", "120");
-  args.add_flag("vms", "VM count (--full = 1052)", "160");
-  args.add_flag("steps", "steps (--full = 2016)", "576");
-  if (!args.parse(argc, argv)) return 0;
-  bench::configure_tracing(args);
-  const bool full = bench::full_scale(args);
-  const int hosts = full ? 800 : static_cast<int>(args.get_int("hosts"));
-  const int vms = full ? 1052 : static_cast<int>(args.get_int("vms"));
-  const int steps = full ? 2016 : static_cast<int>(args.get_int("steps"));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-
-  bench::print_banner(
-      "Figure 2 — Megh vs THR-MMT on PlanetLab (per-step series)",
+ExperimentSpec fig2_spec() {
+  ExperimentSpec spec;
+  spec.name = "fig2";
+  spec.paper_ref = "Figure 2";
+  spec.title = "Figure 2 — Megh vs THR-MMT on PlanetLab (per-step series)";
+  spec.paper_claim =
       "Megh converges in ~100 steps with less variance; THR-MMT needs ~600 "
-      "and stays unstable; Megh migrates ~140x less and decides faster");
-
-  const Scenario scenario = make_planetlab_scenario(hosts, vms, steps, seed);
-  std::vector<ExperimentResult> results;
-  {
-    auto thr = make_thr_mmt(0.7, seed);
-    ExperimentOptions options;
-    results.push_back(run_experiment(scenario, *thr, options));
-  }
-  {
-    MeghConfig config;
-    config.seed = seed;
-    MeghPolicy megh(config);
-    ExperimentOptions options;
-    options.max_migration_fraction = 0.02;
-    results.push_back(run_experiment(scenario, megh, options));
-  }
-  write_series_csvs(results, "fig2");
-
-  std::printf("\npanel summaries (%d PMs, %d VMs, %d steps):\n", hosts, vms,
-              steps);
-  for (const auto& r : results) {
-    const auto cost = r.sim.series("step_cost");
-    const auto conv = convergence_step(cost);
-    RunningStats tail;
-    const int from = conv.value_or(static_cast<int>(cost.size()) / 2);
-    for (std::size_t i = static_cast<std::size_t>(from); i < cost.size(); ++i) {
-      tail.add(cost[i]);
+      "and stays unstable; Megh migrates ~140x less and decides faster";
+  spec.order = 40;
+  spec.params = {
+      {"hosts", 120, 800, 24, "PM count"},
+      {"vms", 160, 1052, 36, "VM count"},
+      {"steps", 576, 2016, 60, "5-minute steps"},
+  };
+  spec.plan = [](const ScaleValues& scale, std::uint64_t seed) {
+    ExperimentPlan plan;
+    plan.scenarios.push_back(make_planetlab_scenario(
+        scale.get_int("hosts"), scale.get_int("vms"), scale.get_int("steps"),
+        seed));
+    {
+      CellSpec thr;
+      thr.label = "THR-MMT";
+      thr.rng_stream = seed;
+      thr.make = [seed] { return make_thr_mmt(0.7, seed); };
+      plan.cells.push_back(std::move(thr));
     }
-    std::printf("  %-8s (a) converges at %s, stable cost %.3f ± %.3f USD/step\n",
-                r.policy.c_str(),
-                conv ? std::to_string(*conv).c_str() : "never",
-                tail.mean(), tail.stddev());
-    std::printf("           (b) total migrations %lld  (c) mean active hosts "
-                "%.1f  (d) exec %.3f ms/step\n",
-                r.sim.totals.migrations, r.sim.totals.mean_active_hosts,
-                r.sim.totals.mean_exec_ms);
-  }
-
-  // THR-MMT's cost is "stable" from step 0 — at a high level (it churns at
-  // a steady rate). The meaningful Fig-2(a) comparison is that Megh reaches
-  // a stable level too, and that level is lower.
-  const auto megh_series = results[1].sim.series("step_cost");
-  const auto thr_series = results[0].sim.series("step_cost");
-  const auto megh_conv = convergence_step(megh_series);
-  const auto thr_conv = convergence_step(thr_series);
-  std::printf("\nshape checks:\n");
-  // When the CV detector does not fire (per-step SLA spikes keep the
-  // relative variance high at reduced VM counts), fall back to the
-  // second-half mean — the level comparison is the discriminating claim.
-  const double megh_stable =
-      megh_conv ? tail_mean(megh_series, *megh_conv)
-                : tail_mean(megh_series,
-                            static_cast<int>(megh_series.size()) / 2);
-  const double thr_stable =
-      thr_conv ? tail_mean(thr_series, *thr_conv)
-               : tail_mean(thr_series, static_cast<int>(thr_series.size()) / 2);
-  std::printf("  Megh settles at a lower stable cost than THR-MMT: %s "
-              "(%.3f vs %.3f USD/step)\n",
-              megh_stable < thr_stable ? "PASS" : "FAIL", megh_stable,
-              thr_stable);
-  std::printf("  Megh cumulative migrations below THR-MMT at every step: ");
-  double megh_cum = 0, thr_cum = 0;
-  bool below = true;
-  for (std::size_t i = 0; i < results[0].sim.steps.size(); ++i) {
-    thr_cum += results[0].sim.steps[i].migrations;
-    megh_cum += results[1].sim.steps[i].migrations;
-    if (megh_cum > thr_cum && i > 10) below = false;
-  }
-  std::printf("%s\n", below ? "PASS" : "FAIL");
-  std::printf("wrote fig2_THR-MMT.csv / fig2_Megh.csv under %s\n",
-              bench_output_dir().c_str());
-  return 0;
+    {
+      CellSpec megh;
+      megh.label = "Megh";
+      megh.rng_stream = seed;
+      megh.make = [seed] {
+        MeghConfig config;
+        config.seed = seed;
+        return std::make_unique<MeghPolicy>(config);
+      };
+      megh.options.max_migration_fraction = 0.02;
+      plan.cells.push_back(std::move(megh));
+    }
+    return plan;
+  };
+  spec.report.series_csv = "fig2";
+  spec.post = [](const ExperimentPlan&, ExperimentOutput& output) {
+    bench::print_panel_summaries(output);
+  };
+  spec.checks = {
+      // THR-MMT's cost is "stable" from step 0 — at a high level (it churns
+      // at a steady rate). The meaningful Fig-2(a) comparison is that Megh
+      // reaches a stable level too, and that level is lower.
+      {.description = "Megh settles at a lower stable cost than THR-MMT",
+       .metric = "stable_cost",
+       .lhs = "Megh",
+       .rhs = "THR-MMT",
+       .relation = CheckRelation::kLess},
+      {.description = "Megh cumulative migrations below THR-MMT at every step",
+       .custom =
+           [](const ExperimentOutput& output) {
+             return bench::cumulative_migrations_below(output, "Megh",
+                                                       "THR-MMT");
+           }},
+  };
+  return spec;
 }
+
+const ExperimentRegistrar registrar(fig2_spec());
+
+}  // namespace
+}  // namespace megh

@@ -4,89 +4,77 @@
 // Paper shape: Megh converges in ~100 steps (THR-MMT ~300); Megh keeps
 // *more* hosts active yet incurs the lower per-step cost; ~97x fewer
 // migrations; 1.48x faster decisions.
-#include <cstdio>
-
-#include "bench_common.hpp"
 #include "baselines/mmt_policy.hpp"
+#include "bench_panels.hpp"
 #include "core/megh_policy.hpp"
-#include "harness/experiment.hpp"
-#include "harness/report.hpp"
-#include "metrics/convergence.hpp"
-#include "metrics/running_stats.hpp"
+#include "harness/experiment_registry.hpp"
 
-using namespace megh;
+namespace megh {
+namespace {
 
-int main(int argc, char** argv) {
-  Args args;
-  bench::add_standard_flags(args);
-  args.add_flag("hosts", "PM count (--full = 500)", "100");
-  args.add_flag("vms", "VM count (--full = 2000)", "300");
-  args.add_flag("steps", "steps (--full = 2016)", "576");
-  if (!args.parse(argc, argv)) return 0;
-  bench::configure_tracing(args);
-  const bool full = bench::full_scale(args);
-  const int hosts = full ? 500 : static_cast<int>(args.get_int("hosts"));
-  const int vms = full ? 2000 : static_cast<int>(args.get_int("vms"));
-  const int steps = full ? 2016 : static_cast<int>(args.get_int("steps"));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-
-  bench::print_banner(
-      "Figure 3 — Megh vs THR-MMT on Google Cluster (per-step series)",
+ExperimentSpec fig3_spec() {
+  ExperimentSpec spec;
+  spec.name = "fig3";
+  spec.paper_ref = "Figure 3";
+  spec.title = "Figure 3 — Megh vs THR-MMT on Google Cluster (per-step series)";
+  spec.paper_claim =
       "Megh converges ~100 steps vs ~300; fewer migrations; lower cost "
-      "while keeping more hosts active");
-
-  const Scenario scenario = make_google_scenario(hosts, vms, steps, seed);
-  std::vector<ExperimentResult> results;
-  {
-    auto thr = make_thr_mmt(0.7, seed);
-    ExperimentOptions options;
-    results.push_back(run_experiment(scenario, *thr, options));
-  }
-  {
-    MeghConfig config;
-    config.seed = seed;
-    MeghPolicy megh(config);
-    ExperimentOptions options;
-    options.max_migration_fraction = 0.02;
-    results.push_back(run_experiment(scenario, megh, options));
-  }
-  write_series_csvs(results, "fig3");
-
-  std::printf("\npanel summaries (%d PMs, %d VMs, %d steps):\n", hosts, vms,
-              steps);
-  for (const auto& r : results) {
-    const auto cost = r.sim.series("step_cost");
-    const auto conv = convergence_step(cost);
-    RunningStats tail;
-    const int from = conv.value_or(static_cast<int>(cost.size()) / 2);
-    for (std::size_t i = static_cast<std::size_t>(from); i < cost.size(); ++i) {
-      tail.add(cost[i]);
+      "while keeping more hosts active";
+  spec.order = 50;
+  spec.params = {
+      {"hosts", 100, 500, 20, "PM count"},
+      {"vms", 300, 2000, 50, "VM count"},
+      {"steps", 576, 2016, 60, "5-minute steps"},
+  };
+  spec.plan = [](const ScaleValues& scale, std::uint64_t seed) {
+    ExperimentPlan plan;
+    plan.scenarios.push_back(make_google_scenario(
+        scale.get_int("hosts"), scale.get_int("vms"), scale.get_int("steps"),
+        seed));
+    {
+      CellSpec thr;
+      thr.label = "THR-MMT";
+      thr.rng_stream = seed;
+      thr.make = [seed] { return make_thr_mmt(0.7, seed); };
+      plan.cells.push_back(std::move(thr));
     }
-    std::printf("  %-8s (a) converges at %s, stable cost %.3f ± %.3f USD/step\n",
-                r.policy.c_str(),
-                conv ? std::to_string(*conv).c_str() : "never", tail.mean(),
-                tail.stddev());
-    std::printf("           (b) total migrations %lld  (c) mean active hosts "
-                "%.1f  (d) exec %.3f ms/step\n",
-                r.sim.totals.migrations, r.sim.totals.mean_active_hosts,
-                r.sim.totals.mean_exec_ms);
-  }
-
-  std::printf("\nshape checks:\n");
-  std::printf("  Megh migrations << THR-MMT: %s\n",
-              results[1].sim.totals.migrations * 5 <
-                      results[0].sim.totals.migrations
-                  ? "PASS"
-                  : "FAIL");
-  std::printf("  Megh keeps more hosts active (paper's counter-intuitive "
-              "Google finding): %s (%.1f vs %.1f)\n",
-              results[1].sim.totals.mean_active_hosts >
-                      results[0].sim.totals.mean_active_hosts
-                  ? "PASS"
-                  : "FAIL",
-              results[1].sim.totals.mean_active_hosts,
-              results[0].sim.totals.mean_active_hosts);
-  std::printf("wrote fig3_THR-MMT.csv / fig3_Megh.csv under %s\n",
-              bench_output_dir().c_str());
-  return 0;
+    {
+      CellSpec megh;
+      megh.label = "Megh";
+      megh.rng_stream = seed;
+      megh.make = [seed] {
+        MeghConfig config;
+        config.seed = seed;
+        return std::make_unique<MeghPolicy>(config);
+      };
+      megh.options.max_migration_fraction = 0.02;
+      plan.cells.push_back(std::move(megh));
+    }
+    return plan;
+  };
+  spec.report.series_csv = "fig3";
+  spec.post = [](const ExperimentPlan&, ExperimentOutput& output) {
+    bench::print_panel_summaries(output);
+  };
+  spec.checks = {
+      {.description = "Megh migrations << THR-MMT (>5x fewer)",
+       .metric = "migrations",
+       .lhs = "Megh",
+       .rhs = "THR-MMT",
+       .relation = CheckRelation::kLess,
+       .rhs_scale = 0.2},
+      {.description =
+           "Megh keeps more hosts active (paper's counter-intuitive "
+           "Google finding)",
+       .metric = "mean_active_hosts",
+       .lhs = "Megh",
+       .rhs = "THR-MMT",
+       .relation = CheckRelation::kGreater},
+  };
+  return spec;
 }
+
+const ExperimentRegistrar registrar(fig3_spec());
+
+}  // namespace
+}  // namespace megh

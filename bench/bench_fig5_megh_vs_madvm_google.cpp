@@ -4,74 +4,76 @@
 // Paper shape: Megh 8.8% cheaper per step, converges at ~40 steps (MadVM
 // ~700), 6.1x fewer migrations, ~20 active hosts vs ~34, ~1/1000 of the
 // execution overhead (8 ms vs 4057 ms).
-#include <cstdio>
+#include <algorithm>
 
-#include "bench_common.hpp"
 #include "baselines/madvm.hpp"
 #include "core/megh_policy.hpp"
-#include "harness/experiment.hpp"
-#include "harness/report.hpp"
-#include "metrics/convergence.hpp"
+#include "harness/experiment_registry.hpp"
 
-using namespace megh;
+namespace megh {
+namespace {
 
-int main(int argc, char** argv) {
-  Args args;
-  bench::add_standard_flags(args);
-  args.add_flag("hosts", "subset PM count (--full = 100)", "60");
-  args.add_flag("vms", "subset VM count (--full = 150)", "90");
-  args.add_flag("steps", "steps (--full = 864, i.e. 3 days)", "288");
-  if (!args.parse(argc, argv)) return 0;
-  bench::configure_tracing(args);
-  const bool full = bench::full_scale(args);
-  const int hosts = full ? 100 : static_cast<int>(args.get_int("hosts"));
-  const int vms = full ? 150 : static_cast<int>(args.get_int("vms"));
-  const int steps = full ? 864 : static_cast<int>(args.get_int("steps"));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-
-  bench::print_banner(
-      "Figure 5 — Megh vs MadVM on a Google Cluster subset",
+ExperimentSpec fig5_spec() {
+  ExperimentSpec spec;
+  spec.name = "fig5";
+  spec.paper_ref = "Figure 5";
+  spec.title = "Figure 5 — Megh vs MadVM on a Google Cluster subset";
+  spec.paper_claim =
       "Megh: 8.8% cheaper per step, 6.1x fewer migrations, ~1/1000 of the "
-      "execution overhead");
-
-  const Scenario base = make_google_scenario(std::max(hosts, 200),
-                                             std::max(vms, 300), steps, seed);
-  const Scenario scenario = subset_scenario(base, hosts, vms, seed + 1);
-
-  std::vector<ExperimentResult> results;
-  for (const PolicyEntry& entry : rl_roster(seed)) {
-    auto policy = entry.make();
-    ExperimentOptions options;
-    options.placement = InitialPlacement::kRandom;
-    options.max_migration_fraction = entry.max_migration_fraction;
-    results.push_back(run_experiment(scenario, *policy, options));
-    std::printf("  %-6s done: cost %.1f USD, %lld migrations, %.3f ms/step\n",
-                entry.name.c_str(), results.back().sim.totals.total_cost_usd,
-                results.back().sim.totals.migrations,
-                results.back().sim.totals.mean_exec_ms);
-  }
-  write_series_csvs(results, "fig5");
-  print_performance_table("Figure 5 — Megh vs MadVM (Google subset)",
-                          results, "fig5_summary");
-
-  const auto& megh = results[0].sim.totals;
-  const auto& madvm = results[1].sim.totals;
-  std::printf("\nconvergence:\n  %s\n  %s\n",
-              convergence_summary(results[0]).c_str(),
-              convergence_summary(results[1]).c_str());
-  std::printf("\nshape checks:\n");
-  std::printf("  Megh total cost <= MadVM: %s (%.1f vs %.1f)\n",
-              megh.total_cost_usd <= madvm.total_cost_usd ? "PASS" : "FAIL",
-              megh.total_cost_usd, madvm.total_cost_usd);
-  std::printf("  Megh migrations << MadVM: %s (%.1fx fewer)\n",
-              megh.migrations * 2 < madvm.migrations ? "PASS" : "FAIL",
-              megh.migrations > 0
-                  ? static_cast<double>(madvm.migrations) / megh.migrations
-                  : 0.0);
-  std::printf("  Megh exec time far below MadVM: %s (%.3f vs %.3f ms, %.0fx)\n",
-              megh.mean_exec_ms * 5 < madvm.mean_exec_ms ? "PASS" : "FAIL",
-              megh.mean_exec_ms, madvm.mean_exec_ms,
-              megh.mean_exec_ms > 0 ? madvm.mean_exec_ms / megh.mean_exec_ms
-                                    : 0.0);
-  return 0;
+      "execution overhead";
+  spec.order = 70;
+  spec.params = {
+      {"hosts", 60, 100, 20, "subset PM count"},
+      {"vms", 90, 150, 30, "subset VM count"},
+      {"steps", 288, 864, 48, "5-minute steps (paper: 3 days)"},
+  };
+  spec.plan = [](const ScaleValues& scale, std::uint64_t seed) {
+    const int hosts = scale.get_int("hosts");
+    const int vms = scale.get_int("vms");
+    ExperimentPlan plan;
+    const Scenario base =
+        make_google_scenario(std::max(hosts, 200), std::max(vms, 300),
+                             scale.get_int("steps"), seed);
+    plan.scenarios.push_back(subset_scenario(base, hosts, vms, seed + 1));
+    for (const PolicyEntry& entry : rl_roster(seed)) {
+      CellSpec cell;
+      cell.label = entry.name;
+      cell.rng_stream = seed;
+      cell.make = entry.make;
+      cell.options.placement = InitialPlacement::kRandom;
+      cell.options.max_migration_fraction = entry.max_migration_fraction;
+      plan.cells.push_back(std::move(cell));
+    }
+    return plan;
+  };
+  spec.report.summary_csv = "fig5_summary";
+  spec.report.series_csv = "fig5";
+  spec.report.convergence = true;
+  spec.report.convergence_note =
+      "convergence (paper: Megh ~40 steps, MadVM ~700):";
+  spec.checks = {
+      {.description = "Megh total cost <= MadVM",
+       .metric = "total_cost_usd",
+       .lhs = "Megh",
+       .rhs = "MadVM",
+       .relation = CheckRelation::kLessEq},
+      {.description = "Megh migrations << MadVM (>2x fewer)",
+       .metric = "migrations",
+       .lhs = "Megh",
+       .rhs = "MadVM",
+       .relation = CheckRelation::kLess,
+       .rhs_scale = 0.5},
+      {.description = "Megh exec time far below MadVM (>5x)",
+       .metric = "mean_exec_ms",
+       .lhs = "Megh",
+       .rhs = "MadVM",
+       .relation = CheckRelation::kLess,
+       .rhs_scale = 0.2},
+  };
+  return spec;
 }
+
+const ExperimentRegistrar registrar(fig5_spec());
+
+}  // namespace
+}  // namespace megh

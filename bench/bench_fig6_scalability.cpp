@@ -5,118 +5,188 @@
 // Paper shape: both grow with m and n, but Megh's curve is far flatter —
 // at (800, 800) THR-MMT takes orders of magnitude longer per step while
 // Megh stays in single-digit milliseconds.
+//
+// Exec time is the measurement here, so run this experiment with --jobs 1
+// (timing-grade mode): concurrent cells contend for cores and inflate the
+// wall-clock latencies.
 #include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
 
-#include "bench_common.hpp"
+#include "baselines/mmt_policy.hpp"
 #include "common/csv.hpp"
 #include "common/string_util.hpp"
-#include "baselines/mmt_policy.hpp"
 #include "core/megh_policy.hpp"
-#include "harness/experiment.hpp"
-#include "harness/parallel.hpp"
+#include "harness/experiment_registry.hpp"
 #include "harness/report.hpp"
 #include "metrics/running_stats.hpp"
 
-using namespace megh;
+namespace megh {
+namespace {
 
-int main(int argc, char** argv) {
-  Args args;
-  bench::add_standard_flags(args);
-  args.add_flag("repeats", "random subsets per cell (--full = 25)", "3");
-  args.add_flag("steps", "steps per run (--full = 100)", "30");
-  if (!args.parse(argc, argv)) return 0;
-  bench::configure_tracing(args);
-  const bool full = bench::full_scale(args);
-  const int repeats = full ? 25 : static_cast<int>(args.get_int("repeats"));
-  const int steps = full ? 100 : static_cast<int>(args.get_int("steps"));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+std::vector<int> fig6_sizes(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return {100, 200};
+    case Scale::kReduced:
+      return {100, 200, 400, 800};
+    case Scale::kFull:
+      return {100, 200, 300, 400, 500, 600, 700, 800};
+  }
+  return {};
+}
 
-  const std::vector<int> sizes =
-      full ? std::vector<int>{100, 200, 300, 400, 500, 600, 700, 800}
-           : std::vector<int>{100, 200, 400, 800};
+/// Per-(size, algorithm) mean/std/max of mean_exec_ms over the repeats,
+/// keyed in size order then THR-MMT before Megh (cell order).
+std::vector<std::pair<std::pair<int, std::string>, RunningStats>>
+aggregate_exec(const ExperimentOutput& output) {
+  std::vector<std::pair<std::pair<int, std::string>, RunningStats>> agg;
+  for (const CellResult& cell : output.cells) {
+    const auto key = std::make_pair(
+        static_cast<int>(cell.params.at("size")), cell.label);
+    auto it = std::find_if(agg.begin(), agg.end(),
+                           [&](const auto& e) { return e.first == key; });
+    if (it == agg.end()) {
+      agg.push_back({key, RunningStats{}});
+      it = std::prev(agg.end());
+    }
+    it->second.add(cell.result.sim.totals.mean_exec_ms);
+  }
+  return agg;
+}
 
-  bench::print_banner(
-      "Figure 6 — scalability: per-step execution time vs m = n PMs/VMs",
+ExperimentSpec fig6_spec() {
+  ExperimentSpec spec;
+  spec.name = "fig6";
+  spec.paper_ref = "Figure 6";
+  spec.title =
+      "Figure 6 — scalability: per-step execution time vs m = n PMs/VMs";
+  spec.paper_claim =
       "Megh's per-step time rises far more slowly than THR-MMT's as the "
-      "data center grows (Sec. 6.4)");
-  std::printf("m = n in {");
-  for (int s : sizes) std::printf("%d ", s);
-  std::printf("}, %d repeats, %d steps each%s\n\n", repeats, steps,
-              full ? " (paper scale)" : " (reduced; --full for paper)");
+      "data center grows (Sec. 6.4)";
+  spec.order = 80;
+  spec.params = {
+      {"repeats", 3, 25, 2, "random subsets per cell"},
+      {"steps", 30, 100, 10, "steps per run"},
+  };
+  spec.plan = [](const ScaleValues& scale, std::uint64_t seed) {
+    const std::vector<int> sizes = fig6_sizes(scale.scale);
+    const int repeats = scale.get_int("repeats");
+    const int steps = scale.get_int("steps");
+    const int max_size = sizes.back();
 
-  // One big base scenario; each cell samples random sub-fleets from it.
-  const int max_size = sizes.back();
-  const Scenario base =
-      make_planetlab_scenario(max_size, max_size, steps, seed);
-
-  CsvWriter csv(bench_output_dir() / "fig6_scalability.csv");
-  csv.header({"m_hosts", "n_vms", "algorithm", "mean_exec_ms", "std_exec_ms",
-              "max_exec_ms"});
-
-  std::vector<std::vector<std::string>> rows;
-  for (int size : sizes) {
-    // Exec time is the measurement here, so each cell's repeats run
-    // SEQUENTIALLY (concurrent simulations would contend for cores and
-    // inflate the wall-clock latencies); only scenario construction for
-    // the cell subsets is parallelized.
-    const int cell_repeats = size == max_size ? 1 : repeats;
-    std::vector<int> reps(static_cast<std::size_t>(cell_repeats));
-    for (int i = 0; i < cell_repeats; ++i) reps[static_cast<std::size_t>(i)] = i;
-    const auto cells = parallel_map(reps, [&](int rep) {
-      return size == max_size
-                 ? base
-                 : subset_scenario(base, size, size,
-                                   seed + 100 * static_cast<unsigned>(rep) +
-                                       static_cast<unsigned>(size));
-    });
-    RunningStats thr_ms, megh_ms;
-    for (int rep = 0; rep < cell_repeats; ++rep) {
-      const Scenario& cell = cells[static_cast<std::size_t>(rep)];
-      {
-        auto thr = make_thr_mmt(0.7, seed + static_cast<unsigned>(rep));
-        ExperimentOptions options;
-        const ExperimentResult r = run_experiment(cell, *thr, options);
-        thr_ms.add(r.sim.totals.mean_exec_ms);
-      }
-      {
-        MeghConfig config;
-        config.seed = seed + static_cast<unsigned>(rep);
-        MeghPolicy megh(config);
-        ExperimentOptions options;
-        options.max_migration_fraction = 0.02;
-        const ExperimentResult r = run_experiment(cell, megh, options);
-        megh_ms.add(r.sim.totals.mean_exec_ms);
+    ExperimentPlan plan;
+    // One big base scenario; each cell samples a random sub-fleet from it.
+    plan.scenarios.push_back(
+        make_planetlab_scenario(max_size, max_size, steps, seed));
+    for (int size : sizes) {
+      const int cell_repeats = size == max_size ? 1 : repeats;
+      for (int rep = 0; rep < cell_repeats; ++rep) {
+        int scenario = 0;
+        if (size != max_size) {
+          plan.scenarios.push_back(subset_scenario(
+              plan.scenarios[0], size, size,
+              seed + 100 * static_cast<unsigned>(rep) +
+                  static_cast<unsigned>(size)));
+          scenario = static_cast<int>(plan.scenarios.size()) - 1;
+        }
+        const std::uint64_t cell_seed = seed + static_cast<unsigned>(rep);
+        {
+          CellSpec thr;
+          thr.label = "THR-MMT";
+          thr.group = strf("m=%d", size);
+          thr.scenario = scenario;
+          thr.rng_stream = cell_seed;
+          thr.params = {{"size", static_cast<double>(size)},
+                        {"rep", static_cast<double>(rep)}};
+          thr.make = [cell_seed] { return make_thr_mmt(0.7, cell_seed); };
+          plan.cells.push_back(std::move(thr));
+        }
+        {
+          CellSpec megh;
+          megh.label = "Megh";
+          megh.group = strf("m=%d", size);
+          megh.scenario = scenario;
+          megh.rng_stream = cell_seed;
+          megh.params = {{"size", static_cast<double>(size)},
+                         {"rep", static_cast<double>(rep)}};
+          megh.make = [cell_seed] {
+            MeghConfig config;
+            config.seed = cell_seed;
+            return std::make_unique<MeghPolicy>(config);
+          };
+          megh.options.max_migration_fraction = 0.02;
+          plan.cells.push_back(std::move(megh));
+        }
       }
     }
-    csv.row_str({std::to_string(size), std::to_string(size), "THR-MMT",
-                 strf("%.4f", thr_ms.mean()), strf("%.4f", thr_ms.stddev()),
-                 strf("%.4f", thr_ms.max())});
-    csv.row_str({std::to_string(size), std::to_string(size), "Megh",
-                 strf("%.4f", megh_ms.mean()), strf("%.4f", megh_ms.stddev()),
-                 strf("%.4f", megh_ms.max())});
-    rows.push_back({std::to_string(size), strf("%.3f", thr_ms.mean()),
-                    strf("%.3f", megh_ms.mean()),
-                    strf("%.1fx", megh_ms.mean() > 0
-                                      ? thr_ms.mean() / megh_ms.mean()
-                                      : 0.0)});
-    std::printf("  m = n = %-4d  THR-MMT %.3f ms/step   Megh %.3f ms/step\n",
-                size, thr_ms.mean(), megh_ms.mean());
-  }
+    return plan;
+  };
+  spec.post = [](const ExperimentPlan&, ExperimentOutput& output) {
+    const auto agg = aggregate_exec(output);
+    const auto path = bench_output_dir() / "fig6_scalability.csv";
+    CsvWriter csv(path);
+    csv.header({"m_hosts", "n_vms", "algorithm", "mean_exec_ms",
+                "std_exec_ms", "max_exec_ms"});
 
-  print_table("Figure 6 — per-step execution time (ms)",
-              {"m = n", "THR-MMT", "Megh", "THR/Megh"}, rows);
-
-  // Shape check: Megh's growth from smallest to largest cell must be slower
-  // than THR-MMT's.
-  const double thr_growth =
-      parse_double(rows.back()[1], "thr") / parse_double(rows.front()[1], "thr");
-  const double megh_growth = parse_double(rows.back()[2], "megh") /
-                             parse_double(rows.front()[2], "megh");
-  std::printf("\nshape check: Megh scales flatter than THR-MMT: %s "
-              "(growth %.1fx vs %.1fx)\n",
-              megh_growth < thr_growth ? "PASS" : "FAIL", megh_growth,
-              thr_growth);
-  std::printf("wrote %s\n",
-              (bench_output_dir() / "fig6_scalability.csv").c_str());
-  return 0;
+    std::vector<std::vector<std::string>> rows;
+    std::map<int, std::pair<double, double>> by_size;  // size -> (thr, megh)
+    for (const auto& [key, stats] : agg) {
+      csv.row_str({std::to_string(key.first), std::to_string(key.first),
+                   key.second, strf("%.4f", stats.mean()),
+                   strf("%.4f", stats.stddev()), strf("%.4f", stats.max())});
+      if (key.second == "THR-MMT") {
+        by_size[key.first].first = stats.mean();
+      } else {
+        by_size[key.first].second = stats.mean();
+      }
+    }
+    for (const auto& [size, ms] : by_size) {
+      rows.push_back({std::to_string(size), strf("%.3f", ms.first),
+                      strf("%.3f", ms.second),
+                      strf("%.1fx", ms.second > 0 ? ms.first / ms.second
+                                                  : 0.0)});
+      std::printf("  m = n = %-4d  THR-MMT %.3f ms/step   Megh %.3f ms/step\n",
+                  size, ms.first, ms.second);
+    }
+    print_table("Figure 6 — per-step execution time (ms)",
+                {"m = n", "THR-MMT", "Megh", "THR/Megh"}, rows);
+    record_artifact(output, path.string());
+  };
+  spec.checks = {
+      // Megh's growth from smallest to largest cell must be slower than
+      // THR-MMT's.
+      {.description = "Megh scales flatter than THR-MMT",
+       .custom =
+           [](const ExperimentOutput& output) {
+             std::map<int, std::pair<double, double>> by_size;
+             for (const auto& [key, stats] : aggregate_exec(output)) {
+               if (key.second == "THR-MMT") {
+                 by_size[key.first].first = stats.mean();
+               } else {
+                 by_size[key.first].second = stats.mean();
+               }
+             }
+             const auto& first = by_size.begin()->second;
+             const auto& last = by_size.rbegin()->second;
+             const double thr_growth =
+                 first.first > 0 ? last.first / first.first : 0.0;
+             const double megh_growth =
+                 first.second > 0 ? last.second / first.second : 0.0;
+             CheckOutcome outcome;
+             outcome.status = megh_growth < thr_growth
+                                  ? CheckOutcome::Status::kPass
+                                  : CheckOutcome::Status::kFail;
+             outcome.detail = strf("growth %.1fx vs %.1fx", megh_growth,
+                                   thr_growth);
+             return outcome;
+           }},
+  };
+  return spec;
 }
+
+const ExperimentRegistrar registrar(fig6_spec());
+
+}  // namespace
+}  // namespace megh

@@ -7,51 +7,42 @@
 // model stays sublinear in the d = N × M action space and each iteration's
 // complexity increment is constant.
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "bench_common.hpp"
 #include "common/csv.hpp"
 #include "common/string_util.hpp"
 #include "core/megh_policy.hpp"
-#include "harness/experiment.hpp"
+#include "harness/experiment_registry.hpp"
 #include "harness/report.hpp"
 
-using namespace megh;
+namespace megh {
+namespace {
 
-int main(int argc, char** argv) {
-  Args args;
-  bench::add_standard_flags(args);
-  args.add_flag("steps", "steps per run (--full = 864)", "288");
-  if (!args.parse(argc, argv)) return 0;
-  bench::configure_tracing(args);
-  const bool full = bench::full_scale(args);
-  const int steps = full ? 864 : static_cast<int>(args.get_int("steps"));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-  const std::vector<int> sizes = full ? std::vector<int>{100, 200, 400, 800}
-                                      : std::vector<int>{50, 100, 200};
+std::vector<int> fig7_sizes(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return {50, 100};
+    case Scale::kReduced:
+      return {50, 100, 200};
+    case Scale::kFull:
+      return {100, 200, 400, 800};
+  }
+  return {};
+}
 
-  bench::print_banner(
-      "Figure 7 — Q-table non-zeros vs time and fleet size",
-      "nnz grows linearly with time and shifts linearly with #PMs "
-      "(sublinear in the N x M action space)");
+struct NnzFit {
+  int size = 0;
+  double final_nnz = 0.0;
+  double slope = 0.0;
+  double r2 = 1.0;
+};
 
-  CsvWriter csv(bench_output_dir() / "fig7_qtable_growth.csv");
-  csv.header({"pms", "step", "qtable_nnz"});
-
-  std::vector<std::vector<std::string>> rows;
-  for (int size : sizes) {
-    const Scenario scenario =
-        make_planetlab_scenario(size, size, steps, seed);
-    MeghConfig config;
-    config.seed = seed;
-    MeghPolicy megh(config);
-    ExperimentOptions options;
-    options.max_migration_fraction = 0.02;
-    const ExperimentResult r = run_experiment(scenario, megh, options);
-    const auto nnz = r.sim.series("qtable_nnz");
-    for (std::size_t i = 0; i < nnz.size(); i += 4) {
-      csv.row({static_cast<double>(size), static_cast<double>(i), nnz[i]});
-    }
-    // Linear fit nnz ≈ a + b·t to report the growth rate.
+/// Linear fit nnz ≈ a + b·t per cell (the "grows linearly" claim).
+std::vector<NnzFit> fit_growth(const ExperimentOutput& output) {
+  std::vector<NnzFit> fits;
+  for (const CellResult& cell : output.cells) {
+    const auto nnz = cell.result.sim.series("qtable_nnz");
     double sx = 0, sy = 0, sxx = 0, sxy = 0;
     const int n = static_cast<int>(nnz.size());
     for (int i = 0; i < n; ++i) {
@@ -62,7 +53,6 @@ int main(int argc, char** argv) {
     }
     const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
     const double intercept = (sy - slope * sx) / n;
-    // R² of the linear fit (the "grows linearly" claim).
     double ss_res = 0, ss_tot = 0;
     const double mean_y = sy / n;
     for (int i = 0; i < n; ++i) {
@@ -71,30 +61,108 @@ int main(int argc, char** argv) {
       ss_res += (y - fit) * (y - fit);
       ss_tot += (y - mean_y) * (y - mean_y);
     }
-    const double r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
-    rows.push_back({std::to_string(size), strf("%.0f", nnz.back()),
-                    strf("%.2f", slope), strf("%.3f", r2),
-                    strf("%.2f", nnz.back() / size)});
-    std::printf("  %d PMs: final nnz %.0f, growth %.2f nnz/step (R²=%.3f)\n",
-                size, nnz.back(), slope, r2);
+    NnzFit fit;
+    fit.size = static_cast<int>(cell.params.at("size"));
+    fit.final_nnz = nnz.back();
+    fit.slope = slope;
+    fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+    fits.push_back(fit);
   }
-
-  print_table("Figure 7 — Q-table growth",
-              {"#PMs", "final nnz", "nnz/step", "linear R^2", "nnz per PM"},
-              rows);
-
-  std::printf("\nshape checks:\n");
-  const double first_r2 = parse_double(rows.front()[3], "r2");
-  std::printf("  linear-in-time growth (R² > 0.9): %s\n",
-              first_r2 > 0.9 ? "PASS" : "FAIL");
-  const double small = parse_double(rows.front()[1], "nnz");
-  const double large = parse_double(rows.back()[1], "nnz");
-  const double d_ratio =
-      static_cast<double>(sizes.back()) * sizes.back() /
-      (static_cast<double>(sizes.front()) * sizes.front());
-  std::printf("  sublinear in d = N x M (nnz ratio %.1fx << d ratio %.1fx): %s\n",
-              large / small, d_ratio, large / small < d_ratio ? "PASS" : "FAIL");
-  std::printf("wrote %s\n",
-              (bench_output_dir() / "fig7_qtable_growth.csv").c_str());
-  return 0;
+  return fits;
 }
+
+ExperimentSpec fig7_spec() {
+  ExperimentSpec spec;
+  spec.name = "fig7";
+  spec.paper_ref = "Figure 7";
+  spec.title = "Figure 7 — Q-table non-zeros vs time and fleet size";
+  spec.paper_claim =
+      "nnz grows linearly with time and shifts linearly with #PMs "
+      "(sublinear in the N x M action space)";
+  spec.order = 90;
+  spec.params = {
+      {"steps", 288, 864, 48, "steps per run"},
+  };
+  spec.plan = [](const ScaleValues& scale, std::uint64_t seed) {
+    ExperimentPlan plan;
+    for (int size : fig7_sizes(scale.scale)) {
+      plan.scenarios.push_back(make_planetlab_scenario(
+          size, size, scale.get_int("steps"), seed));
+      CellSpec cell;
+      cell.label = "Megh";
+      cell.group = strf("m=%d", size);
+      cell.scenario = static_cast<int>(plan.scenarios.size()) - 1;
+      cell.rng_stream = seed;
+      cell.params = {{"size", static_cast<double>(size)}};
+      cell.make = [seed] {
+        MeghConfig config;
+        config.seed = seed;
+        return std::make_unique<MeghPolicy>(config);
+      };
+      cell.options.max_migration_fraction = 0.02;
+      plan.cells.push_back(std::move(cell));
+    }
+    return plan;
+  };
+  spec.post = [](const ExperimentPlan&, ExperimentOutput& output) {
+    const auto path = bench_output_dir() / "fig7_qtable_growth.csv";
+    CsvWriter csv(path);
+    csv.header({"pms", "step", "qtable_nnz"});
+    for (const CellResult& cell : output.cells) {
+      const auto nnz = cell.result.sim.series("qtable_nnz");
+      for (std::size_t i = 0; i < nnz.size(); i += 4) {
+        csv.row({cell.params.at("size"), static_cast<double>(i), nnz[i]});
+      }
+    }
+
+    std::vector<std::vector<std::string>> rows;
+    for (const NnzFit& fit : fit_growth(output)) {
+      rows.push_back({std::to_string(fit.size), strf("%.0f", fit.final_nnz),
+                      strf("%.2f", fit.slope), strf("%.3f", fit.r2),
+                      strf("%.2f", fit.final_nnz / fit.size)});
+      std::printf("  %d PMs: final nnz %.0f, growth %.2f nnz/step (R²=%.3f)\n",
+                  fit.size, fit.final_nnz, fit.slope, fit.r2);
+    }
+    print_table("Figure 7 — Q-table growth",
+                {"#PMs", "final nnz", "nnz/step", "linear R^2", "nnz per PM"},
+                rows);
+    record_artifact(output, path.string());
+  };
+  spec.checks = {
+      {.description = "linear-in-time growth (R² > 0.9)",
+       .custom =
+           [](const ExperimentOutput& output) {
+             const auto fits = fit_growth(output);
+             CheckOutcome outcome;
+             outcome.status = fits.front().r2 > 0.9
+                                  ? CheckOutcome::Status::kPass
+                                  : CheckOutcome::Status::kFail;
+             outcome.detail = strf("R²=%.3f", fits.front().r2);
+             return outcome;
+           }},
+      {.description = "sublinear in d = N x M (nnz ratio << d ratio)",
+       .custom =
+           [](const ExperimentOutput& output) {
+             const auto fits = fit_growth(output);
+             const double nnz_ratio =
+                 fits.back().final_nnz / fits.front().final_nnz;
+             const double d_ratio =
+                 static_cast<double>(fits.back().size) * fits.back().size /
+                 (static_cast<double>(fits.front().size) *
+                  fits.front().size);
+             CheckOutcome outcome;
+             outcome.status = nnz_ratio < d_ratio
+                                  ? CheckOutcome::Status::kPass
+                                  : CheckOutcome::Status::kFail;
+             outcome.detail = strf("nnz ratio %.1fx vs d ratio %.1fx",
+                                   nnz_ratio, d_ratio);
+             return outcome;
+           }},
+  };
+  return spec;
+}
+
+const ExperimentRegistrar registrar(fig7_spec());
+
+}  // namespace
+}  // namespace megh

@@ -8,122 +8,178 @@
 // local optimum near ε = 0.001.
 #include <cmath>
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "bench_common.hpp"
 #include "common/csv.hpp"
 #include "common/string_util.hpp"
 #include "core/megh_policy.hpp"
-#include "harness/experiment.hpp"
-#include "harness/parallel.hpp"
+#include "harness/experiment_registry.hpp"
 #include "harness/report.hpp"
 #include "metrics/boxplot.hpp"
 
-using namespace megh;
-
+namespace megh {
 namespace {
 
-BoxplotStats sweep_point(const Scenario& scenario, double temp0,
-                         double epsilon, int repeats, std::uint64_t seed) {
-  std::vector<int> reps(static_cast<std::size_t>(repeats));
-  for (int i = 0; i < repeats; ++i) reps[static_cast<std::size_t>(i)] = i;
-  // Repeats are independent seeded runs — fan them out (Fig. 8 at paper
-  // scale is 50 × 25 simulations).
-  const auto runs = parallel_map(reps, [&](int rep) {
-    MeghConfig config;
-    config.temp0 = temp0;
-    config.epsilon = epsilon;
-    config.seed = seed + static_cast<unsigned>(rep);
-    MeghPolicy megh(config);
-    ExperimentOptions options;
-    options.max_migration_fraction = 0.02;
-    options.placement_seed = seed + 31 + static_cast<unsigned>(rep);
-    const ExperimentResult r = run_experiment(scenario, megh, options);
-    std::vector<double> costs;
-    costs.reserve(r.sim.steps.size());
-    for (const auto& step : r.sim.steps) costs.push_back(step.step_cost_usd);
-    return costs;
-  });
+std::vector<double> fig8_temps(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return {1.0, 3.0, 10.0};
+    case Scale::kReduced:
+      return {0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0};
+    case Scale::kFull: {
+      std::vector<double> t;
+      for (double v = 0.5; v <= 10.0 + 1e-9; v += 0.5) t.push_back(v);
+      return t;
+    }
+  }
+  return {};
+}
+
+std::vector<double> fig8_epsilons(Scale scale) {
+  const int points = scale == Scale::kFull     ? 30
+                     : scale == Scale::kSmoke ? 4
+                                              : 7;
+  std::vector<double> epsilons;
+  for (int i = 0; i < points; ++i) {
+    const double exponent = -3.0 + 3.0 * i / (points - 1);
+    epsilons.push_back(std::pow(10.0, exponent));
+  }
+  return epsilons;
+}
+
+/// Concatenated per-step costs across the repeats of one sweep group,
+/// summarized as boxplot stats.
+BoxplotStats group_boxplot(const ExperimentOutput& output,
+                           const std::string& group) {
   std::vector<double> per_step_costs;
-  for (const auto& run : runs) {
-    per_step_costs.insert(per_step_costs.end(), run.begin(), run.end());
+  for (const CellResult& cell : output.cells) {
+    if (cell.group != group) continue;
+    for (const auto& step : cell.result.sim.steps) {
+      per_step_costs.push_back(step.step_cost_usd);
+    }
   }
   return boxplot_stats(per_step_costs);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Args args;
-  bench::add_standard_flags(args);
-  args.add_flag("hosts", "PM count", "60");
-  args.add_flag("vms", "VM count", "90");
-  args.add_flag("steps", "steps per run", "192");
-  args.add_flag("repeats", "runs per parameter value (--full = 25)", "3");
-  if (!args.parse(argc, argv)) return 0;
-  bench::configure_tracing(args);
-  const bool full = bench::full_scale(args);
-  const int hosts = static_cast<int>(args.get_int("hosts"));
-  const int vms = static_cast<int>(args.get_int("vms"));
-  const int steps = static_cast<int>(args.get_int("steps"));
-  const int repeats = full ? 25 : static_cast<int>(args.get_int("repeats"));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-
-  bench::print_banner(
-      "Figure 8 — sensitivity of per-step cost to Temp0 and epsilon",
-      "median cost dips near Temp0 = 3 and rises with over-exploration; "
-      "the epsilon sweep is sporadic with a local optimum near 1e-3");
-
-  const Scenario scenario = make_planetlab_scenario(hosts, vms, steps, seed);
-
-  // --- (a) Temp0 sweep at epsilon = 0.001 ---
-  const std::vector<double> temps =
-      full ? [] {
-        std::vector<double> t;
-        for (double v = 0.5; v <= 10.0 + 1e-9; v += 0.5) t.push_back(v);
-        return t;
-      }()
-           : std::vector<double>{0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0};
-
-  CsvWriter csv_a(bench_output_dir() / "fig8a_temp0_sensitivity.csv");
-  csv_a.header({"temp0", "p5", "q1", "median", "q3", "p95", "mean"});
-  std::printf("\n(a) Temp0 sweep (epsilon = 0.001, %d repeats):\n", repeats);
-  std::vector<std::pair<double, double>> temp_medians;
-  for (double t : temps) {
-    const BoxplotStats b = sweep_point(scenario, t, 0.001, repeats, seed);
-    csv_a.row({t, b.p5, b.q1, b.median, b.q3, b.p95, b.mean});
-    temp_medians.emplace_back(t, b.median);
-    std::printf("  Temp0 %-5.1f median %.4f  IQR [%.4f, %.4f]\n", t, b.median,
-                b.q1, b.q3);
+void add_sweep_cells(ExperimentPlan& plan, const std::string& group,
+                     double temp0, double epsilon, int repeats,
+                     std::uint64_t seed) {
+  for (int rep = 0; rep < repeats; ++rep) {
+    const std::uint64_t run_seed = seed + static_cast<unsigned>(rep);
+    CellSpec cell;
+    cell.label = "Megh";
+    cell.group = group;
+    cell.rng_stream = run_seed;
+    cell.params = {{"temp0", temp0},
+                   {"epsilon", epsilon},
+                   {"rep", static_cast<double>(rep)}};
+    cell.make = [temp0, epsilon, run_seed] {
+      MeghConfig config;
+      config.temp0 = temp0;
+      config.epsilon = epsilon;
+      config.seed = run_seed;
+      return std::make_unique<MeghPolicy>(config);
+    };
+    cell.options.max_migration_fraction = 0.02;
+    cell.options.placement_seed = seed + 31 + static_cast<unsigned>(rep);
+    plan.cells.push_back(std::move(cell));
   }
-
-  // --- (b) epsilon sweep at Temp0 = 1 ---
-  const int eps_points = full ? 30 : 7;
-  std::vector<double> epsilons;
-  for (int i = 0; i < eps_points; ++i) {
-    const double exponent = -3.0 + 3.0 * i / (eps_points - 1);
-    epsilons.push_back(std::pow(10.0, exponent));
-  }
-  CsvWriter csv_b(bench_output_dir() / "fig8b_epsilon_sensitivity.csv");
-  csv_b.header({"epsilon", "p5", "q1", "median", "q3", "p95", "mean"});
-  std::printf("\n(b) epsilon sweep (Temp0 = 1, %d repeats):\n", repeats);
-  for (double e : epsilons) {
-    const BoxplotStats b = sweep_point(scenario, 1.0, e, repeats, seed + 777);
-    csv_b.row({e, b.p5, b.q1, b.median, b.q3, b.p95, b.mean});
-    std::printf("  epsilon %-8.4f median %.4f  IQR [%.4f, %.4f]\n", e,
-                b.median, b.q1, b.q3);
-  }
-
-  // Shape note: with the advantage-normalized critic the sweep is flatter
-  // than the paper's, but extreme over-exploration must not be best.
-  double best_temp = temp_medians.front().first;
-  double best_median = temp_medians.front().second;
-  for (const auto& [t, m] : temp_medians) {
-    if (m < best_median) {
-      best_median = m;
-      best_temp = t;
-    }
-  }
-  std::printf("\nbest Temp0 by median cost: %.1f (paper: 3.0)\n", best_temp);
-  std::printf("wrote fig8a/fig8b CSVs under %s\n", bench_output_dir().c_str());
-  return 0;
 }
+
+ExperimentSpec fig8_spec() {
+  ExperimentSpec spec;
+  spec.name = "fig8";
+  spec.paper_ref = "Figure 8";
+  spec.title = "Figure 8 — sensitivity of per-step cost to Temp0 and epsilon";
+  spec.paper_claim =
+      "median cost dips near Temp0 = 3 and rises with over-exploration; "
+      "the epsilon sweep is sporadic with a local optimum near 1e-3";
+  spec.order = 100;
+  spec.params = {
+      {"hosts", 60, 60, 24, "PM count"},
+      {"vms", 90, 90, 36, "VM count"},
+      {"steps", 192, 192, 48, "steps per run"},
+      {"repeats", 3, 25, 2, "runs per parameter value"},
+  };
+  spec.plan = [](const ScaleValues& scale, std::uint64_t seed) {
+    const int repeats = scale.get_int("repeats");
+    ExperimentPlan plan;
+    plan.scenarios.push_back(make_planetlab_scenario(
+        scale.get_int("hosts"), scale.get_int("vms"), scale.get_int("steps"),
+        seed));
+    // (a) Temp0 sweep at epsilon = 0.001.
+    for (double t : fig8_temps(scale.scale)) {
+      add_sweep_cells(plan, strf("temp0=%g", t), t, 0.001, repeats, seed);
+    }
+    // (b) epsilon sweep at Temp0 = 1.
+    for (double e : fig8_epsilons(scale.scale)) {
+      add_sweep_cells(plan, strf("eps=%g", e), 1.0, e, repeats, seed + 777);
+    }
+    return plan;
+  };
+  spec.post = [](const ExperimentPlan&, ExperimentOutput& output) {
+    const int repeats =
+        static_cast<int>(output.scale.get("repeats"));
+
+    const auto path_a = bench_output_dir() / "fig8a_temp0_sensitivity.csv";
+    CsvWriter csv_a(path_a);
+    csv_a.header({"temp0", "p5", "q1", "median", "q3", "p95", "mean"});
+    std::printf("\n(a) Temp0 sweep (epsilon = 0.001, %d repeats):\n",
+                repeats);
+    for (double t : fig8_temps(output.scale.scale)) {
+      const BoxplotStats b = group_boxplot(output, strf("temp0=%g", t));
+      csv_a.row({t, b.p5, b.q1, b.median, b.q3, b.p95, b.mean});
+      std::printf("  Temp0 %-5.1f median %.4f  IQR [%.4f, %.4f]\n", t,
+                  b.median, b.q1, b.q3);
+    }
+
+    const auto path_b = bench_output_dir() / "fig8b_epsilon_sensitivity.csv";
+    CsvWriter csv_b(path_b);
+    csv_b.header({"epsilon", "p5", "q1", "median", "q3", "p95", "mean"});
+    std::printf("\n(b) epsilon sweep (Temp0 = 1, %d repeats):\n", repeats);
+    for (double e : fig8_epsilons(output.scale.scale)) {
+      const BoxplotStats b = group_boxplot(output, strf("eps=%g", e));
+      csv_b.row({e, b.p5, b.q1, b.median, b.q3, b.p95, b.mean});
+      std::printf("  epsilon %-8.4f median %.4f  IQR [%.4f, %.4f]\n", e,
+                  b.median, b.q1, b.q3);
+    }
+    record_artifact(output, path_a.string());
+    record_artifact(output, path_b.string());
+  };
+  spec.checks = {
+      // With the advantage-normalized critic the sweep is flatter than the
+      // paper's, but extreme over-exploration must not be best.
+      {.description = "max Temp0 (over-exploration) is not the best setting",
+       .custom =
+           [](const ExperimentOutput& output) {
+             const auto temps = fig8_temps(output.scale.scale);
+             double best_temp = temps.front();
+             double best_median =
+                 group_boxplot(output, strf("temp0=%g", temps.front()))
+                     .median;
+             for (double t : temps) {
+               const double m =
+                   group_boxplot(output, strf("temp0=%g", t)).median;
+               if (m < best_median) {
+                 best_median = m;
+                 best_temp = t;
+               }
+             }
+             CheckOutcome outcome;
+             outcome.status = best_temp < temps.back()
+                                  ? CheckOutcome::Status::kPass
+                                  : CheckOutcome::Status::kFail;
+             outcome.detail =
+                 strf("best Temp0 by median cost: %.1f (paper: 3.0)",
+                      best_temp);
+             return outcome;
+           }},
+  };
+  return spec;
+}
+
+const ExperimentRegistrar registrar(fig8_spec());
+
+}  // namespace
+}  // namespace megh

@@ -1,114 +1,154 @@
 // Extension experiment (paper Sec. 7 future work, not a paper figure):
 // live migration on an oversubscribed fat-tree fabric.
 //
-// Three Megh runs on the same PlanetLab-like scenario:
-//   flat-1G    — the paper's flat network (baseline);
-//   oblivious  — fat-tree attached, Megh ignores the topology and pays the
-//                full cross-pod copy penalty;
-//   pod-aware  — Megh's candidate generator prefers in-pod targets.
-// Plus THR-MMT on the same fabric (it is topology-oblivious by design).
+// Four cells on the same PlanetLab-like scenario:
+//   Megh/flat-1G    — the paper's flat network (baseline);
+//   Megh/oblivious  — fat-tree attached, Megh ignores the topology and pays
+//                     the full cross-pod copy penalty;
+//   Megh/pod-aware  — Megh's candidate generator prefers in-pod targets;
+//   THR-MMT/fabric  — THR-MMT on the fabric (topology-oblivious by design).
 //
 // Expected shape: oblivious ≫ flat in SLA cost; pod-aware claws most of the
 // penalty back by keeping migrations inside pods.
 #include <cstdio>
+#include <memory>
+#include <string>
 
-#include "bench_common.hpp"
 #include "baselines/mmt_policy.hpp"
-#include "common/csv.hpp"
 #include "common/string_util.hpp"
 #include "core/megh_policy.hpp"
-#include "harness/experiment.hpp"
+#include "harness/experiment_registry.hpp"
 #include "harness/report.hpp"
 
-using namespace megh;
+namespace megh {
+namespace {
 
-int main(int argc, char** argv) {
-  Args args;
-  bench::add_standard_flags(args);
-  args.add_flag("hosts", "PM count (--full = 432, a k=12 fat tree)", "128");
-  args.add_flag("vms", "VM count (--full = 600)", "192");
-  args.add_flag("steps", "steps (--full = 2016)", "576");
-  args.add_flag("oversubscription", "fabric oversubscription", "4");
-  if (!args.parse(argc, argv)) return 0;
-  bench::configure_tracing(args);
-  const bool full = bench::full_scale(args);
-  const int hosts = full ? 432 : static_cast<int>(args.get_int("hosts"));
-  const int vms = full ? 600 : static_cast<int>(args.get_int("vms"));
-  const int steps = full ? 2016 : static_cast<int>(args.get_int("steps"));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-
-  NetworkLinkConfig links;
-  links.oversubscription = args.get_double("oversubscription");
-  const auto fabric = std::make_shared<FatTreeTopology>(
-      FatTreeTopology::for_hosts(hosts, links));
-
-  bench::print_banner(
-      "Extension — fat-tree-aware live migration",
-      "cross-pod copies on an oversubscribed fabric cost downtime; a pod-"
-      "aware candidate generator should recover most of the penalty");
-  std::printf("fabric: k = %d, %gx oversubscribed; cross-pod copy is %.0fx "
-              "slower than same-edge\n",
-              fabric->k(), links.oversubscription,
-              links.oversubscription * links.oversubscription);
-
-  const Scenario scenario = make_planetlab_scenario(hosts, vms, steps, seed);
-  std::vector<ExperimentResult> results;
-  const auto run_megh = [&](const char* label, bool with_fabric, bool aware) {
-    MeghConfig config;
-    config.seed = seed;
-    config.candidates.network_aware = aware;
-    MeghPolicy megh(config);
-    ExperimentOptions options;
-    options.max_migration_fraction = 0.02;
-    if (with_fabric) options.network = fabric;
-    auto r = run_experiment(scenario, megh, options);
-    r.policy = label;
-    std::printf("  %-16s cost %.1f USD, %lld migrations (%lld cross-pod)\n",
-                label, r.sim.totals.total_cost_usd, r.sim.totals.migrations,
-                r.sim.totals.cross_pod_migrations);
-    results.push_back(std::move(r));
-  };
-  run_megh("Megh/flat-1G", false, true);
-  run_megh("Megh/oblivious", true, false);
-  run_megh("Megh/pod-aware", true, true);
-  {
-    auto thr = make_thr_mmt(0.7, seed);
-    ExperimentOptions options;
-    options.network = fabric;
-    auto r = run_experiment(scenario, *thr, options);
-    r.policy = "THR-MMT/fabric";
-    std::printf("  %-16s cost %.1f USD, %lld migrations (%lld cross-pod)\n",
-                r.policy.c_str(), r.sim.totals.total_cost_usd,
-                r.sim.totals.migrations, r.sim.totals.cross_pod_migrations);
-    results.push_back(std::move(r));
-  }
-
-  print_performance_table("Fat-tree extension", results, "network_extension");
-
-  const double flat = results[0].sim.totals.total_cost_usd;
-  const double oblivious = results[1].sim.totals.total_cost_usd;
-  const double aware = results[2].sim.totals.total_cost_usd;
-  std::printf("\nshape checks:\n");
-  std::printf("  fabric penalty exists (oblivious > flat): %s (%.1f vs %.1f)\n",
-              oblivious > flat ? "PASS" : "FAIL", oblivious, flat);
-  std::printf("  pod-awareness recovers cost (aware < oblivious): %s "
-              "(%.1f vs %.1f, %.0f%% of the penalty recovered)\n",
-              aware < oblivious ? "PASS" : "FAIL", aware, oblivious,
-              oblivious - flat > 0
-                  ? 100.0 * (oblivious - aware) / (oblivious - flat)
-                  : 0.0);
-  const double aware_crosspod_frac =
-      results[2].sim.totals.migrations > 0
-          ? static_cast<double>(results[2].sim.totals.cross_pod_migrations) /
-                results[2].sim.totals.migrations
-          : 0.0;
-  const double oblivious_crosspod_frac =
-      results[1].sim.totals.migrations > 0
-          ? static_cast<double>(results[1].sim.totals.cross_pod_migrations) /
-                results[1].sim.totals.migrations
-          : 0.0;
-  std::printf("  cross-pod fraction drops: %s (%.0f%% -> %.0f%%)\n",
-              aware_crosspod_frac < oblivious_crosspod_frac ? "PASS" : "FAIL",
-              100 * oblivious_crosspod_frac, 100 * aware_crosspod_frac);
-  return 0;
+double total_cost(const ExperimentOutput& output, const std::string& label) {
+  const CellResult* cell = output.find(label);
+  return cell ? cell->result.sim.totals.total_cost_usd : 0.0;
 }
+
+double cross_pod_fraction(const ExperimentOutput& output,
+                          const std::string& label) {
+  const SimulationTotals& t = output.find(label)->result.sim.totals;
+  return t.migrations > 0
+             ? static_cast<double>(t.cross_pod_migrations) / t.migrations
+             : 0.0;
+}
+
+ExperimentSpec network_spec() {
+  ExperimentSpec spec;
+  spec.name = "network";
+  spec.paper_ref = "—";
+  spec.title = "Extension — fat-tree-aware live migration";
+  spec.paper_claim =
+      "cross-pod copies on an oversubscribed fabric cost downtime; a pod-"
+      "aware candidate generator should recover most of the penalty";
+  spec.order = 130;
+  spec.params = {
+      {"hosts", 128, 432, 48, "PM count (full: a k=12 fat tree)"},
+      {"vms", 192, 600, 72, "VM count"},
+      {"steps", 576, 2016, 60, "5-minute steps"},
+      {"oversubscription", 4, 4, 4, "fabric oversubscription"},
+  };
+  spec.plan = [](const ScaleValues& scale, std::uint64_t seed) {
+    const int hosts = scale.get_int("hosts");
+    NetworkLinkConfig links;
+    links.oversubscription = scale.get("oversubscription");
+    const auto fabric = std::make_shared<FatTreeTopology>(
+        FatTreeTopology::for_hosts(hosts, links));
+
+    ExperimentPlan plan;
+    plan.scenarios.push_back(make_planetlab_scenario(
+        hosts, scale.get_int("vms"), scale.get_int("steps"), seed));
+
+    const auto megh_cell = [&](const char* label, bool with_fabric,
+                               bool aware) {
+      CellSpec cell;
+      cell.label = label;
+      cell.rng_stream = seed;
+      cell.make = [seed, aware] {
+        MeghConfig config;
+        config.seed = seed;
+        config.candidates.network_aware = aware;
+        return std::make_unique<MeghPolicy>(config);
+      };
+      cell.options.max_migration_fraction = 0.02;
+      if (with_fabric) cell.options.network = fabric;
+      plan.cells.push_back(std::move(cell));
+    };
+    megh_cell("Megh/flat-1G", false, true);
+    megh_cell("Megh/oblivious", true, false);
+    megh_cell("Megh/pod-aware", true, true);
+    {
+      CellSpec thr;
+      thr.label = "THR-MMT/fabric";
+      thr.rng_stream = seed;
+      thr.make = [seed] { return make_thr_mmt(0.7, seed); };
+      thr.options.network = fabric;
+      plan.cells.push_back(std::move(thr));
+    }
+    return plan;
+  };
+  spec.report.summary_csv = "network_extension";
+  spec.post = [](const ExperimentPlan& plan, ExperimentOutput& output) {
+    const auto& fabric = plan.cells.back().options.network;
+    std::printf("\nfabric: k = %d, %gx oversubscribed; cross-pod copy is "
+                "%.0fx slower than same-edge\n",
+                fabric->k(), output.scale.get("oversubscription"),
+                output.scale.get("oversubscription") *
+                    output.scale.get("oversubscription"));
+    for (const CellResult& cell : output.cells) {
+      std::printf("  %-16s cost %.1f USD, %lld migrations (%lld cross-pod)\n",
+                  cell.label.c_str(), cell.result.sim.totals.total_cost_usd,
+                  cell.result.sim.totals.migrations,
+                  cell.result.sim.totals.cross_pod_migrations);
+    }
+  };
+  spec.checks = {
+      {.description = "fabric penalty exists (oblivious > flat)",
+       .metric = "total_cost_usd",
+       .lhs = "Megh/oblivious",
+       .rhs = "Megh/flat-1G",
+       .relation = CheckRelation::kGreater},
+      {.description = "pod-awareness recovers cost (aware < oblivious)",
+       .custom =
+           [](const ExperimentOutput& output) {
+             const double flat = total_cost(output, "Megh/flat-1G");
+             const double oblivious = total_cost(output, "Megh/oblivious");
+             const double aware = total_cost(output, "Megh/pod-aware");
+             CheckOutcome outcome;
+             outcome.status = aware < oblivious
+                                  ? CheckOutcome::Status::kPass
+                                  : CheckOutcome::Status::kFail;
+             outcome.detail = strf(
+                 "%.1f vs %.1f, %.0f%% of the penalty recovered", aware,
+                 oblivious,
+                 oblivious - flat > 0
+                     ? 100.0 * (oblivious - aware) / (oblivious - flat)
+                     : 0.0);
+             return outcome;
+           }},
+      {.description = "cross-pod fraction drops under pod-awareness",
+       .custom =
+           [](const ExperimentOutput& output) {
+             const double oblivious =
+                 cross_pod_fraction(output, "Megh/oblivious");
+             const double aware =
+                 cross_pod_fraction(output, "Megh/pod-aware");
+             CheckOutcome outcome;
+             outcome.status = aware < oblivious
+                                  ? CheckOutcome::Status::kPass
+                                  : CheckOutcome::Status::kFail;
+             outcome.detail = strf("%.0f%% -> %.0f%%", 100 * oblivious,
+                                   100 * aware);
+             return outcome;
+           }},
+  };
+  return spec;
+}
+
+const ExperimentRegistrar registrar(network_spec());
+
+}  // namespace
+}  // namespace megh

@@ -1,0 +1,63 @@
+// Shared post-hook helpers for the per-step series figures (Figs 2–3):
+// the four-panel stdout summary and the cumulative-migrations shape check.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/string_util.hpp"
+#include "harness/experiment_spec.hpp"
+#include "metrics/convergence.hpp"
+#include "metrics/running_stats.hpp"
+
+namespace megh::bench {
+
+/// Panel (a)-(d) summary lines for every cell of a series figure.
+inline void print_panel_summaries(const ExperimentOutput& output) {
+  std::printf("\npanel summaries:\n");
+  for (const CellResult& cell : output.cells) {
+    const auto cost = cell.result.sim.series("step_cost");
+    const auto conv = convergence_step(cost);
+    RunningStats tail;
+    const int from = conv.value_or(static_cast<int>(cost.size()) / 2);
+    for (std::size_t i = static_cast<std::size_t>(from); i < cost.size();
+         ++i) {
+      tail.add(cost[i]);
+    }
+    std::printf(
+        "  %-8s (a) converges at %s, stable cost %.3f ± %.3f USD/step\n",
+        cell.label.c_str(), conv ? std::to_string(*conv).c_str() : "never",
+        tail.mean(), tail.stddev());
+    std::printf("           (b) total migrations %lld  (c) mean active hosts "
+                "%.1f  (d) exec %.3f ms/step\n",
+                cell.result.sim.totals.migrations,
+                cell.result.sim.totals.mean_active_hosts,
+                cell.result.sim.totals.mean_exec_ms);
+  }
+}
+
+/// Panel (b): lhs's cumulative migration curve stays below rhs's at every
+/// step (after a short warm-up).
+inline CheckOutcome cumulative_migrations_below(const ExperimentOutput& output,
+                                                const std::string& lhs,
+                                                const std::string& rhs) {
+  const CellResult* a = output.find(lhs);
+  const CellResult* b = output.find(rhs);
+  double a_cum = 0, b_cum = 0;
+  bool below = true;
+  const auto& a_steps = a->result.sim.steps;
+  const auto& b_steps = b->result.sim.steps;
+  for (std::size_t i = 0; i < a_steps.size() && i < b_steps.size(); ++i) {
+    a_cum += a_steps[i].migrations;
+    b_cum += b_steps[i].migrations;
+    if (a_cum > b_cum && i > 10) below = false;
+  }
+  CheckOutcome outcome;
+  outcome.status =
+      below ? CheckOutcome::Status::kPass : CheckOutcome::Status::kFail;
+  outcome.detail = strf("final cumulative: %s %.0f vs %s %.0f", lhs.c_str(),
+                        a_cum, rhs.c_str(), b_cum);
+  return outcome;
+}
+
+}  // namespace megh::bench

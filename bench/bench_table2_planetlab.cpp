@@ -10,74 +10,70 @@
 //   Megh     cost 1155, migrations   2309, hosts 203, exec 1426 ms
 // Shape to reproduce: Megh cheapest (paper: −14% vs THR), orders of
 // magnitude fewer migrations, smallest execution time among the six.
-#include <cstdio>
+#include "harness/experiment_registry.hpp"
 
-#include "bench_common.hpp"
-#include "harness/experiment.hpp"
-#include "harness/report.hpp"
-#include "metrics/convergence.hpp"
+namespace megh {
+namespace {
 
-using namespace megh;
-
-int main(int argc, char** argv) {
-  Args args;
-  bench::add_standard_flags(args);
-  args.add_flag("hosts", "PM count (default scaled down; --full = 800)", "120");
-  args.add_flag("vms", "VM count (--full = 1052)", "160");
-  args.add_flag("steps", "5-minute steps (--full = 2016)", "576");
-  if (!args.parse(argc, argv)) return 0;
-  bench::configure_tracing(args);
-
-  const bool full = bench::full_scale(args);
-  const int hosts = full ? 800 : static_cast<int>(args.get_int("hosts"));
-  const int vms = full ? 1052 : static_cast<int>(args.get_int("vms"));
-  const int steps = full ? 2016 : static_cast<int>(args.get_int("steps"));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-
-  bench::print_banner(
-      "Table 2 — PlanetLab performance evaluation",
+ExperimentSpec table2_spec() {
+  ExperimentSpec spec;
+  spec.name = "table2";
+  spec.paper_ref = "Table 2";
+  spec.title = "Table 2 — PlanetLab performance evaluation";
+  spec.paper_claim =
       "Megh reduces total cost by 14.25% vs THR-MMT with ~140x fewer "
-      "migrations and the smallest per-step execution time");
-  std::printf("configuration: %d PMs, %d VMs, %d steps%s\n", hosts, vms,
-              steps, full ? " (paper scale)" : " (reduced; --full for paper)");
-
-  const Scenario scenario = make_planetlab_scenario(hosts, vms, steps, seed);
-  std::vector<ExperimentResult> results;
-  for (const PolicyEntry& entry : paper_roster(seed)) {
-    auto policy = entry.make();
-    ExperimentOptions options;
-    options.max_migration_fraction = entry.max_migration_fraction;
-    results.push_back(run_experiment(scenario, *policy, options));
-    std::printf("  %-8s done: cost %.0f USD, %lld migrations, %.3f ms/step\n",
-                entry.name.c_str(), results.back().sim.totals.total_cost_usd,
-                results.back().sim.totals.migrations,
-                results.back().sim.totals.mean_exec_ms);
-  }
-
-  print_performance_table("Table 2 — PlanetLab", results, "table2_planetlab");
-  write_series_csvs(results, "table2_series");
-  std::printf("\nconvergence (paper: Megh ~100 steps, THR-MMT ~600):\n");
-  for (const auto& r : results) {
-    std::printf("  %s\n", convergence_summary(r).c_str());
-  }
-
-  // Headline shape checks printed as PASS/FAIL for quick eyeballing.
-  const auto& thr = results.front().sim.totals;
-  const auto& megh = results.back().sim.totals;
-  std::printf("\nshape checks:\n");
-  std::printf("  Megh cheaper than THR-MMT: %s (%.0f vs %.0f, %.1f%%)\n",
-              megh.total_cost_usd < thr.total_cost_usd ? "PASS" : "FAIL",
-              megh.total_cost_usd, thr.total_cost_usd,
-              100.0 * (1.0 - megh.total_cost_usd / thr.total_cost_usd));
-  std::printf("  Megh migrations << THR-MMT: %s (%lldx fewer)\n",
-              megh.migrations * 5 < thr.migrations ? "PASS" : "FAIL",
-              megh.migrations > 0 ? thr.migrations / megh.migrations : 0);
-  // The exec-time crossover sits near 200 PMs (see Figure 6); at reduced
-  // scale THR-MMT can still be faster in absolute terms.
-  const bool exec_ok = megh.mean_exec_ms < thr.mean_exec_ms;
-  std::printf("  Megh exec time below THR-MMT: %s (%.3f ms vs %.3f ms)\n",
-              exec_ok ? "PASS" : (hosts < 200 ? "EXPECTED-AT-SCALE (see Fig 6)"
-                                              : "FAIL"),
-              megh.mean_exec_ms, thr.mean_exec_ms);
-  return 0;
+      "migrations and the smallest per-step execution time";
+  spec.order = 20;
+  spec.params = {
+      {"hosts", 120, 800, 24, "PM count"},
+      {"vms", 160, 1052, 36, "VM count"},
+      {"steps", 576, 2016, 60, "5-minute steps"},
+  };
+  spec.plan = [](const ScaleValues& scale, std::uint64_t seed) {
+    ExperimentPlan plan;
+    plan.scenarios.push_back(make_planetlab_scenario(
+        scale.get_int("hosts"), scale.get_int("vms"), scale.get_int("steps"),
+        seed));
+    for (const PolicyEntry& entry : paper_roster(seed)) {
+      CellSpec cell;
+      cell.label = entry.name;
+      cell.rng_stream = seed;
+      cell.make = entry.make;
+      cell.options.max_migration_fraction = entry.max_migration_fraction;
+      plan.cells.push_back(std::move(cell));
+    }
+    return plan;
+  };
+  spec.report.summary_csv = "table2_planetlab";
+  spec.report.series_csv = "table2_series";
+  spec.report.convergence = true;
+  spec.report.convergence_note =
+      "convergence (paper: Megh ~100 steps, THR-MMT ~600):";
+  spec.checks = {
+      {.description = "Megh cheaper than THR-MMT",
+       .metric = "total_cost_usd",
+       .lhs = "Megh",
+       .rhs = "THR-MMT",
+       .relation = CheckRelation::kLess},
+      {.description = "Megh migrations << THR-MMT (>5x fewer)",
+       .metric = "migrations",
+       .lhs = "Megh",
+       .rhs = "THR-MMT",
+       .relation = CheckRelation::kLess,
+       .rhs_scale = 0.2},
+      // The exec-time crossover sits near 200 PMs (see Figure 6); at
+      // reduced scale THR-MMT can still be faster in absolute terms.
+      {.description = "Megh exec time below THR-MMT",
+       .metric = "mean_exec_ms",
+       .lhs = "Megh",
+       .rhs = "THR-MMT",
+       .relation = CheckRelation::kLess,
+       .expected_at_reduced_scale = true},
+  };
+  return spec;
 }
+
+const ExperimentRegistrar registrar(table2_spec());
+
+}  // namespace
+}  // namespace megh

@@ -10,69 +10,68 @@
 // Shape: Megh wins by a small margin (2.5%), migrates ~100x less, and —
 // counter-intuitively for consolidation literature — keeps MORE hosts
 // active than the MMT family (Sec. 6.3 discussion).
-#include <cstdio>
+#include "harness/experiment_registry.hpp"
 
-#include "bench_common.hpp"
-#include "harness/experiment.hpp"
-#include "harness/report.hpp"
-#include "metrics/convergence.hpp"
+namespace megh {
+namespace {
 
-using namespace megh;
-
-int main(int argc, char** argv) {
-  Args args;
-  bench::add_standard_flags(args);
-  args.add_flag("hosts", "PM count (--full = 500)", "100");
-  args.add_flag("vms", "VM count (--full = 2000)", "300");
-  args.add_flag("steps", "5-minute steps (--full = 2016)", "576");
-  if (!args.parse(argc, argv)) return 0;
-  bench::configure_tracing(args);
-
-  const bool full = bench::full_scale(args);
-  const int hosts = full ? 500 : static_cast<int>(args.get_int("hosts"));
-  const int vms = full ? 2000 : static_cast<int>(args.get_int("vms"));
-  const int steps = full ? 2016 : static_cast<int>(args.get_int("steps"));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
-
-  bench::print_banner(
-      "Table 3 — Google Cluster performance evaluation",
+ExperimentSpec table3_spec() {
+  ExperimentSpec spec;
+  spec.name = "table3";
+  spec.paper_ref = "Table 3";
+  spec.title = "Table 3 — Google Cluster performance evaluation";
+  spec.paper_claim =
       "Megh reduces cost by 2.5% vs THR-MMT, ~97x fewer migrations, and "
-      "keeps more hosts active than MMT (task workloads favour spreading)");
-  std::printf("configuration: %d PMs, %d VMs, %d steps%s\n", hosts, vms,
-              steps, full ? " (paper scale)" : " (reduced; --full for paper)");
-
-  const Scenario scenario = make_google_scenario(hosts, vms, steps, seed);
-  std::vector<ExperimentResult> results;
-  for (const PolicyEntry& entry : paper_roster(seed)) {
-    auto policy = entry.make();
-    ExperimentOptions options;
-    options.max_migration_fraction = entry.max_migration_fraction;
-    results.push_back(run_experiment(scenario, *policy, options));
-    std::printf("  %-8s done: cost %.0f USD, %lld migrations, %.3f ms/step\n",
-                entry.name.c_str(), results.back().sim.totals.total_cost_usd,
-                results.back().sim.totals.migrations,
-                results.back().sim.totals.mean_exec_ms);
-  }
-
-  print_performance_table("Table 3 — Google Cluster", results,
-                          "table3_google");
-  write_series_csvs(results, "table3_series");
-  std::printf("\nconvergence (paper: Megh ~100 steps, THR-MMT ~300):\n");
-  for (const auto& r : results) {
-    std::printf("  %s\n", convergence_summary(r).c_str());
-  }
-
-  const auto& thr = results.front().sim.totals;
-  const auto& megh = results.back().sim.totals;
-  std::printf("\nshape checks:\n");
-  std::printf("  Megh within/below THR-MMT cost: %s (%.0f vs %.0f)\n",
-              megh.total_cost_usd < thr.total_cost_usd * 1.1 ? "PASS" : "FAIL",
-              megh.total_cost_usd, thr.total_cost_usd);
-  std::printf("  Megh migrations << THR-MMT: %s (%lldx fewer)\n",
-              megh.migrations * 5 < thr.migrations ? "PASS" : "FAIL",
-              megh.migrations > 0 ? thr.migrations / megh.migrations : 0);
-  std::printf("  Megh keeps MORE hosts active than THR-MMT: %s (%.0f vs %.0f)\n",
-              megh.mean_active_hosts > thr.mean_active_hosts ? "PASS" : "FAIL",
-              megh.mean_active_hosts, thr.mean_active_hosts);
-  return 0;
+      "keeps more hosts active than MMT (task workloads favour spreading)";
+  spec.order = 30;
+  spec.params = {
+      {"hosts", 100, 500, 20, "PM count"},
+      {"vms", 300, 2000, 50, "VM count"},
+      {"steps", 576, 2016, 60, "5-minute steps"},
+  };
+  spec.plan = [](const ScaleValues& scale, std::uint64_t seed) {
+    ExperimentPlan plan;
+    plan.scenarios.push_back(make_google_scenario(
+        scale.get_int("hosts"), scale.get_int("vms"), scale.get_int("steps"),
+        seed));
+    for (const PolicyEntry& entry : paper_roster(seed)) {
+      CellSpec cell;
+      cell.label = entry.name;
+      cell.rng_stream = seed;
+      cell.make = entry.make;
+      cell.options.max_migration_fraction = entry.max_migration_fraction;
+      plan.cells.push_back(std::move(cell));
+    }
+    return plan;
+  };
+  spec.report.summary_csv = "table3_google";
+  spec.report.series_csv = "table3_series";
+  spec.report.convergence = true;
+  spec.report.convergence_note =
+      "convergence (paper: Megh ~100 steps, THR-MMT ~300):";
+  spec.checks = {
+      {.description = "Megh within/below THR-MMT cost",
+       .metric = "total_cost_usd",
+       .lhs = "Megh",
+       .rhs = "THR-MMT",
+       .relation = CheckRelation::kLess,
+       .rhs_scale = 1.1},
+      {.description = "Megh migrations << THR-MMT (>5x fewer)",
+       .metric = "migrations",
+       .lhs = "Megh",
+       .rhs = "THR-MMT",
+       .relation = CheckRelation::kLess,
+       .rhs_scale = 0.2},
+      {.description = "Megh keeps MORE hosts active than THR-MMT",
+       .metric = "mean_active_hosts",
+       .lhs = "Megh",
+       .rhs = "THR-MMT",
+       .relation = CheckRelation::kGreater},
+  };
+  return spec;
 }
+
+const ExperimentRegistrar registrar(table3_spec());
+
+}  // namespace
+}  // namespace megh

@@ -29,6 +29,10 @@ struct ExperimentOptions {
   double max_migration_fraction = 0.0;
   /// Optional fat-tree fabric (see sim/network.hpp).
   std::shared_ptr<const FatTreeTopology> network;
+  /// Last-chance hook over the assembled SimulationConfig (cost-model or
+  /// migration-model variants for ablations). Runs after the fields above
+  /// are applied.
+  std::function<void(SimulationConfig&)> configure_sim;
 };
 
 /// Run one policy over the scenario.

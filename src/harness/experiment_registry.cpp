@@ -1,0 +1,57 @@
+#include "harness/experiment_registry.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace megh {
+
+namespace {
+// Stable storage so spec pointers survive later registrations.
+std::vector<std::unique_ptr<ExperimentSpec>>& spec_storage() {
+  static std::vector<std::unique_ptr<ExperimentSpec>> storage;
+  return storage;
+}
+}  // namespace
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  static ExperimentRegistry registry;
+  return registry;
+}
+
+void ExperimentRegistry::add(ExperimentSpec spec) {
+  MEGH_REQUIRE(!spec.name.empty(), "experiment spec needs a name");
+  MEGH_REQUIRE(spec.plan != nullptr,
+               "experiment spec '" + spec.name + "' has no plan function");
+  MEGH_REQUIRE(find(spec.name) == nullptr,
+               "duplicate experiment registration: " + spec.name);
+  spec_storage().push_back(std::make_unique<ExperimentSpec>(std::move(spec)));
+}
+
+std::size_t ExperimentRegistry::size() const { return spec_storage().size(); }
+
+const ExperimentSpec* ExperimentRegistry::find(const std::string& name) const {
+  for (const auto& spec : spec_storage()) {
+    if (spec->name == name) return spec.get();
+  }
+  return nullptr;
+}
+
+std::vector<const ExperimentSpec*> ExperimentRegistry::all() const {
+  std::vector<const ExperimentSpec*> out;
+  out.reserve(spec_storage().size());
+  for (const auto& spec : spec_storage()) out.push_back(spec.get());
+  std::sort(out.begin(), out.end(),
+            [](const ExperimentSpec* a, const ExperimentSpec* b) {
+              if (a->order != b->order) return a->order < b->order;
+              return a->name < b->name;
+            });
+  return out;
+}
+
+ExperimentRegistrar::ExperimentRegistrar(ExperimentSpec spec) {
+  ExperimentRegistry::instance().add(std::move(spec));
+}
+
+}  // namespace megh

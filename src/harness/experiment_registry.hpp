@@ -1,0 +1,40 @@
+// Static registry of declarative experiments. Each bench translation unit
+// registers one ExperimentSpec at load time; the megh_bench driver
+// enumerates (--list) and runs (--only/--all) them through the engine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment_spec.hpp"
+
+namespace megh {
+
+class ExperimentRegistry {
+ public:
+  static ExperimentRegistry& instance();
+
+  /// Register a spec. Throws ConfigError on a duplicate name or a spec
+  /// without a plan function.
+  void add(ExperimentSpec spec);
+
+  /// Null when no spec has that name.
+  const ExperimentSpec* find(const std::string& name) const;
+
+  /// Every spec in paper order (spec.order, then name) — stable across
+  /// runs regardless of translation-unit initialization order.
+  std::vector<const ExperimentSpec*> all() const;
+
+  std::size_t size() const;
+
+ private:
+  ExperimentRegistry() = default;
+};
+
+/// Registers a spec from a static initializer:
+///   const ExperimentRegistrar reg(make_table2_spec());
+struct ExperimentRegistrar {
+  explicit ExperimentRegistrar(ExperimentSpec spec);
+};
+
+}  // namespace megh

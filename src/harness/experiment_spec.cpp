@@ -1,0 +1,154 @@
+#include "harness/experiment_spec.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "metrics/convergence.hpp"
+
+namespace megh {
+
+Scale parse_scale(const std::string& name) {
+  if (name == "smoke") return Scale::kSmoke;
+  if (name == "reduced") return Scale::kReduced;
+  if (name == "full") return Scale::kFull;
+  throw ConfigError("unknown scale '" + name +
+                    "' (expected smoke | reduced | full)");
+}
+
+const char* scale_name(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke: return "smoke";
+    case Scale::kReduced: return "reduced";
+    case Scale::kFull: return "full";
+  }
+  return "?";
+}
+
+double ScaleValues::get(const std::string& name) const {
+  const auto it = values.find(name);
+  MEGH_REQUIRE(it != values.end(), "scale parameter not declared: " + name);
+  return it->second;
+}
+
+int ScaleValues::get_int(const std::string& name) const {
+  return static_cast<int>(get(name));
+}
+
+ScaleValues resolve_scale(const ExperimentSpec& spec, Scale scale,
+                          const std::map<std::string, double>& overrides) {
+  ScaleValues out;
+  out.scale = scale;
+  for (const ScaleParam& param : spec.params) {
+    double value = param.reduced;
+    if (scale == Scale::kFull) {
+      value = param.full;
+    } else if (scale == Scale::kSmoke) {
+      value = param.smoke.value_or(param.reduced);
+    }
+    if (const auto it = overrides.find(param.name); it != overrides.end()) {
+      value = it->second;
+    }
+    out.values[param.name] = value;
+  }
+  return out;
+}
+
+const char* check_status_name(CheckOutcome::Status status) {
+  switch (status) {
+    case CheckOutcome::Status::kPass: return "PASS";
+    case CheckOutcome::Status::kFail: return "FAIL";
+    case CheckOutcome::Status::kExpectedAtScale: return "EXPECTED-AT-SCALE";
+  }
+  return "?";
+}
+
+const CellResult* ExperimentOutput::find(const std::string& label,
+                                         const std::string& group) const {
+  for (const CellResult& cell : cells) {
+    if (cell.label == label && (group.empty() || cell.group == group)) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+void record_artifact(ExperimentOutput& output, const std::string& path) {
+  output.artifacts.push_back(path);
+}
+
+double cell_metric(const CellResult& cell, const std::string& metric) {
+  const SimulationTotals& t = cell.result.sim.totals;
+  if (metric == "total_cost_usd") return t.total_cost_usd;
+  if (metric == "energy_cost_usd") return t.energy_cost_usd;
+  if (metric == "sla_cost_usd") return t.sla_cost_usd;
+  if (metric == "migrations") return static_cast<double>(t.migrations);
+  if (metric == "cross_pod_migrations") {
+    return static_cast<double>(t.cross_pod_migrations);
+  }
+  if (metric == "mean_active_hosts") return t.mean_active_hosts;
+  if (metric == "mean_exec_ms") return t.mean_exec_ms;
+  if (metric == "max_exec_ms") return t.max_exec_ms;
+  if (metric == "energy_kwh") return t.energy_kwh;
+  if (metric == "slatah") return t.slatah;
+  if (metric == "pdm") return t.pdm;
+  if (metric == "slav") return t.slav;
+  if (metric == "esv") return t.esv;
+  if (metric == "stable_cost") {
+    // Per-step cost level after convergence; when the CV detector does not
+    // fire (common at reduced VM counts), fall back to the second-half
+    // mean — the level comparison is the discriminating claim.
+    const std::vector<double> cost = cell.result.sim.series("step_cost");
+    const auto conv = convergence_step(cost);
+    return tail_mean(cost,
+                     conv.value_or(static_cast<int>(cost.size()) / 2));
+  }
+  if (metric == "convergence_step") {
+    const std::vector<double> cost = cell.result.sim.series("step_cost");
+    const auto conv = convergence_step(cost);
+    return conv ? static_cast<double>(*conv)
+                : static_cast<double>(cost.size());
+  }
+  throw ConfigError("unknown shape-check metric: " + metric);
+}
+
+CheckOutcome evaluate_check(const ShapeCheck& check,
+                            const ExperimentOutput& output) {
+  if (check.custom) return check.custom(output);
+  const CellResult* lhs = output.find(check.lhs);
+  const CellResult* rhs = output.find(check.rhs);
+  MEGH_REQUIRE(lhs != nullptr,
+               "shape check '" + check.description + "': no cell labelled '" +
+                   check.lhs + "'");
+  MEGH_REQUIRE(rhs != nullptr,
+               "shape check '" + check.description + "': no cell labelled '" +
+                   check.rhs + "'");
+  const double a = cell_metric(*lhs, check.metric);
+  const double b = cell_metric(*rhs, check.metric) * check.rhs_scale;
+  bool pass = false;
+  const char* op = "?";
+  switch (check.relation) {
+    case CheckRelation::kLess: pass = a < b; op = "<"; break;
+    case CheckRelation::kLessEq: pass = a <= b; op = "<="; break;
+    case CheckRelation::kGreater: pass = a > b; op = ">"; break;
+  }
+  CheckOutcome outcome;
+  if (check.rhs_scale == 1.0) {
+    outcome.detail = strf("%s %s=%.4g %s %s=%.4g", check.metric.c_str(),
+                          check.lhs.c_str(), a, op, check.rhs.c_str(), b);
+  } else {
+    outcome.detail =
+        strf("%s %s=%.4g %s %g x %s=%.4g", check.metric.c_str(),
+             check.lhs.c_str(), a, op, check.rhs_scale, check.rhs.c_str(),
+             cell_metric(*rhs, check.metric));
+  }
+  if (pass) {
+    outcome.status = CheckOutcome::Status::kPass;
+  } else if (check.expected_at_reduced_scale &&
+             output.scale.scale != Scale::kFull) {
+    outcome.status = CheckOutcome::Status::kExpectedAtScale;
+  } else {
+    outcome.status = CheckOutcome::Status::kFail;
+  }
+  return outcome;
+}
+
+}  // namespace megh

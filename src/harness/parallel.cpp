@@ -27,10 +27,15 @@ void parallel_for(std::size_t count,
   }
 
   std::atomic<std::size_t> next{0};
+  // Once any item throws, stop dispatching new iterations: in-flight items
+  // finish (partial results stay consistent) but the remaining index range
+  // is abandoned, so a failure at item 3 of 10'000 does not burn the other
+  // 9'996 simulations before the rethrow.
+  std::atomic<bool> cancelled{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
   const auto worker = [&] {
-    while (true) {
+    while (!cancelled.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1);
       if (i >= count) return;
       try {
@@ -38,6 +43,7 @@ void parallel_for(std::size_t count,
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
+        cancelled.store(true, std::memory_order_relaxed);
       }
     }
   };

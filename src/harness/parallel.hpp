@@ -18,8 +18,9 @@ namespace megh {
 int default_parallelism(std::size_t items);
 
 /// Run fn(i) for i in [0, count) across up to `threads` workers (0 = auto).
-/// Exceptions thrown by items are collected; the first one is rethrown
-/// after every item has finished (so partial results stay consistent).
+/// The first exception thrown by an item cancels dispatch of not-yet-claimed
+/// indices (in-flight items still finish, so partial results stay
+/// consistent) and is rethrown once every worker has stopped.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   int threads = 0);
 

@@ -17,6 +17,16 @@ std::filesystem::path bench_output_dir() {
   return std::filesystem::path("bench_results");
 }
 
+void print_banner(const std::string& experiment,
+                  const std::string& paper_claim) {
+  std::printf(
+      "==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf(
+      "==============================================================\n");
+}
+
 void print_table(const std::string& title,
                  const std::vector<std::string>& header,
                  const std::vector<std::vector<std::string>>& rows) {
@@ -84,7 +94,13 @@ void print_performance_table(const std::string& title,
     return strf("%.3f", 1e6 * r.sim.totals.slav);
   }));
   print_table(title, header, rows);
+  write_performance_csv(results, csv_name);
+  std::printf("wrote %s\n",
+              (bench_output_dir() / (csv_name + ".csv")).string().c_str());
+}
 
+void write_performance_csv(const std::vector<ExperimentResult>& results,
+                           const std::string& csv_name) {
   CsvWriter csv(bench_output_dir() / (csv_name + ".csv"));
   csv.header({"policy", "total_cost_usd", "energy_cost_usd", "sla_cost_usd",
               "migrations", "mean_active_hosts", "mean_exec_ms",
@@ -105,8 +121,6 @@ void print_performance_table(const std::string& title,
                  strf("%.10g", r.sim.totals.slav),
                  strf("%.10g", r.sim.totals.esv)});
   }
-  std::printf("wrote %s\n",
-              (bench_output_dir() / (csv_name + ".csv")).string().c_str());
 }
 
 void write_series_csvs(const std::vector<ExperimentResult>& results,

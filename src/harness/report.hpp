@@ -14,6 +14,10 @@ namespace megh {
 /// Where bench CSVs go: $MEGH_BENCH_OUT or ./bench_results.
 std::filesystem::path bench_output_dir();
 
+/// The "experiment / paper claim" banner every bench prints.
+void print_banner(const std::string& experiment,
+                  const std::string& paper_claim);
+
 /// Print an aligned table: `header` then `rows` (all cells preformatted).
 void print_table(const std::string& title,
                  const std::vector<std::string>& header,
@@ -25,6 +29,11 @@ void print_table(const std::string& title,
 void print_performance_table(const std::string& title,
                              const std::vector<ExperimentResult>& results,
                              const std::string& csv_name);
+
+/// Just the `<csv_name>.csv` dump of print_performance_table (one row per
+/// algorithm), without the stdout table.
+void write_performance_csv(const std::vector<ExperimentResult>& results,
+                           const std::string& csv_name);
 
 /// Dump the Fig. 2/3/4/5 panel series (per-step cost, cumulative
 /// migrations, active hosts, exec time) for each result as

@@ -1,0 +1,154 @@
+#include "harness/results_json.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace megh {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jstr(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+
+std::string jnum(double v) {
+  if (!std::isfinite(v)) return "0";
+  return strf("%.10g", v);
+}
+
+void append_totals(std::string& out, const SimulationTotals& t) {
+  out += "{";
+  out += "\"total_cost_usd\":" + jnum(t.total_cost_usd);
+  out += ",\"energy_cost_usd\":" + jnum(t.energy_cost_usd);
+  out += ",\"sla_cost_usd\":" + jnum(t.sla_cost_usd);
+  out += ",\"migrations\":" + strf("%lld", t.migrations);
+  out += ",\"cross_pod_migrations\":" + strf("%lld", t.cross_pod_migrations);
+  out += ",\"mean_active_hosts\":" + jnum(t.mean_active_hosts);
+  out += ",\"mean_exec_ms\":" + jnum(t.mean_exec_ms);
+  out += ",\"max_exec_ms\":" + jnum(t.max_exec_ms);
+  out += ",\"steps\":" + strf("%d", t.steps);
+  out += ",\"energy_kwh\":" + jnum(t.energy_kwh);
+  out += ",\"slatah\":" + jnum(t.slatah);
+  out += ",\"pdm\":" + jnum(t.pdm);
+  out += ",\"slav\":" + jnum(t.slav);
+  out += ",\"esv\":" + jnum(t.esv);
+  out += "}";
+}
+
+}  // namespace
+
+std::string results_json_string(const BenchRunMetadata& metadata,
+                                const std::vector<ExperimentOutput>& outputs) {
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"megh.bench.results/v1\",\n";
+  out += "  \"metadata\": {";
+  out += "\"command\": " + jstr(metadata.command);
+  out += ", \"scale\": " + jstr(scale_name(metadata.scale));
+  out += ", \"seed\": " + strf("%llu",
+                               static_cast<unsigned long long>(metadata.seed));
+  out += ", \"jobs\": " + strf("%d", metadata.jobs);
+  out += ", \"timing_grade\": ";
+  out += metadata.jobs == 1 ? "true" : "false";
+  out += ", \"hardware_concurrency\": " +
+         strf("%d", metadata.hardware_concurrency);
+  out += ", \"wall_ms\": " + jnum(metadata.wall_ms);
+  out += "},\n";
+  out += "  \"experiments\": [\n";
+  for (std::size_t e = 0; e < outputs.size(); ++e) {
+    const ExperimentOutput& output = outputs[e];
+    out += "    {";
+    out += "\"name\": " + jstr(output.spec->name);
+    out += ", \"paper_ref\": " + jstr(output.spec->paper_ref);
+    out += ", \"title\": " + jstr(output.spec->title);
+    out += ", \"scale\": {";
+    bool first = true;
+    for (const auto& [name, value] : output.scale.values) {
+      if (!first) out += ", ";
+      first = false;
+      out += jstr(name) + ": " + jnum(value);
+    }
+    out += "}";
+    out += ", \"seed\": " +
+           strf("%llu", static_cast<unsigned long long>(output.seed));
+    out += ", \"jobs\": " + strf("%d", output.jobs);
+    out += ", \"wall_ms\": " + jnum(output.wall_ms);
+    out += ",\n     \"cells\": [\n";
+    for (std::size_t c = 0; c < output.cells.size(); ++c) {
+      const CellResult& cell = output.cells[c];
+      out += "       {\"label\": " + jstr(cell.label);
+      out += ", \"group\": " + jstr(cell.group);
+      out += ", \"scenario\": " + strf("%d", cell.scenario);
+      out += ", \"rng_stream\": " +
+             strf("%llu", static_cast<unsigned long long>(cell.rng_stream));
+      if (!cell.params.empty()) {
+        out += ", \"params\": {";
+        bool pfirst = true;
+        for (const auto& [name, value] : cell.params) {
+          if (!pfirst) out += ", ";
+          pfirst = false;
+          out += jstr(name) + ": " + jnum(value);
+        }
+        out += "}";
+      }
+      out += ", \"wall_ms\": " + jnum(cell.wall_ms);
+      out += ", \"totals\": ";
+      append_totals(out, cell.result.sim.totals);
+      out += c + 1 < output.cells.size() ? "},\n" : "}\n";
+    }
+    out += "     ],\n";
+    out += "     \"checks\": [";
+    for (std::size_t k = 0; k < output.check_results.size(); ++k) {
+      const auto& [description, outcome] = output.check_results[k];
+      if (k > 0) out += ", ";
+      out += "{\"description\": " + jstr(description);
+      out += ", \"status\": " + jstr(check_status_name(outcome.status));
+      out += ", \"detail\": " + jstr(outcome.detail) + "}";
+    }
+    out += "],\n";
+    out += "     \"artifacts\": [";
+    for (std::size_t a = 0; a < output.artifacts.size(); ++a) {
+      if (a > 0) out += ", ";
+      out += jstr(output.artifacts[a]);
+    }
+    out += "]}";
+    out += e + 1 < outputs.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+void write_results_json(const std::filesystem::path& path,
+                        const BenchRunMetadata& metadata,
+                        const std::vector<ExperimentOutput>& outputs) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write results json: " + path.string());
+  out << results_json_string(metadata, outputs);
+}
+
+}  // namespace megh

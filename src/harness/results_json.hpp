@@ -1,0 +1,35 @@
+// Machine-readable results: one results.json per megh_bench invocation,
+// carrying the run configuration (scale, seed, jobs — jobs matters because
+// only --jobs 1 wall-clock is timing-grade), every cell's totals and RNG
+// stream, every shape-check verdict, and the artifact list. Schema is
+// documented in docs/BENCHMARKS.md.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness/experiment_spec.hpp"
+
+namespace megh {
+
+struct BenchRunMetadata {
+  std::string command;
+  Scale scale = Scale::kReduced;
+  std::uint64_t seed = 0;
+  int jobs = 0;
+  int hardware_concurrency = 0;
+  double wall_ms = 0.0;
+};
+
+/// Serialize the whole run. Creates parent directories as needed.
+void write_results_json(const std::filesystem::path& path,
+                        const BenchRunMetadata& metadata,
+                        const std::vector<ExperimentOutput>& outputs);
+
+/// The serialization itself (exposed for tests).
+std::string results_json_string(const BenchRunMetadata& metadata,
+                                const std::vector<ExperimentOutput>& outputs);
+
+}  // namespace megh

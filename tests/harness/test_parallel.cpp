@@ -30,7 +30,7 @@ TEST(ParallelForTest, SingleThreadFallback) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
-TEST(ParallelForTest, ExceptionPropagatesAfterCompletion) {
+TEST(ParallelForTest, ExceptionPropagates) {
   std::atomic<int> completed{0};
   EXPECT_THROW(
       parallel_for(64,
@@ -40,7 +40,25 @@ TEST(ParallelForTest, ExceptionPropagatesAfterCompletion) {
                    },
                    4),
       ConfigError);
-  EXPECT_EQ(completed.load(), 63);  // everything else still ran
+  // In-flight items finish; after the failure no new ones are dispatched,
+  // so at most the items claimed before the throw ran.
+  EXPECT_LT(completed.load(), 64);
+}
+
+TEST(ParallelForTest, CancelsRemainingItemsAfterFirstFailure) {
+  // Every item throws. A worker that catches an exception sets the cancel
+  // flag before re-checking it, so each worker dispatches exactly one item
+  // and the other 998 are abandoned — without cancellation this would
+  // attempt all 1000.
+  std::atomic<int> attempts{0};
+  EXPECT_THROW(parallel_for(1000,
+                            [&](std::size_t) {
+                              ++attempts;
+                              throw ConfigError("boom");
+                            },
+                            /*threads=*/2),
+               ConfigError);
+  EXPECT_LE(attempts.load(), 2);  // at most one attempt per worker
 }
 
 TEST(ParallelMapTest, PreservesOrder) {

@@ -1,5 +1,6 @@
-// trace_summary — aggregate a telemetry JSONL trace (megh_sim --trace-out,
-// bench --trace-out) into per-phase and counter tables.
+// trace_summary — aggregate telemetry JSONL traces (megh_sim --trace-out,
+// megh_bench --trace-out, or the engine's per-cell traces from
+// megh_bench --cell-traces <dir>) into per-phase and counter tables.
 //
 // Per phase it reports call counts, total/mean/max time and the share of
 // all traced time — the breakdown that shows where a step's wall-clock
@@ -9,9 +10,12 @@
 //
 // Usage:
 //   trace_summary --in run.jsonl
+//   trace_summary --in cell_a.jsonl,cell_b.jsonl
+//   trace_summary --in traces/            # every *.jsonl in the directory
 //   trace_summary --in run.jsonl --phases-only
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
@@ -34,100 +38,135 @@ struct PhaseAggregate {
   long long steps_seen = 0;
 };
 
+void summarize_file(const std::string& path, bool phases_only) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open trace file: " + path);
+
+  std::map<std::string, PhaseAggregate> phases;
+  TraceRecord last;
+  long long records = 0;
+  int first_step = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const TraceRecord record = parse_trace_line(line);
+    if (records == 0) first_step = record.step;
+    for (const auto& [name, ms] : record.phase_ms) {
+      PhaseAggregate& agg = phases[name];
+      agg.total_ms += ms;
+      agg.max_step_ms = std::max(agg.max_step_ms, ms);
+      ++agg.steps_seen;
+      const auto it = record.phase_count.find(name);
+      agg.calls += it != record.phase_count.end() ? it->second : 1;
+    }
+    last = record;
+    ++records;
+  }
+  MEGH_REQUIRE(records > 0, "trace file has no records: " + path);
+
+  std::printf("%s: %lld records, steps %d..%d\n\n", path.c_str(), records,
+              first_step, last.step);
+
+  if (!phases.empty()) {
+    double traced_total_ms = 0.0;
+    for (const auto& [name, agg] : phases) {
+      // Only leaf-ish engine phases sum to the traced total; nested
+      // scopes (megh.* inside sim.decide) would double-count, so share
+      // is relative to the sim.* phases when present, else everything.
+      if (starts_with(name, "sim.")) traced_total_ms += agg.total_ms;
+    }
+    const bool have_engine_phases = traced_total_ms > 0.0;
+    if (!have_engine_phases) {
+      for (const auto& [name, agg] : phases) {
+        traced_total_ms += agg.total_ms;
+      }
+    }
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [name, agg] : phases) {
+      const bool in_total = !have_engine_phases || starts_with(name, "sim.");
+      rows.push_back(
+          {name, strf("%lld", agg.calls), strf("%.3f", agg.total_ms),
+           strf("%.6f", agg.calls > 0
+                            ? agg.total_ms / static_cast<double>(agg.calls)
+                            : 0.0),
+           strf("%.3f", agg.max_step_ms),
+           in_total && traced_total_ms > 0.0
+               ? strf("%5.1f%%", 100.0 * agg.total_ms / traced_total_ms)
+               : "    --"});
+    }
+    print_table("Per-phase timings (ms)",
+                {"phase", "calls", "total", "mean/call", "max/step",
+                 "share"},
+                rows);
+    std::printf("\n");
+  }
+
+  if (!phases_only) {
+    if (!last.counters.empty()) {
+      const double steps =
+          std::max(1.0, static_cast<double>(last.step - first_step + 1));
+      std::vector<std::vector<std::string>> rows;
+      for (const auto& [name, value] : last.counters) {
+        rows.push_back({name, strf("%lld", value),
+                        strf("%.3f", static_cast<double>(value) / steps)});
+      }
+      print_table("Counters (cumulative at last record)",
+                  {"counter", "total", "per step"}, rows);
+      std::printf("\n");
+    }
+    if (!last.gauges.empty()) {
+      std::vector<std::vector<std::string>> rows;
+      for (const auto& [name, value] : last.gauges) {
+        rows.push_back({name, strf("%g", value)});
+      }
+      print_table("Gauges (last record)", {"gauge", "value"}, rows);
+      std::printf("\n");
+    }
+  }
+}
+
+/// Expand --in into concrete trace files: a directory yields every *.jsonl
+/// inside (sorted, so the engine's cell numbering gives a stable order), a
+/// plain argument is a comma-separated file list.
+std::vector<std::string> resolve_inputs(const std::string& spec) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  if (fs::is_directory(spec)) {
+    for (const auto& entry : fs::directory_iterator(spec)) {
+      if (entry.path().extension() == ".jsonl") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    MEGH_REQUIRE(!files.empty(), "no *.jsonl files in directory: " + spec);
+    return files;
+  }
+  for (const std::string& part : split(spec, ',')) {
+    const std::string trimmed{trim(part)};
+    if (!trimmed.empty()) files.push_back(trimmed);
+  }
+  return files;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace megh;
   Args args;
-  args.add_flag("in", "telemetry JSONL file to aggregate", "");
+  args.add_flag("in",
+                "telemetry JSONL file(s) to aggregate: one file, a comma-"
+                "separated list, or a directory of *.jsonl (e.g. the "
+                "megh_bench --cell-traces output)",
+                "");
   args.add_bool("phases-only", "skip the counter and gauge tables");
   try {
     if (!args.parse(argc, argv)) return 0;
-    const std::string path = args.get("in");
-    MEGH_REQUIRE(!path.empty(), "--in <trace.jsonl> required");
-
-    std::ifstream in(path);
-    if (!in) throw IoError("cannot open trace file: " + path);
-
-    std::map<std::string, PhaseAggregate> phases;
-    TraceRecord last;
-    long long records = 0;
-    int first_step = 0;
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      const TraceRecord record = parse_trace_line(line);
-      if (records == 0) first_step = record.step;
-      for (const auto& [name, ms] : record.phase_ms) {
-        PhaseAggregate& agg = phases[name];
-        agg.total_ms += ms;
-        agg.max_step_ms = std::max(agg.max_step_ms, ms);
-        ++agg.steps_seen;
-        const auto it = record.phase_count.find(name);
-        agg.calls += it != record.phase_count.end() ? it->second : 1;
-      }
-      last = record;
-      ++records;
-    }
-    MEGH_REQUIRE(records > 0, "trace file has no records: " + path);
-
-    std::printf("%s: %lld records, steps %d..%d\n\n", path.c_str(), records,
-                first_step, last.step);
-
-    if (!phases.empty()) {
-      double traced_total_ms = 0.0;
-      for (const auto& [name, agg] : phases) {
-        // Only leaf-ish engine phases sum to the traced total; nested
-        // scopes (megh.* inside sim.decide) would double-count, so share
-        // is relative to the sim.* phases when present, else everything.
-        if (starts_with(name, "sim.")) traced_total_ms += agg.total_ms;
-      }
-      const bool have_engine_phases = traced_total_ms > 0.0;
-      if (!have_engine_phases) {
-        for (const auto& [name, agg] : phases) {
-          traced_total_ms += agg.total_ms;
-        }
-      }
-      std::vector<std::vector<std::string>> rows;
-      for (const auto& [name, agg] : phases) {
-        const bool in_total = !have_engine_phases || starts_with(name, "sim.");
-        rows.push_back(
-            {name, strf("%lld", agg.calls), strf("%.3f", agg.total_ms),
-             strf("%.6f", agg.calls > 0
-                              ? agg.total_ms / static_cast<double>(agg.calls)
-                              : 0.0),
-             strf("%.3f", agg.max_step_ms),
-             in_total && traced_total_ms > 0.0
-                 ? strf("%5.1f%%", 100.0 * agg.total_ms / traced_total_ms)
-                 : "    --"});
-      }
-      print_table("Per-phase timings (ms)",
-                  {"phase", "calls", "total", "mean/call", "max/step",
-                   "share"},
-                  rows);
-      std::printf("\n");
-    }
-
-    if (!args.get_bool("phases-only")) {
-      if (!last.counters.empty()) {
-        const double steps =
-            std::max(1.0, static_cast<double>(last.step - first_step + 1));
-        std::vector<std::vector<std::string>> rows;
-        for (const auto& [name, value] : last.counters) {
-          rows.push_back({name, strf("%lld", value),
-                          strf("%.3f", static_cast<double>(value) / steps)});
-        }
-        print_table("Counters (cumulative at last record)",
-                    {"counter", "total", "per step"}, rows);
-        std::printf("\n");
-      }
-      if (!last.gauges.empty()) {
-        std::vector<std::vector<std::string>> rows;
-        for (const auto& [name, value] : last.gauges) {
-          rows.push_back({name, strf("%g", value)});
-        }
-        print_table("Gauges (last record)", {"gauge", "value"}, rows);
-      }
+    const std::string spec = args.get("in");
+    MEGH_REQUIRE(!spec.empty(), "--in <trace.jsonl | dir> required");
+    const std::vector<std::string> files = resolve_inputs(spec);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      if (i > 0) std::printf("%s\n", std::string(62, '-').c_str());
+      summarize_file(files[i], args.get_bool("phases-only"));
     }
     return 0;
   } catch (const Error& e) {
