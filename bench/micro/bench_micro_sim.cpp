@@ -1,0 +1,95 @@
+// Micro-benchmarks for the simulation step loop (google-benchmark): the
+// per-interval cost that Tables 2/3 aggregate and Figure 6 scales — the
+// engine's accounting around the policy, and full end-to-end steps.
+//
+// Deliberately written against the oldest common Datacenter/Simulation API
+// so the same file builds on the pre-change tree: BENCH_sim.json commits a
+// before/after pair produced by this exact source.
+//
+//   * BM_DatacenterAccounting — one interval's engine-side accounting with
+//     no policy at all: demand refresh, per-host utilization, overload
+//     scan, power integration, active-host count. This is what the O(1)
+//     cached-demand accounting accelerates.
+//   * BM_SimStep — full Simulation::run steps under the Megh policy at the
+//     paper's PlanetLab shape (m hosts, n = ceil(1.315 m) VMs; 800/1052 at
+//     the top size). Time is per benchmark iteration of kStepsPerRun steps;
+//     items/s is steps/s.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/megh_policy.hpp"
+#include "harness/scenario.hpp"
+#include "sim/cost_model.hpp"
+
+namespace megh {
+namespace {
+
+int vms_for_hosts(int hosts) {
+  // The paper's PlanetLab ratio: 1052 VMs on 800 PMs.
+  return static_cast<int>(std::ceil(static_cast<double>(hosts) * 1052.0 /
+                                    800.0));
+}
+
+void BM_DatacenterAccounting(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
+  const int vms = vms_for_hosts(hosts);
+  const Scenario scenario = make_planetlab_scenario(hosts, vms, 16, 9);
+  Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 2);
+  const CostConfig cost;
+  std::vector<double> vm_util(static_cast<std::size_t>(dc.num_vms()));
+  int step = 0;
+  double sink = 0.0;
+  for (auto _ : state) {
+    for (int vm = 0; vm < dc.num_vms(); ++vm) {
+      vm_util[static_cast<std::size_t>(vm)] = scenario.trace.at(vm, step);
+    }
+    dc.set_demands(vm_util);
+    const std::vector<double> host_util = dc.all_host_utilization();
+    int overloaded = 0;
+    for (int h = 0; h < dc.num_hosts(); ++h) {
+      if (!dc.is_active(h)) continue;
+      if (dc.host_utilization(h) > cost.beta_overload) ++overloaded;
+    }
+    sink += datacenter_power_watts(dc);
+    sink += host_util[0] + overloaded + dc.active_host_count();
+    step = (step + 1) % scenario.trace.num_steps();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DatacenterAccounting)->Arg(100)->Arg(200)->Arg(400)->Arg(800);
+
+constexpr int kStepsPerRun = 30;
+
+void BM_SimStep(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
+  const int vms = vms_for_hosts(hosts);
+  const Scenario scenario =
+      make_planetlab_scenario(hosts, vms, kStepsPerRun, 9);
+  const SimulationConfig config = default_sim_config(0.02);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 2);
+    MeghConfig megh_config;
+    megh_config.seed = 7;
+    MeghPolicy policy(megh_config);
+    Simulation sim(std::move(dc), scenario.trace, config);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sim.run(policy, kStepsPerRun));
+  }
+  state.SetItemsProcessed(state.iterations() * kStepsPerRun);
+}
+BENCHMARK(BM_SimStep)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace megh
+
+BENCHMARK_MAIN();

@@ -72,8 +72,9 @@ class WatermarkPolicy : public MigrationPolicy {
 
   void observe_cost(double step_cost) override { total_cost_ += step_cost; }
 
-  std::map<std::string, double> stats() const override {
-    return {{"watermark_total_cost", total_cost_}};
+  void stats(PolicyStats& out) const override {
+    static const StatKey kTotalCost = StatKey::intern("watermark_total_cost");
+    out.set(kTotalCost, total_cost_);
   }
 
  private:

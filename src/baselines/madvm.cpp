@@ -243,10 +243,12 @@ std::vector<MigrationAction> MadVmPolicy::decide(const StepObservation& obs) {
   return actions;
 }
 
-std::map<std::string, double> MadVmPolicy::stats() const {
-  return {{"madvm_sweeps", static_cast<double>(sweeps_run_)},
-          {"madvm_migrations_requested",
-           static_cast<double>(migrations_requested_)}};
+void MadVmPolicy::stats(PolicyStats& out) const {
+  static const StatKey kSweeps = StatKey::intern("madvm_sweeps");
+  static const StatKey kRequested =
+      StatKey::intern("madvm_migrations_requested");
+  out.set(kSweeps, static_cast<double>(sweeps_run_));
+  out.set(kRequested, static_cast<double>(migrations_requested_));
 }
 
 double MadVmPolicy::value(int vm, int u_bucket, int l_bucket) const {

@@ -56,7 +56,7 @@ class MadVmPolicy : public MigrationPolicy {
   void begin(const Datacenter& dc, const CostConfig& cost,
              double interval_s) override;
   std::vector<MigrationAction> decide(const StepObservation& obs) override;
-  std::map<std::string, double> stats() const override;
+  void stats(PolicyStats& out) const override;
 
   /// Estimated value of a VM in utilization bucket u on a host in load
   /// bucket l (exposed for tests).

@@ -239,9 +239,11 @@ std::vector<MigrationAction> MmtPolicy::decide(const StepObservation& obs) {
   return actions;
 }
 
-std::map<std::string, double> MmtPolicy::stats() const {
-  return {{"overload_migrations", static_cast<double>(overload_migrations_)},
-          {"underload_migrations", static_cast<double>(underload_migrations_)}};
+void MmtPolicy::stats(PolicyStats& out) const {
+  static const StatKey kOverload = StatKey::intern("overload_migrations");
+  static const StatKey kUnderload = StatKey::intern("underload_migrations");
+  out.set(kOverload, static_cast<double>(overload_migrations_));
+  out.set(kUnderload, static_cast<double>(underload_migrations_));
 }
 
 std::unique_ptr<MmtPolicy> make_thr_mmt(double threshold, std::uint64_t seed) {

@@ -53,7 +53,7 @@ class MmtPolicy : public MigrationPolicy {
   void begin(const Datacenter& dc, const CostConfig& cost,
              double interval_s) override;
   std::vector<MigrationAction> decide(const StepObservation& obs) override;
-  std::map<std::string, double> stats() const override;
+  void stats(PolicyStats& out) const override;
 
  private:
   MmtConfig config_;

@@ -164,8 +164,9 @@ void QLearningPolicy::observe_cost(double step_cost) {
   ++updates_;
 }
 
-std::map<std::string, double> QLearningPolicy::stats() const {
-  return {{"qlearning_updates", static_cast<double>(updates_)}};
+void QLearningPolicy::stats(PolicyStats& out) const {
+  static const StatKey kUpdates = StatKey::intern("qlearning_updates");
+  out.set(kUpdates, static_cast<double>(updates_));
 }
 
 }  // namespace megh

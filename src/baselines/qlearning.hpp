@@ -44,7 +44,7 @@ class QLearningPolicy : public MigrationPolicy {
              double interval_s) override;
   std::vector<MigrationAction> decide(const StepObservation& obs) override;
   void observe_cost(double step_cost) override;
-  std::map<std::string, double> stats() const override;
+  void stats(PolicyStats& out) const override;
 
   /// Switch between offline-training and deployment exploration rates.
   /// begin() does NOT reset the Q-table, so train-then-deploy works by

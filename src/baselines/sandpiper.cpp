@@ -118,8 +118,9 @@ std::vector<MigrationAction> SandpiperPolicy::decide(
   return actions;
 }
 
-std::map<std::string, double> SandpiperPolicy::stats() const {
-  return {{"sandpiper_hotspot_moves", static_cast<double>(hotspots_resolved_)}};
+void SandpiperPolicy::stats(PolicyStats& out) const {
+  static const StatKey kHotspotMoves = StatKey::intern("sandpiper_hotspot_moves");
+  out.set(kHotspotMoves, static_cast<double>(hotspots_resolved_));
 }
 
 }  // namespace megh

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <cstdlib>
 #include <new>
+#include <type_traits>
 
 #if defined(__linux__)
 #include <sys/mman.h>
@@ -84,6 +85,78 @@ struct HugePageAllocator {
   bool operator==(const HugePageAllocator<U>&) const {
     return true;
   }
+};
+
+/// Fixed-size zero-initialized flat buffer for implicit-lifetime types.
+///
+/// Large buffers ride the huge-page mmap path above, where fresh anonymous
+/// pages are zero-fill-on-demand: constructing a multi-megabyte buffer is
+/// O(1) — no element is written, physical pages commit only when first
+/// touched, and untouched slots read as zero off the kernel's shared zero
+/// page. This is what makes a d ~ 10⁶ accumulator free to create while its
+/// resident footprint tracks only the slots actually learned. Small buffers
+/// fall back to calloc (same zeroed semantics). Move-only.
+template <typename T>
+class ZeroLazyBuffer {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "ZeroLazyBuffer requires an implicit-lifetime element type");
+
+ public:
+  ZeroLazyBuffer() = default;
+
+  explicit ZeroLazyBuffer(std::size_t n) : n_(n) {
+    if (n_ == 0) return;
+#if defined(__linux__)
+    if (n_ * sizeof(T) >= HugePageAllocator<T>::kHugePageBytes) {
+      data_ = HugePageAllocator<T>().allocate(n_);  // mmap: lazily zeroed
+      return;
+    }
+#endif
+    data_ = static_cast<T*>(std::calloc(n_, sizeof(T)));
+    if (data_ == nullptr) throw std::bad_alloc();
+  }
+
+  ZeroLazyBuffer(const ZeroLazyBuffer&) = delete;
+  ZeroLazyBuffer& operator=(const ZeroLazyBuffer&) = delete;
+
+  ZeroLazyBuffer(ZeroLazyBuffer&& other) noexcept
+      : data_(other.data_), n_(other.n_) {
+    other.data_ = nullptr;
+    other.n_ = 0;
+  }
+
+  ZeroLazyBuffer& operator=(ZeroLazyBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = other.data_;
+      n_ = other.n_;
+      other.data_ = nullptr;
+      other.n_ = 0;
+    }
+    return *this;
+  }
+
+  ~ZeroLazyBuffer() { release(); }
+
+  std::size_t size() const { return n_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  void release() noexcept {
+    if (data_ != nullptr) {
+      // deallocate() picks munmap vs free by the same size threshold the
+      // constructor allocated under, so both paths pair correctly.
+      HugePageAllocator<T>().deallocate(data_, n_);
+      data_ = nullptr;
+    }
+  }
+
+  T* data_ = nullptr;
+  std::size_t n_ = 0;
 };
 
 }  // namespace megh

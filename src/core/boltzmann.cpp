@@ -16,7 +16,16 @@ BoltzmannSelector::BoltzmannSelector(double temp0, double epsilon)
 
 std::vector<double> BoltzmannSelector::weights(
     std::span<const double> q_values) const {
+  std::vector<double> w;
+  weights(q_values, w);
+  return w;
+}
+
+void BoltzmannSelector::weights(std::span<const double> q_values,
+                                std::vector<double>& out) const {
   MEGH_ASSERT(!q_values.empty(), "Boltzmann weights need at least one action");
+  out.clear();
+  out.reserve(q_values.size());
   // Non-finite Q-values (a diverged critic, an uninitialized slot) get
   // weight 0 — unselectable — instead of poisoning every weight with NaN:
   // exp(-(NaN - min)) or a NaN min_q would otherwise spread through the
@@ -25,20 +34,17 @@ std::vector<double> BoltzmannSelector::weights(
   for (double q : q_values) {
     if (std::isfinite(q) && q < min_q) min_q = q;
   }
-  std::vector<double> w;
-  w.reserve(q_values.size());
   if (!std::isfinite(min_q)) {  // no finite Q at all
-    w.assign(q_values.size(), 0.0);
-    return w;
+    out.assign(q_values.size(), 0.0);
+    return;
   }
   // Guard against a fully-decayed temperature: exp argument is <= 0, so
   // weights lie in [0, 1]; a tiny temp simply drives non-minimal weights
   // to 0 (greedy behaviour), which is the intended limit.
   const double temp = std::max(temp_, 1e-12);
   for (double q : q_values) {
-    w.push_back(std::isfinite(q) ? std::exp(-(q - min_q) / temp) : 0.0);
+    out.push_back(std::isfinite(q) ? std::exp(-(q - min_q) / temp) : 0.0);
   }
-  return w;
 }
 
 std::size_t BoltzmannSelector::sample(std::span<const double> q_values,

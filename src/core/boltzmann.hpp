@@ -23,6 +23,12 @@ class BoltzmannSelector {
   /// Selection weights for the given Q-values (unnormalized, in [0, 1]).
   std::vector<double> weights(std::span<const double> q_values) const;
 
+  /// Allocation-free variant: `out` is cleared and refilled in place, so a
+  /// caller reusing the buffer across steps never touches the heap once
+  /// its capacity has grown to the candidate-set size.
+  void weights(std::span<const double> q_values,
+               std::vector<double>& out) const;
+
   /// Sample one index proportionally to weights(). Falls back to the
   /// greedy minimum if every weight underflows.
   std::size_t sample(std::span<const double> q_values, Rng& rng) const;

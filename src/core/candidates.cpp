@@ -1,30 +1,75 @@
 #include "core/candidates.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
-#include <optional>
 #include <span>
-#include <numeric>
-#include <unordered_set>
 
-#include "sim/placement.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace megh {
+
+namespace detail {
+
+namespace {
+
+std::size_t hash_index(std::int64_t key) {
+  std::uint64_t h = static_cast<std::uint64_t>(key) * 0x9E3779B97F4A7C15ull;
+  return static_cast<std::size_t>(h ^ (h >> 32));
+}
+
+}  // namespace
+
+void InsertOnlyIndexSet::reset(std::size_t expected) {
+  std::size_t want = 16;
+  while (want < expected * 2) want <<= 1;
+  if (slots_.size() < want) {
+    slots_.assign(want, -1);
+  } else {
+    std::fill(slots_.begin(), slots_.end(), -1);
+  }
+  mask_ = slots_.size() - 1;
+  size_ = 0;
+}
+
+bool InsertOnlyIndexSet::insert(std::int64_t key) {
+  MEGH_ASSERT(key >= 0, "InsertOnlyIndexSet keys must be non-negative");
+  if ((size_ + 1) * 2 > slots_.size()) rehash(slots_.size() * 2);
+  std::size_t i = hash_index(key) & mask_;
+  while (slots_[i] != -1) {
+    if (slots_[i] == key) return false;
+    i = (i + 1) & mask_;
+  }
+  slots_[i] = key;
+  ++size_;
+  return true;
+}
+
+void InsertOnlyIndexSet::rehash(std::size_t min_slots) {
+  std::vector<std::int64_t> old = std::move(slots_);
+  slots_.assign(std::max<std::size_t>(min_slots, 16), -1);
+  mask_ = slots_.size() - 1;
+  for (std::int64_t key : old) {
+    if (key == -1) continue;
+    std::size_t i = hash_index(key) & mask_;
+    while (slots_[i] != -1) i = (i + 1) & mask_;
+    slots_[i] = key;
+  }
+}
+
+}  // namespace detail
 
 namespace {
 
 /// Record the candidate-set size (cumulative count + last-set gauge) on
 /// every exit path of generate_candidates.
-std::vector<CandidateAction> record_candidates(
-    std::vector<CandidateAction> out) {
+void record_candidates(std::size_t count) {
   static Counter& generated =
       Telemetry::instance().counter("megh.candidates_generated");
   static Gauge& size_gauge =
       Telemetry::instance().gauge("megh.candidate_set_size");
-  generated.add(static_cast<long long>(out.size()));
-  size_gauge.set(static_cast<double>(out.size()));
-  return out;
+  generated.add(static_cast<long long>(count));
+  size_gauge.set(static_cast<double>(count));
 }
 
 bool target_feasible(const Datacenter& dc, std::span<const double> host_util,
@@ -36,41 +81,6 @@ bool target_feasible(const Datacenter& dc, std::span<const double> host_util,
   return post <= util_ceiling * capacity + 1e-9;
 }
 
-/// PABFD over the cached utilizations (placement.cpp's generic version
-/// recomputes host demand per probe, which dominates Megh's decide() at
-/// 800-host scale).
-std::optional<int> cached_pabfd(const Datacenter& dc,
-                                std::span<const double> host_util, int vm,
-                                double util_ceiling) {
-  std::optional<int> best;
-  double best_increase = std::numeric_limits<double>::infinity();
-  bool best_active = false;
-  const int current = dc.host_of(vm);
-  const double vm_mips = dc.vm_demand_mips(vm);
-  for (int h = 0; h < dc.num_hosts(); ++h) {
-    if (h == current) continue;
-    if (!dc.fits(vm, h)) continue;
-    const double capacity = dc.host_spec(h).mips;
-    const double before = host_util[static_cast<std::size_t>(h)];
-    const double after = before + vm_mips / capacity;
-    if (after > util_ceiling + 1e-9) continue;
-    const bool active = dc.is_active(h);
-    if (best.has_value() && best_active && !active) continue;
-    const PowerModel& power = dc.host_spec(h).power;
-    const double increase =
-        power.watts(std::min(1.0, after)) -
-        (active ? power.watts(std::min(1.0, before)) : power.sleep_watts());
-    const bool better = !best.has_value() || (active && !best_active) ||
-                        (active == best_active && increase < best_increase);
-    if (better) {
-      best = h;
-      best_increase = increase;
-      best_active = active;
-    }
-  }
-  return best;
-}
-
 void add_candidate(std::vector<CandidateAction>& out, const ActionBasis& basis,
                    int vm, int host, int current, CandidateGroup group) {
   out.push_back(CandidateAction{vm, host, basis.index(vm, host),
@@ -78,13 +88,15 @@ void add_candidate(std::vector<CandidateAction>& out, const ActionBasis& basis,
 }
 
 /// Full enumeration: every (vm, feasible host) pair plus the no-op.
-std::vector<CandidateAction> enumerate_all(const Datacenter& dc,
-                                           std::span<const double> host_util,
-                                           const ActionBasis& basis,
-                                           double util_ceiling) {
-  std::vector<CandidateAction> out;
-  out.reserve(static_cast<std::size_t>(dc.num_vms()) *
-              static_cast<std::size_t>(dc.num_hosts()) / 4);
+void enumerate_all(const Datacenter& dc, std::span<const double> host_util,
+                   const ActionBasis& basis, double util_ceiling,
+                   std::vector<CandidateAction>& out) {
+  // d is small on this path by construction, but full_enumeration_limit is
+  // caller-configurable: clamp the occupancy guess so a generous limit
+  // cannot turn the reserve itself into a huge upfront allocation.
+  const std::size_t guess = static_cast<std::size_t>(dc.num_vms()) *
+                            static_cast<std::size_t>(dc.num_hosts()) / 4;
+  out.reserve(std::min<std::size_t>(guess, 65'536));
   for (int vm = 0; vm < dc.num_vms(); ++vm) {
     const int current = dc.host_of(vm);
     add_candidate(out, basis, vm, current, current,
@@ -97,35 +109,68 @@ std::vector<CandidateAction> enumerate_all(const Datacenter& dc,
       }
     }
   }
-  return out;
 }
 
 }  // namespace
 
-std::vector<CandidateAction> generate_candidates(
-    const Datacenter& dc, std::span<const double> host_util, double beta,
-    const ActionBasis& basis, const CandidateConfig& config, Rng& rng,
-    const FatTreeTopology* network) {
+void generate_candidates(const Datacenter& dc,
+                         std::span<const double> host_util, double beta,
+                         const ActionBasis& basis,
+                         const CandidateConfig& config, Rng& rng,
+                         CandidateScratch& scratch,
+                         const FatTreeTopology* network) {
   MEGH_TRACE_SCOPE("megh.candidates");
   if (!config.network_aware) network = nullptr;
   MEGH_ASSERT(static_cast<int>(host_util.size()) == dc.num_hosts(),
               "host_util size mismatch");
+  scratch.candidates.clear();
   if (basis.dim() <= config.full_enumeration_limit) {
-    return record_candidates(
-        enumerate_all(dc, host_util, basis, config.target_util_ceiling));
+    enumerate_all(dc, host_util, basis, config.target_util_ceiling,
+                  scratch.candidates);
+    record_candidates(scratch.candidates.size());
+    return;
   }
 
-  // --- select source VMs (tagged by why they were selected) ---
-  enum class Why { kOverloaded, kConsolidation, kRandom };
-  std::vector<std::pair<int, Why>> sources;
-  std::unordered_set<int> seen;
-  const auto push_source = [&](int vm, Why why) {
-    if (seen.insert(vm).second) sources.emplace_back(vm, why);
+  const int num_hosts = dc.num_hosts();
+  const std::size_t hosts = static_cast<std::size_t>(num_hosts);
+
+  // Worst-case source/candidate counts from the config — used to size every
+  // reusable container up front, so no later step can set a new capacity
+  // record and trigger a mid-run reallocation.
+  const std::size_t max_sources =
+      static_cast<std::size_t>(config.max_overloaded_sources) +
+      static_cast<std::size_t>(config.consolidation_sources) +
+      static_cast<std::size_t>(config.random_sources);
+  const std::size_t max_candidates =
+      max_sources * static_cast<std::size_t>(config.targets_per_source + 3);
+
+  // --- select source VMs (tagged by the group they will draw in) ---
+  if (scratch.vm_epoch.size() != static_cast<std::size_t>(dc.num_vms())) {
+    scratch.vm_epoch.assign(static_cast<std::size_t>(dc.num_vms()), 0);
+    scratch.epoch = 0;
+    scratch.sources.reserve(max_sources);
+    scratch.overloaded_hosts.reserve(hosts);
+    scratch.active_hosts.reserve(hosts);
+  }
+  if (++scratch.epoch == 0) {  // wrapped: stale stamps could alias
+    std::fill(scratch.vm_epoch.begin(), scratch.vm_epoch.end(), 0u);
+    scratch.epoch = 1;
+  }
+  const std::uint32_t epoch = scratch.epoch;
+  auto& sources = scratch.sources;
+  sources.clear();
+  const auto push_source = [&](int vm, CandidateGroup group) {
+    std::uint32_t& stamp = scratch.vm_epoch[static_cast<std::size_t>(vm)];
+    if (stamp != epoch) {
+      stamp = epoch;
+      sources.emplace_back(vm, group);
+    }
   };
 
   // 1. VMs on overloaded hosts, most-overloaded hosts first.
-  std::vector<int> overloaded;
-  for (int h = 0; h < dc.num_hosts(); ++h) {
+  auto& overloaded = scratch.overloaded_hosts;
+  overloaded.clear();
+  for (int h = 0; h < num_hosts; ++h) {
     if (host_util[static_cast<std::size_t>(h)] > beta) overloaded.push_back(h);
   }
   std::sort(overloaded.begin(), overloaded.end(), [&](int a, int b) {
@@ -136,61 +181,129 @@ std::vector<CandidateAction> generate_candidates(
     for (int vm : dc.vms_on(h)) {
       if (static_cast<int>(sources.size()) >= config.max_overloaded_sources)
         break;
-      push_source(vm, Why::kOverloaded);
+      push_source(vm, CandidateGroup::kOverloaded);
     }
   }
 
   // 2. Consolidation: VMs on the least-utilized active hosts.
-  std::vector<int> active;
-  for (int h = 0; h < dc.num_hosts(); ++h) {
-    if (dc.is_active(h)) active.push_back(h);
+  auto& active_hosts = scratch.active_hosts;
+  active_hosts.clear();
+  for (int h = 0; h < num_hosts; ++h) {
+    if (dc.is_active(h)) active_hosts.push_back(h);
   }
-  std::sort(active.begin(), active.end(), [&](int a, int b) {
+  std::sort(active_hosts.begin(), active_hosts.end(), [&](int a, int b) {
     return host_util[static_cast<std::size_t>(a)] <
            host_util[static_cast<std::size_t>(b)];
   });
   int consolidation_added = 0;
-  for (int h : active) {
+  for (int h : active_hosts) {
     if (consolidation_added >= config.consolidation_sources) break;
     for (int vm : dc.vms_on(h)) {
       if (consolidation_added >= config.consolidation_sources) break;
-      push_source(vm, Why::kConsolidation);
+      push_source(vm, CandidateGroup::kConsolidation);
       ++consolidation_added;
     }
   }
 
   // 3. Random exploration sources.
   for (int i = 0; i < config.random_sources && dc.num_vms() > 0; ++i) {
-    push_source(static_cast<int>(rng.index(
-                    static_cast<std::size_t>(dc.num_vms()))),
-                Why::kRandom);
+    push_source(static_cast<int>(
+                    rng.index(static_cast<std::size_t>(dc.num_vms()))),
+                CandidateGroup::kExploration);
   }
 
+  // --- hoist step-constant per-host values ---
+  // Every expression below mirrors the Datacenter accessor the scans used
+  // to call per (source, host); precomputing them per step changes nothing
+  // but the constant factor.
+  scratch.host_capacity.resize(hosts);
+  scratch.host_ram_used.resize(hosts);
+  scratch.host_ram_cap.resize(hosts);
+  scratch.host_base_watts.resize(hosts);
+  scratch.host_power.resize(hosts);
+  scratch.host_active.resize(hosts);
+  for (int h = 0; h < num_hosts; ++h) {
+    const std::size_t i = static_cast<std::size_t>(h);
+    const HostSpec& spec = dc.host_spec(h);
+    scratch.host_capacity[i] = spec.mips;
+    scratch.host_ram_used[i] = dc.host_ram_used(h);
+    scratch.host_ram_cap[i] = spec.ram_mb;
+    scratch.host_power[i] = &spec.power;
+    const bool active = dc.is_active(h);
+    scratch.host_active[i] = active ? 1 : 0;
+    // cached_pabfd's per-probe baseline, computed once per host instead:
+    // active hosts pay watts(before), sleeping hosts their sleep draw.
+    scratch.host_base_watts[i] =
+        active ? spec.power.watts(std::min(1.0, host_util[i]))
+               : spec.power.sleep_watts();
+  }
+
+  // Datacenter::fits on the hoisted arrays (identical comparison).
+  const auto fits_fast = [&](std::size_t h, double vm_ram) {
+    return scratch.host_ram_used[h] + vm_ram <= scratch.host_ram_cap[h] + 1e-9;
+  };
+  // target_feasible on the hoisted arrays (identical arithmetic).
+  const auto feasible_fast = [&](std::size_t h, double vm_ram, double vm_mips,
+                                 double ceiling) {
+    if (!fits_fast(h, vm_ram)) return false;
+    const double capacity = scratch.host_capacity[h];
+    const double post = host_util[h] * capacity + vm_mips;
+    return post <= ceiling * capacity + 1e-9;
+  };
+  // PABFD over the cached utilizations (placement.cpp's generic version
+  // recomputes host demand per probe, which dominated Megh's decide() at
+  // 800-host scale). Selection logic and arithmetic match the original
+  // per-source implementation exactly; only watts(before) is hoisted.
+  const auto pabfd_fast = [&](int current, double vm_ram,
+                              double vm_mips) -> int {
+    int best = -1;
+    double best_increase = std::numeric_limits<double>::infinity();
+    bool best_active = false;
+    for (int h = 0; h < num_hosts; ++h) {
+      if (h == current) continue;
+      const std::size_t i = static_cast<std::size_t>(h);
+      if (!fits_fast(i, vm_ram)) continue;
+      const double capacity = scratch.host_capacity[i];
+      const double after = host_util[i] + vm_mips / capacity;
+      if (after > config.target_util_ceiling + 1e-9) continue;
+      const bool active = scratch.host_active[i] != 0;
+      if (best >= 0 && best_active && !active) continue;
+      const double increase = scratch.host_power[i]->watts(
+                                  std::min(1.0, after)) -
+                              scratch.host_base_watts[i];
+      const bool better = best < 0 || (active && !best_active) ||
+                          (active == best_active && increase < best_increase);
+      if (better) {
+        best = h;
+        best_increase = increase;
+        best_active = active;
+      }
+    }
+    return best;
+  };
+
   // --- targets per source ---
-  std::vector<CandidateAction> out;
-  out.reserve(sources.size() *
-              static_cast<std::size_t>(config.targets_per_source + 2));
-  std::unordered_set<std::int64_t> index_seen;
+  auto& out = scratch.candidates;
+  if (out.capacity() < max_candidates) out.reserve(max_candidates);
+  scratch.index_seen.reset(max_candidates);
   CandidateGroup group = CandidateGroup::kExploration;
   const auto push_candidate = [&](int vm, int host, int current) {
-    if (index_seen.insert(basis.index(vm, host)).second) {
+    if (scratch.index_seen.insert(basis.index(vm, host))) {
       add_candidate(out, basis, vm, host, current, group);
     }
   };
-  for (const auto& [vm, why] : sources) {
+  for (const auto& [vm, source_group] : sources) {
     const int current = dc.host_of(vm);
-    group = why == Why::kOverloaded  ? CandidateGroup::kOverloaded
-            : why == Why::kConsolidation ? CandidateGroup::kConsolidation
-                                         : CandidateGroup::kExploration;
+    const double vm_ram = dc.vm_spec(vm).ram_mb;
+    const double vm_mips = dc.vm_demand_mips(vm);
+    group = source_group;
     push_candidate(vm, current, current);  // no-op first
 
     // PABFD target (power-aware best fit) as a high-quality candidate —
     // except for consolidation sources, whose menu is packing-only.
-    if (why != Why::kConsolidation) {
-      if (const auto pabfd =
-              cached_pabfd(dc, host_util, vm, config.target_util_ceiling)) {
-        push_candidate(vm, *pabfd, current);
-      }
+    if (group != CandidateGroup::kConsolidation) {
+      const int pabfd = pabfd_fast(current, vm_ram, vm_mips);
+      if (pabfd >= 0) push_candidate(vm, pabfd, current);
     }
 
     // Packing target: busiest active host that still fits under the pack
@@ -198,11 +311,12 @@ std::vector<CandidateAction> generate_candidates(
     // packing host is preferred (short copy path); global fallback.
     int pack = -1, pack_local = -1;
     double pack_util = -1.0, pack_local_util = -1.0;
-    for (int h = 0; h < dc.num_hosts(); ++h) {
-      if (h == current || !dc.is_active(h)) continue;
-      const double u = host_util[static_cast<std::size_t>(h)];
+    for (int h = 0; h < num_hosts; ++h) {
+      const std::size_t i = static_cast<std::size_t>(h);
+      if (h == current || scratch.host_active[i] == 0) continue;
+      const double u = host_util[i];
       if (u <= pack_local_util && u <= pack_util) continue;
-      if (!target_feasible(dc, host_util, vm, h, config.pack_ceiling)) continue;
+      if (!feasible_fast(i, vm_ram, vm_mips, config.pack_ceiling)) continue;
       if (u > pack_util) {
         pack = h;
         pack_util = u;
@@ -222,9 +336,9 @@ std::vector<CandidateAction> generate_candidates(
     // Random feasible targets (spread moves) — offered for overloaded and
     // exploration sources. Consolidation sources get packing moves only,
     // so the consolidation draw never un-packs a host.
-    if (why == Why::kConsolidation) continue;
+    if (group == CandidateGroup::kConsolidation) continue;
     int added = 0;
-    const int probes = std::min(dc.num_hosts(), 4 * config.targets_per_source);
+    const int probes = std::min(num_hosts, 4 * config.targets_per_source);
     for (int i = 0; i < probes && added < config.targets_per_source; ++i) {
       int h;
       if (network != nullptr && rng.bernoulli(config.local_probe_fraction)) {
@@ -234,19 +348,29 @@ std::vector<CandidateAction> generate_candidates(
         const int pod_base = pod * network->hosts_per_pod();
         h = pod_base + static_cast<int>(rng.index(static_cast<std::size_t>(
                            network->hosts_per_pod())));
-        if (h >= dc.num_hosts()) continue;  // fabric ports beyond the fleet
+        if (h >= num_hosts) continue;  // fabric ports beyond the fleet
       } else {
-        h = static_cast<int>(
-            rng.index(static_cast<std::size_t>(dc.num_hosts())));
+        h = static_cast<int>(rng.index(static_cast<std::size_t>(num_hosts)));
       }
       if (h == current) continue;
-      if (!target_feasible(dc, host_util, vm, h, config.target_util_ceiling))
+      if (!feasible_fast(static_cast<std::size_t>(h), vm_ram, vm_mips,
+                         config.target_util_ceiling))
         continue;
       push_candidate(vm, h, current);
       ++added;
     }
   }
-  return record_candidates(std::move(out));
+  record_candidates(out.size());
+}
+
+std::vector<CandidateAction> generate_candidates(
+    const Datacenter& dc, std::span<const double> host_util, double beta,
+    const ActionBasis& basis, const CandidateConfig& config, Rng& rng,
+    const FatTreeTopology* network) {
+  CandidateScratch scratch;
+  generate_candidates(dc, host_util, beta, basis, config, rng, scratch,
+                      network);
+  return std::move(scratch.candidates);
 }
 
 }  // namespace megh

@@ -16,6 +16,7 @@
 // critic is exact; only the actor's search support is sparsified.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -65,9 +66,70 @@ struct CandidateAction {
   CandidateGroup group = CandidateGroup::kExploration;
 };
 
-/// Build this step's candidate set. `host_util` is the demanded utilization
-/// per host; `beta` the overload threshold. Always returns at least the
-/// no-op candidates for the selected source VMs.
+namespace detail {
+
+/// Insert-only set of non-negative int64 keys on an open-addressing table
+/// whose storage is reused across steps — the allocation-free stand-in for
+/// the unordered_set that used to dedup candidate action indices (a node
+/// allocation per insert). Grows only when an epoch's insert count exceeds
+/// every previous epoch's, so steady-state steps never touch the heap.
+class InsertOnlyIndexSet {
+ public:
+  /// Start a new epoch sized for about `expected` inserts.
+  void reset(std::size_t expected);
+
+  /// True when `key` (>= 0) was not yet inserted this epoch.
+  bool insert(std::int64_t key);
+
+ private:
+  void rehash(std::size_t min_slots);
+
+  std::vector<std::int64_t> slots_;  // -1 = empty
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
+
+/// Reusable working storage for generate_candidates. One instance per
+/// policy, carried across steps: every container keeps its capacity, so a
+/// steady-state call performs no heap allocation. `candidates` holds the
+/// result of the most recent call.
+struct CandidateScratch {
+  std::vector<CandidateAction> candidates;
+  std::vector<std::pair<int, CandidateGroup>> sources;
+  std::vector<int> overloaded_hosts;
+  std::vector<int> active_hosts;
+  // Per-VM "already a source" stamps: vm_epoch[vm] == epoch ⇔ seen. An
+  // epoch bump invalidates all stamps in O(1).
+  std::vector<std::uint32_t> vm_epoch;
+  std::uint32_t epoch = 0;
+  detail::InsertOnlyIndexSet index_seen;
+  // Step-constant per-host values hoisted out of the per-(source, host)
+  // scans. Each is filled from the same Datacenter accessor expression the
+  // scans used to evaluate inline, so feasibility and PABFD decisions stay
+  // bit-identical — this only removes repeated HostSpec indirection and the
+  // per-source recomputation of watts(before).
+  std::vector<double> host_capacity;
+  std::vector<double> host_ram_used;
+  std::vector<double> host_ram_cap;
+  std::vector<double> host_base_watts;
+  std::vector<const PowerModel*> host_power;
+  std::vector<std::uint8_t> host_active;
+};
+
+/// Build this step's candidate set into `scratch.candidates` (overwritten).
+/// `host_util` is the demanded utilization per host; `beta` the overload
+/// threshold. Always produces at least the no-op candidates for the
+/// selected source VMs. Steady-state calls are allocation-free.
+void generate_candidates(const Datacenter& dc,
+                         std::span<const double> host_util, double beta,
+                         const ActionBasis& basis,
+                         const CandidateConfig& config, Rng& rng,
+                         CandidateScratch& scratch,
+                         const FatTreeTopology* network = nullptr);
+
+/// Convenience wrapper (tests, one-shot callers): fresh scratch per call.
 std::vector<CandidateAction> generate_candidates(
     const Datacenter& dc, std::span<const double> host_util, double beta,
     const ActionBasis& basis, const CandidateConfig& config, Rng& rng,

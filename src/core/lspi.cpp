@@ -24,7 +24,7 @@ LspiLearner::LspiLearner(std::int64_t dim, double gamma, double delta,
                "max_update_support must be non-negative");
   const double d = delta > 0.0 ? delta : static_cast<double>(dim);
   B_ = SparseMatrix(dim, 1.0 / d);
-  acc_.assign(static_cast<std::size_t>(dim), Slot{});
+  slot_of_ = ZeroLazyBuffer<std::int32_t>(static_cast<std::size_t>(dim));
 }
 
 void LspiLearner::slot_add(double& slot, std::size_t& nnz, double v) {
@@ -41,29 +41,41 @@ void LspiLearner::theta_axpy(double coef, const SparseVector& sparse) {
   const std::span<const std::int64_t> idx = sparse.indices();
   const std::span<const double> val = sparse.values();
   for (std::size_t k = 0; k < idx.size(); ++k) {
-    slot_add(acc_[static_cast<std::size_t>(idx[k])].theta, theta_nnz_,
-             coef * val[k]);
+    slot_add(slot(idx[k]).theta, theta_nnz_, coef * val[k]);
   }
 }
 
-SparseVector LspiLearner::theta() const {
-  SparseVector out(dim_);
-  for (std::size_t i = 0; i < acc_.size(); ++i) {
-    if (acc_[i].theta != 0.0) {
-      out.push_back(static_cast<std::int64_t>(i), acc_[i].theta);
-    }
+namespace {
+
+/// Gather one field of the compact slots into a SparseVector in ascending
+/// index order (slots pack in touch order, SparseVector wants sorted).
+template <typename Field>
+SparseVector gather_slots(std::int64_t dim,
+                          std::span<const std::int64_t> index_of_slot,
+                          Field&& field) {
+  std::vector<std::pair<std::int64_t, double>> live;
+  live.reserve(index_of_slot.size());
+  for (std::size_t s = 0; s < index_of_slot.size(); ++s) {
+    const double v = field(s);
+    if (v != 0.0) live.emplace_back(index_of_slot[s], v);
   }
+  std::sort(live.begin(), live.end());
+  SparseVector out(dim);
+  out.reserve(live.size());
+  for (const auto& [i, v] : live) out.push_back(i, v);
   return out;
+}
+
+}  // namespace
+
+SparseVector LspiLearner::theta() const {
+  return gather_slots(dim_, index_of_slot_,
+                      [&](std::size_t s) { return slots_[s].theta; });
 }
 
 SparseVector LspiLearner::z() const {
-  SparseVector out(dim_);
-  for (std::size_t i = 0; i < acc_.size(); ++i) {
-    if (acc_[i].z != 0.0) {
-      out.push_back(static_cast<std::int64_t>(i), acc_[i].z);
-    }
-  }
-  return out;
+  return gather_slots(dim_, index_of_slot_,
+                      [&](std::size_t s) { return slots_[s].z; });
 }
 
 void LspiLearner::truncate_support(SparseVector& v, std::int64_t keep1,
@@ -127,11 +139,12 @@ bool LspiLearner::update_fused(std::int64_t a, double cost, std::int64_t b,
       Telemetry::instance().gauge("lspi.b_offdiag_nnz");
   ++updates_;
 
-  // Kick off the kernel's independent random loads together: the slot pair
-  // (z, θ) at a and b plus B's row/column headers. The kernel is
-  // latency-bound on these misses; overlapping them is most of the cost.
-  MEGH_PREFETCH(acc_.data() + a);
-  if (b != a) MEGH_PREFETCH(acc_.data() + b);
+  // Kick off the kernel's independent random loads together: the slot-map
+  // entries at a and b plus B's row/column map entries — the only d-sized
+  // arrays left on the path. The kernel is latency-bound on these misses;
+  // overlapping them is most of the cost.
+  MEGH_PREFETCH(slot_of_.data() + a);
+  if (b != a) MEGH_PREFETCH(slot_of_.data() + b);
   B_.prefetch_unit_update(a, b);
 
   // u = B e_a (column a), w = (e_a − γ e_b)ᵀ B (row a minus γ·row b) —
@@ -149,7 +162,7 @@ bool LspiLearner::update_fused(std::int64_t a, double cost, std::int64_t b,
 
   // z ← z + C e_a  and incremental θ:
   //   θ' = B'z' = θ + C·u − u·(w·z')/denom     (see lspi.hpp header)
-  slot_add(acc_[static_cast<std::size_t>(a)].z, z_nnz_, cost);
+  slot_add(slot(a).z, z_nnz_, cost);
   if (std::abs(denom) < 1e-12) {
     // Singular update: keep B as-is (θ' = B z' = θ + C·u).
     ++singular_skips_;
@@ -157,13 +170,14 @@ bool LspiLearner::update_fused(std::int64_t a, double cost, std::int64_t b,
     theta_axpy(cost, u_scratch_);
     return false;
   }
-  // w·z streams w's sorted support against the dense accumulator slots.
+  // w·z streams w's sorted support against the accumulator slots (virgin
+  // map entries read as zero without materializing).
   double wz = 0.0;
   {
     const std::span<const std::int64_t> widx = w_scratch_.indices();
     const std::span<const double> wval = w_scratch_.values();
     for (std::size_t k = 0; k < widx.size(); ++k) {
-      wz += wval[k] * acc_[static_cast<std::size_t>(widx[k])].z;
+      wz += wval[k] * slot_z(widx[k]);
     }
   }
   theta_axpy(cost - wz / denom, u_scratch_);
@@ -189,10 +203,10 @@ void LspiLearner::update_batch(std::span<const std::int64_t> actions,
               "LSPI update: next-action index out of range");
   MEGH_TRACE_SCOPE("lspi.update");
   // Issue the first transition's prefetches before extracting row b, so
-  // the b-row header miss overlaps with the a-side misses instead of
+  // the b-row map miss overlaps with the a-side misses instead of
   // serializing ahead of them.
-  MEGH_PREFETCH(acc_.data() + actions[0]);
-  if (b != actions[0]) MEGH_PREFETCH(acc_.data() + b);
+  MEGH_PREFETCH(slot_of_.data() + actions[0]);
+  if (b != actions[0]) MEGH_PREFETCH(slot_of_.data() + b);
   B_.prefetch_unit_update(actions[0], b);
   bool row_b_valid = false;
   for (std::size_t k = 0; k < actions.size(); ++k) {
@@ -201,7 +215,7 @@ void LspiLearner::update_batch(std::span<const std::int64_t> actions,
     if (k + 1 < actions.size()) {
       // Software-pipeline the batch: start the next action's random loads
       // while this one computes.
-      MEGH_PREFETCH(acc_.data() + actions[k + 1]);
+      MEGH_PREFETCH(slot_of_.data() + actions[k + 1]);
       B_.prefetch_unit_update(actions[k + 1], b);
     }
     if (!row_b_valid) {
@@ -217,15 +231,19 @@ void LspiLearner::restore(SparseMatrix b, SparseVector z,
   MEGH_REQUIRE(b.dim() == dim_ && z.dim() == dim_ && theta.dim() == dim_,
                "LspiLearner::restore: shape mismatch");
   B_ = std::move(b);
-  std::fill(acc_.begin(), acc_.end(), Slot{});
+  // Fresh lazily-zeroed map instead of a dense O(d) fill; slots rebuild
+  // from the checkpointed support only.
+  slot_of_ = ZeroLazyBuffer<std::int32_t>(static_cast<std::size_t>(dim_));
+  slots_.clear();
+  index_of_slot_.clear();
   z_nnz_ = 0;
   theta_nnz_ = 0;
   for (const auto& [i, value] : z.entries()) {
-    acc_[static_cast<std::size_t>(i)].z = value;
+    slot(i).z = value;
     if (value != 0.0) ++z_nnz_;
   }
   for (const auto& [i, value] : theta.entries()) {
-    acc_[static_cast<std::size_t>(i)].theta = value;
+    slot(i).theta = value;
     if (value != 0.0) ++theta_nnz_;
   }
   updates_ = 0;

@@ -26,14 +26,15 @@
 // entries each, kept so by factor truncation), so they live in the flat
 // sorted SparseMatrix. θ and z are the opposite shape — support grows with
 // every distinct action ever touched and updates hit random indices — so
-// they are dense d-slots with incremental nonzero counters: z += C e_a is
-// one store, the θ axpy is O(|u|), q_value is one load, and w·z streams w's
-// sorted support against the dense slots. z[i] and θ[i] are interleaved in
-// one 16-byte slot because every update touches both at the same action
-// index — one cache line serves the pair. The kernel's few random loads
-// (slots of a and b, B's row headers) are software-prefetched up front so
-// their miss latency overlaps. Sparse views are materialized on demand
-// (checkpointing, tests) in O(d).
+// they are addressed through a lazily-zeroed d-sized int32 slot map with
+// compact payload slots and incremental nonzero counters: z += C e_a is
+// one map lookup plus one store, the θ axpy is O(|u|), q_value is two
+// dependent loads, and w·z streams w's sorted support against the slots.
+// z[i] and θ[i] are interleaved in one 16-byte slot because every update
+// touches both at the same action index — one cache line serves the pair.
+// The kernel's few random loads (map entries of a and b, B's row headers)
+// are software-prefetched up front so their miss latency overlaps. Sparse
+// views are materialized on demand (checkpointing, tests) in O(support).
 #pragma once
 
 #include <cstdint>
@@ -74,7 +75,8 @@ class LspiLearner {
   /// Q(a) = θ[a]: the estimated discounted cost-to-go of action a.
   double q_value(std::int64_t a) const {
     MEGH_ASSERT(a >= 0 && a < dim_, "q_value: action index out of range");
-    return acc_[static_cast<std::size_t>(a)].theta;
+    const std::int32_t s = slot_of_[static_cast<std::size_t>(a)];
+    return s != 0 ? slots_[static_cast<std::size_t>(s - 1)].theta : 0.0;
   }
 
   std::int64_t dim() const { return dim_; }
@@ -114,12 +116,31 @@ class LspiLearner {
   bool update_fused(std::int64_t a, double cost, std::int64_t b,
                     const SparseVector& row_b);
 
-  /// One dense accumulator slot: z[i] and θ[i] share a cache line because
-  /// the update kernel touches both at the same action index.
+  /// One accumulator slot: z[i] and θ[i] share a cache line because the
+  /// update kernel touches both at the same action index.
   struct Slot {
     double z = 0.0;
     double theta = 0.0;
   };
+
+  /// Materialize-on-write slot lookup. May grow the compact slot array —
+  /// callers must not hold slot references across a touch of a different
+  /// index.
+  Slot& slot(std::int64_t i) {
+    std::int32_t& s = slot_of_[static_cast<std::size_t>(i)];
+    if (s == 0) {
+      slots_.emplace_back();
+      index_of_slot_.push_back(i);
+      s = static_cast<std::int32_t>(slots_.size());
+    }
+    return slots_[static_cast<std::size_t>(s - 1)];
+  }
+
+  /// Read-side view: a virgin slot reads as zero without materializing.
+  double slot_z(std::int64_t i) const {
+    const std::int32_t s = slot_of_[static_cast<std::size_t>(i)];
+    return s != 0 ? slots_[static_cast<std::size_t>(s - 1)].z : 0.0;
+  }
 
   /// slot += v with pruning to exact zero below tolerance and incremental
   /// nnz maintenance — the dense twin of SparseVector::add.
@@ -132,10 +153,16 @@ class LspiLearner {
   double gamma_;
   int max_update_support_;
   SparseMatrix B_;
-  // Dense interleaved accumulators with exact-zero pruning; *_nnz_ counts
-  // entries with magnitude >= SparseVector::kZeroTolerance. Huge-page
-  // backed: updates hit random slots across the full d range.
-  std::vector<Slot, HugePageAllocator<Slot>> acc_;
+  // Interleaved z/θ accumulators with exact-zero pruning; *_nnz_ counts
+  // entries with magnitude >= SparseVector::kZeroTolerance. Stored like
+  // B's rows: the only d-sized structure is a lazily-zeroed int32 slot map
+  // (huge-page backed, 0 = virgin), and materialized slots pack densely in
+  // touch order. Creating the d-slot accumulator is O(1) and the live
+  // slots fit in cache while the untouched map reads off the kernel's
+  // shared zero page.
+  ZeroLazyBuffer<std::int32_t> slot_of_;
+  std::vector<Slot> slots_;                // compact, touch order
+  std::vector<std::int64_t> index_of_slot_;  // slot → action index
   std::size_t z_nnz_ = 0;
   std::size_t theta_nnz_ = 0;
   long long updates_ = 0;

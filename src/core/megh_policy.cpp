@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "common/error.hpp"
 #include "telemetry/telemetry.hpp"
@@ -30,6 +29,9 @@ void MeghPolicy::begin(const Datacenter& dc, const CostConfig& cost,
       1, static_cast<int>(std::ceil(config_.max_migration_fraction *
                                     dc.num_vms())));
   pending_actions_.clear();
+  // One draw per overloaded host + consolidation + global, each taking at
+  // most one action, all bounded by the budget (+1 for the global draw).
+  pending_actions_.reserve(static_cast<std::size_t>(migration_budget_) + 2);
   has_pending_cost_ = false;
   total_migrations_selected_ = 0;
   cost_baseline_ = 0.0;
@@ -37,24 +39,34 @@ void MeghPolicy::begin(const Datacenter& dc, const CostConfig& cost,
 }
 
 std::vector<MigrationAction> MeghPolicy::decide(const StepObservation& obs) {
+  std::vector<MigrationAction> actions;
+  decide_into(obs, actions);
+  return actions;
+}
+
+void MeghPolicy::decide_into(const StepObservation& obs,
+                             std::vector<MigrationAction>& out) {
   MEGH_REQUIRE(basis_ != nullptr, "MeghPolicy::decide before begin()");
   MEGH_TRACE_SCOPE("megh.decide");
   const Datacenter& dc = *obs.dc;
 
   // 1. Candidates and their Q-values.
-  std::vector<CandidateAction> candidates = generate_candidates(
-      dc, obs.host_util, beta_, *basis_, config_.candidates, rng_,
-      obs.network);
+  generate_candidates(dc, obs.host_util, beta_, *basis_, config_.candidates,
+                      rng_, scratch_.candidates, obs.network);
+  const std::vector<CandidateAction>& candidates =
+      scratch_.candidates.candidates;
   MEGH_ASSERT(!candidates.empty(), "candidate set must never be empty");
-  std::vector<double> q;
-  q.reserve(candidates.size());
+  std::vector<double>& q = scratch_.q;
+  q.clear();
+  q.reserve(candidates.capacity());  // worst-case once; no later regrowth
   for (const CandidateAction& c : candidates) {
     q.push_back(learner_->q_value(c.index));
   }
 
   // 2. Close the previous step's transitions: φ_b = the greedy action under
   //    the current policy at the state we have just arrived in.
-  if (has_pending_cost_ && !pending_actions_.empty()) {
+  if (config_.learning_enabled && has_pending_cost_ &&
+      !pending_actions_.empty()) {
     const std::int64_t b = candidates[BoltzmannSelector::greedy(q)].index;
     double effective_cost = pending_cost_;
     if (config_.advantage_baseline) {
@@ -85,23 +97,47 @@ std::vector<MigrationAction> MeghPolicy::decide(const StepObservation& obs) {
   //    overloaded PM, so we make one draw *restricted to that host's VMs*
   //    per overloaded host (its no-ops stay drawable — "when to migrate"
   //    remains learned), plus one global draw, all within the budget.
-  std::vector<double> weights = selector_.weights(q);
-  std::vector<MigrationAction> actions;
-  std::unordered_set<int> used_vms;
+  scratch_.weights.reserve(candidates.capacity());
+  selector_.weights(q, scratch_.weights);
+  std::vector<double>& weights = scratch_.weights;
   // vm → candidate indices, built once per step so excluding a chosen VM's
   // remaining candidates is O(candidates of that VM), not a rescan of the
-  // whole candidate set on every draw.
-  std::vector<std::vector<std::size_t>> candidates_of_vm(
-      static_cast<std::size_t>(dc.num_vms()));
+  // whole candidate set on every draw. Only the entries dirtied by the
+  // previous step (touched_vms) are reset, never the whole fleet.
+  std::vector<std::vector<std::size_t>>& candidates_of_vm =
+      scratch_.candidates_of_vm;
+  if (candidates_of_vm.size() != static_cast<std::size_t>(dc.num_vms())) {
+    candidates_of_vm.assign(static_cast<std::size_t>(dc.num_vms()), {});
+    // A VM is the source of at most no-op + PABFD + pack +
+    // targets_per_source random candidates; reserving that up front means a
+    // VM first selected deep into the run still allocates nothing.
+    for (std::vector<std::size_t>& list : candidates_of_vm) {
+      list.reserve(
+          static_cast<std::size_t>(config_.candidates.targets_per_source + 3));
+    }
+    scratch_.vm_used.assign(static_cast<std::size_t>(dc.num_vms()), 0);
+    scratch_.touched_vms.clear();
+    scratch_.touched_vms.reserve(static_cast<std::size_t>(dc.num_vms()));
+  }
+  for (int vm : scratch_.touched_vms) {
+    candidates_of_vm[static_cast<std::size_t>(vm)].clear();
+    scratch_.vm_used[static_cast<std::size_t>(vm)] = 0;
+  }
+  scratch_.touched_vms.clear();
   for (std::size_t j = 0; j < candidates.size(); ++j) {
-    candidates_of_vm[static_cast<std::size_t>(candidates[j].vm)].push_back(j);
+    std::vector<std::size_t>& list =
+        candidates_of_vm[static_cast<std::size_t>(candidates[j].vm)];
+    if (list.empty()) scratch_.touched_vms.push_back(candidates[j].vm);
+    list.push_back(j);
   }
   const auto take = [&](std::size_t i) {
     const CandidateAction& c = candidates[i];
-    if (used_vms.insert(c.vm).second) {
+    std::uint8_t& used = scratch_.vm_used[static_cast<std::size_t>(c.vm)];
+    if (used == 0) {
+      used = 1;
       pending_actions_.push_back(c.index);
       if (!c.is_noop) {
-        actions.push_back(MigrationAction{c.vm, c.host});
+        out.push_back(MigrationAction{c.vm, c.host});
         ++total_migrations_selected_;
       }
     }
@@ -135,7 +171,8 @@ std::vector<MigrationAction> MeghPolicy::decide(const StepObservation& obs) {
   // Reactive draws: one per overloaded host, over that host's candidates.
   // Overload response has first claim on the whole budget.
   int budget = migration_budget_;
-  std::vector<std::size_t> subset;
+  std::vector<std::size_t>& subset = scratch_.subset;
+  subset.reserve(candidates.capacity());
   for (int h = 0; h < dc.num_hosts() && budget > 0; ++h) {
     if (obs.host_util[static_cast<std::size_t>(h)] <= beta_) continue;
     subset.clear();
@@ -171,7 +208,6 @@ std::vector<MigrationAction> MeghPolicy::decide(const StepObservation& obs) {
 
   // 4. Temperature decay (once per step).
   selector_.decay();
-  return actions;
 }
 
 void MeghPolicy::observe_cost(double step_cost) {
@@ -179,22 +215,30 @@ void MeghPolicy::observe_cost(double step_cost) {
   has_pending_cost_ = true;
 }
 
-std::map<std::string, double> MeghPolicy::stats() const {
-  std::map<std::string, double> out;
+void MeghPolicy::stats(PolicyStats& out) const {
+  static const StatKey kQtableNnz = StatKey::intern("qtable_nnz");
+  static const StatKey kThetaNnz = StatKey::intern("theta_nnz");
+  static const StatKey kLspiUpdates = StatKey::intern("lspi_updates");
+  static const StatKey kSingularSkips = StatKey::intern("singular_skips");
+  static const StatKey kTruncations = StatKey::intern("truncations");
+  static const StatKey kBOffdiagNnz = StatKey::intern("b_offdiag_nnz");
+  static const StatKey kTemperature = StatKey::intern("temperature");
+  static const StatKey kMigrationsSelected =
+      StatKey::intern("migrations_selected");
   if (learner_ != nullptr) {
-    out["qtable_nnz"] = static_cast<double>(learner_->qtable_nnz());
-    out["theta_nnz"] = static_cast<double>(learner_->theta_nnz());
-    out["lspi_updates"] = static_cast<double>(learner_->updates());
+    out.set(kQtableNnz, static_cast<double>(learner_->qtable_nnz()));
+    out.set(kThetaNnz, static_cast<double>(learner_->theta_nnz()));
+    out.set(kLspiUpdates, static_cast<double>(learner_->updates()));
     // A degenerate Sherman–Morrison denominator silently skips the B
     // update; surface it (plus truncation pressure and B fill-in) so
     // snapshots show *why* the critic stalls instead of hiding it.
-    out["singular_skips"] = static_cast<double>(learner_->singular_skips());
-    out["truncations"] = static_cast<double>(learner_->truncations());
-    out["b_offdiag_nnz"] = static_cast<double>(learner_->B().offdiag_nnz());
+    out.set(kSingularSkips, static_cast<double>(learner_->singular_skips()));
+    out.set(kTruncations, static_cast<double>(learner_->truncations()));
+    out.set(kBOffdiagNnz, static_cast<double>(learner_->B().offdiag_nnz()));
   }
-  out["temperature"] = selector_.temperature();
-  out["migrations_selected"] = static_cast<double>(total_migrations_selected_);
-  return out;
+  out.set(kTemperature, selector_.temperature());
+  out.set(kMigrationsSelected,
+          static_cast<double>(total_migrations_selected_));
 }
 
 const LspiLearner& MeghPolicy::learner() const {

@@ -54,6 +54,13 @@ struct MeghConfig {
   /// Sherman–Morrison factor truncation (see LspiLearner): bounds B's
   /// fill-in so per-step time stays flat over week-long runs.
   int max_update_support = 32;
+  /// When false the critic is frozen: decide() still builds candidates,
+  /// reads Q-values and Boltzmann-samples, but the LSPI update is skipped.
+  /// Used by the frozen-critic ablation and by the allocation-count test
+  /// (with the critic frozen, a steady-state step performs zero heap
+  /// allocations; with it learning, the only allocations are the Q-table's
+  /// own growth — the quantity Fig. 7 plots).
+  bool learning_enabled = true;
   CandidateConfig candidates;
   std::uint64_t seed = 42;
 };
@@ -66,8 +73,12 @@ class MeghPolicy : public MigrationPolicy {
   void begin(const Datacenter& dc, const CostConfig& cost,
              double interval_s) override;
   std::vector<MigrationAction> decide(const StepObservation& obs) override;
+  /// Hot path: appends into the engine's reused buffer and runs entirely on
+  /// per-policy scratch storage — steady-state calls never allocate.
+  void decide_into(const StepObservation& obs,
+                   std::vector<MigrationAction>& out) override;
   void observe_cost(double step_cost) override;
-  std::map<std::string, double> stats() const override;
+  void stats(PolicyStats& out) const override;
 
   /// Expose the critic for tests and the Q-table growth bench (Fig. 7).
   const LspiLearner& learner() const;
@@ -84,6 +95,21 @@ class MeghPolicy : public MigrationPolicy {
   }
 
  private:
+  /// Per-step working storage, reused across decide_into() calls. Every
+  /// container keeps its capacity between steps, so once the run reaches
+  /// steady state a decision touches no heap at all.
+  struct DecideScratch {
+    CandidateScratch candidates;
+    std::vector<double> q;
+    std::vector<double> weights;
+    /// vm → indices into the candidate set; only entries listed in
+    /// `touched_vms` are dirty and cleared lazily at the next step.
+    std::vector<std::vector<std::size_t>> candidates_of_vm;
+    std::vector<int> touched_vms;
+    std::vector<std::uint8_t> vm_used;
+    std::vector<std::size_t> subset;
+  };
+
   MeghConfig config_;
   Rng rng_;
   BoltzmannSelector selector_;
@@ -91,6 +117,7 @@ class MeghPolicy : public MigrationPolicy {
   std::unique_ptr<LspiLearner> learner_;
   double beta_ = 0.7;
   int migration_budget_ = 1;
+  DecideScratch scratch_;
 
   // SARSA bookkeeping: actions sampled at the previous step and the cost
   // observed for the interval they shaped.

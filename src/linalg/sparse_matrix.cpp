@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace megh {
 
 namespace {
 
 /// First position in `row` with col >= c.
-std::size_t row_find(const std::vector<SparseMatrix::Entry>& row,
+std::size_t row_find(std::span<const SparseMatrix::Entry> row,
                      SparseMatrix::Index c) {
   return static_cast<std::size_t>(
       std::lower_bound(row.begin(), row.end(), c,
@@ -19,16 +20,58 @@ std::size_t row_find(const std::vector<SparseMatrix::Entry>& row,
 
 }  // namespace
 
-SparseMatrix::SparseMatrix(Index n, double diag_value) : n_(n) {
+SparseMatrix::SparseMatrix(Index n, double diag_value)
+    : n_(n), default_diag_(diag_value) {
   MEGH_ASSERT(n >= 0, "SparseMatrix dimension must be non-negative");
-  rows_.resize(static_cast<std::size_t>(n));
-  for (Row& row : rows_) row.diag = diag_value;
+  if (n_ > 0) {
+    slot_of_ = ZeroLazyBuffer<std::int32_t>(static_cast<std::size_t>(n_));
+  }
+}
+
+SparseMatrix::SparseMatrix(const SparseMatrix& other)
+    : n_(other.n_),
+      default_diag_(other.default_diag_),
+      rows_(other.rows_),
+      index_of_slot_(other.index_of_slot_),
+      offdiag_nnz_(other.offdiag_nnz_) {
+  if (n_ > 0) {
+    // Rebuild the lazy map entry by entry instead of copying the d-sized
+    // buffer wholesale: only the live rows' map pages commit.
+    slot_of_ = ZeroLazyBuffer<std::int32_t>(static_cast<std::size_t>(n_));
+    for (std::size_t s = 0; s < index_of_slot_.size(); ++s) {
+      slot_of_[static_cast<std::size_t>(index_of_slot_[s])] =
+          static_cast<std::int32_t>(s + 1);
+    }
+  }
+}
+
+SparseMatrix& SparseMatrix::operator=(const SparseMatrix& other) {
+  if (this != &other) {
+    SparseMatrix copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+SparseMatrix::Row& SparseMatrix::touch(Index r) {
+  std::int32_t& s = slot_of_[static_cast<std::size_t>(r)];
+  if (s == 0) {
+    MEGH_ASSERT(rows_.size() <
+                    static_cast<std::size_t>(
+                        std::numeric_limits<std::int32_t>::max()),
+                "SparseMatrix live-row count overflows the slot map");
+    rows_.emplace_back();
+    rows_.back().diag = default_diag_;
+    index_of_slot_.push_back(r);
+    s = static_cast<std::int32_t>(rows_.size());
+  }
+  return rows_[static_cast<std::size_t>(s - 1)];
 }
 
 double SparseMatrix::get(Index r, Index c) const {
   check(r, c);
-  if (r == c) return rows_[static_cast<std::size_t>(r)].diag;
-  const auto& row = rows_[static_cast<std::size_t>(r)].entries;
+  if (r == c) return diag_of(r);
+  const std::span<const Entry> row = entries_of(r);
   const std::size_t pos = row_find(row, c);
   return pos < row.size() && row[pos].col == c ? row[pos].val : 0.0;
 }
@@ -36,14 +79,14 @@ double SparseMatrix::get(Index r, Index c) const {
 void SparseMatrix::set(Index r, Index c, double v) {
   check(r, c);
   if (r == c) {
-    rows_[static_cast<std::size_t>(r)].diag = v;
+    touch(r).diag = v;
     return;
   }
   set_off(r, c, v);
 }
 
 void SparseMatrix::register_col(Index c, Index r) {
-  auto& rows = rows_[static_cast<std::size_t>(c)].cols;
+  auto& rows = touch(c).cols;
   const auto it = std::lower_bound(rows.begin(), rows.end(), r);
   MEGH_ASSERT(it == rows.end() || *it != r,
               "column adjacency already holds this row");
@@ -51,7 +94,12 @@ void SparseMatrix::register_col(Index c, Index r) {
 }
 
 void SparseMatrix::unregister_col(Index c, Index r) {
-  auto& rows = rows_[static_cast<std::size_t>(c)].cols;
+  // An existing entry implies the column's row was materialized when the
+  // entry was registered.
+  MEGH_ASSERT(is_live(c), "column adjacency row must be live");
+  auto& rows =
+      rows_[static_cast<std::size_t>(slot_of_[static_cast<std::size_t>(c)] - 1)]
+          .cols;
   const auto it = std::lower_bound(rows.begin(), rows.end(), r);
   MEGH_ASSERT(it != rows.end() && *it == r,
               "column adjacency missing an expected row");
@@ -59,11 +107,16 @@ void SparseMatrix::unregister_col(Index c, Index r) {
 }
 
 void SparseMatrix::set_off(Index r, Index c, double v) {
-  auto& row = rows_[static_cast<std::size_t>(r)].entries;
-  const std::size_t pos = row_find(row, c);
-  const bool present = pos < row.size() && row[pos].col == c;
+  const std::span<const Entry> view = entries_of(r);
+  const std::size_t pos = row_find(view, c);
+  const bool present = pos < view.size() && view[pos].col == c;
   if (std::abs(v) < kZeroTolerance) {
     if (present) {
+      // A present entry implies row r is live; resolve its slot directly.
+      auto& row =
+          rows_[static_cast<std::size_t>(
+                    slot_of_[static_cast<std::size_t>(r)] - 1)]
+              .entries;
       row.erase(row.begin() + static_cast<std::ptrdiff_t>(pos));
       unregister_col(c, r);
       --offdiag_nnz_;
@@ -71,8 +124,11 @@ void SparseMatrix::set_off(Index r, Index c, double v) {
     return;
   }
   if (present) {
-    row[pos].val = v;
+    rows_[static_cast<std::size_t>(slot_of_[static_cast<std::size_t>(r)] - 1)]
+        .entries[pos]
+        .val = v;
   } else {
+    auto& row = touch(r).entries;
     row.insert(row.begin() + static_cast<std::ptrdiff_t>(pos), Entry{c, v});
     register_col(c, r);
     ++offdiag_nnz_;
@@ -86,8 +142,11 @@ void SparseMatrix::add(Index r, Index c, double v) {
 
 std::size_t SparseMatrix::nnz() const {
   std::size_t count = offdiag_nnz_;
-  for (const Row& row : rows_) {
+  for_each_live([&](Index, const Row& row) {
     if (std::abs(row.diag) >= kZeroTolerance) ++count;
+  });
+  if (std::abs(default_diag_) >= kZeroTolerance) {
+    count += static_cast<std::size_t>(n_) - rows_.size();
   }
   return count;
 }
@@ -95,9 +154,9 @@ std::size_t SparseMatrix::nnz() const {
 void SparseMatrix::row_into(Index r, SparseVector& out) const {
   MEGH_ASSERT(r >= 0 && r < n_, "row index out of range");
   out.clear();
-  const auto& row = rows_[static_cast<std::size_t>(r)].entries;
+  const std::span<const Entry> row = entries_of(r);
   out.reserve(row.size() + 1);
-  const double d = rows_[static_cast<std::size_t>(r)].diag;
+  const double d = diag_of(r);
   const bool has_diag = std::abs(d) >= kZeroTolerance;
   bool diag_emitted = !has_diag;
   for (const Entry& e : row) {
@@ -113,9 +172,9 @@ void SparseMatrix::row_into(Index r, SparseVector& out) const {
 void SparseMatrix::col_into(Index c, SparseVector& out) const {
   MEGH_ASSERT(c >= 0 && c < n_, "col index out of range");
   out.clear();
-  const auto& rows = rows_[static_cast<std::size_t>(c)].cols;
+  const std::span<const Index> rows = cols_of(c);
   out.reserve(rows.size() + 1);
-  const double d = rows_[static_cast<std::size_t>(c)].diag;
+  const double d = diag_of(c);
   const bool has_diag = std::abs(d) >= kZeroTolerance;
   bool diag_emitted = !has_diag;
   for (const Index r : rows) {
@@ -123,7 +182,7 @@ void SparseMatrix::col_into(Index c, SparseVector& out) const {
       out.push_back(c, d);
       diag_emitted = true;
     }
-    const auto& row = rows_[static_cast<std::size_t>(r)].entries;
+    const std::span<const Entry> row = entries_of(r);
     const std::size_t pos = row_find(row, c);
     MEGH_ASSERT(pos < row.size() && row[pos].col == c,
                 "column adjacency points at a missing row entry");
@@ -151,22 +210,22 @@ void SparseMatrix::row_diff_into(Index a, Index b, double gamma,
   // Expand both rows (diagonal included) and merge with coefficients
   // (1, −γ). Sorted two-pointer walk over flat spans; no temporaries.
   out.clear();
-  const auto& ra = rows_[static_cast<std::size_t>(a)].entries;
-  const auto& rb = rows_[static_cast<std::size_t>(b)].entries;
+  const std::span<const Entry> ra = entries_of(a);
+  const std::span<const Entry> rb = entries_of(b);
   out.reserve(ra.size() + rb.size() + 2);
 
   // Virtual cursors that splice the dense diagonal entry into each row's
   // sorted walk.
   std::size_t ia = 0, ib = 0;
-  bool diag_a_left =
-      std::abs(rows_[static_cast<std::size_t>(a)].diag) >= kZeroTolerance;
-  bool diag_b_left =
-      std::abs(rows_[static_cast<std::size_t>(b)].diag) >= kZeroTolerance;
+  const double diag_a = diag_of(a);
+  const double diag_b = diag_of(b);
+  bool diag_a_left = std::abs(diag_a) >= kZeroTolerance;
+  bool diag_b_left = std::abs(diag_b) >= kZeroTolerance;
   const auto next_a = [&](Index& c, double& v) {
     const bool row_left = ia < ra.size();
     if (diag_a_left && (!row_left || a < ra[ia].col)) {
       c = a;
-      v = rows_[static_cast<std::size_t>(a)].diag;
+      v = diag_a;
       diag_a_left = false;
       return true;
     }
@@ -182,7 +241,7 @@ void SparseMatrix::row_diff_into(Index a, Index b, double gamma,
     const bool row_left = ib < rb.size();
     if (diag_b_left && (!row_left || b < rb[ib].col)) {
       c = b;
-      v = rows_[static_cast<std::size_t>(b)].diag;
+      v = diag_b;
       diag_b_left = false;
       return true;
     }
@@ -218,10 +277,10 @@ SparseVector SparseMatrix::multiply(const SparseVector& x) const {
   SparseVector y(n_);
   for (const auto& [c, xv] : x.entries()) {
     MEGH_ASSERT(c >= 0 && c < n_, "multiply: x index out of range");
-    const double d = rows_[static_cast<std::size_t>(c)].diag;
+    const double d = diag_of(c);
     if (std::abs(d) >= kZeroTolerance) y.add(c, d * xv);
-    for (const Index r : rows_[static_cast<std::size_t>(c)].cols) {
-      const auto& row = rows_[static_cast<std::size_t>(r)].entries;
+    for (const Index r : cols_of(c)) {
+      const std::span<const Entry> row = entries_of(r);
       const std::size_t pos = row_find(row, c);
       MEGH_ASSERT(pos < row.size() && row[pos].col == c,
                   "column adjacency points at a missing row entry");
@@ -233,9 +292,17 @@ SparseVector SparseMatrix::multiply(const SparseVector& x) const {
 
 void SparseMatrix::merge_into_row(Index r, double coef,
                                   const SparseVector& v) {
-  auto& row = rows_[static_cast<std::size_t>(r)].entries;
   const std::span<const Index> vidx = v.indices();
   const std::span<const double> vval = v.values();
+  // Pre-materialize every row this merge can touch — r itself plus the
+  // column headers of v's support (register_col touches them) — before
+  // taking a reference: touch() may grow the compact row array and would
+  // invalidate it mid-merge.
+  touch(r);
+  for (std::size_t k = 0; k < vidx.size(); ++k) {
+    if (vidx[k] != r) touch(vidx[k]);
+  }
+  auto& row = touch(r).entries;
 
   scratch_row_.clear();
   scratch_row_.reserve(row.size() + vidx.size());
@@ -286,7 +353,7 @@ void SparseMatrix::rank1_update(const SparseVector& u, const SparseVector& v,
     check(r, r);
     const double coef = scale * uval[k];
     if (coef == 0.0) continue;
-    rows_[static_cast<std::size_t>(r)].diag += coef * v.get(r);
+    touch(r).diag += coef * v.get(r);
     merge_into_row(r, coef, v);
   }
 }
@@ -294,8 +361,8 @@ void SparseMatrix::rank1_update(const SparseVector& u, const SparseVector& v,
 DenseMatrix SparseMatrix::to_dense() const {
   DenseMatrix out(n_, n_, 0.0);
   for (Index r = 0; r < n_; ++r) {
-    out.at(r, r) = rows_[static_cast<std::size_t>(r)].diag;
-    for (const Entry& e : rows_[static_cast<std::size_t>(r)].entries) {
+    out.at(r, r) = diag_of(r);
+    for (const Entry& e : entries_of(r)) {
       out.at(r, e.col) = e.val;
     }
   }

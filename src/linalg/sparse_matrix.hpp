@@ -14,9 +14,20 @@
 // keeps column extraction O(nnz(col) · log nnz(row)). The unit-update hot
 // path is memory-latency-bound, so `prefetch_unit_update` lets callers
 // overlap the row/column header fetches for an upcoming (a, b) pair.
+//
+// Row headers materialize lazily and live compacted: the only d-sized
+// structure is a lazily-zeroed int32 slot map (0 = virgin row), and
+// materialized rows pack densely in materialization order. A virgin row
+// reads as `default_diag`·I with no off-diagonals — exactly B₀ — so
+// building a d ~ 10⁶ operator is O(1) work, and the resident footprint is
+// O(support): the live rows fit in cache while the untouched map reads off
+// the kernel's shared zero page. That is the learn-as-you-go contract end
+// to end: the model's footprint (Fig. 7) grows with what was learned,
+// never with the action-space dimension.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/huge_alloc.hpp"
@@ -40,8 +51,15 @@ class SparseMatrix {
 
   SparseMatrix() = default;
 
-  /// n×n matrix initialized to `diag_value`·I.
+  /// n×n matrix initialized to `diag_value`·I. O(1): no row is
+  /// materialized until first written.
   explicit SparseMatrix(Index n, double diag_value = 0.0);
+
+  SparseMatrix(const SparseMatrix& other);
+  SparseMatrix& operator=(const SparseMatrix& other);
+  SparseMatrix(SparseMatrix&&) noexcept = default;
+  SparseMatrix& operator=(SparseMatrix&&) noexcept = default;
+  ~SparseMatrix() = default;
 
   Index dim() const { return n_; }
 
@@ -54,6 +72,9 @@ class SparseMatrix {
 
   /// Number of stored off-diagonal nonzeros.
   std::size_t offdiag_nnz() const { return offdiag_nnz_; }
+
+  /// Number of rows ever written (the materialized support).
+  Index live_rows() const { return static_cast<Index>(rows_.size()); }
 
   /// Extract row r / column c as a sparse vector.
   SparseVector row(Index r) const;
@@ -82,15 +103,15 @@ class SparseMatrix {
   DenseMatrix to_dense() const;
 
   /// Hint the caches about an upcoming unit Sherman–Morrison update with
-  /// factors supported on {a, b}: the index records of a and b — each one
-  /// aligned cache line holding the diagonal, the row's entry span, and
-  /// the column's adjacency span. These are the kernel's independent
-  /// random loads; prefetching them together overlaps their miss latency.
-  /// (The array is huge-page backed, so the prefetches' translations stay
-  /// TLB-resident and the hints are not dropped.)
+  /// factors supported on {a, b}: the slot-map entries of a and b are the
+  /// kernel's independent random loads into the only d-sized array;
+  /// prefetching them together overlaps their miss latency. The row
+  /// payloads behind them pack into a cache-sized dense array and need no
+  /// hint. (The map is huge-page backed, so the prefetches' translations
+  /// stay TLB-resident and the hints are not dropped.)
   void prefetch_unit_update(Index a, Index b) const {
-    MEGH_PREFETCH(rows_.data() + a);
-    if (b != a) MEGH_PREFETCH(rows_.data() + b);
+    MEGH_PREFETCH(slot_of_.data() + a);
+    if (b != a) MEGH_PREFETCH(slot_of_.data() + b);
   }
 
  private:
@@ -120,10 +141,53 @@ class SparseMatrix {
     std::vector<Index> cols;     // sorted rows with an entry in this column
   };
 
-  // The d-sized header array lives on huge pages: the hot path's random
-  // accesses into it stay TLB-resident (see huge_alloc.hpp).
+  bool is_live(Index r) const {
+    return slot_of_[static_cast<std::size_t>(r)] != 0;
+  }
+
+  /// Materialize-on-write: the first write to row r appends a
+  /// `default_diag_`·I header to the compact row array and records its
+  /// slot. May grow rows_ — callers must not hold row references across a
+  /// touch of a different index (re-resolve, or pre-touch first).
+  Row& touch(Index r);
+
+  // Read-side views; a virgin row reads as default_diag_·I without being
+  // materialized.
+  double diag_of(Index r) const {
+    const std::int32_t s = slot_of_[static_cast<std::size_t>(r)];
+    return s != 0 ? rows_[static_cast<std::size_t>(s - 1)].diag
+                  : default_diag_;
+  }
+  std::span<const Entry> entries_of(Index r) const {
+    const std::int32_t s = slot_of_[static_cast<std::size_t>(r)];
+    if (s == 0) return {};
+    const auto& e = rows_[static_cast<std::size_t>(s - 1)].entries;
+    return {e.data(), e.size()};
+  }
+  std::span<const Index> cols_of(Index r) const {
+    const std::int32_t s = slot_of_[static_cast<std::size_t>(r)];
+    if (s == 0) return {};
+    const auto& c = rows_[static_cast<std::size_t>(s - 1)].cols;
+    return {c.data(), c.size()};
+  }
+
+  /// Call f(index, row) for every materialized row (materialization
+  /// order, not index order).
+  template <typename F>
+  void for_each_live(F&& f) const {
+    for (std::size_t s = 0; s < rows_.size(); ++s) {
+      f(index_of_slot_[s], rows_[s]);
+    }
+  }
+
   Index n_ = 0;
-  std::vector<Row, HugePageAllocator<Row>> rows_;
+  double default_diag_ = 0.0;
+  // The only d-sized structure: index → 1 + slot in rows_, 0 = virgin.
+  // Lazily zeroed and huge-page backed — the hot path's random lookups
+  // stay TLB-resident, untouched ranges read off the shared zero page.
+  ZeroLazyBuffer<std::int32_t> slot_of_;
+  std::vector<Row> rows_;            // compact, materialization order
+  std::vector<Index> index_of_slot_; // slot → matrix index (reverse map)
   std::size_t offdiag_nnz_ = 0;
   std::vector<Entry> scratch_row_;  // merge workspace (avoids realloc)
 };

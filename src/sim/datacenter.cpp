@@ -14,6 +14,7 @@ Datacenter::Datacenter(std::vector<HostSpec> hosts, std::vector<VmSpec> vms)
   host_vms_.assign(hosts_.size(), {});
   host_ram_used_.assign(hosts_.size(), 0.0);
   vm_util_.assign(vms_.size(), 0.0);
+  host_demand_mips_.assign(hosts_.size(), 0.0);
   for (const auto& h : hosts_) {
     MEGH_REQUIRE(h.mips > 0 && h.ram_mb > 0 && h.bw_mbps > 0,
                  "host spec must have positive capacities");
@@ -73,9 +74,13 @@ void Datacenter::place(int vm, int host) {
   MEGH_REQUIRE(fits(vm, host),
                strf("place: vm %d does not fit on host %d by RAM", vm, host));
   vm_host_[static_cast<std::size_t>(vm)] = host;
-  host_vms_[static_cast<std::size_t>(host)].push_back(vm);
+  auto& list = host_vms_[static_cast<std::size_t>(host)];
+  if (list.empty()) ++active_host_count_;
+  list.push_back(vm);
   host_ram_used_[static_cast<std::size_t>(host)] +=
       vms_[static_cast<std::size_t>(vm)].ram_mb;
+  recompute_host_demand(host);
+  debug_check_cache();
 }
 
 bool Datacenter::migrate(int vm, int host) {
@@ -98,9 +103,12 @@ void Datacenter::unplace(int vm) {
   const auto it = std::find(list.begin(), list.end(), vm);
   MEGH_ASSERT(it != list.end(), "datacenter invariant: vm missing from host list");
   list.erase(it);
+  if (list.empty()) --active_host_count_;
   host_ram_used_[static_cast<std::size_t>(host)] -=
       vms_[static_cast<std::size_t>(vm)].ram_mb;
   vm_host_[static_cast<std::size_t>(vm)] = kUnplaced;
+  recompute_host_demand(host);
+  debug_check_cache();
 }
 
 void Datacenter::set_demands(std::span<const double> vm_utilization) {
@@ -111,6 +119,9 @@ void Datacenter::set_demands(std::span<const double> vm_utilization) {
     MEGH_ASSERT(u >= 0.0 && u <= 1.0, "vm utilization must lie in [0,1]");
     vm_util_[i] = u;
   }
+  // Every VM's demand may have changed: refresh each host's sum once.
+  for (int h = 0; h < num_hosts(); ++h) recompute_host_demand(h);
+  debug_check_cache();
 }
 
 double Datacenter::vm_utilization(int vm) const {
@@ -126,23 +137,20 @@ double Datacenter::vm_demand_mips(int vm) const {
 
 double Datacenter::host_demand_mips(int host) const {
   check_host(host);
-  double total = 0.0;
-  for (int vm : host_vms_[static_cast<std::size_t>(host)]) {
-    total += vm_demand_mips(vm);
-  }
-  return total;
+  return host_demand_mips_[static_cast<std::size_t>(host)];
 }
 
 double Datacenter::host_utilization(int host) const {
   check_host(host);
-  return host_demand_mips(host) / hosts_[static_cast<std::size_t>(host)].mips;
+  return host_demand_mips_[static_cast<std::size_t>(host)] /
+         hosts_[static_cast<std::size_t>(host)].mips;
 }
 
 double Datacenter::vm_service_fraction(int vm) const {
   check_vm(vm);
   const int host = vm_host_[static_cast<std::size_t>(vm)];
   if (host == kUnplaced) return 0.0;
-  const double demand = host_demand_mips(host);
+  const double demand = host_demand_mips_[static_cast<std::size_t>(host)];
   const double capacity = hosts_[static_cast<std::size_t>(host)].mips;
   if (demand <= capacity || demand <= 0.0) return 1.0;
   return capacity / demand;
@@ -153,20 +161,56 @@ bool Datacenter::is_active(int host) const {
   return !host_vms_[static_cast<std::size_t>(host)].empty();
 }
 
-int Datacenter::active_host_count() const {
-  int count = 0;
-  for (int h = 0; h < num_hosts(); ++h) {
-    if (is_active(h)) ++count;
-  }
-  return count;
-}
+int Datacenter::active_host_count() const { return active_host_count_; }
 
 std::vector<double> Datacenter::all_host_utilization() const {
-  std::vector<double> out(static_cast<std::size_t>(num_hosts()));
-  for (int h = 0; h < num_hosts(); ++h) {
-    out[static_cast<std::size_t>(h)] = host_utilization(h);
-  }
+  std::vector<double> out;
+  all_host_utilization(out);
   return out;
+}
+
+void Datacenter::all_host_utilization(std::vector<double>& out) const {
+  out.resize(static_cast<std::size_t>(num_hosts()));
+  for (int h = 0; h < num_hosts(); ++h) {
+    out[static_cast<std::size_t>(h)] =
+        host_demand_mips_[static_cast<std::size_t>(h)] /
+        hosts_[static_cast<std::size_t>(h)].mips;
+  }
+}
+
+void Datacenter::reserve_full_occupancy() {
+  for (auto& list : host_vms_) {
+    list.reserve(vms_.size());
+  }
+}
+
+void Datacenter::recompute_host_demand(int host) {
+  // List-order sum: the exact expression the pre-cache code evaluated on
+  // every query, so the cache is bit-identical to a fresh recomputation.
+  double total = 0.0;
+  for (int vm : host_vms_[static_cast<std::size_t>(host)]) {
+    total += vm_util_[static_cast<std::size_t>(vm)] *
+             vms_[static_cast<std::size_t>(vm)].mips;
+  }
+  host_demand_mips_[static_cast<std::size_t>(host)] = total;
+}
+
+void Datacenter::debug_check_cache() const {
+#ifndef NDEBUG
+  int active = 0;
+  for (int h = 0; h < num_hosts(); ++h) {
+    double total = 0.0;
+    for (int vm : host_vms_[static_cast<std::size_t>(h)]) {
+      total += vm_util_[static_cast<std::size_t>(vm)] *
+               vms_[static_cast<std::size_t>(vm)].mips;
+    }
+    MEGH_ASSERT(total == host_demand_mips_[static_cast<std::size_t>(h)],
+                "cached host demand diverged from fresh recomputation");
+    if (!host_vms_[static_cast<std::size_t>(h)].empty()) ++active;
+  }
+  MEGH_ASSERT(active == active_host_count_,
+              "cached active-host count diverged");
+#endif
 }
 
 }  // namespace megh

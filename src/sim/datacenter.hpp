@@ -6,6 +6,17 @@
 // oversubscribed: when demand exceeds a host's MIPS, VMs receive capacity
 // proportionally — that is precisely the overload situation the policies are
 // trying to avoid (Sec. 3.3).
+//
+// Per-host demand is cached and maintained by *dirty-host recompute*:
+// set_demands refreshes every host's sum once, place/unplace/migrate refresh
+// only the touched hosts, and each refresh sums the host's VM list in list
+// order — exactly the sum a fresh recomputation would produce, so cached
+// values are bit-identical to uncached ones (no running ± deltas, no FP
+// drift). host_utilization / host_demand_mips / vm_service_fraction /
+// active_host_count are therefore O(1) reads, which is what keeps a full
+// engine interval O(M + #migrations) at the paper's 800-host scale. In
+// debug builds (!NDEBUG) every mutation cross-checks the whole cache
+// against a fresh rebuild.
 #pragma once
 
 #include <span>
@@ -78,9 +89,26 @@ class Datacenter {
   /// Current demanded utilization of every host (convenience for policies).
   std::vector<double> all_host_utilization() const;
 
+  /// Allocation-free variant: resize `out` to num_hosts() and fill it.
+  /// Steady-state callers reuse the buffer across steps.
+  void all_host_utilization(std::vector<double>& out) const;
+
+  /// Pre-reserve every host's VM list to the full fleet size so later
+  /// place/migrate calls never reallocate (the engine calls this once so
+  /// its step loop stays allocation-free).
+  void reserve_full_occupancy();
+
  private:
   void check_host(int host) const;
   void check_vm(int vm) const;
+
+  /// Dirty-host recompute: refresh the cached demand of one host by
+  /// summing its VM list in list order (bit-identical to a fresh sum).
+  void recompute_host_demand(int host);
+
+  /// Debug cross-check: rebuild every cached value from scratch and assert
+  /// bit-identity. Compiled out in NDEBUG builds.
+  void debug_check_cache() const;
 
   std::vector<HostSpec> hosts_;
   std::vector<VmSpec> vms_;
@@ -88,6 +116,9 @@ class Datacenter {
   std::vector<std::vector<int>> host_vms_;
   std::vector<double> host_ram_used_;
   std::vector<double> vm_util_;
+  // --- caches maintained by dirty-host recompute ---
+  std::vector<double> host_demand_mips_;
+  int active_host_count_ = 0;
 };
 
 }  // namespace megh

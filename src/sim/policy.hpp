@@ -7,7 +7,6 @@
 // (the target host of each action).
 #pragma once
 
-#include <map>
 #include <span>
 #include <string>
 #include <vector>
@@ -15,6 +14,7 @@
 #include "sim/cost_model.hpp"
 #include "sim/datacenter.hpp"
 #include "sim/network.hpp"
+#include "sim/policy_stats.hpp"
 
 namespace megh {
 
@@ -61,14 +61,26 @@ class MigrationPolicy {
   /// engine — it is the "execution time" metric of the paper's evaluation.
   virtual std::vector<MigrationAction> decide(const StepObservation& obs) = 0;
 
+  /// Buffer-reusing variant the engine calls each step: append this
+  /// interval's migrations to `out` (cleared by the caller). The default
+  /// forwards to decide(); hot-path policies (Megh) override it to write
+  /// into the reused buffer so the steady-state step loop never allocates.
+  virtual void decide_into(const StepObservation& obs,
+                           std::vector<MigrationAction>& out) {
+    std::vector<MigrationAction> actions = decide(obs);
+    out.insert(out.end(), actions.begin(), actions.end());
+  }
+
   /// Feedback: the realized cost of the interval the last decide() shaped.
   /// Learning policies (Megh, MadVM, Q-learning) update here; heuristics
   /// ignore it.
   virtual void observe_cost(double step_cost) { (void)step_cost; }
 
   /// Optional introspection counters (e.g. Megh's Q-table nnz for Fig. 7),
-  /// merged into each StepSnapshot.
-  virtual std::map<std::string, double> stats() const { return {}; }
+  /// written into each StepSnapshot's flat stats table. Implementations
+  /// intern their StatKeys once (function-local statics are idiomatic) and
+  /// call out.set(key, value); the engine clears `out` beforehand.
+  virtual void stats(PolicyStats& out) const { (void)out; }
 };
 
 }  // namespace megh

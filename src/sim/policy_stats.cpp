@@ -1,0 +1,96 @@
+#include "sim/policy_stats.hpp"
+
+#include <deque>
+#include <mutex>
+#include <type_traits>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace megh {
+
+namespace {
+
+/// Process-wide interning registry. Names live in a deque so references
+/// handed out by StatKey::name() are never invalidated; the registry is
+/// append-only (keys are tiny and policies register a handful each).
+struct StatRegistry {
+  std::mutex mu;
+  std::deque<std::string> names;
+  std::unordered_map<std::string_view, int> ids;  // views into `names`
+
+  static StatRegistry& instance() {
+    static StatRegistry* registry = new StatRegistry();  // never destroyed
+    return *registry;
+  }
+};
+
+}  // namespace
+
+StatKey StatKey::intern(std::string_view name) {
+  MEGH_REQUIRE(!name.empty(), "StatKey: name must be non-empty");
+  StatRegistry& reg = StatRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.ids.find(name);
+  if (it != reg.ids.end()) return StatKey(it->second);
+  reg.names.emplace_back(name);
+  const int id = static_cast<int>(reg.names.size()) - 1;
+  reg.ids.emplace(reg.names.back(), id);
+  return StatKey(id);
+}
+
+StatKey StatKey::find(std::string_view name) {
+  StatRegistry& reg = StatRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.ids.find(name);
+  return it == reg.ids.end() ? StatKey() : StatKey(it->second);
+}
+
+const std::string& StatKey::name() const {
+  MEGH_ASSERT(valid(), "StatKey::name on an invalid key");
+  StatRegistry& reg = StatRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.names[static_cast<std::size_t>(id_)];
+}
+
+void PolicyStats::set(StatKey key, double value) {
+  MEGH_ASSERT(key.valid(), "PolicyStats::set with an invalid key");
+  for (int i = 0; i < size_; ++i) {
+    if (keys_[static_cast<std::size_t>(i)] == key) {
+      values_[static_cast<std::size_t>(i)] = value;
+      return;
+    }
+  }
+  MEGH_REQUIRE(size_ < kCapacity,
+               "PolicyStats: more than " + std::to_string(kCapacity) +
+                   " distinct stats; raise PolicyStats::kCapacity");
+  keys_[static_cast<std::size_t>(size_)] = key;
+  values_[static_cast<std::size_t>(size_)] = value;
+  ++size_;
+}
+
+const double* PolicyStats::find(StatKey key) const {
+  if (!key.valid()) return nullptr;
+  for (int i = 0; i < size_; ++i) {
+    if (keys_[static_cast<std::size_t>(i)] == key) {
+      return &values_[static_cast<std::size_t>(i)];
+    }
+  }
+  return nullptr;
+}
+
+int PolicyStats::count(std::string_view name) const {
+  return find(StatKey::find(name)) != nullptr ? 1 : 0;
+}
+
+double PolicyStats::at(std::string_view name) const {
+  const double* value = find(StatKey::find(name));
+  MEGH_REQUIRE(value != nullptr,
+               "unknown snapshot field: " + std::string(name));
+  return *value;
+}
+
+static_assert(std::is_trivially_copyable_v<PolicyStats>,
+              "PolicyStats must stay flat and allocation-free");
+
+}  // namespace megh

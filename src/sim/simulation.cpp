@@ -12,33 +12,47 @@
 namespace megh {
 
 std::vector<double> SimulationResult::series(const std::string& field) const {
+  // Resolve the field to an extractor once, not per step: built-in fields
+  // map to a member read; anything else resolves to an interned StatKey
+  // looked up in each snapshot's flat stats table.
+  using Getter = double (*)(const StepSnapshot&);
+  static constexpr std::pair<const char*, Getter> kBuiltins[] = {
+      {"step_cost", [](const StepSnapshot& s) { return s.step_cost_usd; }},
+      {"energy_cost", [](const StepSnapshot& s) { return s.energy_cost_usd; }},
+      {"sla_cost", [](const StepSnapshot& s) { return s.sla_cost_usd; }},
+      {"migrations",
+       [](const StepSnapshot& s) { return static_cast<double>(s.migrations); }},
+      {"cross_pod_migrations",
+       [](const StepSnapshot& s) {
+         return static_cast<double>(s.cross_pod_migrations);
+       }},
+      {"active_hosts",
+       [](const StepSnapshot& s) {
+         return static_cast<double>(s.active_hosts);
+       }},
+      {"overloaded_hosts",
+       [](const StepSnapshot& s) {
+         return static_cast<double>(s.overloaded_hosts);
+       }},
+      {"exec_ms", [](const StepSnapshot& s) { return s.exec_ms; }},
+      {"mean_host_util",
+       [](const StepSnapshot& s) { return s.mean_host_util; }},
+  };
+
   std::vector<double> out;
   out.reserve(steps.size());
-  for (const auto& s : steps) {
-    if (field == "step_cost") {
-      out.push_back(s.step_cost_usd);
-    } else if (field == "energy_cost") {
-      out.push_back(s.energy_cost_usd);
-    } else if (field == "sla_cost") {
-      out.push_back(s.sla_cost_usd);
-    } else if (field == "migrations") {
-      out.push_back(s.migrations);
-    } else if (field == "cross_pod_migrations") {
-      out.push_back(s.cross_pod_migrations);
-    } else if (field == "active_hosts") {
-      out.push_back(s.active_hosts);
-    } else if (field == "overloaded_hosts") {
-      out.push_back(s.overloaded_hosts);
-    } else if (field == "exec_ms") {
-      out.push_back(s.exec_ms);
-    } else if (field == "mean_host_util") {
-      out.push_back(s.mean_host_util);
-    } else {
-      const auto it = s.policy_stats.find(field);
-      MEGH_REQUIRE(it != s.policy_stats.end(),
-                   "unknown snapshot field: " + field);
-      out.push_back(it->second);
+  for (const auto& [name, getter] : kBuiltins) {
+    if (field == name) {
+      for (const auto& s : steps) out.push_back(getter(s));
+      return out;
     }
+  }
+  // Policy stat: one registry lookup up front; per-step flat-table scan.
+  const StatKey key = StatKey::find(field);
+  for (const auto& s : steps) {
+    const double* value = s.policy_stats.find(key);
+    MEGH_REQUIRE(value != nullptr, "unknown snapshot field: " + field);
+    out.push_back(*value);
   }
   return out;
 }
@@ -61,6 +75,9 @@ Simulation::Simulation(Datacenter dc, const TraceTable& trace,
     MEGH_REQUIRE(dc_.host_of(vm) != kUnplaced,
                  strf("vm %d is unplaced; run place_initial first", vm));
   }
+  // Host VM lists never reallocate after this: migrations in the step loop
+  // stay heap-allocation-free no matter how occupancy shifts.
+  dc_.reserve_full_occupancy();
 }
 
 SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
@@ -79,7 +96,14 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
           : dc_.num_vms();
 
   double last_step_cost = 0.0;
+  // Step-scope buffers, hoisted so the loop itself never allocates: the
+  // trace column, the host-utilization snapshot and the action list are
+  // all reused across intervals.
   std::vector<double> vm_util(static_cast<std::size_t>(dc_.num_vms()));
+  std::vector<double> host_util;
+  host_util.reserve(static_cast<std::size_t>(dc_.num_hosts()));
+  std::vector<MigrationAction> actions;
+  actions.reserve(static_cast<std::size_t>(migration_cap));
   RunningStats active_hosts_stats, exec_stats;
   // SLATAH bookkeeping (Beloglazov): per host, active time and time spent
   // above the overload threshold.
@@ -98,9 +122,7 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
     {
       // 1. New demands.
       MEGH_TRACE_SCOPE("sim.trace_read");
-      for (int vm = 0; vm < dc_.num_vms(); ++vm) {
-        vm_util[static_cast<std::size_t>(vm)] = trace_.at(vm, step);
-      }
+      trace_.read_step(step, vm_util);
       dc_.set_demands(vm_util);
       sla.begin_interval(config_.interval_s);
     }
@@ -111,17 +133,17 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
     obs.interval_s = config_.interval_s;
     obs.dc = &dc_;
     obs.vm_util = vm_util;
-    const std::vector<double> host_util = dc_.all_host_utilization();
+    dc_.all_host_utilization(host_util);
     obs.host_util = host_util;
     obs.last_step_cost = last_step_cost;
     obs.cost = &config_.cost;
     obs.network = config_.network.get();
 
     Stopwatch watch;
-    std::vector<MigrationAction> actions;
+    actions.clear();
     {
       MEGH_TRACE_SCOPE("sim.decide");
-      actions = policy.decide(obs);
+      policy.decide_into(obs, actions);
     }
     const double exec_ms = watch.elapsed_ms();
 
@@ -204,7 +226,7 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
     snap.step_cost_usd = snap.energy_cost_usd + snap.sla_cost_usd;
     last_step_cost = snap.step_cost_usd;
     policy.observe_cost(snap.step_cost_usd);
-    snap.policy_stats = policy.stats();
+    policy.stats(snap.policy_stats);
 
     // 6. Totals.
     result.totals.total_cost_usd += snap.step_cost_usd;
@@ -217,7 +239,7 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
     steps_counter.add(1);
     applied_counter.add(snap.migrations);
     rejected_counter.add(snap.rejected_migrations);
-    result.steps.push_back(std::move(snap));
+    result.steps.push_back(snap);
     }
 
     // Per-step telemetry flush, after the interval's costs are settled.

@@ -2,9 +2,11 @@
 // material for every table and figure in the paper's evaluation.
 #pragma once
 
-#include <map>
 #include <string>
+#include <type_traits>
 #include <vector>
+
+#include "sim/policy_stats.hpp"
 
 namespace megh {
 
@@ -23,8 +25,17 @@ struct StepSnapshot {
   int overloaded_hosts = 0;       // hosts above beta after migrations
   double mean_host_util = 0.0;    // over active hosts
   double exec_ms = 0.0;           // wall-clock time of policy.decide()
-  std::map<std::string, double> policy_stats;
+  /// Flat interned-key policy counters (see sim/policy_stats.hpp).
+  PolicyStats policy_stats;
 };
+
+/// Layout guard: recording a snapshot must never allocate. A std::map (or
+/// any other heap-owning member) sneaking back into StepSnapshot breaks the
+/// engine's zero-allocation step loop — this assert makes that a compile
+/// error instead of a silent per-step malloc.
+static_assert(std::is_trivially_copyable_v<StepSnapshot>,
+              "StepSnapshot must stay trivially copyable (no heap-owning "
+              "members; see sim/policy_stats.hpp)");
 
 struct SimulationTotals {
   double total_cost_usd = 0.0;

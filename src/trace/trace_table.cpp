@@ -21,6 +21,18 @@ void TraceTable::set(int vm, int step, double utilization) {
   data_[index(vm, step)] = static_cast<float>(utilization);
 }
 
+void TraceTable::read_step(int step, std::span<double> out) const {
+  MEGH_ASSERT(step >= 0 && step < num_steps_,
+              "read_step: step index out of range");
+  MEGH_REQUIRE(out.size() == static_cast<std::size_t>(num_vms_),
+               "read_step: output span must hold num_vms() entries");
+  const float* column = data_.data() + static_cast<std::size_t>(step);
+  const std::size_t stride = static_cast<std::size_t>(num_steps_);
+  for (std::size_t vm = 0; vm < out.size(); ++vm) {
+    out[vm] = static_cast<double>(column[vm * stride]);
+  }
+}
+
 std::span<const float> TraceTable::vm_series(int vm) const {
   MEGH_ASSERT(vm >= 0 && vm < num_vms_, "vm index out of range");
   return {data_.data() + index(vm, 0), static_cast<std::size_t>(num_steps_)};

@@ -35,6 +35,12 @@ class TraceTable {
   /// All steps of one VM.
   std::span<const float> vm_series(int vm) const;
 
+  /// Bulk accessor: utilization of every VM at `step`, written into `out`
+  /// (which must hold exactly num_vms() entries). One bounds check for the
+  /// whole column instead of one per VM — the engine reads each interval's
+  /// demands through this.
+  void read_step(int step, std::span<double> out) const;
+
   /// Copy a subset of VMs (used by the scalability and MadVM experiments,
   /// which sample random subsets of the full trace).
   TraceTable select_vms(std::span<const int> vm_indices) const;

@@ -99,6 +99,41 @@ TEST(ExperimentEngineTest, DecisionOutputsBitIdenticalAcrossJobs) {
   }
 }
 
+TEST(ExperimentEngineTest, SnapshotStatsRoundTripThroughEngineCopies) {
+  // StepSnapshot's stats table is a trivially-copyable flat record keyed by
+  // interned StatKeys; this asserts the values survive the engine's result
+  // copies and stay readable through every accessor flavour.
+  const ExperimentSpec spec = small_spec();
+  const ExperimentOutput output = run_experiment_spec(spec, quiet_config(1));
+  ASSERT_EQ(output.cells.size(), 2u);
+
+  const auto& megh_steps = output.cells[1].result.sim.steps;
+  ASSERT_FALSE(megh_steps.empty());
+  const PolicyStats& stats = megh_steps.back().policy_stats;
+  // Name-based compatibility accessors (std::map idiom).
+  EXPECT_EQ(stats.count("temperature"), 1);
+  EXPECT_EQ(stats.count("no_such_stat"), 0);
+  EXPECT_GT(stats.at("temperature"), 0.0);
+  EXPECT_THROW(stats.at("no_such_stat"), ConfigError);
+  // Key-based access agrees with name-based access entry for entry.
+  for (int i = 0; i < stats.size(); ++i) {
+    const StatKey key = stats.key(i);
+    ASSERT_TRUE(key.valid());
+    const double* by_key = stats.find(key);
+    ASSERT_NE(by_key, nullptr);
+    EXPECT_EQ(*by_key, stats.value(i));
+    EXPECT_EQ(stats.at(key.name()), stats.value(i));
+  }
+  // series() resolves policy stats through the same interned keys.
+  const auto series = output.cells[1].result.sim.series("qtable_nnz");
+  ASSERT_EQ(series.size(), megh_steps.size());
+  EXPECT_EQ(series.back(), megh_steps.back().policy_stats.at("qtable_nnz"));
+  // The heuristic cell carries its own counters, not Megh's.
+  const PolicyStats& mmt = output.cells[0].result.sim.steps.back().policy_stats;
+  EXPECT_EQ(mmt.count("overload_migrations"), 1);
+  EXPECT_EQ(mmt.count("qtable_nnz"), 0);
+}
+
 TEST(ExperimentEngineTest, PlanExpansionIsStable) {
   const ExperimentSpec spec = small_spec();
   const ScaleValues scale = resolve_scale(spec, Scale::kReduced);

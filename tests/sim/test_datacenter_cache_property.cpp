@@ -1,0 +1,106 @@
+// Randomized property test for the datacenter's dirty-host demand cache.
+//
+// The cache contract (datacenter.hpp) is that every cached per-host value is
+// *bit-identical* to a fresh recomputation from the allocation state: the
+// dirty-host refresh sums the host's VM list in list order, exactly like an
+// uncached query would. This test drives a long random sequence of
+// place/unplace/migrate/set_demands operations and, after each one, rebuilds
+// host demand, utilization and the active-host count from public state and
+// compares with operator== (no tolerance — the whole point is bit-identity).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/datacenter.hpp"
+
+namespace megh {
+namespace {
+
+/// Fresh recomputation of one host's demanded MIPS from public state only.
+double fresh_host_demand(const Datacenter& dc, int host) {
+  double total = 0.0;
+  for (int vm : dc.vms_on(host)) {
+    total += dc.vm_utilization(vm) * dc.vm_spec(vm).mips;
+  }
+  return total;
+}
+
+void expect_cache_matches_fresh(const Datacenter& dc) {
+  int active = 0;
+  for (int h = 0; h < dc.num_hosts(); ++h) {
+    const double fresh = fresh_host_demand(dc, h);
+    // Exact comparison on purpose: the cache must be bit-identical, not
+    // merely close — policies branch on these values and decision traces
+    // are diffed bitwise across refactors.
+    EXPECT_EQ(dc.host_demand_mips(h), fresh) << "host " << h;
+    EXPECT_EQ(dc.host_utilization(h), fresh / dc.host_spec(h).mips)
+        << "host " << h;
+    if (!dc.vms_on(h).empty()) ++active;
+    EXPECT_EQ(dc.is_active(h), !dc.vms_on(h).empty()) << "host " << h;
+  }
+  EXPECT_EQ(dc.active_host_count(), active);
+}
+
+TEST(DatacenterCacheProperty, RandomOperationSequenceStaysBitIdentical) {
+  const int kHosts = 12;
+  const int kVms = 30;
+  const int kOps = 2000;
+  Rng rng(0xfeedbeef);
+
+  std::vector<HostSpec> hosts = standard_host_fleet(kHosts);
+  std::vector<VmSpec> vms = sample_vm_fleet(kVms, rng);
+  Datacenter dc(std::move(hosts), std::move(vms));
+
+  std::vector<double> demands(static_cast<std::size_t>(kVms), 0.0);
+  for (int op = 0; op < kOps; ++op) {
+    const double dice = rng.uniform();
+    const int vm = static_cast<int>(rng.index(static_cast<std::size_t>(kVms)));
+    const int host =
+        static_cast<int>(rng.index(static_cast<std::size_t>(kHosts)));
+    if (dice < 0.35) {
+      // New demand vector for the whole fleet.
+      for (double& d : demands) d = rng.uniform();
+      dc.set_demands(demands);
+    } else if (dice < 0.55) {
+      if (dc.host_of(vm) == kUnplaced && dc.fits(vm, host)) dc.place(vm, host);
+    } else if (dice < 0.70) {
+      if (dc.host_of(vm) != kUnplaced) dc.unplace(vm);
+    } else {
+      if (dc.host_of(vm) != kUnplaced) dc.migrate(vm, host);  // may refuse
+    }
+    expect_cache_matches_fresh(dc);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(DatacenterCacheProperty, AllHostUtilizationMatchesScalarQueries) {
+  Rng rng(7);
+  Datacenter dc(standard_host_fleet(8), sample_vm_fleet(20, rng));
+  std::vector<double> demands(20, 0.0);
+  for (int vm = 0; vm < 20; ++vm) {
+    // Round-robin preferred, but sampled VMs can exceed a host's RAM —
+    // fall forward to the first host with room.
+    for (int probe = 0; probe < 8; ++probe) {
+      const int host = (vm + probe) % 8;
+      if (dc.fits(vm, host)) {
+        dc.place(vm, host);
+        break;
+      }
+    }
+    demands[static_cast<std::size_t>(vm)] = rng.uniform();
+  }
+  dc.set_demands(demands);
+
+  std::vector<double> buffer;
+  dc.all_host_utilization(buffer);
+  ASSERT_EQ(buffer.size(), 8u);
+  for (int h = 0; h < 8; ++h) {
+    EXPECT_EQ(buffer[static_cast<std::size_t>(h)], dc.host_utilization(h));
+  }
+  // The buffer-reusing overload and the by-value overload agree.
+  EXPECT_EQ(dc.all_host_utilization(), buffer);
+}
+
+}  // namespace
+}  // namespace megh
