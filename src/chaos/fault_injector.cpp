@@ -1,0 +1,65 @@
+#include "chaos/fault_injector.hpp"
+
+#include "common/string_util.hpp"
+
+namespace megh {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int num_hosts)
+    : plan_(&plan),
+      down_(static_cast<std::size_t>(num_hosts), 0) {
+  MEGH_REQUIRE(num_hosts > 0, "FaultInjector needs a positive host count");
+  MEGH_REQUIRE(plan.zero() || plan.num_hosts() == num_hosts,
+               strf("fault plan compiled for %d hosts, datacenter has %d",
+                    plan.num_hosts(), num_hosts));
+  failed_now_.reserve(8);
+  recovered_now_.reserve(8);
+}
+
+void FaultInjector::begin_step(int step) {
+  MEGH_ASSERT(step > current_step_,
+              "FaultInjector::begin_step must advance monotonically");
+  current_step_ = step;
+  failed_now_.clear();
+  recovered_now_.clear();
+  events_this_step_ = 0;
+  if (current_step_ >= degraded_until_) bandwidth_factor_ = 1.0;
+
+  const std::vector<FaultEvent>& events = plan_->events();
+  while (cursor_ < events.size() && events[cursor_].step <= step) {
+    const FaultEvent& e = events[cursor_++];
+    if (e.step < step) continue;  // skipped steps (never under the engine)
+    ++events_this_step_;
+    ++total_events_;
+    switch (e.type) {
+      case FaultClass::kHostFailure: {
+        std::uint8_t& flag = down_[static_cast<std::size_t>(e.host)];
+        if (flag == 0) {
+          flag = 1;
+          ++hosts_down_;
+          failed_now_.push_back(e.host);
+        }
+        break;
+      }
+      case FaultClass::kHostRecovery: {
+        std::uint8_t& flag = down_[static_cast<std::size_t>(e.host)];
+        if (flag != 0) {
+          flag = 0;
+          --hosts_down_;
+          recovered_now_.push_back(e.host);
+        }
+        break;
+      }
+      case FaultClass::kNetworkDegradation:
+        bandwidth_factor_ = e.magnitude;
+        degraded_until_ = e.step + e.duration_steps;
+        break;
+      case FaultClass::kTraceGap:
+        gap_until_ = e.step + e.duration_steps;
+        break;
+      case FaultClass::kMigrationAbort:
+        break;  // rate-driven; never scheduled (from_events rejects them)
+    }
+  }
+}
+
+}  // namespace megh

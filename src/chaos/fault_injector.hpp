@@ -1,0 +1,78 @@
+// The runtime half of the chaos subsystem: a FaultInjector replays a
+// compiled FaultPlan step by step, exposing the current fault state to the
+// simulation engine — which hosts are down, whether the fabric is degraded,
+// whether telemetry is gapped — plus the per-migration abort draw.
+//
+// The injector is a deterministic cursor over the plan's sorted event list:
+// begin_step(t) applies every event scheduled at t (in canonical order) and
+// retires expired degradation/gap windows. It holds no RNG of its own, so
+// replaying the same plan always yields the same state sequence, and a
+// zero() plan makes every query a constant (no host down, factor 1.0, no
+// gap, no aborts) — the bit-identity anchor the tests pin.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+
+namespace megh {
+
+class FaultInjector {
+ public:
+  /// The plan must outlive the injector and match the datacenter shape.
+  FaultInjector(const FaultPlan& plan, int num_hosts);
+
+  /// Advance to `step` (monotonically increasing from 0): apply every event
+  /// scheduled there and expire elapsed windows. Fills the per-step
+  /// failed/recovered lists.
+  void begin_step(int step);
+
+  // --- current fault state ---
+  bool host_down(int host) const {
+    return down_[static_cast<std::size_t>(host)] != 0;
+  }
+  /// One byte per host, nonzero = down. Stable span for StepObservation.
+  std::span<const std::uint8_t> down_mask() const { return down_; }
+  int hosts_down() const { return hosts_down_; }
+  /// Hosts whose failure event fired in the current step.
+  const std::vector<int>& failed_this_step() const { return failed_now_; }
+  /// Hosts whose recovery event fired in the current step.
+  const std::vector<int>& recovered_this_step() const {
+    return recovered_now_;
+  }
+  /// Migration-bandwidth multiplier for the current step (1.0 nominal).
+  double bandwidth_factor() const { return bandwidth_factor_; }
+  /// True while a telemetry gap window is open: demands freeze.
+  bool in_trace_gap() const { return current_step_ < gap_until_; }
+  /// Scheduled events applied in the current step (aborts excluded — those
+  /// are drawn per migration).
+  int events_this_step() const { return events_this_step_; }
+  /// Cumulative scheduled events applied since construction.
+  long long total_events_applied() const { return total_events_; }
+
+  /// Abort draw for the `ordinal`-th abort-eligible migration of the
+  /// current step (delegates to the plan's counter-based hash).
+  bool abort_migration(int ordinal) const {
+    return plan_->abort_migration(current_step_, ordinal);
+  }
+
+  const FaultPlan& plan() const { return *plan_; }
+
+ private:
+  const FaultPlan* plan_;
+  std::size_t cursor_ = 0;
+  int current_step_ = -1;
+  std::vector<std::uint8_t> down_;
+  int hosts_down_ = 0;
+  std::vector<int> failed_now_;
+  std::vector<int> recovered_now_;
+  double bandwidth_factor_ = 1.0;
+  int degraded_until_ = 0;  // exclusive end of the open degradation window
+  int gap_until_ = 0;       // exclusive end of the open trace-gap window
+  int events_this_step_ = 0;
+  long long total_events_ = 0;
+};
+
+}  // namespace megh

@@ -15,6 +15,17 @@ MeghPolicy::MeghPolicy(const MeghConfig& config)
   MEGH_REQUIRE(config.max_migration_fraction > 0.0 &&
                    config.max_migration_fraction <= 1.0,
                "Megh: max_migration_fraction must lie in (0, 1]");
+  if (config.recovery.enabled) {
+    MEGH_REQUIRE(config.recovery.max_retries >= 0 &&
+                     config.recovery.max_retries <= 16,
+                 "Megh: max_retries must lie in [0, 16]");
+    MEGH_REQUIRE(config.recovery.retry_backoff_steps >= 1,
+                 "Megh: retry_backoff_steps must be >= 1");
+    MEGH_REQUIRE(config.recovery.retry_min_utilization >= 0.0,
+                 "Megh: retry_min_utilization must be >= 0");
+    MEGH_REQUIRE(config.recovery.checkpoint_interval_steps >= 1,
+                 "Megh: checkpoint_interval_steps must be >= 1");
+  }
 }
 
 void MeghPolicy::begin(const Datacenter& dc, const CostConfig& cost,
@@ -36,6 +47,20 @@ void MeghPolicy::begin(const Datacenter& dc, const CostConfig& cost,
   total_migrations_selected_ = 0;
   cost_baseline_ = 0.0;
   baseline_initialized_ = false;
+  emitted_.clear();
+  emitted_.reserve(static_cast<std::size_t>(migration_budget_) + 2);
+  retries_.clear();
+  retries_.reserve(
+      static_cast<std::size_t>(migration_budget_) *
+          static_cast<std::size_t>(std::max(1, config_.recovery.max_retries)) +
+      4);
+  checkpoint_ = CriticSnapshot{};
+  last_step_ = -1;
+  faults_last_step_ = 0;
+  faults_seen_ = 0;
+  retries_issued_ = 0;
+  masked_candidates_ = 0;
+  rollbacks_ = 0;
 }
 
 std::vector<MigrationAction> MeghPolicy::decide(const StepObservation& obs) {
@@ -53,6 +78,40 @@ void MeghPolicy::decide_into(const StepObservation& obs,
   // 1. Candidates and their Q-values.
   generate_candidates(dc, obs.host_util, beta_, *basis_, config_.candidates,
                       rng_, scratch_.candidates, obs.network);
+  const bool recovery = config_.recovery.enabled;
+  if (recovery) {
+    last_step_ = obs.step;
+    emitted_.clear();
+    // Mask candidates that target a down host: the engine would reject
+    // them, and a draw spent on one both wastes migration budget and
+    // poisons the SARSA transition with a move that cannot happen. No-ops
+    // survive, so "stay put" remains drawable for every source VM.
+    if (config_.recovery.mask_down_hosts && !obs.host_down.empty()) {
+      std::vector<CandidateAction>& cands = scratch_.candidates.candidates;
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (!cands[i].is_noop &&
+            obs.host_down[static_cast<std::size_t>(cands[i].host)] != 0) {
+          ++masked_candidates_;
+          continue;
+        }
+        cands[w++] = cands[i];
+      }
+      cands.resize(w);
+    }
+    // Burst rollback: a heavily faulted interval taught the critic from
+    // transitions the faults falsified — restore the last checkpoint and
+    // drop the straddling pending transitions.
+    if (config_.recovery.rollback_burst_threshold > 0 &&
+        faults_last_step_ >= config_.recovery.rollback_burst_threshold &&
+        checkpoint_.valid) {
+      learner_->restore(checkpoint_.B, checkpoint_.z, checkpoint_.theta);
+      pending_actions_.clear();
+      has_pending_cost_ = false;
+      ++rollbacks_;
+    }
+    faults_last_step_ = 0;
+  }
   const std::vector<CandidateAction>& candidates =
       scratch_.candidates.candidates;
   MEGH_ASSERT(!candidates.empty(), "candidate set must never be empty");
@@ -90,6 +149,11 @@ void MeghPolicy::decide_into(const StepObservation& obs,
   }
   pending_actions_.clear();
   has_pending_cost_ = false;
+  if (recovery && config_.learning_enabled &&
+      config_.recovery.rollback_burst_threshold > 0 &&
+      obs.step % config_.recovery.checkpoint_interval_steps == 0) {
+    refresh_checkpoint();
+  }
 
   // 3. Boltzmann-sample actions, at most one per VM. Algorithm 1 picks a
   //    single action per iteration; the 2% budget (Sec. 6.1) is a ceiling
@@ -139,6 +203,10 @@ void MeghPolicy::decide_into(const StepObservation& obs,
       if (!c.is_noop) {
         out.push_back(MigrationAction{c.vm, c.host});
         ++total_migrations_selected_;
+        if (recovery) {
+          emitted_.push_back(EmittedAction{c.vm, dc.host_of(c.vm), c.host,
+                                           pending_actions_.size() - 1, 0});
+        }
       }
     }
     // Remove every candidate of this VM from further draws.
@@ -168,9 +236,62 @@ void MeghPolicy::decide_into(const StepObservation& obs,
     if (last_positive < subset.size()) take(subset[last_positive]);
   };
 
+  // Injected retries: deterministically re-request due aborted migrations
+  // before any Boltzmann draw, claiming budget first. A fault-free run
+  // never queues a retry, so this is a no-op there.
+  int budget = migration_budget_;
+  if (recovery && !retries_.empty()) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < retries_.size(); ++i) {
+      const PendingRetry r = retries_[i];
+      if (r.due_step > obs.step) {
+        retries_[keep++] = r;  // not due yet
+        continue;
+      }
+      const bool target_down =
+          !obs.host_down.empty() &&
+          obs.host_down[static_cast<std::size_t>(r.target)] != 0;
+      // Stale: the VM moved off its source in the meantime (evacuation or
+      // another action), or an earlier retry already claimed it this step.
+      const bool stale =
+          dc.host_of(r.vm) != r.source ||
+          scratch_.vm_used[static_cast<std::size_t>(r.vm)] != 0;
+      if (target_down || stale) continue;  // drop: the world moved on
+      // Drop retries whose source host is no longer hot enough to be worth
+      // the extra migration downtime (see retry_min_utilization).
+      if (config_.recovery.retry_min_utilization > 0.0 &&
+          obs.host_util[static_cast<std::size_t>(r.source)] <
+              config_.recovery.retry_min_utilization) {
+        continue;
+      }
+      if (budget <= 0) {
+        retries_[keep++] = r;  // over budget; try again next step
+        continue;
+      }
+      // vm_used is only ever reset for VMs in the candidate set
+      // (touched_vms), so mark it — and zero the VM's draw weights — only
+      // when the VM is a candidate this step; otherwise no draw can reach
+      // it anyway.
+      const std::vector<std::size_t>& vm_cands =
+          candidates_of_vm[static_cast<std::size_t>(r.vm)];
+      if (!vm_cands.empty()) {
+        scratch_.vm_used[static_cast<std::size_t>(r.vm)] = 1;
+        for (std::size_t j : vm_cands) weights[j] = 0.0;
+      }
+      pending_actions_.push_back(basis_->index(r.vm, r.target));
+      out.push_back(MigrationAction{r.vm, r.target});
+      emitted_.push_back(EmittedAction{r.vm, r.source, r.target,
+                                       pending_actions_.size() - 1,
+                                       r.attempt});
+      ++total_migrations_selected_;
+      ++retries_issued_;
+      --budget;
+    }
+    retries_.resize(keep);
+  }
+
   // Reactive draws: one per overloaded host, over that host's candidates.
   // Overload response has first claim on the whole budget.
-  int budget = migration_budget_;
   std::vector<std::size_t>& subset = scratch_.subset;
   subset.reserve(candidates.capacity());
   for (int h = 0; h < dc.num_hosts() && budget > 0; ++h) {
@@ -215,6 +336,44 @@ void MeghPolicy::observe_cost(double step_cost) {
   has_pending_cost_ = true;
 }
 
+void MeghPolicy::observe_outcomes(
+    std::span<const MigrationOutcome> outcomes) {
+  if (!config_.recovery.enabled) return;
+  // One verdict per emitted action, in emission order (engine contract).
+  MEGH_ASSERT(outcomes.size() == emitted_.size(),
+              "outcome feedback must match the emitted action list");
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const MigrationOutcome& o = outcomes[i];
+    if (o.verdict != MigrationVerdict::kAborted &&
+        o.verdict != MigrationVerdict::kTargetDown) {
+      continue;
+    }
+    const EmittedAction& e = emitted_[i];
+    ++faults_seen_;
+    ++faults_last_step_;
+    // The realized transition kept the VM on its source: remap the pending
+    // SARSA action to the no-op so the critic learns from what actually
+    // happened (including the fault's cost), not from a move that never
+    // landed.
+    pending_actions_[e.pending_slot] = basis_->index(e.vm, e.source);
+    if (o.verdict == MigrationVerdict::kAborted &&
+        e.attempt < config_.recovery.max_retries) {
+      retries_.push_back(PendingRetry{
+          e.vm, e.source, e.target,
+          last_step_ +
+              config_.recovery.retry_backoff_steps * (1 << e.attempt),
+          e.attempt + 1});
+    }
+  }
+}
+
+void MeghPolicy::refresh_checkpoint() {
+  checkpoint_.B = learner_->B();
+  checkpoint_.z = learner_->z();
+  checkpoint_.theta = learner_->theta();
+  checkpoint_.valid = true;
+}
+
 void MeghPolicy::stats(PolicyStats& out) const {
   static const StatKey kQtableNnz = StatKey::intern("qtable_nnz");
   static const StatKey kThetaNnz = StatKey::intern("theta_nnz");
@@ -225,6 +384,11 @@ void MeghPolicy::stats(PolicyStats& out) const {
   static const StatKey kTemperature = StatKey::intern("temperature");
   static const StatKey kMigrationsSelected =
       StatKey::intern("migrations_selected");
+  static const StatKey kFaultsSeen = StatKey::intern("faults_seen");
+  static const StatKey kRetries = StatKey::intern("retries");
+  static const StatKey kMaskedCandidates =
+      StatKey::intern("masked_candidates");
+  static const StatKey kRollbacks = StatKey::intern("rollbacks");
   if (learner_ != nullptr) {
     out.set(kQtableNnz, static_cast<double>(learner_->qtable_nnz()));
     out.set(kThetaNnz, static_cast<double>(learner_->theta_nnz()));
@@ -239,6 +403,12 @@ void MeghPolicy::stats(PolicyStats& out) const {
   out.set(kTemperature, selector_.temperature());
   out.set(kMigrationsSelected,
           static_cast<double>(total_migrations_selected_));
+  // Recovery counters (satellite view of the chaos subsystem): all stay 0
+  // when recovery is disabled or the run is fault-free.
+  out.set(kFaultsSeen, static_cast<double>(faults_seen_));
+  out.set(kRetries, static_cast<double>(retries_issued_));
+  out.set(kMaskedCandidates, static_cast<double>(masked_candidates_));
+  out.set(kRollbacks, static_cast<double>(rollbacks_));
 }
 
 const LspiLearner& MeghPolicy::learner() const {

@@ -29,6 +29,35 @@
 
 namespace megh {
 
+/// Fault-recovery behaviour (chaos subsystem, src/chaos). All of it is
+/// inert unless `enabled` — and even then every mechanism is a no-op in a
+/// fault-free run, so a recovery-enabled Megh under a zero-rate FaultPlan
+/// makes exactly the decisions a plain Megh makes.
+struct MeghRecoveryConfig {
+  bool enabled = false;
+  /// Drop non-no-op candidates that target a currently-down host before
+  /// the Boltzmann draw (the engine would reject them anyway; masking
+  /// keeps the learner from wasting draws and SARSA credit on them).
+  bool mask_down_hosts = true;
+  /// Re-request an aborted migration up to this many times.
+  int max_retries = 2;
+  /// Steps to wait before the first retry; doubles with each attempt.
+  int retry_backoff_steps = 2;
+  /// Only issue a due retry while the VM's current host runs at or above
+  /// this utilization; retries below it are dropped. Aborted *reactive*
+  /// moves (VM stuck on an overloaded source) are the SLA-relevant ones to
+  /// push through — re-driving consolidation moves only adds migration
+  /// downtime. 0 retries unconditionally.
+  double retry_min_utilization = 0.0;
+  /// When > 0: a step whose outcome feedback reports at least this many
+  /// failed actions (aborts + down targets) rolls the critic back to the
+  /// last periodic in-memory snapshot, discarding updates learned from the
+  /// fault burst. 0 disables rollback.
+  int rollback_burst_threshold = 0;
+  /// How often (in steps) the in-memory critic snapshot is refreshed.
+  int checkpoint_interval_steps = 64;
+};
+
 struct MeghConfig {
   double gamma = 0.5;     // discount factor (Sec. 6.1: 50:50 old vs new)
   double temp0 = 3.0;     // initial Boltzmann temperature (Sec. 6.1)
@@ -62,6 +91,7 @@ struct MeghConfig {
   /// own growth — the quantity Fig. 7 plots).
   bool learning_enabled = true;
   CandidateConfig candidates;
+  MeghRecoveryConfig recovery;
   std::uint64_t seed = 42;
 };
 
@@ -78,6 +108,11 @@ class MeghPolicy : public MigrationPolicy {
   void decide_into(const StepObservation& obs,
                    std::vector<MigrationAction>& out) override;
   void observe_cost(double step_cost) override;
+  /// Recovery feedback (no-op unless config.recovery.enabled): failed
+  /// actions (aborted / down target) have their pending SARSA transition
+  /// remapped to the realized no-op (the VM stayed on its source), and
+  /// aborted migrations are queued for retry with exponential backoff.
+  void observe_outcomes(std::span<const MigrationOutcome> outcomes) override;
   void stats(PolicyStats& out) const override;
 
   /// Expose the critic for tests and the Q-table growth bench (Fig. 7).
@@ -129,6 +164,45 @@ class MeghPolicy : public MigrationPolicy {
   // Advantage baseline (EMA of observed step costs).
   double cost_baseline_ = 0.0;
   bool baseline_initialized_ = false;
+
+  // --- chaos recovery (all empty/zero unless config.recovery.enabled) ---
+  /// One record per non-no-op action emitted last step, in emission order
+  /// (= the engine's outcome order). pending_slot points into
+  /// pending_actions_ so a failed action's transition can be remapped.
+  struct EmittedAction {
+    int vm;
+    int source;
+    int target;
+    std::size_t pending_slot;
+    int attempt;  // 0 = fresh Boltzmann draw, >0 = injected retry
+  };
+  /// An aborted migration waiting to be re-requested.
+  struct PendingRetry {
+    int vm;
+    int source;
+    int target;
+    int due_step;
+    int attempt;
+  };
+  /// In-memory critic snapshot for burst rollback.
+  struct CriticSnapshot {
+    SparseMatrix B;
+    SparseVector z;
+    SparseVector theta;
+    bool valid = false;
+  };
+
+  void refresh_checkpoint();
+
+  std::vector<EmittedAction> emitted_;
+  std::vector<PendingRetry> retries_;
+  CriticSnapshot checkpoint_;
+  int last_step_ = -1;
+  int faults_last_step_ = 0;
+  long long faults_seen_ = 0;
+  long long retries_issued_ = 0;
+  long long masked_candidates_ = 0;
+  long long rollbacks_ = 0;
 };
 
 }  // namespace megh

@@ -14,6 +14,7 @@ ExperimentResult run_experiment(const Scenario& scenario,
   SimulationConfig config =
       default_sim_config(options.max_migration_fraction);
   config.network = options.network;
+  config.faults = options.faults;
   if (options.configure_sim) options.configure_sim(config);
   Simulation sim(std::move(dc), scenario.trace, config);
   ExperimentResult result;

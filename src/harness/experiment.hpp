@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "chaos/fault_plan.hpp"
 #include "harness/scenario.hpp"
 #include "sim/policy.hpp"
 #include "sim/snapshot.hpp"
@@ -29,6 +30,9 @@ struct ExperimentOptions {
   double max_migration_fraction = 0.0;
   /// Optional fat-tree fabric (see sim/network.hpp).
   std::shared_ptr<const FatTreeTopology> network;
+  /// Optional fault plan (see chaos/fault_plan.hpp). Compiled up front from
+  /// its own seed, so cells stay order- and worker-count-independent.
+  std::shared_ptr<const FaultPlan> faults;
   /// Last-chance hook over the assembled SimulationConfig (cost-model or
   /// migration-model variants for ablations). Runs after the fields above
   /// are applied.

@@ -92,6 +92,19 @@ double cell_metric(const CellResult& cell, const std::string& metric) {
   if (metric == "pdm") return t.pdm;
   if (metric == "slav") return t.slav;
   if (metric == "esv") return t.esv;
+  if (metric == "aborted_migrations") {
+    return static_cast<double>(t.aborted_migrations);
+  }
+  if (metric == "rejected_down_host") {
+    return static_cast<double>(t.rejected_down_host);
+  }
+  if (metric == "forced_evacuations") {
+    return static_cast<double>(t.forced_evacuations);
+  }
+  if (metric == "stranded_vm_steps") {
+    return static_cast<double>(t.stranded_vm_steps);
+  }
+  if (metric == "fault_events") return static_cast<double>(t.fault_events);
   if (metric == "stable_cost") {
     // Per-step cost level after convergence; when the CV detector does not
     // fire (common at reduced VM counts), fall back to the second-half

@@ -89,6 +89,10 @@ struct CellResult {
   /// Cell wall-clock (includes policy construction). Only timing-grade at
   /// --jobs 1; per-step exec_ms is always timed inside the cell.
   double wall_ms = 0.0;
+  /// Derived per-cell metrics a spec's post hook computes (convergence
+  /// step, stable cost level, ...). Serialized into results.json alongside
+  /// the totals when non-empty.
+  std::map<std::string, double> derived;
 };
 
 // ---------------------------------------------------------------------------

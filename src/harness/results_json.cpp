@@ -53,6 +53,11 @@ void append_totals(std::string& out, const SimulationTotals& t) {
   out += ",\"pdm\":" + jnum(t.pdm);
   out += ",\"slav\":" + jnum(t.slav);
   out += ",\"esv\":" + jnum(t.esv);
+  out += ",\"aborted_migrations\":" + strf("%lld", t.aborted_migrations);
+  out += ",\"rejected_down_host\":" + strf("%lld", t.rejected_down_host);
+  out += ",\"forced_evacuations\":" + strf("%lld", t.forced_evacuations);
+  out += ",\"stranded_vm_steps\":" + strf("%lld", t.stranded_vm_steps);
+  out += ",\"fault_events\":" + strf("%lld", t.fault_events);
   out += "}";
 }
 
@@ -113,6 +118,16 @@ std::string results_json_string(const BenchRunMetadata& metadata,
         out += "}";
       }
       out += ", \"wall_ms\": " + jnum(cell.wall_ms);
+      if (!cell.derived.empty()) {
+        out += ", \"derived\": {";
+        bool dfirst = true;
+        for (const auto& [name, value] : cell.derived) {
+          if (!dfirst) out += ", ";
+          dfirst = false;
+          out += jstr(name) + ": " + jnum(value);
+        }
+        out += "}";
+      }
       out += ", \"totals\": ";
       append_totals(out, cell.result.sim.totals);
       out += c + 1 < output.cells.size() ? "},\n" : "}\n";

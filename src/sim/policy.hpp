@@ -7,6 +7,7 @@
 // (the target host of each action).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -41,6 +42,28 @@ struct StepObservation {
   /// Fat-tree fabric when the simulation has one attached (else nullptr).
   /// Network-aware policies may prefer short migration paths.
   const FatTreeTopology* network = nullptr;
+  /// Fault view (chaos subsystem): one byte per host, nonzero = the host is
+  /// down this step. Empty when no fault plan is attached. Fault-aware
+  /// policies mask down hosts out of their target sets; migrations that
+  /// target a down host anyway are rejected by the engine (and reported via
+  /// observe_outcomes as kTargetDown).
+  std::span<const std::uint8_t> host_down;
+};
+
+/// What the engine did with one requested migration — fed back to the
+/// policy through observe_outcomes() in request order.
+enum class MigrationVerdict : std::uint8_t {
+  kApplied = 0,     // VM moved to the requested target
+  kRejected = 1,    // no-op, RAM misfit, or over the per-step cap
+  kTargetDown = 2,  // target host is down (chaos host failure)
+  kAborted = 3,     // migration aborted mid-copy (chaos); VM stayed on
+                    // source, copy cost was still charged
+};
+
+struct MigrationOutcome {
+  int vm = 0;
+  int target_host = 0;
+  MigrationVerdict verdict = MigrationVerdict::kApplied;
 };
 
 class MigrationPolicy {
@@ -75,6 +98,15 @@ class MigrationPolicy {
   /// Learning policies (Megh, MadVM, Q-learning) update here; heuristics
   /// ignore it.
   virtual void observe_cost(double step_cost) { (void)step_cost; }
+
+  /// Feedback: one verdict per action the last decide() requested, in
+  /// request order, delivered right after the engine applied them. Under a
+  /// fault plan the realized next state can differ from the intended one
+  /// (aborted migrations, down targets); recovery-aware policies correct
+  /// their learning signal and schedule retries here. Default: ignore.
+  virtual void observe_outcomes(std::span<const MigrationOutcome> outcomes) {
+    (void)outcomes;
+  }
 
   /// Optional introspection counters (e.g. Megh's Q-table nnz for Fig. 7),
   /// written into each StepSnapshot's flat stats table. Implementations

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
+#include "chaos/fault_injector.hpp"
 #include "common/stopwatch.hpp"
 #include "common/string_util.hpp"
 #include "metrics/running_stats.hpp"
@@ -37,6 +39,28 @@ std::vector<double> SimulationResult::series(const std::string& field) const {
       {"exec_ms", [](const StepSnapshot& s) { return s.exec_ms; }},
       {"mean_host_util",
        [](const StepSnapshot& s) { return s.mean_host_util; }},
+      {"aborted_migrations",
+       [](const StepSnapshot& s) {
+         return static_cast<double>(s.aborted_migrations);
+       }},
+      {"rejected_down_host",
+       [](const StepSnapshot& s) {
+         return static_cast<double>(s.rejected_down_host);
+       }},
+      {"forced_evacuations",
+       [](const StepSnapshot& s) {
+         return static_cast<double>(s.forced_evacuations);
+       }},
+      {"stranded_vms",
+       [](const StepSnapshot& s) {
+         return static_cast<double>(s.stranded_vms);
+       }},
+      {"hosts_down",
+       [](const StepSnapshot& s) { return static_cast<double>(s.hosts_down); }},
+      {"fault_events",
+       [](const StepSnapshot& s) {
+         return static_cast<double>(s.fault_events);
+       }},
   };
 
   std::vector<double> out;
@@ -57,6 +81,41 @@ std::vector<double> SimulationResult::series(const std::string& field) const {
   return out;
 }
 
+InvalidActionError::InvalidActionError(const std::string& policy, int step,
+                                       int vm, int target_host, int num_vms,
+                                       int num_hosts)
+    : Error(strf("policy '%s' returned an invalid action at step %d: "
+                 "vm=%d (valid 0..%d), target_host=%d (valid 0..%d)",
+                 policy.c_str(), step, vm, num_vms - 1, target_host,
+                 num_hosts - 1)),
+      policy_(policy),
+      step_(step),
+      vm_(vm),
+      target_host_(target_host) {}
+
+namespace {
+
+// Deterministic evacuation target for a VM on a failed host: the live host
+// with the most free RAM that fits it (ties broken by the lowest index), or
+// -1 when nothing fits (the VM stays stranded until its host recovers).
+int evacuation_target(const Datacenter& dc, const FaultInjector& chaos,
+                      int vm) {
+  int best = -1;
+  double best_free = -1.0;
+  for (int h = 0; h < dc.num_hosts(); ++h) {
+    if (chaos.host_down(h)) continue;
+    if (!dc.fits(vm, h)) continue;
+    const double free = dc.host_spec(h).ram_mb - dc.host_ram_used(h);
+    if (free > best_free) {
+      best_free = free;
+      best = h;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
 Simulation::Simulation(Datacenter dc, const TraceTable& trace,
                        SimulationConfig config)
     : dc_(std::move(dc)), trace_(trace), config_(config) {
@@ -70,6 +129,11 @@ Simulation::Simulation(Datacenter dc, const TraceTable& trace,
     MEGH_REQUIRE(config_.network->capacity() >= dc_.num_hosts(),
                  strf("fat-tree capacity %d < %d hosts",
                       config_.network->capacity(), dc_.num_hosts()));
+  }
+  if (config_.faults != nullptr && !config_.faults->zero()) {
+    MEGH_REQUIRE(config_.faults->num_hosts() == dc_.num_hosts(),
+                 strf("fault plan compiled for %d hosts but datacenter has %d",
+                      config_.faults->num_hosts(), dc_.num_hosts()));
   }
   for (int vm = 0; vm < dc_.num_vms(); ++vm) {
     MEGH_REQUIRE(dc_.host_of(vm) != kUnplaced,
@@ -86,6 +150,20 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
   SimulationResult result;
   result.steps.reserve(static_cast<std::size_t>(steps));
   SlaAccountant sla(dc_.num_vms(), config_.cost);
+
+  // Chaos layer: replay the fault plan (if any) through an injector. The
+  // plan was compiled up front from its own seed, so attaching one never
+  // perturbs the trace, policy or scenario RNG streams.
+  std::optional<FaultInjector> injector;
+  if (config_.faults != nullptr) {
+    if (!config_.faults->zero()) {
+      MEGH_REQUIRE(config_.faults->num_steps() >= steps,
+                   strf("fault plan covers %d steps but run asked for %d",
+                        config_.faults->num_steps(), steps));
+    }
+    injector.emplace(*config_.faults, dc_.num_hosts());
+  }
+  FaultInjector* chaos = injector.has_value() ? &*injector : nullptr;
 
   policy.begin(dc_, config_.cost, config_.interval_s);
 
@@ -104,6 +182,10 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
   host_util.reserve(static_cast<std::size_t>(dc_.num_hosts()));
   std::vector<MigrationAction> actions;
   actions.reserve(static_cast<std::size_t>(migration_cap));
+  std::vector<MigrationOutcome> outcomes;
+  outcomes.reserve(static_cast<std::size_t>(dc_.num_vms()));
+  std::vector<int> evac_vms;
+  evac_vms.reserve(static_cast<std::size_t>(dc_.num_vms()));
   RunningStats active_hosts_stats, exec_stats;
   // SLATAH bookkeeping (Beloglazov): per host, active time and time spent
   // above the overload threshold.
@@ -117,14 +199,46 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
   Counter& steps_counter = telemetry.counter("sim.steps");
   Counter& applied_counter = telemetry.counter("sim.migrations_applied");
   Counter& rejected_counter = telemetry.counter("sim.migrations_rejected");
+  Counter& fault_counter = telemetry.counter("chaos.fault_events");
+  Counter& abort_counter = telemetry.counter("chaos.migrations_aborted");
+  Counter& evac_counter = telemetry.counter("chaos.forced_evacuations");
+  Counter& stranded_counter = telemetry.counter("chaos.stranded_vm_steps");
 
   for (int step = 0; step < steps; ++step) {
+    if (chaos != nullptr) chaos->begin_step(step);
     {
-      // 1. New demands.
+      // 1. New demands. During a chaos trace gap the column read is skipped
+      // and demands freeze at the last observed values.
       MEGH_TRACE_SCOPE("sim.trace_read");
-      trace_.read_step(step, vm_util);
+      if (chaos == nullptr || !chaos->in_trace_gap()) {
+        trace_.read_step(step, vm_util);
+      }
       dc_.set_demands(vm_util);
       sla.begin_interval(config_.interval_s);
+    }
+
+    StepSnapshot snap;
+    snap.step = step;
+
+    // 1b. Forced evacuation off hosts that failed this step: deterministic
+    // greedy re-placement (most free RAM, ties to the lowest index). The
+    // crash-restart copy is hard downtime; VMs that fit nowhere stay
+    // stranded on the dead host and are charged at settle time.
+    if (chaos != nullptr && !chaos->failed_this_step().empty()) {
+      for (int down : chaos->failed_this_step()) {
+        evac_vms.assign(dc_.vms_on(down).begin(), dc_.vms_on(down).end());
+        for (int vm : evac_vms) {
+          const int target = evacuation_target(dc_, *chaos, vm);
+          if (target < 0) continue;
+          const bool moved = dc_.migrate(vm, target);
+          MEGH_ASSERT(moved, "evacuation target must fit");
+          ++snap.forced_evacuations;
+          const double bw =
+              dc_.host_spec(target).bw_mbps * chaos->bandwidth_factor();
+          sla.add_overload_downtime(
+              vm, migration_time_s(dc_.vm_spec(vm).ram_mb, bw));
+        }
+      }
     }
 
     // 2. Policy decision (timed).
@@ -138,6 +252,7 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
     obs.last_step_cost = last_step_cost;
     obs.cost = &config_.cost;
     obs.network = config_.network.get();
+    if (chaos != nullptr) obs.host_down = chaos->down_mask();
 
     Stopwatch watch;
     actions.clear();
@@ -146,36 +261,57 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
       policy.decide_into(obs, actions);
     }
     const double exec_ms = watch.elapsed_ms();
+    snap.exec_ms = exec_ms;
 
     // 3. Apply migrations.
-    StepSnapshot snap;
-    snap.step = step;
-    snap.exec_ms = exec_ms;
     {
     MEGH_TRACE_SCOPE("sim.migrate");
+    outcomes.clear();
+    int abort_ordinal = 0;
     for (const MigrationAction& a : actions) {
       if (a.vm < 0 || a.vm >= dc_.num_vms() || a.target_host < 0 ||
           a.target_host >= dc_.num_hosts()) {
-        ++snap.rejected_migrations;
+        throw InvalidActionError(policy.name(), step, a.vm, a.target_host,
+                                 dc_.num_vms(), dc_.num_hosts());
+      }
+      if (chaos != nullptr && chaos->host_down(a.target_host)) {
+        ++snap.rejected_down_host;
+        outcomes.push_back(
+            {a.vm, a.target_host, MigrationVerdict::kTargetDown});
         continue;
       }
-      if (snap.migrations >= migration_cap) {
+      if (snap.migrations + snap.aborted_migrations >= migration_cap) {
         ++snap.rejected_migrations;
+        outcomes.push_back({a.vm, a.target_host, MigrationVerdict::kRejected});
         continue;
       }
       const int source = dc_.host_of(a.vm);
-      if (!dc_.migrate(a.vm, a.target_host)) {
+      if (source == a.target_host || !dc_.fits(a.vm, a.target_host)) {
         ++snap.rejected_migrations;  // no-op or RAM misfit
+        outcomes.push_back({a.vm, a.target_host, MigrationVerdict::kRejected});
         continue;
       }
-      ++snap.migrations;
+      // Mid-copy abort draw: stateless in (plan seed, step, ordinal), so a
+      // replay sees the same verdicts regardless of scheduling.
+      const bool aborted =
+          chaos != nullptr && chaos->abort_migration(abort_ordinal++);
       double bw = dc_.host_spec(source).bw_mbps;
       if (config_.network != nullptr) {
         bw = config_.network->path_bandwidth_mbps(source, a.target_host);
-        switch (config_.network->hops(source, a.target_host)) {
-          case 2: ++snap.same_edge_migrations; break;
-          case 4: ++snap.same_pod_migrations; break;
-          default: ++snap.cross_pod_migrations; break;
+      }
+      if (chaos != nullptr) bw *= chaos->bandwidth_factor();
+      if (aborted) {
+        ++snap.aborted_migrations;
+      } else {
+        const bool moved = dc_.migrate(a.vm, a.target_host);
+        MEGH_ASSERT(moved, "pre-checked migration must apply");
+        ++snap.migrations;
+        if (config_.network != nullptr) {
+          switch (config_.network->hops(source, a.target_host)) {
+            case 2: ++snap.same_edge_migrations; break;
+            case 4: ++snap.same_pod_migrations; break;
+            default: ++snap.cross_pod_migrations; break;
+          }
         }
       }
       const double ram = dc_.vm_spec(a.vm).ram_mb;
@@ -187,21 +323,29 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
             config_.precopy);
         // Stop-and-copy is hard downtime (charged in full, bypassing the
         // degradation fraction); the copy rounds degrade service and go
-        // through add_migration_downtime's scaling.
-        sla.add_overload_downtime(a.vm, est.downtime_s);
+        // through add_migration_downtime's scaling. An aborted migration
+        // wastes the copy rounds but never reaches stop-and-copy.
+        if (!aborted) sla.add_overload_downtime(a.vm, est.downtime_s);
         sla.add_migration_downtime(a.vm, est.copy_s);
       } else {
         sla.add_migration_downtime(a.vm, migration_time_s(ram, bw));
       }
+      outcomes.push_back({a.vm, a.target_host,
+                          aborted ? MigrationVerdict::kAborted
+                                  : MigrationVerdict::kApplied});
     }
     }
+    policy.observe_outcomes(outcomes);
 
     {
     MEGH_TRACE_SCOPE("sim.settle");  // covers 4–6
 
-    // 4. Overload accounting on the post-migration allocation.
+    // 4. Overload accounting on the post-migration allocation. Down hosts
+    // are excluded here (no service means no overload, no active time) and
+    // settled separately below.
     RunningStats util_stats;
     for (int h = 0; h < dc_.num_hosts(); ++h) {
+      if (chaos != nullptr && chaos->host_down(h)) continue;
       if (!dc_.is_active(h)) continue;
       const double util = dc_.host_utilization(h);
       util_stats.add(std::min(1.0, util));
@@ -215,13 +359,42 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
         for (int vm : dc_.vms_on(h)) sla.add_overload_downtime(vm, downtime);
       }
     }
-    snap.active_hosts = dc_.active_host_count();
+    // 4b. Down hosts: stranded VMs (nowhere to evacuate to) receive zero
+    // service for the whole interval.
+    int down_active = 0;
+    if (chaos != nullptr && chaos->hosts_down() > 0) {
+      for (int h = 0; h < dc_.num_hosts(); ++h) {
+        if (!chaos->host_down(h) || !dc_.is_active(h)) continue;
+        ++down_active;
+        for (int vm : dc_.vms_on(h)) {
+          ++snap.stranded_vms;
+          sla.add_overload_downtime(vm, config_.interval_s);
+        }
+      }
+    }
+    snap.active_hosts = dc_.active_host_count() - down_active;
     snap.mean_host_util = util_stats.mean();
+    snap.hosts_down = chaos != nullptr ? chaos->hosts_down() : 0;
+    snap.fault_events =
+        (chaos != nullptr ? chaos->events_this_step() : 0) +
+        snap.aborted_migrations;
 
-    // 5. Costs.
-    total_watt_seconds += datacenter_power_watts(dc_) * config_.interval_s;
-    snap.energy_cost_usd =
-        interval_energy_cost_usd(dc_, config_.interval_s, config_.cost);
+    // 5. Costs. A down host draws no power: subtract exactly the term
+    // datacenter_power_watts added for it, so the fault-free total stays
+    // bit-identical to interval_energy_cost_usd.
+    double watts = datacenter_power_watts(dc_);
+    if (chaos != nullptr && chaos->hosts_down() > 0) {
+      for (int h = 0; h < dc_.num_hosts(); ++h) {
+        if (!chaos->host_down(h)) continue;
+        const PowerModel& power = dc_.host_spec(h).power;
+        watts -= dc_.is_active(h)
+                     ? power.watts(std::min(1.0, dc_.host_utilization(h)))
+                     : power.sleep_watts();
+      }
+    }
+    total_watt_seconds += watts * config_.interval_s;
+    snap.energy_cost_usd = energy_cost_usd(watts, config_.interval_s,
+                                           config_.cost);
     snap.sla_cost_usd = sla.settle_interval();
     snap.step_cost_usd = snap.energy_cost_usd + snap.sla_cost_usd;
     last_step_cost = snap.step_cost_usd;
@@ -234,11 +407,22 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
     result.totals.sla_cost_usd += snap.sla_cost_usd;
     result.totals.migrations += snap.migrations;
     result.totals.cross_pod_migrations += snap.cross_pod_migrations;
+    result.totals.aborted_migrations += snap.aborted_migrations;
+    result.totals.rejected_down_host += snap.rejected_down_host;
+    result.totals.forced_evacuations += snap.forced_evacuations;
+    result.totals.stranded_vm_steps += snap.stranded_vms;
+    result.totals.fault_events += snap.fault_events;
     active_hosts_stats.add(snap.active_hosts);
     exec_stats.add(exec_ms);
     steps_counter.add(1);
     applied_counter.add(snap.migrations);
     rejected_counter.add(snap.rejected_migrations);
+    if (chaos != nullptr) {
+      fault_counter.add(snap.fault_events);
+      abort_counter.add(snap.aborted_migrations);
+      evac_counter.add(snap.forced_evacuations);
+      stranded_counter.add(snap.stranded_vms);
+    }
     result.steps.push_back(snap);
     }
 

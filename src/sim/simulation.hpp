@@ -13,6 +13,7 @@
 
 #include <memory>
 
+#include "chaos/fault_plan.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/datacenter.hpp"
 #include "sim/migration_model.hpp"
@@ -43,6 +44,38 @@ struct SimulationConfig {
   /// the source host NIC, and snapshots count per-tier migrations. The
   /// topology must have capacity >= the datacenter's host count.
   std::shared_ptr<const FatTreeTopology> network;
+  /// Optional fault plan (chaos subsystem, src/chaos). When set, the step
+  /// loop replays the plan through a FaultInjector: migrations may abort
+  /// mid-copy (cost still charged, VM stays on source), hosts crash (their
+  /// VMs are force-evacuated to the live host with the most free RAM, or
+  /// stranded with zero service when nothing fits) and later recover, the
+  /// fabric bandwidth degrades for scheduled windows, and telemetry gaps
+  /// freeze demands at the last observed trace column. Down hosts draw no
+  /// power and accrue no overload/active time. A zero() plan is
+  /// decision-identical to running without one. The plan must be compiled
+  /// for this datacenter's host count and at least the steps run.
+  std::shared_ptr<const FaultPlan> faults;
+};
+
+/// Structured error thrown by Simulation::run when a policy returns an
+/// action naming a nonexistent VM or host — a policy programming bug
+/// surfaced with full context instead of being silently dropped (or
+/// tripping an opaque assert deeper in the datacenter).
+class InvalidActionError : public Error {
+ public:
+  InvalidActionError(const std::string& policy, int step, int vm,
+                     int target_host, int num_vms, int num_hosts);
+
+  const std::string& policy() const { return policy_; }
+  int step() const { return step_; }
+  int vm() const { return vm_; }
+  int target_host() const { return target_host_; }
+
+ private:
+  std::string policy_;
+  int step_;
+  int vm_;
+  int target_host_;
 };
 
 class Simulation {

@@ -25,6 +25,13 @@ struct StepSnapshot {
   int overloaded_hosts = 0;       // hosts above beta after migrations
   double mean_host_util = 0.0;    // over active hosts
   double exec_ms = 0.0;           // wall-clock time of policy.decide()
+  // --- chaos layer (all zero when no fault plan is attached) ---
+  int aborted_migrations = 0;     // requested, drawn as mid-copy aborts
+  int rejected_down_host = 0;     // requested against a down host
+  int forced_evacuations = 0;     // engine-driven moves off failed hosts
+  int stranded_vms = 0;           // VMs on a down host with nowhere to go
+  int hosts_down = 0;             // hosts down at settle time
+  int fault_events = 0;           // scheduled events applied + aborts drawn
   /// Flat interned-key policy counters (see sim/policy_stats.hpp).
   PolicyStats policy_stats;
 };
@@ -53,6 +60,12 @@ struct SimulationTotals {
   double energy_kwh = 0.0;
   long long migrations = 0;
   long long cross_pod_migrations = 0;
+  // --- chaos layer (all zero when no fault plan is attached) ---
+  long long aborted_migrations = 0;
+  long long rejected_down_host = 0;
+  long long forced_evacuations = 0;
+  long long stranded_vm_steps = 0;  // Σ per-step stranded VM counts
+  long long fault_events = 0;
   double mean_active_hosts = 0.0;
   double mean_exec_ms = 0.0;
   double max_exec_ms = 0.0;

@@ -22,10 +22,12 @@ class ChaosPolicy : public MigrationPolicy {
   std::vector<MigrationAction> decide(const StepObservation& obs) override {
     std::vector<MigrationAction> out;
     for (int i = 0; i < burst_; ++i) {
-      // Includes out-of-range indices on purpose.
+      // In-range but freely infeasible (no-ops, RAM misfits, over-cap).
+      // Out-of-range indices are a structured error now — covered by
+      // OutOfRangeActionThrowsStructuredError in tests/sim.
       out.push_back(MigrationAction{
-          static_cast<int>(rng_.uniform_int(-2, obs.dc->num_vms() + 1)),
-          static_cast<int>(rng_.uniform_int(-2, obs.dc->num_hosts() + 1))});
+          static_cast<int>(rng_.uniform_int(0, obs.dc->num_vms() - 1)),
+          static_cast<int>(rng_.uniform_int(0, obs.dc->num_hosts() - 1))});
     }
     return out;
   }

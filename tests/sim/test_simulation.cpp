@@ -89,18 +89,44 @@ TEST(SimulationTest, ScriptedMigrationIsAppliedAndCharged) {
   EXPECT_EQ(r.totals.migrations, 1);
 }
 
-TEST(SimulationTest, InvalidActionsRejectedNotFatal) {
+TEST(SimulationTest, InfeasibleActionsRejectedNotFatal) {
+  // In-range but infeasible actions (no-ops, RAM misfits) are counted as
+  // rejections, not errors.
   Fixture f = Fixture::make(2, 2, 3, 0.2);
   Simulation sim(std::move(f.dc), f.trace, SimulationConfig{});
   ScriptedPolicy policy;
   policy.script_[0] = {
-      MigrationAction{-1, 0},   // bad vm
-      MigrationAction{0, 99},   // bad host
       MigrationAction{0, 0},    // no-op (vm 0 already on host 0)
+      MigrationAction{1, 1},    // no-op (vm 1 already on host 1)
   };
   const SimulationResult r = sim.run(policy);
   EXPECT_EQ(r.steps[0].migrations, 0);
-  EXPECT_EQ(r.steps[0].rejected_migrations, 3);
+  EXPECT_EQ(r.steps[0].rejected_migrations, 2);
+}
+
+TEST(SimulationTest, OutOfRangeActionThrowsStructuredError) {
+  // A nonexistent VM or host index is a policy programming bug: the engine
+  // surfaces it as InvalidActionError with full context, not an assert.
+  for (const MigrationAction bad : {MigrationAction{-1, 0},   // bad vm
+                                    MigrationAction{5, 0},    // bad vm
+                                    MigrationAction{0, -2},   // bad host
+                                    MigrationAction{0, 99}})  // bad host
+  {
+    Fixture f = Fixture::make(2, 2, 3, 0.2);
+    Simulation sim(std::move(f.dc), f.trace, SimulationConfig{});
+    ScriptedPolicy policy;
+    policy.script_[1] = {bad};
+    try {
+      sim.run(policy);
+      FAIL() << "expected InvalidActionError";
+    } catch (const InvalidActionError& e) {
+      EXPECT_EQ(e.policy(), "Scripted");
+      EXPECT_EQ(e.step(), 1);
+      EXPECT_EQ(e.vm(), bad.vm);
+      EXPECT_EQ(e.target_host(), bad.target_host);
+      EXPECT_NE(std::string(e.what()).find("Scripted"), std::string::npos);
+    }
+  }
 }
 
 TEST(SimulationTest, MigrationCapEnforced) {
