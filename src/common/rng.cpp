@@ -5,7 +5,9 @@
 namespace megh {
 
 double Rng::log_uniform(double lo, double hi) {
-  MEGH_ASSERT(lo > 0.0 && hi >= lo, "log_uniform requires 0 < lo <= hi");
+  // User-facing domain check like weighted_index: a Release caller passing
+  // lo <= 0 must get a ConfigError, not a silent NaN from log(lo).
+  MEGH_REQUIRE(lo > 0.0 && hi >= lo, "log_uniform requires 0 < lo <= hi");
   const double u = uniform(std::log(lo), std::log(hi));
   return std::exp(u);
 }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "linalg/simd/simd.hpp"
 
 namespace megh {
 
@@ -24,16 +25,12 @@ std::vector<double> BoltzmannSelector::weights(
 void BoltzmannSelector::weights(std::span<const double> q_values,
                                 std::vector<double>& out) const {
   MEGH_ASSERT(!q_values.empty(), "Boltzmann weights need at least one action");
-  out.clear();
-  out.reserve(q_values.size());
   // Non-finite Q-values (a diverged critic, an uninitialized slot) get
   // weight 0 — unselectable — instead of poisoning every weight with NaN:
   // exp(-(NaN - min)) or a NaN min_q would otherwise spread through the
   // whole draw. The min is therefore taken over finite entries only.
-  double min_q = std::numeric_limits<double>::infinity();
-  for (double q : q_values) {
-    if (std::isfinite(q) && q < min_q) min_q = q;
-  }
+  const simd::Ops& ops = simd::ops();
+  const double min_q = ops.min_finite(q_values.data(), q_values.size());
   if (!std::isfinite(min_q)) {  // no finite Q at all
     out.assign(q_values.size(), 0.0);
     return;
@@ -42,9 +39,8 @@ void BoltzmannSelector::weights(std::span<const double> q_values,
   // weights lie in [0, 1]; a tiny temp simply drives non-minimal weights
   // to 0 (greedy behaviour), which is the intended limit.
   const double temp = std::max(temp_, 1e-12);
-  for (double q : q_values) {
-    out.push_back(std::isfinite(q) ? std::exp(-(q - min_q) / temp) : 0.0);
-  }
+  out.resize(q_values.size());
+  ops.exp_weights(q_values.data(), q_values.size(), min_q, temp, out.data());
 }
 
 std::size_t BoltzmannSelector::sample(std::span<const double> q_values,

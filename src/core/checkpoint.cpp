@@ -31,6 +31,11 @@ SparseVector read_vector(std::istream& in, const char* tag,
                   "' in " + context);
   }
   SparseVector v(dim);
+  v.reserve(nnz);
+  // The writer emits entries in strictly ascending index order; demand the
+  // same on the way in. Accepting duplicates or unsorted lines would let a
+  // corrupted file silently overwrite earlier entries via set().
+  std::int64_t prev = -1;
   for (std::size_t k = 0; k < nnz; ++k) {
     std::int64_t i = 0;
     double value = 0.0;
@@ -40,7 +45,13 @@ SparseVector read_vector(std::istream& in, const char* tag,
     }
     MEGH_REQUIRE(i >= 0 && i < dim,
                  "checkpoint: index out of range in " + context);
-    v.set(i, value);
+    if (i <= prev) {
+      throw IoError("checkpoint: duplicate or unsorted index " +
+                    std::to_string(i) + " in section '" + std::string(tag) +
+                    "' in " + context);
+    }
+    prev = i;
+    v.push_back(i, value);
   }
   return v;
 }
@@ -121,6 +132,10 @@ LspiLearner load_learner(const std::filesystem::path& path, double delta,
     throw IoError("checkpoint: malformed Boffdiag section in " +
                   path.string());
   }
+  // Triplets come out of the writer row-major with ascending columns, i.e.
+  // strictly lexicographically ascending (r, c); demand that order so a
+  // corrupted file cannot silently overwrite an earlier entry.
+  std::int64_t prev_r = -1, prev_c = -1;
   for (std::size_t k = 0; k < offdiag; ++k) {
     std::int64_t r = 0, c = 0;
     double value = 0.0;
@@ -129,7 +144,37 @@ LspiLearner load_learner(const std::filesystem::path& path, double delta,
     }
     MEGH_REQUIRE(r >= 0 && r < dim && c >= 0 && c < dim,
                  "checkpoint: B index out of range");
+    if (r == c) {
+      throw IoError("checkpoint: diagonal entry (" + std::to_string(r) +
+                    ", " + std::to_string(c) + ") in Boffdiag section in " +
+                    path.string());
+    }
+    if (r < prev_r || (r == prev_r && c <= prev_c)) {
+      throw IoError("checkpoint: duplicate or unsorted Boffdiag entry (" +
+                    std::to_string(r) + ", " + std::to_string(c) + ") in " +
+                    path.string());
+    }
+    prev_r = r;
+    prev_c = c;
     B.set(r, c, value);
+  }
+
+  // Everything after the Boffdiag section must be either end-of-file or the
+  // single trailing "policy" line save_megh_policy appends. Anything else is
+  // a sign the counts above were corrupted (a short nnz silently drops
+  // learned state) or the file was concatenated/damaged.
+  std::string tail;
+  if (in >> tail) {
+    if (tail != "policy") {
+      throw IoError("checkpoint: trailing data '" + tail +
+                    "' after Boffdiag section in " + path.string());
+    }
+    std::string policy_rest;
+    std::getline(in, policy_rest);
+    if (in >> tail) {
+      throw IoError("checkpoint: trailing data '" + tail +
+                    "' after policy line in " + path.string());
+    }
   }
 
   LspiLearner learner(dim, gamma, delta, max_update_support);

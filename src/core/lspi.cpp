@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/prefetch.hpp"
+#include "linalg/simd/simd.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace megh {
@@ -15,6 +16,13 @@ LspiLearner::LspiLearner(std::int64_t dim, double gamma, double delta,
     : dim_(dim),
       gamma_(gamma),
       max_update_support_(max_update_support),
+      fast_path_ok_(max_update_support == 0 || max_update_support >= 2),
+      rank1_counter_(&Telemetry::instance().counter("lspi.rank1_updates")),
+      singular_counter_(
+          &Telemetry::instance().counter("lspi.singular_skips")),
+      truncation_counter_(
+          &Telemetry::instance().counter("lspi.truncations")),
+      fill_gauge_(&Telemetry::instance().gauge("lspi.b_offdiag_nnz")),
       u_scratch_(dim > 0 ? dim : 0),
       w_scratch_(dim > 0 ? dim : 0),
       row_b_scratch_(dim > 0 ? dim : 0) {
@@ -40,8 +48,24 @@ void LspiLearner::theta_axpy(double coef, const SparseVector& sparse) {
   if (coef == 0.0) return;
   const std::span<const std::int64_t> idx = sparse.indices();
   const std::span<const double> val = sparse.values();
-  for (std::size_t k = 0; k < idx.size(); ++k) {
-    slot_add(slot(idx[k]).theta, theta_nnz_, coef * val[k]);
+  // The kernel applies the run of already-materialized slots (its vector
+  // variants gather the map entries four/eight at a time so the random
+  // misses overlap) and stops at the first virgin slot, which only this
+  // class can materialize; re-enter after each materialization. Updates
+  // land in index order either way — bit-identical to the plain loop.
+  const simd::Ops& ops = simd::ops();
+  std::size_t k = 0;
+  while (k < idx.size()) {
+    const simd::SlotAxpyResult r = ops.slot_theta_axpy(
+        idx.data() + k, val.data() + k, idx.size() - k, coef,
+        slot_of_.data(), reinterpret_cast<double*>(slots_.data()));
+    theta_nnz_ = static_cast<std::size_t>(
+        static_cast<std::int64_t>(theta_nnz_) + r.nnz_delta);
+    k += r.processed;
+    if (k < idx.size()) {
+      slot_add(slot(idx[k]).theta, theta_nnz_, coef * val[k]);
+      ++k;
+    }
   }
 }
 
@@ -128,15 +152,6 @@ void LspiLearner::truncate_support(SparseVector& v, std::int64_t keep1,
 
 bool LspiLearner::update_fused(std::int64_t a, double cost, std::int64_t b,
                                const SparseVector& row_b) {
-  // Registered once; afterwards each increment is a relaxed atomic add.
-  static Counter& rank1_counter =
-      Telemetry::instance().counter("lspi.rank1_updates");
-  static Counter& singular_counter =
-      Telemetry::instance().counter("lspi.singular_skips");
-  static Counter& truncation_counter =
-      Telemetry::instance().counter("lspi.truncations");
-  static Gauge& fill_gauge =
-      Telemetry::instance().gauge("lspi.b_offdiag_nnz");
   ++updates_;
 
   // Kick off the kernel's independent random loads together: the slot-map
@@ -147,6 +162,17 @@ bool LspiLearner::update_fused(std::int64_t a, double cost, std::int64_t b,
   if (b != a) MEGH_PREFETCH(slot_of_.data() + b);
   B_.prefetch_unit_update(a, b);
 
+  // Steady state: with the paper's δ = d initialization the rank-1
+  // off-diagonal products sit below the zero tolerance and B stays
+  // diagonal, so u and w have at most 1 and 2 entries and the whole
+  // update reduces to a handful of scalar ops (update_fused_diagonal).
+  double diag_a = 0.0;
+  if (fast_path_ok_ && !force_general_ && row_b.nnz() <= 1 &&
+      B_.diagonal_only(a, &diag_a) &&
+      std::abs(diag_a) >= SparseVector::kZeroTolerance) {
+    return update_fused_diagonal(a, cost, b, row_b, diag_a);
+  }
+
   // u = B e_a (column a), w = (e_a − γ e_b)ᵀ B (row a minus γ·row b) —
   // both extracted into flat sorted scratch, merged in place.
   B_.col_into(a, u_scratch_);
@@ -155,7 +181,7 @@ bool LspiLearner::update_fused(std::int64_t a, double cost, std::int64_t b,
   const long long truncations_before = truncations_;
   truncate_support(u_scratch_, a, b);
   truncate_support(w_scratch_, a, b);
-  truncation_counter.add(truncations_ - truncations_before);
+  truncation_counter_->add(truncations_ - truncations_before);
 
   // Denominator: 1 + (e_a − γ e_b)ᵀ B e_a = 1 + u[a] − γ u[b].
   const double denom = 1.0 + u_scratch_.get(a) - gamma_ * u_scratch_.get(b);
@@ -166,28 +192,103 @@ bool LspiLearner::update_fused(std::int64_t a, double cost, std::int64_t b,
   if (std::abs(denom) < 1e-12) {
     // Singular update: keep B as-is (θ' = B z' = θ + C·u).
     ++singular_skips_;
-    singular_counter.add(1);
+    singular_counter_->add(1);
     theta_axpy(cost, u_scratch_);
     return false;
   }
   // w·z streams w's sorted support against the accumulator slots (virgin
-  // map entries read as zero without materializing).
-  double wz = 0.0;
-  {
-    const std::span<const std::int64_t> widx = w_scratch_.indices();
-    const std::span<const double> wval = w_scratch_.values();
-    for (std::size_t k = 0; k < widx.size(); ++k) {
-      wz += wval[k] * slot_z(widx[k]);
-    }
-  }
+  // map entries read as zero without materializing); the vector variants
+  // gather the map entries and z payloads in parallel.
+  const double wz = simd::ops().slot_gather_dot(
+      w_scratch_.indices().data(), w_scratch_.values().data(),
+      w_scratch_.nnz(), slot_of_.data(),
+      reinterpret_cast<const double*>(slots_.data()));
   theta_axpy(cost - wz / denom, u_scratch_);
 
   // B ← B − u wᵀ / denom. The rank-1 touches exactly the rows in supp(u);
   // the caller's cached row b stays valid unless u[b] ≠ 0.
   const bool touches_row_b = u_scratch_.get(b) != 0.0;
   B_.rank1_update(u_scratch_, w_scratch_, -1.0 / denom);
-  rank1_counter.add(1);
-  fill_gauge.set(static_cast<double>(B_.offdiag_nnz()));
+  rank1_counter_->add(1);
+  fill_gauge_->set(static_cast<double>(B_.offdiag_nnz()));
+  return touches_row_b;
+}
+
+bool LspiLearner::update_fused_diagonal(std::int64_t a, double cost,
+                                        std::int64_t b,
+                                        const SparseVector& row_b,
+                                        double diag_a) {
+  // Every expression below keeps the exact shape of the operation the
+  // general path would perform on the same state, so the two paths are
+  // bit-identical (the forced-general equivalence test pins this down).
+  //
+  // u = B e_a = {a: diag_a} (col a is diagonal-only). No truncation:
+  // supports 1 and 2 are within every max_update_support this path
+  // accepts (fast_path_ok_).
+  //
+  // w = row(a) − γ·row(b) = {a: diag_a} axpy'd with row_b's single entry;
+  // mirror SparseVector::axpy's merge: an index collision sums in place
+  // (kept at |·| >= tolerance), a disjoint entry lands scaled and is
+  // pruned when |−γ| < 1 leaves it below tolerance (γ < 1 always here).
+  SparseMatrix::Entry w[2];
+  std::size_t wn = 0;
+  std::int64_t ib = 0;
+  double vb = 0.0;
+  bool have_b = false;
+  if (gamma_ != 0.0 && row_b.nnz() == 1) {
+    ib = row_b.indices()[0];
+    vb = row_b.values()[0];
+    have_b = true;
+  }
+  if (have_b && ib == a) {
+    const double nv = diag_a + -gamma_ * vb;
+    if (std::abs(nv) >= SparseVector::kZeroTolerance) {
+      w[wn++] = SparseMatrix::Entry{a, nv};
+    }
+  } else {
+    if (have_b) {
+      const double nv = -gamma_ * vb;
+      if (std::abs(nv) >= SparseVector::kZeroTolerance) {
+        vb = nv;
+      } else {
+        have_b = false;
+      }
+    }
+    if (have_b && ib < a) w[wn++] = SparseMatrix::Entry{ib, vb};
+    w[wn++] = SparseMatrix::Entry{a, diag_a};
+    if (have_b && ib > a) w[wn++] = SparseMatrix::Entry{ib, vb};
+  }
+
+  // Denominator: 1 + u[a] − γ u[b] with u = {a: diag_a}.
+  const double u_b = b == a ? diag_a : 0.0;
+  const double denom = 1.0 + diag_a - gamma_ * u_b;
+
+  slot_add(slot(a).z, z_nnz_, cost);
+  if (std::abs(denom) < 1e-12) {
+    // Singular update: keep B as-is (θ' = B z' = θ + C·u); θ axpy over
+    // u's single entry, skipped entirely at zero coefficient exactly like
+    // theta_axpy.
+    ++singular_skips_;
+    singular_counter_->add(1);
+    if (cost != 0.0) slot_add(slot(a).theta, theta_nnz_, cost * diag_a);
+    return false;
+  }
+
+  // w·z in ascending index order — the slot_gather_dot contract.
+  double wz = 0.0;
+  for (std::size_t k = 0; k < wn; ++k) {
+    const std::int32_t s = slot_of_[static_cast<std::size_t>(w[k].col)];
+    const double z = s != 0 ? slots_[static_cast<std::size_t>(s - 1)].z : 0.0;
+    wz += w[k].val * z;
+  }
+  const double coef = cost - wz / denom;
+  if (coef != 0.0) slot_add(slot(a).theta, theta_nnz_, coef * diag_a);
+
+  const bool touches_row_b = b == a;  // u.get(b) != 0, |diag_a| >= tol
+  B_.unit_rank1_diagonal(a, diag_a, std::span<const SparseMatrix::Entry>(w, wn),
+                         -1.0 / denom);
+  rank1_counter_->add(1);
+  fill_gauge_->set(static_cast<double>(B_.offdiag_nnz()));
   return touches_row_b;
 }
 
@@ -196,33 +297,59 @@ void LspiLearner::update(std::int64_t a, double cost, std::int64_t b) {
   update_batch(std::span<const std::int64_t>(actions, 1), cost, b);
 }
 
+void LspiLearner::q_values(std::span<const std::int64_t> actions,
+                           std::span<double> out) const {
+  MEGH_ASSERT(actions.size() == out.size(),
+              "q_values: output span size mismatch");
+  for (const std::int64_t a : actions) {
+    MEGH_ASSERT(a >= 0 && a < dim_, "q_values: action index out of range");
+  }
+  simd::ops().slot_gather(actions.data(), actions.size(), slot_of_.data(),
+                          reinterpret_cast<const double*>(slots_.data()),
+                          out.data());
+}
+
 void LspiLearner::update_batch(std::span<const std::int64_t> actions,
                                double cost, std::int64_t b) {
   if (actions.empty()) return;
   MEGH_ASSERT(b >= 0 && b < dim_,
               "LSPI update: next-action index out of range");
   MEGH_TRACE_SCOPE("lspi.update");
-  // Issue the first transition's prefetches before extracting row b, so
-  // the b-row map miss overlaps with the a-side misses instead of
-  // serializing ahead of them.
-  MEGH_PREFETCH(slot_of_.data() + actions[0]);
-  if (b != actions[0]) MEGH_PREFETCH(slot_of_.data() + b);
-  B_.prefetch_unit_update(actions[0], b);
+  // Stage A: kick off every batch action's slot-map loads (plus b's) up
+  // front — the maps are the only d-sized arrays, their entries are
+  // independent random misses, and the batch is small (budget-bounded),
+  // so all of them can be in flight together.
+  MEGH_PREFETCH(slot_of_.data() + b);
+  B_.prefetch_unit_update(b, b);
+  for (std::size_t k = 0; k < actions.size(); ++k) {
+    MEGH_ASSERT(actions[k] >= 0 && actions[k] < dim_,
+                "LSPI update: action index out of range");
+    MEGH_PREFETCH(slot_of_.data() + actions[k]);
+    B_.prefetch_unit_update(actions[k], actions[k]);
+  }
+  // Stage B: by the time the prefetch loop above has issued everything,
+  // the first map entries have arrived; resolve each one and start the
+  // dependent payload loads (B row header, z/θ slot pair) behind it. The
+  // first resolve stalls on its map load, but every payload line is then
+  // in flight together — two overlapped latency rounds for the whole
+  // batch instead of a serial map→payload chain per action. (These are
+  // hints: if an update later grows the payload arrays, the stale lines
+  // are simply unused.)
+  B_.prefetch_row_payload(b);
+  prefetch_slot_payload(b);
+  for (std::size_t k = 0; k < actions.size(); ++k) {
+    B_.prefetch_row_payload(actions[k]);
+    prefetch_slot_payload(actions[k]);
+  }
   bool row_b_valid = false;
   for (std::size_t k = 0; k < actions.size(); ++k) {
-    const std::int64_t a = actions[k];
-    MEGH_ASSERT(a >= 0 && a < dim_, "LSPI update: action index out of range");
-    if (k + 1 < actions.size()) {
-      // Software-pipeline the batch: start the next action's random loads
-      // while this one computes.
-      MEGH_PREFETCH(slot_of_.data() + actions[k + 1]);
-      B_.prefetch_unit_update(actions[k + 1], b);
-    }
     if (!row_b_valid) {
       B_.row_into(b, row_b_scratch_);
       row_b_valid = true;
     }
-    if (update_fused(a, cost, b, row_b_scratch_)) row_b_valid = false;
+    if (update_fused(actions[k], cost, b, row_b_scratch_)) {
+      row_b_valid = false;
+    }
   }
 }
 
@@ -246,9 +373,10 @@ void LspiLearner::restore(SparseMatrix b, SparseVector z,
     slot(i).theta = value;
     if (value != 0.0) ++theta_nnz_;
   }
-  updates_ = 0;
-  singular_skips_ = 0;
-  truncations_ = 0;
+  // Counters deliberately survive: restore() is also the burst-rollback and
+  // checkpoint-resume path, and zeroing them there silently reset
+  // MeghPolicy::stats() and the lspi.* telemetry mid-run. Lifetime
+  // diagnostics reset only with the learner itself (constructor).
 }
 
 }  // namespace megh

@@ -43,10 +43,14 @@
 #include <vector>
 
 #include "common/huge_alloc.hpp"
+#include "common/prefetch.hpp"
 #include "linalg/sparse_matrix.hpp"
 #include "linalg/sparse_vector.hpp"
 
 namespace megh {
+
+class Counter;
+class Gauge;
 
 class LspiLearner {
  public:
@@ -79,6 +83,12 @@ class LspiLearner {
     return s != 0 ? slots_[static_cast<std::size_t>(s - 1)].theta : 0.0;
   }
 
+  /// Batched Q lookup: out[k] = q_value(actions[k]). One gather kernel
+  /// call, so the per-candidate slot-map misses overlap instead of
+  /// serializing — the policy scores its whole candidate set this way.
+  void q_values(std::span<const std::int64_t> actions,
+                std::span<double> out) const;
+
   std::int64_t dim() const { return dim_; }
   double gamma() const { return gamma_; }
 
@@ -95,8 +105,11 @@ class LspiLearner {
   const SparseMatrix& B() const { return B_; }
   SparseVector z() const;
 
-  /// Replace the learned state wholesale (checkpoint restore). Shapes must
-  /// match dim(); counters are reset (they are diagnostics, not state).
+  /// Replace the learned state wholesale (checkpoint restore, burst
+  /// rollback). Shapes must match dim(). The lifetime counters
+  /// (updates/singular_skips/truncations) are preserved — they describe
+  /// this learner's history, not the restored model — so stats() and the
+  /// lspi.* telemetry stay monotone across rollback/resume.
   void restore(SparseMatrix b, SparseVector z, SparseVector theta);
 
   /// Number of update() calls (diagnostics/tests).
@@ -105,6 +118,12 @@ class LspiLearner {
   long long singular_skips() const { return singular_skips_; }
   /// Sherman–Morrison factors clipped to max_update_support entries.
   long long truncations() const { return truncations_; }
+
+  /// Test hook: route every update through the general merge kernel even
+  /// when the diagonal fast path applies. The equivalence property test
+  /// drives a forced-general twin against a normal learner and compares
+  /// the learned state bit for bit.
+  void force_general_path_for_tests(bool force) { force_general_ = force; }
 
  private:
   void truncate_support(SparseVector& v, std::int64_t keep1,
@@ -116,12 +135,25 @@ class LspiLearner {
   bool update_fused(std::int64_t a, double cost, std::int64_t b,
                     const SparseVector& row_b);
 
+  /// Steady-state body: row/col a is diagonal-only in B (diag_a, with
+  /// |diag_a| >= tolerance) and row_b has at most one entry, so
+  /// u = {a: diag_a} and w has at most two entries. Performs the same
+  /// arithmetic as update_fused's general path in the same order —
+  /// bit-identical by construction (enforced by the forced-general
+  /// equivalence test) — without the scratch-vector merge machinery.
+  bool update_fused_diagonal(std::int64_t a, double cost, std::int64_t b,
+                             const SparseVector& row_b, double diag_a);
+
   /// One accumulator slot: z[i] and θ[i] share a cache line because the
   /// update kernel touches both at the same action index.
   struct Slot {
     double z = 0.0;
     double theta = 0.0;
   };
+  // The SIMD slot kernels address this as interleaved doubles: z at
+  // slots[2s], θ at slots[2s + 1].
+  static_assert(sizeof(Slot) == 2 * sizeof(double),
+                "Slot must stay two packed doubles for the gather kernels");
 
   /// Materialize-on-write slot lookup. May grow the compact slot array —
   /// callers must not hold slot references across a touch of a different
@@ -142,6 +174,13 @@ class LspiLearner {
     return s != 0 ? slots_[static_cast<std::size_t>(s - 1)].z : 0.0;
   }
 
+  /// Second pipeline stage (see SparseMatrix::prefetch_row_payload): once
+  /// i's map entry has arrived, start the z/θ slot load behind it.
+  void prefetch_slot_payload(std::int64_t i) const {
+    const std::int32_t s = slot_of_[static_cast<std::size_t>(i)];
+    if (s != 0) MEGH_PREFETCH(&slots_[static_cast<std::size_t>(s - 1)]);
+  }
+
   /// slot += v with pruning to exact zero below tolerance and incremental
   /// nnz maintenance — the dense twin of SparseVector::add.
   static void slot_add(double& slot, std::size_t& nnz, double v);
@@ -152,6 +191,18 @@ class LspiLearner {
   std::int64_t dim_;
   double gamma_;
   int max_update_support_;
+  // True when the diagonal fast path may run: factors of support 1 and 2
+  // must be exempt from truncation (and its counter), which holds for
+  // max_update_support 0 (exact) or >= 2.
+  bool fast_path_ok_;
+  bool force_general_ = false;
+  // Cached telemetry handles (registered at construction; the registry
+  // never destroys them) — spares the hot path the function-local-static
+  // guard loads.
+  Counter* rank1_counter_;
+  Counter* singular_counter_;
+  Counter* truncation_counter_;
+  Gauge* fill_gauge_;
   SparseMatrix B_;
   // Interleaved z/θ accumulators with exact-zero pruning; *_nnz_ counts
   // entries with magnitude >= SparseVector::kZeroTolerance. Stored like
@@ -161,7 +212,11 @@ class LspiLearner {
   // slots fit in cache while the untouched map reads off the kernel's
   // shared zero page.
   ZeroLazyBuffer<std::int32_t> slot_of_;
-  std::vector<Slot> slots_;                // compact, touch order
+  // Huge-page backed: the slot array outgrows L2 on long runs and the
+  // kernel's accesses into it are random, so 4 KiB pages would add a
+  // nested page walk to every slot load (and drop the software
+  // prefetches whose translation misses — see huge_alloc.hpp).
+  std::vector<Slot, HugePageAllocator<Slot>> slots_;  // compact, touch order
   std::vector<std::int64_t> index_of_slot_;  // slot → action index
   std::size_t z_nnz_ = 0;
   std::size_t theta_nnz_ = 0;

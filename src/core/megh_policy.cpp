@@ -116,11 +116,17 @@ void MeghPolicy::decide_into(const StepObservation& obs,
       scratch_.candidates.candidates;
   MEGH_ASSERT(!candidates.empty(), "candidate set must never be empty");
   std::vector<double>& q = scratch_.q;
-  q.clear();
+  std::vector<std::int64_t>& q_idx = scratch_.q_idx;
   q.reserve(candidates.capacity());  // worst-case once; no later regrowth
+  q_idx.clear();
+  q_idx.reserve(candidates.capacity());
   for (const CandidateAction& c : candidates) {
-    q.push_back(learner_->q_value(c.index));
+    q_idx.push_back(c.index);
   }
+  // One batched gather scores the whole candidate set; the per-candidate
+  // slot-map misses overlap instead of serializing.
+  q.resize(candidates.size());
+  learner_->q_values(q_idx, q);
 
   // 2. Close the previous step's transitions: φ_b = the greedy action under
   //    the current policy at the state we have just arrived in.
@@ -143,9 +149,7 @@ void MeghPolicy::decide_into(const StepObservation& obs,
     // extracts B.row(b) once instead of once per action.
     learner_->update_batch(pending_actions_, share, b);
     // θ changed; refresh the candidates' Q-values before acting on them.
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      q[i] = learner_->q_value(candidates[i].index);
-    }
+    learner_->q_values(q_idx, q);
   }
   pending_actions_.clear();
   has_pending_cost_ = false;

@@ -136,6 +136,9 @@ class MeghPolicy : public MigrationPolicy {
   struct DecideScratch {
     CandidateScratch candidates;
     std::vector<double> q;
+    /// Candidate action indices, contiguous for the batched q_values
+    /// gather (the candidate structs themselves are AoS).
+    std::vector<std::int64_t> q_idx;
     std::vector<double> weights;
     /// vm → indices into the candidate set; only entries listed in
     /// `touched_vms` are dirty and cleared lazily at the next step.

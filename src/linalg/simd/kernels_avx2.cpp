@@ -1,0 +1,318 @@
+// AVX2 + FMA kernels. Compiled with -mavx2 -mfma (per-file CMake flags);
+// when the compiler lacks those flags this TU degrades to a nullptr
+// getter and dispatch falls back to scalar.
+//
+// Design note: these kernels win by memory-level parallelism, not ALU
+// width. The learner's hot loops make a few dependent random loads per
+// element (slot map entry, then the payload behind it); a vector gather
+// issues four of those loads at once. Accumulation stays in scalar order
+// (lanes are reduced left to right), so every kernel here except
+// exp_weights is bit-identical to the scalar table.
+#include "linalg/simd/simd.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "linalg/simd/kernels_common.hpp"
+
+namespace megh::simd {
+
+namespace {
+
+void scale_copy_avx2(double* y, const double* x, std::size_t n, double s) {
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    _mm256_storeu_pd(y + k, _mm256_mul_pd(vs, _mm256_loadu_pd(x + k)));
+  }
+  for (; k < n; ++k) y[k] = s * x[k];
+}
+
+void scale_inplace_avx2(double* x, std::size_t n, double s) {
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    _mm256_storeu_pd(x + k, _mm256_mul_pd(vs, _mm256_loadu_pd(x + k)));
+  }
+  for (; k < n; ++k) x[k] *= s;
+}
+
+/// Leading-run count via 4-wide compare + movemask. `keys` ascending, so
+/// lanes < bound form a prefix of the mask.
+std::size_t count_lt_avx2(const std::int64_t* keys, std::size_t n,
+                          std::int64_t bound) {
+  const __m256i vb = _mm256_set1_epi64x(bound);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256i vk =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + k));
+    const int m = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpgt_epi64(vb, vk)));
+    if (m != 0xF) {
+      return k + static_cast<std::size_t>(__builtin_ctz(~m & 0x1F));
+    }
+  }
+  while (k < n && keys[k] < bound) ++k;
+  return k;
+}
+
+std::size_t count_lt_stride2_avx2(const std::int64_t* keys, std::size_t n,
+                                  std::int64_t bound) {
+  const __m256i vb = _mm256_set1_epi64x(bound);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    // Entry {col, val} rows: cols sit every other int64. Four strided
+    // scalar loads pack cheaper than a gather here.
+    const __m256i vk = _mm256_set_epi64x(keys[2 * (k + 3)], keys[2 * (k + 2)],
+                                         keys[2 * (k + 1)], keys[2 * k]);
+    const int m = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpgt_epi64(vb, vk)));
+    if (m != 0xF) {
+      return k + static_cast<std::size_t>(__builtin_ctz(~m & 0x1F));
+    }
+  }
+  while (k < n && keys[2 * k] < bound) ++k;
+  return k;
+}
+
+double sparse_dot_avx2(const std::int64_t* ai, const double* av,
+                       std::size_t na, const std::int64_t* bi,
+                       const double* bv, std::size_t nb) {
+  return detail::sparse_dot_merge(ai, av, na, bi, bv, nb, count_lt_avx2);
+}
+
+double gather_dot_avx2(const std::int64_t* idx, const double* val,
+                       std::size_t n, const double* dense) {
+  double sum = 0.0;
+  alignas(32) double lane[4];
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + k));
+    const __m256d g = _mm256_i64gather_pd(dense, vi, 8);
+    _mm256_store_pd(lane, _mm256_mul_pd(_mm256_loadu_pd(val + k), g));
+    // Left-to-right lane reduce: same order as the scalar loop.
+    sum += lane[0];
+    sum += lane[1];
+    sum += lane[2];
+    sum += lane[3];
+  }
+  for (; k < n; ++k) {
+    sum += val[k] * dense[static_cast<std::size_t>(idx[k])];
+  }
+  return sum;
+}
+
+/// Gather four slot-map entries for indices idx[k..k+4), returning the
+/// int32 lanes; the payload positions 2·(s−1)+field are built alongside.
+struct SlotGather4 {
+  __m128i s;        // 1-based slot ids, 0 = virgin
+  __m256i pos64;    // payload element positions (field applied)
+  __m256d live_pd;  // all-ones mask for live lanes
+};
+
+SlotGather4 gather_slots4(const std::int64_t* idx, const std::int32_t* map,
+                          int field) {
+  SlotGather4 g;
+  const __m256i vi =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx));
+  g.s = _mm256_i64gather_epi32(reinterpret_cast<const int*>(map), vi, 4);
+  const __m128i live32 = _mm_cmpgt_epi32(g.s, _mm_setzero_si128());
+  const __m128i pos32 = _mm_add_epi32(
+      _mm_slli_epi32(_mm_sub_epi32(g.s, _mm_set1_epi32(1)), 1),
+      _mm_set1_epi32(field));
+  g.pos64 = _mm256_cvtepi32_epi64(pos32);
+  g.live_pd = _mm256_castsi256_pd(_mm256_cvtepi32_epi64(live32));
+  return g;
+}
+
+double slot_gather_dot_avx2(const std::int64_t* idx, const double* val,
+                            std::size_t n, const std::int32_t* map,
+                            const double* slots) {
+  double sum = 0.0;
+  alignas(32) double lane[4];
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const SlotGather4 g = gather_slots4(idx + k, map, /*field=*/0);
+    const __m256d z = _mm256_mask_i64gather_pd(_mm256_setzero_pd(), slots,
+                                               g.pos64, g.live_pd, 8);
+    _mm256_store_pd(lane, _mm256_mul_pd(_mm256_loadu_pd(val + k), z));
+    sum += lane[0];
+    sum += lane[1];
+    sum += lane[2];
+    sum += lane[3];
+  }
+  for (; k < n; ++k) {
+    const std::int32_t s = map[static_cast<std::size_t>(idx[k])];
+    sum += val[k] *
+           (s != 0 ? slots[2 * static_cast<std::size_t>(s - 1)] : 0.0);
+  }
+  return sum;
+}
+
+void slot_gather_avx2(const std::int64_t* idx, std::size_t n,
+                      const std::int32_t* map, const double* slots,
+                      double* out) {
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const SlotGather4 g = gather_slots4(idx + k, map, /*field=*/1);
+    _mm256_storeu_pd(out + k,
+                     _mm256_mask_i64gather_pd(_mm256_setzero_pd(), slots,
+                                              g.pos64, g.live_pd, 8));
+  }
+  for (; k < n; ++k) {
+    const std::int32_t s = map[static_cast<std::size_t>(idx[k])];
+    out[k] = s != 0 ? slots[2 * static_cast<std::size_t>(s - 1) + 1] : 0.0;
+  }
+}
+
+SlotAxpyResult slot_theta_axpy_avx2(const std::int64_t* idx,
+                                    const double* val, std::size_t n,
+                                    double coef, const std::int32_t* map,
+                                    double* slots) {
+  SlotAxpyResult r{0, 0};
+  alignas(16) std::int32_t s4[4];
+  while (r.processed + 4 <= n) {
+    // One vector gather issues the four map loads in parallel; the
+    // read-modify-writes stay scalar and in order (tolerance pruning and
+    // the nnz bookkeeping are sequential by contract).
+    const __m256i vi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(idx + r.processed));
+    _mm_store_si128(
+        reinterpret_cast<__m128i*>(s4),
+        _mm256_i64gather_epi32(reinterpret_cast<const int*>(map), vi, 4));
+    const std::size_t applied = detail::slot_theta_apply_run(
+        s4, 4, val + r.processed, coef, slots, r.nnz_delta);
+    r.processed += applied;
+    if (applied < 4) return r;
+  }
+  while (r.processed < n) {
+    const std::int32_t s = map[static_cast<std::size_t>(idx[r.processed])];
+    if (detail::slot_theta_apply_run(&s, 1, val + r.processed, coef, slots,
+                                     r.nnz_delta) == 0) {
+      break;
+    }
+    ++r.processed;
+  }
+  return r;
+}
+
+/// Lane mask for finite entries: q − q == 0 exactly when q is finite
+/// (NaN and ±inf both produce NaN, and ordered compare rejects NaN).
+__m256d finite_mask(__m256d q) {
+  return _mm256_cmp_pd(_mm256_sub_pd(q, q), _mm256_setzero_pd(),
+                       _CMP_EQ_OQ);
+}
+
+double min_finite_avx2(const double* q, std::size_t n) {
+  const __m256d vinf = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  __m256d vmin = vinf;
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d vq = _mm256_loadu_pd(q + k);
+    vmin = _mm256_min_pd(vmin, _mm256_blendv_pd(vinf, vq, finite_mask(vq)));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, vmin);
+  double min_q = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 4; ++i) {
+    if (lane[i] < min_q) min_q = lane[i];
+  }
+  for (; k < n; ++k) {
+    if (std::isfinite(q[k]) && q[k] < min_q) min_q = q[k];
+  }
+  return min_q;
+}
+
+/// Vector exp for x ≤ 0: Cody–Waite range reduction and a degree-11
+/// Taylor polynomial (|r| ≤ ln2/2 keeps the truncation error under
+/// 1e-14 relative). Lanes with x below the double underflow threshold
+/// are forced to exactly 0 by the caller's mask.
+__m256d exp_neg_avx2(__m256d x) {
+  const __m256d log2e = _mm256_set1_pd(1.4426950408889634074);
+  const __m256d ln2_hi = _mm256_set1_pd(6.93145751953125e-1);
+  const __m256d ln2_lo = _mm256_set1_pd(1.42860682030941723212e-6);
+  const __m256d n = _mm256_round_pd(
+      _mm256_mul_pd(x, log2e), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256d r = _mm256_fnmadd_pd(n, ln2_hi, x);
+  r = _mm256_fnmadd_pd(n, ln2_lo, r);
+  __m256d p = _mm256_set1_pd(2.50521083854417187751e-8);  // 1/11!
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(2.75573192239858906526e-7));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(2.75573192239858925110e-6));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(2.48015873015873015873e-5));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.98412698412698412698e-4));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.38888888888888894068e-3));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(8.33333333333333321769e-3));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(4.16666666666666643537e-2));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.66666666666666657415e-1));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(0.5));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0));
+  p = _mm256_fmadd_pd(p, r, _mm256_set1_pd(1.0));
+  // 2^n via exponent-field construction; n ≥ −1022 for unmasked lanes.
+  const __m256i n64 = _mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(n));
+  const __m256d pow2 = _mm256_castsi256_pd(
+      _mm256_slli_epi64(_mm256_add_epi64(n64, _mm256_set1_epi64x(1023)), 52));
+  return _mm256_mul_pd(p, pow2);
+}
+
+void exp_weights_avx2(const double* q, std::size_t n, double min_q,
+                      double temp, double* out) {
+  const __m256d vmin = _mm256_set1_pd(min_q);
+  const __m256d vtemp = _mm256_set1_pd(temp);
+  // exp(-708.4) underflows to a subnormal; past this the exponent
+  // construction in exp_neg_avx2 wraps, so force those lanes to 0 (their
+  // true weight is < 1e-307 ≈ unselectable anyway).
+  const __m256d cutoff = _mm256_set1_pd(-708.0);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d vq = _mm256_loadu_pd(q + k);
+    const __m256d x =
+        _mm256_div_pd(_mm256_sub_pd(vmin, vq), vtemp);  // −(q−min)/temp
+    const __m256d ok =
+        _mm256_and_pd(finite_mask(vq), _mm256_cmp_pd(x, cutoff, _CMP_GT_OQ));
+    _mm256_storeu_pd(out + k, _mm256_and_pd(exp_neg_avx2(x), ok));
+  }
+  for (; k < n; ++k) {
+    if (!std::isfinite(q[k])) {
+      out[k] = 0.0;
+      continue;
+    }
+    const double x = -(q[k] - min_q) / temp;
+    out[k] = x > -708.0 ? std::exp(x) : 0.0;
+  }
+}
+
+}  // namespace
+
+const Ops* avx2_ops_impl() {
+  static const Ops table = {
+      "avx2",
+      scale_copy_avx2,
+      scale_inplace_avx2,
+      count_lt_avx2,
+      count_lt_stride2_avx2,
+      sparse_dot_avx2,
+      gather_dot_avx2,
+      slot_gather_dot_avx2,
+      slot_gather_avx2,
+      slot_theta_axpy_avx2,
+      min_finite_avx2,
+      exp_weights_avx2,
+  };
+  return &table;
+}
+
+}  // namespace megh::simd
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace megh::simd {
+const Ops* avx2_ops_impl() { return nullptr; }
+}  // namespace megh::simd
+
+#endif

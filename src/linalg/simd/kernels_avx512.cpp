@@ -1,0 +1,268 @@
+// AVX-512 kernels (foundation subset only — no VL/DQ dependencies, so
+// any avx512f host qualifies). Compiled with -mavx512f via per-file CMake
+// flags; degrades to a nullptr getter otherwise. Entries left null here
+// inherit the AVX2 implementation at dispatch-table merge time.
+//
+// Same contract as the AVX2 TU: gathers buy memory-level parallelism,
+// lane reduction stays in scalar order, everything except exp_weights is
+// bit-identical to the scalar table.
+#include "linalg/simd/simd.hpp"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/simd/kernels_common.hpp"
+
+namespace megh::simd {
+
+namespace {
+
+void scale_copy_avx512(double* y, const double* x, std::size_t n, double s) {
+  const __m512d vs = _mm512_set1_pd(s);
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    _mm512_storeu_pd(y + k, _mm512_mul_pd(vs, _mm512_loadu_pd(x + k)));
+  }
+  for (; k < n; ++k) y[k] = s * x[k];
+}
+
+void scale_inplace_avx512(double* x, std::size_t n, double s) {
+  const __m512d vs = _mm512_set1_pd(s);
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    _mm512_storeu_pd(x + k, _mm512_mul_pd(vs, _mm512_loadu_pd(x + k)));
+  }
+  for (; k < n; ++k) x[k] *= s;
+}
+
+std::size_t count_lt_avx512(const std::int64_t* keys, std::size_t n,
+                            std::int64_t bound) {
+  const __m512i vb = _mm512_set1_epi64(bound);
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m512i vk = _mm512_loadu_si512(keys + k);
+    const unsigned m = _mm512_cmplt_epi64_mask(vk, vb);
+    if (m != 0xFFu) {
+      return k + static_cast<std::size_t>(__builtin_ctz(~m & 0x1FFu));
+    }
+  }
+  while (k < n && keys[k] < bound) ++k;
+  return k;
+}
+
+double sparse_dot_avx512(const std::int64_t* ai, const double* av,
+                         std::size_t na, const std::int64_t* bi,
+                         const double* bv, std::size_t nb) {
+  return detail::sparse_dot_merge(ai, av, na, bi, bv, nb, count_lt_avx512);
+}
+
+double gather_dot_avx512(const std::int64_t* idx, const double* val,
+                         std::size_t n, const double* dense) {
+  double sum = 0.0;
+  alignas(64) double lane[8];
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m512i vi = _mm512_loadu_si512(idx + k);
+    const __m512d g = _mm512_i64gather_pd(vi, dense, 8);
+    _mm512_store_pd(lane, _mm512_mul_pd(_mm512_loadu_pd(val + k), g));
+    for (int i = 0; i < 8; ++i) sum += lane[i];
+  }
+  for (; k < n; ++k) {
+    sum += val[k] * dense[static_cast<std::size_t>(idx[k])];
+  }
+  return sum;
+}
+
+struct SlotGather8 {
+  __mmask8 live;
+  __m512i pos;  // payload element positions (field applied)
+};
+
+SlotGather8 gather_slots8(const std::int64_t* idx, const std::int32_t* map,
+                          int field) {
+  const __m512i vi = _mm512_loadu_si512(idx);
+  // Full-mask gather with an explicit source: GCC's unmasked
+  // _mm512_i64gather_epi32 reads an undefined placeholder internally and
+  // trips -Wmaybe-uninitialized under -Werror.
+  const __m512i s64 = _mm512_cvtepi32_epi64(_mm512_mask_i64gather_epi32(
+      _mm256_setzero_si256(), static_cast<__mmask8>(0xFF), vi, map, 4));
+  SlotGather8 g;
+  g.live = _mm512_cmpgt_epi64_mask(s64, _mm512_setzero_si512());
+  g.pos = _mm512_add_epi64(
+      _mm512_slli_epi64(_mm512_sub_epi64(s64, _mm512_set1_epi64(1)), 1),
+      _mm512_set1_epi64(field));
+  return g;
+}
+
+double slot_gather_dot_avx512(const std::int64_t* idx, const double* val,
+                              std::size_t n, const std::int32_t* map,
+                              const double* slots) {
+  double sum = 0.0;
+  alignas(64) double lane[8];
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const SlotGather8 g = gather_slots8(idx + k, map, /*field=*/0);
+    const __m512d z = _mm512_mask_i64gather_pd(_mm512_setzero_pd(), g.live,
+                                               g.pos, slots, 8);
+    _mm512_store_pd(lane, _mm512_mul_pd(_mm512_loadu_pd(val + k), z));
+    for (int i = 0; i < 8; ++i) sum += lane[i];
+  }
+  for (; k < n; ++k) {
+    const std::int32_t s = map[static_cast<std::size_t>(idx[k])];
+    sum += val[k] *
+           (s != 0 ? slots[2 * static_cast<std::size_t>(s - 1)] : 0.0);
+  }
+  return sum;
+}
+
+void slot_gather_avx512(const std::int64_t* idx, std::size_t n,
+                        const std::int32_t* map, const double* slots,
+                        double* out) {
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const SlotGather8 g = gather_slots8(idx + k, map, /*field=*/1);
+    _mm512_storeu_pd(out + k,
+                     _mm512_mask_i64gather_pd(_mm512_setzero_pd(), g.live,
+                                              g.pos, slots, 8));
+  }
+  for (; k < n; ++k) {
+    const std::int32_t s = map[static_cast<std::size_t>(idx[k])];
+    out[k] = s != 0 ? slots[2 * static_cast<std::size_t>(s - 1) + 1] : 0.0;
+  }
+}
+
+SlotAxpyResult slot_theta_axpy_avx512(const std::int64_t* idx,
+                                      const double* val, std::size_t n,
+                                      double coef, const std::int32_t* map,
+                                      double* slots) {
+  SlotAxpyResult r{0, 0};
+  alignas(32) std::int32_t s8[8];
+  while (r.processed + 8 <= n) {
+    const __m512i vi = _mm512_loadu_si512(idx + r.processed);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(s8),
+                       _mm512_mask_i64gather_epi32(
+                           _mm256_setzero_si256(),
+                           static_cast<__mmask8>(0xFF), vi, map, 4));
+    const std::size_t applied = detail::slot_theta_apply_run(
+        s8, 8, val + r.processed, coef, slots, r.nnz_delta);
+    r.processed += applied;
+    if (applied < 8) return r;
+  }
+  while (r.processed < n) {
+    const std::int32_t s = map[static_cast<std::size_t>(idx[r.processed])];
+    if (detail::slot_theta_apply_run(&s, 1, val + r.processed, coef, slots,
+                                     r.nnz_delta) == 0) {
+      break;
+    }
+    ++r.processed;
+  }
+  return r;
+}
+
+__mmask8 finite_mask512(__m512d q) {
+  return _mm512_cmp_pd_mask(_mm512_sub_pd(q, q), _mm512_setzero_pd(),
+                            _CMP_EQ_OQ);
+}
+
+double min_finite_avx512(const double* q, std::size_t n) {
+  __m512d vmin = _mm512_set1_pd(std::numeric_limits<double>::infinity());
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m512d vq = _mm512_loadu_pd(q + k);
+    vmin = _mm512_mask_min_pd(vmin, finite_mask512(vq), vmin, vq);
+  }
+  alignas(64) double lane[8];
+  _mm512_store_pd(lane, vmin);
+  double min_q = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 8; ++i) {
+    if (lane[i] < min_q) min_q = lane[i];
+  }
+  for (; k < n; ++k) {
+    if (std::isfinite(q[k]) && q[k] < min_q) min_q = q[k];
+  }
+  return min_q;
+}
+
+/// Same construction as the AVX2 exp (see kernels_avx2.cpp), 8 lanes.
+__m512d exp_neg_avx512(__m512d x) {
+  const __m512d log2e = _mm512_set1_pd(1.4426950408889634074);
+  const __m512d ln2_hi = _mm512_set1_pd(6.93145751953125e-1);
+  const __m512d ln2_lo = _mm512_set1_pd(1.42860682030941723212e-6);
+  const __m512d n = _mm512_roundscale_pd(
+      _mm512_mul_pd(x, log2e), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m512d r = _mm512_fnmadd_pd(n, ln2_hi, x);
+  r = _mm512_fnmadd_pd(n, ln2_lo, r);
+  __m512d p = _mm512_set1_pd(2.50521083854417187751e-8);  // 1/11!
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(2.75573192239858906526e-7));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(2.75573192239858925110e-6));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(2.48015873015873015873e-5));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.98412698412698412698e-4));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.38888888888888894068e-3));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(8.33333333333333321769e-3));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(4.16666666666666643537e-2));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.66666666666666657415e-1));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(0.5));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.0));
+  p = _mm512_fmadd_pd(p, r, _mm512_set1_pd(1.0));
+  const __m512i n64 = _mm512_cvtepi32_epi64(_mm512_cvtpd_epi32(n));
+  const __m512d pow2 = _mm512_castsi512_pd(
+      _mm512_slli_epi64(_mm512_add_epi64(n64, _mm512_set1_epi64(1023)), 52));
+  return _mm512_mul_pd(p, pow2);
+}
+
+void exp_weights_avx512(const double* q, std::size_t n, double min_q,
+                        double temp, double* out) {
+  const __m512d vmin = _mm512_set1_pd(min_q);
+  const __m512d vtemp = _mm512_set1_pd(temp);
+  const __m512d cutoff = _mm512_set1_pd(-708.0);
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    const __m512d vq = _mm512_loadu_pd(q + k);
+    const __m512d x = _mm512_div_pd(_mm512_sub_pd(vmin, vq), vtemp);
+    const __mmask8 ok = finite_mask512(vq) &
+                        _mm512_cmp_pd_mask(x, cutoff, _CMP_GT_OQ);
+    _mm512_storeu_pd(out + k, _mm512_maskz_mov_pd(ok, exp_neg_avx512(x)));
+  }
+  for (; k < n; ++k) {
+    if (!std::isfinite(q[k])) {
+      out[k] = 0.0;
+      continue;
+    }
+    const double x = -(q[k] - min_q) / temp;
+    out[k] = x > -708.0 ? std::exp(x) : 0.0;
+  }
+}
+
+}  // namespace
+
+const Ops* avx512_ops_impl() {
+  static const Ops table = {
+      "avx512",
+      scale_copy_avx512,
+      scale_inplace_avx512,
+      count_lt_avx512,
+      nullptr,  // count_lt_stride2: inherit AVX2
+      sparse_dot_avx512,
+      gather_dot_avx512,
+      slot_gather_dot_avx512,
+      slot_gather_avx512,
+      slot_theta_axpy_avx512,
+      min_finite_avx512,
+      exp_weights_avx512,
+  };
+  return &table;
+}
+
+}  // namespace megh::simd
+
+#else  // !__AVX512F__
+
+namespace megh::simd {
+const Ops* avx512_ops_impl() { return nullptr; }
+}  // namespace megh::simd
+
+#endif

@@ -1,0 +1,63 @@
+// Internal: shared kernel bodies for the per-ISA translation units.
+//
+// The merge-structured kernels (sparse_dot, slot_theta_axpy) have branchy
+// control flow whose SIMD content is entirely in their block-skip / gather
+// primitives; the control flow itself is shared here as templates so the
+// scalar, AVX2 and AVX-512 TUs cannot drift apart. Accumulation order is
+// fixed by these bodies, which is what makes every ISA bit-identical for
+// them (see simd.hpp).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/simd/simd.hpp"
+
+namespace megh::simd::detail {
+
+/// Two-pointer sorted dot, skipping non-matching runs via `count_lt` (the
+/// per-ISA block-skip). Matches accumulate in ascending index order.
+template <typename CountLt>
+double sparse_dot_merge(const std::int64_t* ai, const double* av,
+                        std::size_t na, const std::int64_t* bi,
+                        const double* bv, std::size_t nb, CountLt count_lt) {
+  double sum = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    const std::int64_t a = ai[i], b = bi[j];
+    if (a == b) {
+      sum += av[i] * bv[j];
+      ++i;
+      ++j;
+    } else if (a < b) {
+      i += count_lt(ai + i, na - i, b);
+    } else {
+      j += count_lt(bi + j, nb - j, a);
+    }
+  }
+  return sum;
+}
+
+/// θ-update core over a run of live slots whose map entries have already
+/// been resolved (gathered) into `slot1` (1-based; 0 = virgin, stop).
+/// Returns entries consumed from this run.
+inline std::size_t slot_theta_apply_run(const std::int32_t* slot1,
+                                        std::size_t run, const double* val,
+                                        double coef, double* slots,
+                                        std::int64_t& nnz_delta) {
+  for (std::size_t k = 0; k < run; ++k) {
+    const std::int32_t s = slot1[k];
+    if (s == 0) return k;
+    double& theta = slots[2 * static_cast<std::size_t>(s - 1) + 1];
+    const bool was_nonzero = theta != 0.0;
+    double next = theta + coef * val[k];
+    if (std::abs(next) < kZeroTolerance) next = 0.0;
+    if (was_nonzero && next == 0.0) --nnz_delta;
+    if (!was_nonzero && next != 0.0) ++nnz_delta;
+    theta = next;
+  }
+  return run;
+}
+
+}  // namespace megh::simd::detail

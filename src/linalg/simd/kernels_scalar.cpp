@@ -1,0 +1,129 @@
+// Scalar reference kernels. These reproduce the pre-SIMD call-site loops
+// operation for operation — `MEGH_SIMD=scalar` runs are bit-identical to
+// the tree before the dispatch layer existed, which the decision-CSV
+// golden test pins down.
+#include <cmath>
+#include <limits>
+
+#include "linalg/simd/kernels_common.hpp"
+#include "linalg/simd/simd.hpp"
+
+namespace megh::simd {
+
+namespace {
+
+void scale_copy_scalar(double* y, const double* x, std::size_t n, double s) {
+  for (std::size_t k = 0; k < n; ++k) y[k] = s * x[k];
+}
+
+void scale_inplace_scalar(double* x, std::size_t n, double s) {
+  for (std::size_t k = 0; k < n; ++k) x[k] *= s;
+}
+
+std::size_t count_lt_scalar(const std::int64_t* keys, std::size_t n,
+                            std::int64_t bound) {
+  std::size_t k = 0;
+  while (k < n && keys[k] < bound) ++k;
+  return k;
+}
+
+std::size_t count_lt_stride2_scalar(const std::int64_t* keys, std::size_t n,
+                                    std::int64_t bound) {
+  std::size_t k = 0;
+  while (k < n && keys[2 * k] < bound) ++k;
+  return k;
+}
+
+double sparse_dot_scalar(const std::int64_t* ai, const double* av,
+                         std::size_t na, const std::int64_t* bi,
+                         const double* bv, std::size_t nb) {
+  return detail::sparse_dot_merge(ai, av, na, bi, bv, nb,
+                                  [](const std::int64_t* keys, std::size_t n,
+                                     std::int64_t bound) {
+                                    return count_lt_scalar(keys, n, bound);
+                                  });
+}
+
+double gather_dot_scalar(const std::int64_t* idx, const double* val,
+                         std::size_t n, const double* dense) {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += val[k] * dense[static_cast<std::size_t>(idx[k])];
+  }
+  return sum;
+}
+
+double slot_gather_dot_scalar(const std::int64_t* idx, const double* val,
+                              std::size_t n, const std::int32_t* map,
+                              const double* slots) {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::int32_t s = map[static_cast<std::size_t>(idx[k])];
+    const double z =
+        s != 0 ? slots[2 * static_cast<std::size_t>(s - 1)] : 0.0;
+    sum += val[k] * z;
+  }
+  return sum;
+}
+
+void slot_gather_scalar(const std::int64_t* idx, std::size_t n,
+                        const std::int32_t* map, const double* slots,
+                        double* out) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::int32_t s = map[static_cast<std::size_t>(idx[k])];
+    out[k] = s != 0 ? slots[2 * static_cast<std::size_t>(s - 1) + 1] : 0.0;
+  }
+}
+
+SlotAxpyResult slot_theta_axpy_scalar(const std::int64_t* idx,
+                                      const double* val, std::size_t n,
+                                      double coef, const std::int32_t* map,
+                                      double* slots) {
+  SlotAxpyResult r{0, 0};
+  while (r.processed < n) {
+    const std::int32_t s =
+        map[static_cast<std::size_t>(idx[r.processed])];
+    const std::size_t applied = detail::slot_theta_apply_run(
+        &s, 1, val + r.processed, coef, slots, r.nnz_delta);
+    if (applied == 0) break;
+    ++r.processed;
+  }
+  return r;
+}
+
+double min_finite_scalar(const double* q, std::size_t n) {
+  double min_q = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (std::isfinite(q[k]) && q[k] < min_q) min_q = q[k];
+  }
+  return min_q;
+}
+
+void exp_weights_scalar(const double* q, std::size_t n, double min_q,
+                        double temp, double* out) {
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = std::isfinite(q[k]) ? std::exp(-(q[k] - min_q) / temp) : 0.0;
+  }
+}
+
+}  // namespace
+
+const Ops* scalar_ops_impl() {
+  static const Ops table = {
+      "scalar",
+      scale_copy_scalar,
+      scale_inplace_scalar,
+      count_lt_scalar,
+      count_lt_stride2_scalar,
+      sparse_dot_scalar,
+      gather_dot_scalar,
+      slot_gather_dot_scalar,
+      slot_gather_scalar,
+      slot_theta_axpy_scalar,
+      min_finite_scalar,
+      exp_weights_scalar,
+  };
+  return &table;
+}
+
+}  // namespace megh::simd

@@ -1,0 +1,160 @@
+// Kernel-table selection: cpuid detection, MEGH_SIMD override, and the
+// per-ISA table merge (an ISA TU may leave entries null to inherit the
+// next-best implementation).
+#include "linalg/simd/simd.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace megh::simd {
+
+// Defined by the per-ISA translation units; return nullptr when the TU
+// was compiled without its ISA flags.
+const Ops* scalar_ops_impl();
+const Ops* avx2_ops_impl();
+const Ops* avx512_ops_impl();
+
+namespace {
+
+bool host_supports(Isa isa) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Isa::kAvx512:
+      // The avx512 table inherits its unimplemented entries from avx2,
+      // so both feature sets must be runnable.
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  }
+  return false;
+#else
+  return isa == Isa::kScalar;
+#endif
+}
+
+bool compiled(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+      return avx2_ops_impl() != nullptr;
+    case Isa::kAvx512:
+      return avx512_ops_impl() != nullptr && avx2_ops_impl() != nullptr;
+  }
+  return false;
+}
+
+Ops overlay(Ops base, const Ops& over) {
+  base.name = over.name;
+  if (over.scale_copy) base.scale_copy = over.scale_copy;
+  if (over.scale_inplace) base.scale_inplace = over.scale_inplace;
+  if (over.count_lt) base.count_lt = over.count_lt;
+  if (over.count_lt_stride2) base.count_lt_stride2 = over.count_lt_stride2;
+  if (over.sparse_dot) base.sparse_dot = over.sparse_dot;
+  if (over.gather_dot) base.gather_dot = over.gather_dot;
+  if (over.slot_gather_dot) base.slot_gather_dot = over.slot_gather_dot;
+  if (over.slot_gather) base.slot_gather = over.slot_gather;
+  if (over.slot_theta_axpy) base.slot_theta_axpy = over.slot_theta_axpy;
+  if (over.min_finite) base.min_finite = over.min_finite;
+  if (over.exp_weights) base.exp_weights = over.exp_weights;
+  return base;
+}
+
+const Ops& merged_table(Isa isa) {
+  static const Ops scalar = *scalar_ops_impl();
+  static const Ops avx2 =
+      avx2_ops_impl() ? overlay(scalar, *avx2_ops_impl()) : scalar;
+  static const Ops avx512 =
+      avx512_ops_impl() ? overlay(avx2, *avx512_ops_impl()) : avx2;
+  switch (isa) {
+    case Isa::kAvx512:
+      return avx512;
+    case Isa::kAvx2:
+      return avx2;
+    case Isa::kScalar:
+      break;
+  }
+  return scalar;
+}
+
+Isa select_default() {
+  if (const char* env = std::getenv("MEGH_SIMD")) {
+    const std::string want(env);
+    Isa isa = Isa::kScalar;
+    if (want == "scalar") {
+      isa = Isa::kScalar;
+    } else if (want == "avx2") {
+      isa = Isa::kAvx2;
+    } else if (want == "avx512") {
+      isa = Isa::kAvx512;
+    } else {
+      throw ConfigError("MEGH_SIMD must be scalar, avx2 or avx512 (got '" +
+                        want + "')");
+    }
+    if (!isa_supported(isa)) {
+      throw ConfigError(std::string("MEGH_SIMD=") + want +
+                        " requested but this host/build cannot run it");
+    }
+    return isa;
+  }
+  if (isa_supported(Isa::kAvx512)) return Isa::kAvx512;
+  if (isa_supported(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+struct Dispatch {
+  Isa isa;
+  const Ops* active;
+};
+
+Dispatch& dispatch() {
+  static Dispatch d = [] {
+    const Isa isa = select_default();
+    return Dispatch{isa, &merged_table(isa)};
+  }();
+  return d;
+}
+
+}  // namespace
+
+const Ops& ops() { return *dispatch().active; }
+
+Isa active_isa() { return dispatch().isa; }
+
+bool isa_supported(Isa isa) { return compiled(isa) && host_supports(isa); }
+
+const Ops& ops_for(Isa isa) {
+  MEGH_REQUIRE(isa_supported(isa), std::string("SIMD ISA '") +
+                                       isa_name(isa) +
+                                       "' is not supported on this host");
+  return merged_table(isa);
+}
+
+void set_isa_for_tests(Isa isa) {
+  const Ops& table = ops_for(isa);  // validates support
+  dispatch() = Dispatch{isa, &table};
+}
+
+void reset_isa() {
+  const Isa isa = select_default();
+  dispatch() = Dispatch{isa, &merged_table(isa)};
+}
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+}  // namespace megh::simd

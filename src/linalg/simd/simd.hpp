@@ -1,0 +1,135 @@
+// Runtime-dispatched SIMD kernels for the learner's hot loops.
+//
+// The LSPI update path spends its time in a handful of small kernels:
+// sorted-merge axpy/dot over SparseVector's SoA storage, the rank-1
+// Sherman–Morrison scratch merge, the θ/z slot updates and the w·z gather,
+// and the Boltzmann exp/normalize. Each kernel has a scalar reference
+// implementation plus AVX2 and AVX-512 variants compiled into their own
+// translation units with per-file ISA flags, selected once at startup via
+// cpuid (`__builtin_cpu_supports`). The rest of the tree is compiled
+// without ISA flags, so a binary built here runs unchanged on any x86-64
+// host — and on non-x86 builds everything folds back to the scalar table.
+//
+// Numerical contract: every kernel except `exp_weights` is bit-identical
+// across ISAs. The vector variants win by issuing independent loads in
+// parallel (vector gathers over the slot maps, block skips over sorted
+// index runs) while keeping the scalar accumulation order, so SIMD versus
+// scalar is a pure scheduling change, not a reassociation. `exp_weights`
+// is the exception: the vector paths use a polynomial exp (Cody–Waite
+// reduction + degree-11 Taylor, ~1 ulp) instead of libm, and are validated
+// to tolerance by the property tests. Forcing `MEGH_SIMD=scalar` therefore
+// reproduces pre-SIMD results bit for bit.
+//
+// Selection order: the `MEGH_SIMD` environment variable (`scalar`, `avx2`,
+// `avx512`) wins when set — an unknown value or an ISA the host cannot run
+// throws ConfigError — otherwise the best host-supported table is used.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace megh::simd {
+
+enum class Isa { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Shared with SparseVector::kZeroTolerance / SparseMatrix::kZeroTolerance
+/// (static_asserted at the integration sites): kernels that prune entries
+/// must agree with the containers about what counts as zero.
+inline constexpr double kZeroTolerance = 1e-12;
+
+/// Result of `slot_theta_axpy`: how many leading entries were applied (the
+/// kernel stops at the first virgin slot so the caller can materialize it)
+/// and the net change in θ's nonzero count over those entries.
+struct SlotAxpyResult {
+  std::size_t processed;
+  std::int64_t nnz_delta;
+};
+
+/// The kernel table. All index arrays are ascending-sorted unless noted;
+/// `map` is a 0-based index → 1 + slot position map where 0 means "virgin"
+/// (reads as zero without materializing); `slots` is an array of
+/// interleaved {z, θ} pairs, so slot s reads z at slots[2s] and θ at
+/// slots[2s + 1].
+struct Ops {
+  const char* name;
+
+  /// y[k] = s · x[k] for k in [0, n). y and x must not overlap.
+  void (*scale_copy)(double* y, const double* x, std::size_t n, double s);
+
+  /// x[k] *= s.
+  void (*scale_inplace)(double* x, std::size_t n, double s);
+
+  /// Length of the leading run of keys[k] < bound (keys ascending — stops
+  /// at the first key >= bound). The merge kernels' block-skip primitive.
+  std::size_t (*count_lt)(const std::int64_t* keys, std::size_t n,
+                          std::int64_t bound);
+
+  /// Same, over keys stored every other element (stride 2): the column
+  /// field of SparseMatrix::Entry {int64 col; double val} rows.
+  std::size_t (*count_lt_stride2)(const std::int64_t* keys, std::size_t n,
+                                  std::int64_t bound);
+
+  /// Sorted-sparse · sorted-sparse dot; accumulates matches in ascending
+  /// index order (bit-identical to the scalar two-pointer loop).
+  double (*sparse_dot)(const std::int64_t* ai, const double* av,
+                       std::size_t na, const std::int64_t* bi,
+                       const double* bv, std::size_t nb);
+
+  /// sum_k val[k] · dense[idx[k]], accumulated in k order.
+  double (*gather_dot)(const std::int64_t* idx, const double* val,
+                       std::size_t n, const double* dense);
+
+  /// w·z: sum_k val[k] · z[idx[k]] through the slot map, virgin slots
+  /// reading as zero. Accumulated in k order.
+  double (*slot_gather_dot)(const std::int64_t* idx, const double* val,
+                            std::size_t n, const std::int32_t* map,
+                            const double* slots);
+
+  /// out[k] = θ[idx[k]] through the slot map (virgin → 0). The batched
+  /// q_value kernel; idx need not be sorted here.
+  void (*slot_gather)(const std::int64_t* idx, std::size_t n,
+                      const std::int32_t* map, const double* slots,
+                      double* out);
+
+  /// θ[idx[k]] += coef · val[k] with exact-zero pruning below
+  /// kZeroTolerance, applied in k order over the leading run of live
+  /// slots. Stops at the first virgin slot (the caller materializes it and
+  /// re-enters). idx entries are distinct, so the updates never alias.
+  SlotAxpyResult (*slot_theta_axpy)(const std::int64_t* idx,
+                                    const double* val, std::size_t n,
+                                    double coef, const std::int32_t* map,
+                                    double* slots);
+
+  /// Minimum over the finite entries of q; +infinity if none is finite.
+  double (*min_finite)(const double* q, std::size_t n);
+
+  /// out[k] = isfinite(q[k]) ? exp(-(q[k] - min_q) / temp) : 0. The one
+  /// kernel whose vector variants are tolerance-equal, not bit-identical.
+  void (*exp_weights)(const double* q, std::size_t n, double min_q,
+                      double temp, double* out);
+};
+
+/// The active table (env override applied on first use).
+const Ops& ops();
+
+/// ISA behind ops().
+Isa active_isa();
+
+/// True when `isa`'s kernels were both compiled in and are runnable on
+/// this host.
+bool isa_supported(Isa isa);
+
+/// Table for a specific ISA; throws ConfigError if unsupported.
+const Ops& ops_for(Isa isa);
+
+/// Force the active table (property tests iterate every supported ISA).
+/// Throws ConfigError if unsupported. Not thread-safe against concurrent
+/// kernel callers — test-only.
+void set_isa_for_tests(Isa isa);
+
+/// Undo set_isa_for_tests: back to env/auto selection.
+void reset_isa();
+
+const char* isa_name(Isa isa);
+
+}  // namespace megh::simd

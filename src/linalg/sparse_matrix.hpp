@@ -99,6 +99,33 @@ class SparseMatrix {
   void rank1_update(const SparseVector& u, const SparseVector& v,
                     double scale);
 
+  /// Fast-path probe: true when index r carries no off-diagonal
+  /// structure — row r stores no entries and no other row holds column
+  /// r — so both M e_r and e_rᵀ M reduce to the single diagonal value,
+  /// written to *diag. Virgin rows qualify (they read as default_diag·I).
+  bool diagonal_only(Index r, double* diag) const {
+    const std::int32_t s = slot_of_[static_cast<std::size_t>(r)];
+    if (s == 0) {
+      *diag = default_diag_;
+      return true;
+    }
+    const Row& row = rows_[static_cast<std::size_t>(s - 1)];
+    if (!row.entries.empty() || !row.cols.empty()) return false;
+    *diag = row.diag;
+    return true;
+  }
+
+  /// M += scale * u wᵀ specialized for u = {a: ua} landing on a
+  /// diagonal-only index a (see diagonal_only); `w` holds sorted
+  /// (col, val) pairs. Bit-identical to rank1_update on the same inputs —
+  /// same guards, same expression shapes, same row materialization — but
+  /// skips the generic merge machinery. This is the Sherman–Morrison
+  /// steady state: with δ = d initialization the rank-1 off-diagonal
+  /// products sit below kZeroTolerance and B stays diagonal, so the hot
+  /// update degenerates to a couple of scalar ops.
+  void unit_rank1_diagonal(Index a, double ua, std::span<const Entry> w,
+                           double scale);
+
   /// Materialize (tests/small dims only).
   DenseMatrix to_dense() const;
 
@@ -112,6 +139,15 @@ class SparseMatrix {
   void prefetch_unit_update(Index a, Index b) const {
     MEGH_PREFETCH(slot_of_.data() + a);
     if (b != a) MEGH_PREFETCH(slot_of_.data() + b);
+  }
+
+  /// Second pipeline stage: once r's slot-map entry has arrived (a prior
+  /// prefetch_unit_update), start the load of the row header behind it.
+  /// The compact row array outgrows the cache on long runs, so this is a
+  /// second dependent random load worth overlapping across a batch.
+  void prefetch_row_payload(Index r) const {
+    const std::int32_t s = slot_of_[static_cast<std::size_t>(r)];
+    if (s != 0) MEGH_PREFETCH(&rows_[static_cast<std::size_t>(s - 1)]);
   }
 
  private:
@@ -186,7 +222,13 @@ class SparseMatrix {
   // Lazily zeroed and huge-page backed — the hot path's random lookups
   // stay TLB-resident, untouched ranges read off the shared zero page.
   ZeroLazyBuffer<std::int32_t> slot_of_;
-  std::vector<Row> rows_;            // compact, materialization order
+  // Huge-page backed like the map: at d ~ 10⁶ the row headers are a
+  // multi-megabyte array hit at random, and keeping its translations
+  // TLB-resident is worth as much as keeping the data cached (each 4 KiB
+  // page walk costs a dependent memory access chain under
+  // virtualization). Element count is O(support), so the huge-page
+  // footprint still tracks what was learned.
+  std::vector<Row, HugePageAllocator<Row>> rows_;  // materialization order
   std::vector<Index> index_of_slot_; // slot → matrix index (reverse map)
   std::size_t offdiag_nnz_ = 0;
   std::vector<Entry> scratch_row_;  // merge workspace (avoids realloc)

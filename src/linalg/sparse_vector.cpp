@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/simd/simd.hpp"
+
 namespace megh {
+
+static_assert(SparseVector::kZeroTolerance == simd::kZeroTolerance,
+              "SIMD kernels must agree with SparseVector about zero");
 
 std::size_t SparseVector::find(Index i) const {
   // Hot paths touch the tail (ascending builders, z.add on recent actions);
@@ -52,61 +57,77 @@ void SparseVector::add(Index i, double v) {
 
 void SparseVector::axpy(double scale, const SparseVector& other) {
   if (scale == 0.0 || other.empty()) return;
+  const simd::Ops& ops = simd::ops();
   if (empty()) {
     idx_ = other.idx_;
     val_.resize(other.val_.size());
-    for (std::size_t k = 0; k < other.val_.size(); ++k) {
-      val_[k] = scale * other.val_[k];
-    }
+    ops.scale_copy(val_.data(), other.val_.data(), other.val_.size(), scale);
     // Scaling cannot push a magnitude below tolerance unless |scale| < 1;
     // prune in that case to keep the no-near-zero invariant.
     if (std::abs(scale) < 1.0) prune_zeros();
     return;
   }
-  // Backward in-place merge: grow to the union size, then merge from the
-  // tails so nothing is overwritten before it is consumed.
+  // Forward merge into scratch, skipping non-overlapping runs in SIMD
+  // blocks (count_lt) and bulk-copying them: our own entries verbatim,
+  // the other side's through scale_copy. Only the exact-match sums need
+  // an inline near-zero check; verbatim runs keep the >= tolerance
+  // invariant, and a |scale| < 1 pass can leave sub-tolerance scaled
+  // copies, pruned at the end exactly like the old backward merge did.
   const std::size_t n1 = idx_.size();
   const std::size_t n2 = other.idx_.size();
-  idx_.resize(n1 + n2);
-  val_.resize(n1 + n2);
-  std::ptrdiff_t i = static_cast<std::ptrdiff_t>(n1) - 1;
-  std::ptrdiff_t j = static_cast<std::ptrdiff_t>(n2) - 1;
-  std::ptrdiff_t out = static_cast<std::ptrdiff_t>(n1 + n2) - 1;
-  while (j >= 0) {
-    if (i >= 0 && idx_[static_cast<std::size_t>(i)] >
-                      other.idx_[static_cast<std::size_t>(j)]) {
-      idx_[static_cast<std::size_t>(out)] = idx_[static_cast<std::size_t>(i)];
-      val_[static_cast<std::size_t>(out)] = val_[static_cast<std::size_t>(i)];
-      --i;
-    } else if (i >= 0 && idx_[static_cast<std::size_t>(i)] ==
-                             other.idx_[static_cast<std::size_t>(j)]) {
-      idx_[static_cast<std::size_t>(out)] = idx_[static_cast<std::size_t>(i)];
-      val_[static_cast<std::size_t>(out)] =
-          val_[static_cast<std::size_t>(i)] +
-          scale * other.val_[static_cast<std::size_t>(j)];
-      --i;
-      --j;
+  static thread_local std::vector<Index> merged_idx;
+  static thread_local std::vector<double> merged_val;
+  merged_idx.clear();
+  merged_val.clear();
+  merged_idx.reserve(n1 + n2);
+  merged_val.reserve(n1 + n2);
+  std::size_t i = 0, j = 0;
+  while (i < n1 && j < n2) {
+    if (idx_[i] < other.idx_[j]) {
+      const std::size_t run = ops.count_lt(idx_.data() + i, n1 - i,
+                                           other.idx_[j]);
+      merged_idx.insert(merged_idx.end(), idx_.begin() + i,
+                        idx_.begin() + static_cast<std::ptrdiff_t>(i + run));
+      merged_val.insert(merged_val.end(), val_.begin() + i,
+                        val_.begin() + static_cast<std::ptrdiff_t>(i + run));
+      i += run;
+    } else if (idx_[i] == other.idx_[j]) {
+      const double nv = val_[i] + scale * other.val_[j];
+      if (std::abs(nv) >= kZeroTolerance) {
+        merged_idx.push_back(idx_[i]);
+        merged_val.push_back(nv);
+      }
+      ++i;
+      ++j;
     } else {
-      idx_[static_cast<std::size_t>(out)] =
-          other.idx_[static_cast<std::size_t>(j)];
-      val_[static_cast<std::size_t>(out)] =
-          scale * other.val_[static_cast<std::size_t>(j)];
-      --j;
+      const std::size_t run = ops.count_lt(other.idx_.data() + j, n2 - j,
+                                           idx_[i]);
+      merged_idx.insert(merged_idx.end(), other.idx_.begin() + j,
+                        other.idx_.begin() +
+                            static_cast<std::ptrdiff_t>(j + run));
+      const std::size_t at = merged_val.size();
+      merged_val.resize(at + run);
+      ops.scale_copy(merged_val.data() + at, other.val_.data() + j, run,
+                     scale);
+      j += run;
     }
-    --out;
   }
-  // Remaining head entries (i >= 0) are already in place. Close the gap
-  // left between them and the merged tail, dropping near-zero results.
-  const std::size_t tail_start = static_cast<std::size_t>(out + 1);
-  std::size_t w = static_cast<std::size_t>(i + 1);
-  for (std::size_t r = tail_start; r < idx_.size(); ++r) {
-    if (std::abs(val_[r]) < kZeroTolerance) continue;
-    idx_[w] = idx_[r];
-    val_[w] = val_[r];
-    ++w;
+  if (i < n1) {
+    merged_idx.insert(merged_idx.end(), idx_.begin() + i, idx_.end());
+    merged_val.insert(merged_val.end(), val_.begin() + i, val_.end());
+  } else if (j < n2) {
+    merged_idx.insert(merged_idx.end(), other.idx_.begin() + j,
+                      other.idx_.end());
+    const std::size_t at = merged_val.size();
+    merged_val.resize(at + (n2 - j));
+    ops.scale_copy(merged_val.data() + at, other.val_.data() + j, n2 - j,
+                   scale);
   }
-  idx_.resize(w);
-  val_.resize(w);
+  // Copy back instead of swapping so the thread-local scratch keeps its
+  // high-water capacity and the steady state allocates nothing.
+  idx_.assign(merged_idx.begin(), merged_idx.end());
+  val_.assign(merged_val.begin(), merged_val.end());
+  if (std::abs(scale) < 1.0) prune_zeros();
 }
 
 void SparseVector::scale(double s) {
@@ -114,7 +135,7 @@ void SparseVector::scale(double s) {
     clear();
     return;
   }
-  for (double& v : val_) v *= s;
+  simd::ops().scale_inplace(val_.data(), val_.size(), s);
   if (std::abs(s) < 1.0) prune_zeros();
 }
 
@@ -131,32 +152,19 @@ void SparseVector::prune_zeros() {
 }
 
 double SparseVector::dot(const SparseVector& other) const {
-  double sum = 0.0;
-  std::size_t i = 0, j = 0;
-  const std::size_t n1 = idx_.size(), n2 = other.idx_.size();
-  while (i < n1 && j < n2) {
-    const Index a = idx_[i], b = other.idx_[j];
-    if (a == b) {
-      sum += val_[i] * other.val_[j];
-      ++i;
-      ++j;
-    } else if (a < b) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return sum;
+  return simd::ops().sparse_dot(idx_.data(), val_.data(), idx_.size(),
+                                other.idx_.data(), other.val_.data(),
+                                other.idx_.size());
 }
 
 double SparseVector::dot(std::span<const double> dense) const {
-  double sum = 0.0;
+  // Validate up front; the gather kernel has no per-element assert slot.
   for (std::size_t k = 0; k < idx_.size(); ++k) {
     MEGH_ASSERT(static_cast<std::size_t>(idx_[k]) < dense.size(),
                 "sparse/dense dot dimension mismatch");
-    sum += val_[k] * dense[static_cast<std::size_t>(idx_[k])];
   }
-  return sum;
+  return simd::ops().gather_dot(idx_.data(), val_.data(), idx_.size(),
+                                dense.data());
 }
 
 std::vector<double> SparseVector::to_dense() const {

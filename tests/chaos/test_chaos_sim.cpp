@@ -369,6 +369,44 @@ TEST(MeghRecoveryTest, BurstRollbackRestoresCheckpointedCritic) {
   EXPECT_GT(stats.at("rollbacks"), 0.0);
 }
 
+TEST(MeghRecoveryTest, RollbackKeepsLearnerCountersMonotone) {
+  // Regression: restore() used to zero updates/singular_skips/truncations,
+  // so every burst rollback silently reset the lspi.* stats mid-run. The
+  // per-step snapshots must show monotone non-decreasing counters even
+  // when the critic rolls back.
+  const Scenario scenario = make_planetlab_scenario(16, 24, 60, 42);
+  ExperimentOptions options;
+  options.max_migration_fraction = 0.2;
+  // A partial abort rate: some steps roll back, others learn — both
+  // counters must keep advancing through the mix.
+  options.faults = abort_only_plan(0.5, 16, 60);
+  MeghConfig config = recovery_megh_config(42);
+  config.recovery.rollback_burst_threshold = 1;
+  config.recovery.checkpoint_interval_steps = 4;
+  config.max_update_support = 1;  // every a != b update truncates a factor
+  MeghPolicy policy(config);
+  const ExperimentResult r = run_experiment(scenario, policy, options);
+  PolicyStats stats;
+  policy.stats(stats);
+  ASSERT_GT(stats.at("rollbacks"), 0.0);
+  double prev_updates = 0.0, prev_skips = 0.0, prev_truncations = 0.0;
+  for (const auto& step : r.sim.steps) {
+    const double updates = step.policy_stats.at("lspi_updates");
+    const double skips = step.policy_stats.at("singular_skips");
+    const double truncations = step.policy_stats.at("truncations");
+    EXPECT_GE(updates, prev_updates);
+    EXPECT_GE(skips, prev_skips);
+    EXPECT_GE(truncations, prev_truncations);
+    prev_updates = updates;
+    prev_skips = skips;
+    prev_truncations = truncations;
+  }
+  // The counters actually moved: a silent reset to zero on rollback would
+  // not necessarily violate monotonicity if nothing ever counted.
+  EXPECT_GT(prev_updates, 0.0);
+  EXPECT_GT(prev_truncations, 0.0);
+}
+
 TEST(MeghRecoveryTest, RetryMinUtilizationSuppressesColdRetries) {
   const Scenario scenario = make_planetlab_scenario(16, 24, 60, 42);
   ExperimentOptions options;

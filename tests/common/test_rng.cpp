@@ -79,6 +79,17 @@ TEST(RngTest, LogUniformStaysInBounds) {
   }
 }
 
+TEST(RngTest, LogUniformRejectsBadBounds) {
+  // Same contract as weighted_index: bad arguments throw ConfigError in
+  // every build mode instead of silently producing NaN from log(lo <= 0).
+  Rng rng(9);
+  EXPECT_THROW(rng.log_uniform(0.0, 10.0), ConfigError);
+  EXPECT_THROW(rng.log_uniform(-1.0, 10.0), ConfigError);
+  EXPECT_THROW(rng.log_uniform(10.0, 1.0), ConfigError);
+  // The boundary lo == hi stays valid (degenerate draw).
+  EXPECT_DOUBLE_EQ(rng.log_uniform(5.0, 5.0), 5.0);
+}
+
 TEST(RngTest, LogUniformCoversOrdersOfMagnitude) {
   // Roughly equal mass per decade is the defining property.
   Rng rng(9);

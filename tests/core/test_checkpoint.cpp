@@ -95,6 +95,89 @@ TEST_F(CheckpointTest, MissingFileRejected) {
   EXPECT_THROW(load_learner(dir_ / "nope.ckpt"), IoError);
 }
 
+// --- corrupted-checkpoint matrix ------------------------------------------
+//
+// Each case hand-writes a structurally valid file with one corruption and
+// expects a loud IoError instead of a silently wrong learner. Baseline
+// below is a valid 3-dim checkpoint; every case is a mutation of it.
+
+class CorruptCheckpointTest : public CheckpointTest {
+ protected:
+  std::filesystem::path write(const std::string& body) {
+    const auto path = dir_ / "corrupt.ckpt";
+    std::ofstream out(path);
+    out << "megh-checkpoint v1\n" << body;
+    return path;
+  }
+  static std::string valid_body(const std::string& z_lines = "0 1.5\n2 2.5\n",
+                                const std::string& offdiag_lines =
+                                    "0 1 0.25\n1 2 0.5\n") {
+    return "dim 3 gamma 0.5\n"
+           "z 2\n" + z_lines +
+           "theta 2\n0 0.5\n1 0.75\n"
+           "Bdiag 3\n0.4\n0.4\n0.4\n"
+           "Boffdiag 2\n" + offdiag_lines;
+  }
+};
+
+TEST_F(CorruptCheckpointTest, ValidBaselineLoads) {
+  const LspiLearner learner = load_learner(write(valid_body()));
+  EXPECT_EQ(learner.dim(), 3);
+  EXPECT_DOUBLE_EQ(learner.z().get(2), 2.5);
+  EXPECT_DOUBLE_EQ(learner.B().get(0, 1), 0.25);
+}
+
+TEST_F(CorruptCheckpointTest, DuplicateVectorIndexRejected) {
+  // Pre-fix, the second "0 …" line silently overwrote the first via set().
+  EXPECT_THROW(load_learner(write(valid_body("0 1.5\n0 2.5\n"))), IoError);
+}
+
+TEST_F(CorruptCheckpointTest, UnsortedVectorIndexRejected) {
+  EXPECT_THROW(load_learner(write(valid_body("2 1.5\n0 2.5\n"))), IoError);
+}
+
+TEST_F(CorruptCheckpointTest, DuplicateOffdiagEntryRejected) {
+  EXPECT_THROW(
+      load_learner(write(valid_body("0 1.5\n2 2.5\n", "0 1 0.25\n0 1 0.5\n"))),
+      IoError);
+}
+
+TEST_F(CorruptCheckpointTest, UnsortedOffdiagEntryRejected) {
+  EXPECT_THROW(
+      load_learner(write(valid_body("0 1.5\n2 2.5\n", "1 2 0.5\n0 1 0.25\n"))),
+      IoError);
+}
+
+TEST_F(CorruptCheckpointTest, DiagonalEntryInOffdiagSectionRejected) {
+  EXPECT_THROW(
+      load_learner(write(valid_body("0 1.5\n2 2.5\n", "0 1 0.25\n1 1 0.5\n"))),
+      IoError);
+}
+
+TEST_F(CorruptCheckpointTest, TrailingGarbageRejected) {
+  // An nnz count smaller than the real payload used to leave the surplus
+  // lines unread — learned state silently dropped. Now any trailing token
+  // that is not the policy line is fatal.
+  EXPECT_THROW(load_learner(write(valid_body() + "2 0 0.125\n")), IoError);
+}
+
+TEST_F(CorruptCheckpointTest, TrailingGarbageAfterPolicyLineRejected) {
+  EXPECT_THROW(
+      load_learner(write(valid_body() + "policy 3 0 1\nleftover\n")), IoError);
+}
+
+TEST_F(CorruptCheckpointTest, PolicyLineAfterBoffdiagAccepted) {
+  // save_megh_policy appends exactly one policy line; load_learner must
+  // keep accepting it.
+  const LspiLearner learner =
+      load_learner(write(valid_body() + "policy 3 0.25 1\n"));
+  EXPECT_EQ(learner.dim(), 3);
+}
+
+TEST_F(CorruptCheckpointTest, OutOfRangeVectorIndexRejected) {
+  EXPECT_THROW(load_learner(write(valid_body("0 1.5\n7 2.5\n"))), Error);
+}
+
 TEST_F(CheckpointTest, PolicyWarmStartResumesBehaviour) {
   // Train a Megh policy, checkpoint it, restore into a fresh policy on an
   // identically-shaped datacenter, and verify the restored policy's state

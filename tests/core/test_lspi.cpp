@@ -166,5 +166,30 @@ TEST(LspiTruncationTest, TruncatedStillRanksPersistentActions) {
   EXPECT_LT(capped.q_value(3), capped.q_value(7));
 }
 
+TEST(LspiTest, RestorePreservesLifetimeCounters) {
+  // restore() is also the burst-rollback path; the lifetime diagnostics
+  // must survive it so stats()/telemetry stay monotone across rollbacks.
+  LspiLearner learner(50, 0.5, 1.0, 2);  // tight cap → truncations happen
+  Rng rng(7);
+  for (int i = 0; i < 300; ++i) {
+    learner.update(static_cast<std::int64_t>(rng.index(50)), rng.normal(),
+                   static_cast<std::int64_t>(rng.index(50)));
+  }
+  const long long updates = learner.updates();
+  const long long skips = learner.singular_skips();
+  const long long truncations = learner.truncations();
+  ASSERT_EQ(updates, 300);
+  ASSERT_GT(truncations, 0);
+  learner.restore(learner.B(), learner.z(), learner.theta());
+  EXPECT_EQ(learner.updates(), updates);
+  EXPECT_EQ(learner.singular_skips(), skips);
+  EXPECT_EQ(learner.truncations(), truncations);
+  // Counters keep counting from where they were, not from zero.
+  learner.update(1, 1.0, 2);
+  EXPECT_EQ(learner.updates(), updates + 1);
+  EXPECT_GE(learner.singular_skips(), skips);
+  EXPECT_GE(learner.truncations(), truncations);
+}
+
 }  // namespace
 }  // namespace megh

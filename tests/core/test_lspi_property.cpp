@@ -279,5 +279,82 @@ TEST(LspiPropertyTest, UpdateBatchBitIdenticalToUpdateLoop) {
   }
 }
 
+void expect_bitwise_twin(const LspiLearner& fast, const LspiLearner& general) {
+  const std::int64_t dim = fast.dim();
+  EXPECT_EQ(fast.updates(), general.updates());
+  EXPECT_EQ(fast.singular_skips(), general.singular_skips());
+  EXPECT_EQ(fast.truncations(), general.truncations());
+  EXPECT_EQ(fast.theta_nnz(), general.theta_nnz());
+  EXPECT_EQ(fast.qtable_nnz(), general.qtable_nnz());
+  EXPECT_EQ(fast.B().live_rows(), general.B().live_rows());
+  EXPECT_EQ(fast.B().offdiag_nnz(), general.B().offdiag_nnz());
+  for (std::int64_t i = 0; i < dim; ++i) {
+    EXPECT_EQ(fast.q_value(i), general.q_value(i)) << "theta[" << i << "]";
+    EXPECT_EQ(fast.z().get(i), general.z().get(i)) << "z[" << i << "]";
+  }
+  const DenseMatrix lhs = fast.B().to_dense();
+  const DenseMatrix rhs = general.B().to_dense();
+  for (std::int64_t r = 0; r < dim; ++r) {
+    for (std::int64_t c = 0; c < dim; ++c) {
+      EXPECT_EQ(lhs.at(r, c), rhs.at(r, c)) << "B(" << r << ", " << c << ")";
+    }
+  }
+}
+
+// The diagonal fast path (update_fused_diagonal) must be bit-identical to
+// the general merge kernel — same θ, z, B, counters and row
+// materialization — across three regimes: δ large enough that B stays
+// exactly diagonal forever (every update takes the fast path, as in the
+// full-scale simulation), δ small so fill-in appears at once (the fast
+// path fires only until a row gains structure, then hands over
+// mid-stream), and a truncating learner where both paths interleave.
+TEST(LspiPropertyTest, DiagonalFastPathMatchesGeneralPathBitwise) {
+  struct Regime {
+    double delta;
+    double gamma;
+    int max_update_support;
+  };
+  const Regime regimes[] = {
+      {2.0e6, 0.9, 0},  // pruned steady state: B diagonal for the whole run
+      {50.0, 0.9, 0},   // dense-ish fill-in: general path takes over
+      {50.0, 0.5, 3},   // truncating learner, mixed paths
+      {2.0e6, 0.0, 0},  // γ = 0: w reduces to row a alone
+  };
+  const std::int64_t dim = 48;
+  for (const Regime& regime : regimes) {
+    for (unsigned seed = 1; seed <= 3; ++seed) {
+      Rng rng(900 + seed);
+      LspiLearner fast(dim, regime.gamma, regime.delta,
+                       regime.max_update_support);
+      LspiLearner general(dim, regime.gamma, regime.delta,
+                          regime.max_update_support);
+      general.force_general_path_for_tests(true);
+      std::vector<std::int64_t> actions;
+      for (int step = 0; step < 120; ++step) {
+        actions.clear();
+        const int count = 1 + static_cast<int>(rng.index(4));
+        for (int k = 0; k < count; ++k) {
+          actions.push_back(static_cast<std::int64_t>(
+              rng.index(static_cast<std::size_t>(dim))));
+        }
+        const auto b = static_cast<std::int64_t>(
+            rng.index(static_cast<std::size_t>(dim)));
+        const double cost = rng.normal(1.0, 0.5);
+        fast.update_batch(actions, cost, b);
+        general.update_batch(actions, cost, b);
+      }
+      expect_bitwise_twin(fast, general);
+      if (regime.delta > 1.0e6) {
+        // Confirms the regime really is the pruned steady state, i.e. the
+        // fast path was eligible on every single update.
+        EXPECT_EQ(fast.B().offdiag_nnz(), 0u);
+      } else {
+        // Fill-in appeared, so the general kernel demonstrably ran too.
+        EXPECT_GT(fast.B().offdiag_nnz(), 0u);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace megh

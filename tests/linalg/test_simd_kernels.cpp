@@ -1,0 +1,422 @@
+// ISA-parameterized property tests for the runtime-dispatched SIMD kernels
+// (linalg/simd). Every kernel except exp_weights promises bit-identical
+// results across ISAs — the vector variants change the load schedule, never
+// the accumulation order — so those are compared with exact equality
+// against the scalar reference table. exp_weights vector paths use a
+// polynomial exp and are held to tolerance instead. Unsupported ISAs skip
+// gracefully, so the suite passes on any host while exercising everything
+// the host can run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/boltzmann.hpp"
+#include "core/lspi.hpp"
+#include "linalg/simd/simd.hpp"
+
+namespace megh {
+namespace {
+
+class SimdIsaTest : public ::testing::TestWithParam<simd::Isa> {
+ protected:
+  void SetUp() override {
+    if (!simd::isa_supported(GetParam())) {
+      GTEST_SKIP() << simd::isa_name(GetParam())
+                   << " kernels not runnable on this host/build";
+    }
+  }
+  void TearDown() override { simd::reset_isa(); }
+
+  const simd::Ops& ops() const { return simd::ops_for(GetParam()); }
+  const simd::Ops& ref() const { return simd::ops_for(simd::Isa::kScalar); }
+};
+
+/// Ascending, distinct indices in [0, dim); length n (n <= dim).
+std::vector<std::int64_t> sorted_indices(Rng& rng, std::int64_t dim,
+                                         std::size_t n) {
+  std::vector<std::uint8_t> used(static_cast<std::size_t>(dim), 0);
+  std::size_t picked = 0;
+  while (picked < n) {
+    const std::size_t i = rng.index(static_cast<std::size_t>(dim));
+    if (!used[i]) {
+      used[i] = 1;
+      ++picked;
+    }
+  }
+  std::vector<std::int64_t> idx;
+  idx.reserve(n);
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    if (used[i]) idx.push_back(static_cast<std::int64_t>(i));
+  }
+  return idx;
+}
+
+std::vector<double> random_values(Rng& rng, std::size_t n) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.normal(0.0, 1.0);
+  return v;
+}
+
+// The support sizes every array kernel is exercised at: empty, singleton,
+// below / at / above each vector width, and well past it (main loop + tail).
+constexpr std::size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 33, 100};
+
+TEST_P(SimdIsaTest, ScaleCopyAndInplaceBitIdentical) {
+  Rng rng(11);
+  for (const std::size_t n : kSizes) {
+    const std::vector<double> x = random_values(rng, n);
+    for (const double s : {0.0, 1.0, -0.75, 3.5e10, 1e-300}) {
+      if (n == 0) continue;
+      std::vector<double> got(n, -1.0), want(n, -1.0);
+      ops().scale_copy(got.data(), x.data(), n, s);
+      ref().scale_copy(want.data(), x.data(), n, s);
+      ASSERT_EQ(0, std::memcmp(got.data(), want.data(), n * sizeof(double)))
+          << "scale_copy n=" << n << " s=" << s;
+
+      std::vector<double> gi = x, wi = x;
+      ops().scale_inplace(gi.data(), n, s);
+      ref().scale_inplace(wi.data(), n, s);
+      ASSERT_EQ(0, std::memcmp(gi.data(), wi.data(), n * sizeof(double)))
+          << "scale_inplace n=" << n << " s=" << s;
+    }
+  }
+}
+
+TEST_P(SimdIsaTest, CountLtMatchesScalarAtEveryBound) {
+  Rng rng(22);
+  for (const std::size_t n : kSizes) {
+    std::vector<std::int64_t> keys(n);
+    std::int64_t next = 0;
+    for (auto& k : keys) {
+      next += 1 + static_cast<std::int64_t>(rng.index(4));  // strictly rising
+      k = next;
+    }
+    // Bounds below, inside (hitting and missing keys) and past the run.
+    std::vector<std::int64_t> bounds = {-1, 0, next + 1,
+                                        std::numeric_limits<std::int64_t>::max()};
+    for (const auto k : keys) {
+      bounds.push_back(k);
+      bounds.push_back(k + 1);
+    }
+    for (const auto b : bounds) {
+      ASSERT_EQ(ops().count_lt(keys.data(), n, b),
+                ref().count_lt(keys.data(), n, b))
+          << "count_lt n=" << n << " bound=" << b;
+    }
+  }
+}
+
+TEST_P(SimdIsaTest, CountLtStride2MatchesScalar) {
+  Rng rng(33);
+  for (const std::size_t n : kSizes) {
+    // Simulates SparseMatrix::Entry rows: keys at even positions, payload
+    // bit patterns at odd ones.
+    std::vector<std::int64_t> packed(2 * n);
+    std::int64_t next = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      next += 1 + static_cast<std::int64_t>(rng.index(5));
+      packed[2 * k] = next;
+      packed[2 * k + 1] = static_cast<std::int64_t>(rng.index(1u << 30));
+    }
+    for (std::int64_t b = -1; b <= next + 2; ++b) {
+      ASSERT_EQ(ops().count_lt_stride2(packed.data(), n, b),
+                ref().count_lt_stride2(packed.data(), n, b))
+          << "count_lt_stride2 n=" << n << " bound=" << b;
+    }
+  }
+}
+
+TEST_P(SimdIsaTest, SparseDotBitIdentical) {
+  Rng rng(44);
+  const std::int64_t dim = 256;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t na = rng.index(40);
+    const std::size_t nb = rng.index(40);
+    const auto ai = sorted_indices(rng, dim, na);
+    const auto bi = sorted_indices(rng, dim, nb);
+    const auto av = random_values(rng, na);
+    const auto bv = random_values(rng, nb);
+    const double got =
+        ops().sparse_dot(ai.data(), av.data(), na, bi.data(), bv.data(), nb);
+    const double want =
+        ref().sparse_dot(ai.data(), av.data(), na, bi.data(), bv.data(), nb);
+    ASSERT_EQ(got, want) << "trial " << trial;
+  }
+  // Fully overlapping (dense-ish) and fully disjoint supports.
+  const auto idx = sorted_indices(rng, 64, 64);
+  const auto v1 = random_values(rng, 64);
+  const auto v2 = random_values(rng, 64);
+  EXPECT_EQ(ops().sparse_dot(idx.data(), v1.data(), 64, idx.data(), v2.data(),
+                             64),
+            ref().sparse_dot(idx.data(), v1.data(), 64, idx.data(), v2.data(),
+                             64));
+  std::vector<std::int64_t> lo(idx.begin(), idx.begin() + 32);
+  std::vector<std::int64_t> hi;
+  for (auto i : idx) hi.push_back(i + 1000);
+  EXPECT_EQ(ops().sparse_dot(lo.data(), v1.data(), 32, hi.data(), v2.data(),
+                             64),
+            0.0);
+}
+
+TEST_P(SimdIsaTest, GatherDotBitIdentical) {
+  Rng rng(55);
+  const std::int64_t dim = 512;
+  std::vector<double> dense = random_values(rng, static_cast<std::size_t>(dim));
+  for (const std::size_t n : kSizes) {
+    const auto idx = sorted_indices(rng, dim, n);
+    const auto val = random_values(rng, n);
+    ASSERT_EQ(ops().gather_dot(idx.data(), val.data(), n, dense.data()),
+              ref().gather_dot(idx.data(), val.data(), n, dense.data()))
+        << "gather_dot n=" << n;
+  }
+}
+
+/// A slot map + interleaved {z, θ} payload with a controllable virgin
+/// fraction, mirroring LspiLearner's storage.
+struct SlotWorld {
+  std::vector<std::int32_t> map;
+  std::vector<double> slots;  // z at [2s], θ at [2s+1]
+
+  SlotWorld(Rng& rng, std::int64_t dim, double live_fraction) {
+    map.assign(static_cast<std::size_t>(dim), 0);
+    const std::size_t live_pct =
+        static_cast<std::size_t>(live_fraction * 100.0);
+    for (std::size_t i = 0; i < map.size(); ++i) {
+      if (rng.index(100) >= live_pct) continue;  // stays virgin
+      map[i] = static_cast<std::int32_t>(slots.size() / 2 + 1);
+      slots.push_back(rng.normal(0.0, 1.0));  // z
+      slots.push_back(rng.normal(0.0, 1.0));  // θ
+    }
+  }
+};
+
+TEST_P(SimdIsaTest, SlotGatherAndGatherDotBitIdentical) {
+  Rng rng(66);
+  const std::int64_t dim = 300;
+  for (const double live : {0.0, 0.3, 1.0}) {
+    SlotWorld world(rng, dim, live);
+    for (const std::size_t n : kSizes) {
+      const auto idx = sorted_indices(rng, dim, n);
+      const auto val = random_values(rng, n);
+
+      ASSERT_EQ(ops().slot_gather_dot(idx.data(), val.data(), n,
+                                      world.map.data(), world.slots.data()),
+                ref().slot_gather_dot(idx.data(), val.data(), n,
+                                      world.map.data(), world.slots.data()))
+          << "slot_gather_dot n=" << n << " live=" << live;
+
+      if (n == 0) continue;
+      std::vector<double> got(n, -1.0), want(n, -1.0);
+      ops().slot_gather(idx.data(), n, world.map.data(), world.slots.data(),
+                        got.data());
+      ref().slot_gather(idx.data(), n, world.map.data(), world.slots.data(),
+                        want.data());
+      ASSERT_EQ(0, std::memcmp(got.data(), want.data(), n * sizeof(double)))
+          << "slot_gather n=" << n << " live=" << live;
+    }
+  }
+}
+
+TEST_P(SimdIsaTest, SlotThetaAxpyMatchesScalarIncludingPruning) {
+  Rng rng(77);
+  const std::int64_t dim = 200;
+  for (int trial = 0; trial < 30; ++trial) {
+    SlotWorld base(rng, dim, 0.6);
+    const std::size_t n = 1 + rng.index(24);
+    const auto idx = sorted_indices(rng, dim, n);
+    auto val = random_values(rng, n);
+    double coef = rng.normal(0.0, 1.0);
+    if (trial % 3 == 0) {
+      // Force the exact-zero pruning path: make some updates cancel the
+      // current θ to below kZeroTolerance.
+      for (std::size_t k = 0; k < n; k += 2) {
+        const std::int32_t s = base.map[static_cast<std::size_t>(idx[k])];
+        if (s != 0 && coef != 0.0) {
+          val[k] = -base.slots[2 * static_cast<std::size_t>(s - 1) + 1] / coef;
+        }
+      }
+    }
+
+    SlotWorld got = base, want = base;
+    const auto rg = ops().slot_theta_axpy(idx.data(), val.data(), n, coef,
+                                          got.map.data(), got.slots.data());
+    const auto rw = ref().slot_theta_axpy(idx.data(), val.data(), n, coef,
+                                          want.map.data(), want.slots.data());
+    ASSERT_EQ(rg.processed, rw.processed) << "trial " << trial;
+    ASSERT_EQ(rg.nnz_delta, rw.nnz_delta) << "trial " << trial;
+    if (!got.slots.empty()) {
+      ASSERT_EQ(0, std::memcmp(got.slots.data(), want.slots.data(),
+                               got.slots.size() * sizeof(double)))
+          << "trial " << trial;
+    }
+    // The kernel stops at the first virgin slot — everything before it is
+    // live, and the slot it stopped on (if any) is virgin.
+    for (std::size_t k = 0; k < rg.processed; ++k) {
+      EXPECT_NE(0, base.map[static_cast<std::size_t>(idx[k])]);
+    }
+    if (rg.processed < n) {
+      EXPECT_EQ(0, base.map[static_cast<std::size_t>(idx[rg.processed])]);
+    }
+  }
+}
+
+TEST_P(SimdIsaTest, MinFiniteBitIdentical) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<std::vector<double>> cases = {
+      {},
+      {3.0},
+      {nan},
+      {inf, -inf, nan},
+      {5.0, nan, -2.5, inf, -2.5000001, 7.0},
+      {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, -0.5},
+      {nan, nan, nan, nan, nan, nan, nan, nan, -3.0},
+  };
+  for (const auto& q : cases) {
+    const double got = ops().min_finite(q.data(), q.size());
+    const double want = ref().min_finite(q.data(), q.size());
+    ASSERT_EQ(0, std::memcmp(&got, &want, sizeof(double)))
+        << "n=" << q.size();
+  }
+  Rng rng(88);
+  for (const std::size_t n : kSizes) {
+    const auto q = random_values(rng, n);
+    EXPECT_EQ(ops().min_finite(q.data(), n), ref().min_finite(q.data(), n));
+  }
+}
+
+TEST_P(SimdIsaTest, ExpWeightsMatchesLibmToTolerance) {
+  Rng rng(99);
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const std::size_t n : kSizes) {
+    std::vector<double> q = random_values(rng, n);
+    for (double& x : q) x = std::abs(x) * 3.0;  // production domain: q >= min
+    if (n >= 4) {
+      q[0] = nan;
+      q[1] = inf;
+      q[2] = -inf;
+      q[3] = 700.0;  // drives the exp argument past the underflow cutoff
+    }
+    for (const double temp : {1.0, 3.0, 1e-12}) {
+      const double min_q = 0.0;
+      std::vector<double> got(n, -1.0);
+      ops().exp_weights(q.data(), n, min_q, temp, got.data());
+      for (std::size_t k = 0; k < n; ++k) {
+        if (!std::isfinite(q[k])) {
+          ASSERT_EQ(0.0, got[k]) << "non-finite q must give weight 0";
+          continue;
+        }
+        const double want = std::exp(-(q[k] - min_q) / temp);
+        // ~1 ulp polynomial; weights live in [0, 1] here so an absolute
+        // tolerance is sound (it also absorbs the flush-to-zero cutoff's
+        // denormal-vs-zero difference near exp(-745)).
+        ASSERT_NEAR(want, got[k], 1e-14)
+            << "n=" << n << " k=" << k << " temp=" << temp;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the learner and the Boltzmann actor under a forced ISA.
+// ---------------------------------------------------------------------------
+
+/// Drives a learner through a mixed update schedule: repeated actions
+/// (live-slot fast path), fresh actions (virgin materialization),
+/// a == b self-transitions and truncation pressure.
+void drive_learner(LspiLearner& learner, unsigned seed) {
+  Rng rng(seed);
+  const std::int64_t dim = learner.dim();
+  std::vector<std::int64_t> batch;
+  for (int step = 0; step < 120; ++step) {
+    batch.clear();
+    const std::size_t n = 1 + rng.index(6);
+    for (std::size_t k = 0; k < n; ++k) {
+      batch.push_back(
+          static_cast<std::int64_t>(rng.index(static_cast<std::size_t>(dim))));
+    }
+    const auto b = static_cast<std::int64_t>(
+        rng.index(static_cast<std::size_t>(dim)));
+    learner.update_batch(batch, rng.normal(1.0, 0.5), b);
+  }
+}
+
+TEST_P(SimdIsaTest, LearnerStateBitIdenticalToScalarRun) {
+  const std::int64_t dim = 128;
+  simd::set_isa_for_tests(simd::Isa::kScalar);
+  LspiLearner scalar_learner(dim, 0.5, 1.0, 4);
+  drive_learner(scalar_learner, 7);
+
+  simd::set_isa_for_tests(GetParam());
+  LspiLearner isa_learner(dim, 0.5, 1.0, 4);
+  drive_learner(isa_learner, 7);
+  simd::reset_isa();
+
+  EXPECT_EQ(scalar_learner.updates(), isa_learner.updates());
+  EXPECT_EQ(scalar_learner.singular_skips(), isa_learner.singular_skips());
+  EXPECT_EQ(scalar_learner.truncations(), isa_learner.truncations());
+  EXPECT_GT(scalar_learner.truncations(), 0)
+      << "schedule must exercise the truncation path";
+  EXPECT_EQ(scalar_learner.theta_nnz(), isa_learner.theta_nnz());
+  EXPECT_EQ(scalar_learner.qtable_nnz(), isa_learner.qtable_nnz());
+  for (std::int64_t a = 0; a < dim; ++a) {
+    const double qs = scalar_learner.q_value(a);
+    const double qi = isa_learner.q_value(a);
+    ASSERT_EQ(0, std::memcmp(&qs, &qi, sizeof(double))) << "θ[" << a << "]";
+    for (std::int64_t c = 0; c < dim; ++c) {
+      const double bs = scalar_learner.B().get(a, c);
+      const double bi = isa_learner.B().get(a, c);
+      ASSERT_EQ(0, std::memcmp(&bs, &bi, sizeof(double)))
+          << "B(" << a << ", " << c << ")";
+    }
+  }
+}
+
+TEST_P(SimdIsaTest, BoltzmannWeightsMatchScalarToTolerance) {
+  Rng rng(13);
+  simd::set_isa_for_tests(simd::Isa::kScalar);
+  BoltzmannSelector scalar_sel(3.0, 0.01);
+  simd::set_isa_for_tests(GetParam());
+  BoltzmannSelector isa_sel(3.0, 0.01);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> q = random_values(rng, 1 + rng.index(40));
+    if (trial % 4 == 0 && q.size() > 1) {
+      q[0] = std::numeric_limits<double>::quiet_NaN();
+    }
+    simd::set_isa_for_tests(simd::Isa::kScalar);
+    const std::vector<double> want = scalar_sel.weights(q);
+    simd::set_isa_for_tests(GetParam());
+    const std::vector<double> got = isa_sel.weights(q);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t k = 0; k < q.size(); ++k) {
+      ASSERT_NEAR(want[k], got[k], 1e-14) << "trial " << trial << " k=" << k;
+    }
+  }
+  simd::reset_isa();
+}
+
+TEST_P(SimdIsaTest, ForcedIsaIsReportedByDispatch) {
+  simd::set_isa_for_tests(GetParam());
+  EXPECT_EQ(GetParam(), simd::active_isa());
+  EXPECT_STREQ(simd::isa_name(GetParam()), simd::ops().name);
+  simd::reset_isa();
+  EXPECT_TRUE(simd::isa_supported(simd::active_isa()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, SimdIsaTest,
+                         ::testing::Values(simd::Isa::kScalar,
+                                           simd::Isa::kAvx2,
+                                           simd::Isa::kAvx512),
+                         [](const auto& info) {
+                           return simd::isa_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace megh
