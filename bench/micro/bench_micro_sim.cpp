@@ -2,9 +2,11 @@
 // per-interval cost that Tables 2/3 aggregate and Figure 6 scales — the
 // engine's accounting around the policy, and full end-to-end steps.
 //
-// Deliberately written against the oldest common Datacenter/Simulation API
-// so the same file builds on the pre-change tree: BENCH_sim.json commits a
-// before/after pair produced by this exact source.
+// BM_DatacenterAccounting and BM_SimStep are written against the oldest
+// common Datacenter/Simulation API so the same benchmarks build on older
+// trees; the sharded benchmarks below use SimulationConfig::jobs, whose
+// jobs = 1 row is the serial baseline (bit-identical decisions, so the
+// comparison is pure wall-clock).
 //
 //   * BM_DatacenterAccounting — one interval's engine-side accounting with
 //     no policy at all: demand refresh, per-host utilization, overload
@@ -14,15 +16,26 @@
 //     paper's PlanetLab shape (m hosts, n = ceil(1.315 m) VMs; 800/1052 at
 //     the top size). Time is per benchmark iteration of kStepsPerRun steps;
 //     items/s is steps/s.
+//   * BM_SimStepSharded — the pod-sharded step at datacenter scale: Megh on
+//     a fat-tree fabric at {hosts, jobs} (2k and 10k hosts, 1–8 workers).
+//     jobs = 1 is the serial baseline the speedup column divides by;
+//     decisions are bit-identical at every jobs value, so only wall-clock
+//     moves.
+//   * BM_SimStepEngine100k — engine-only (NoMigration) steps at 100k hosts:
+//     the accounting scale ceiling, where the per-pod shards are the only
+//     thing between the step and a 100k-host serial scan.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
+#include "baselines/simple_policies.hpp"
 #include "core/megh_policy.hpp"
 #include "harness/scenario.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/network.hpp"
 
 namespace megh {
 namespace {
@@ -87,6 +100,66 @@ BENCHMARK(BM_SimStep)
     ->Arg(200)
     ->Arg(400)
     ->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimStepSharded(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
+  const int jobs = static_cast<int>(state.range(1));
+  const int vms = vms_for_hosts(hosts);
+  // Fewer steps per iteration at the big sizes: the measurement is per-step
+  // anyway (items/s) and trace/datacenter setup is paused out.
+  const int steps = hosts >= 10'000 ? 5 : kStepsPerRun;
+  const Scenario scenario = make_planetlab_scenario(hosts, vms, steps, 9);
+  SimulationConfig config = default_sim_config(0.02);
+  config.network = std::make_shared<const FatTreeTopology>(
+      FatTreeTopology::for_hosts(hosts));
+  config.jobs = jobs;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 2);
+    MeghConfig megh_config;
+    megh_config.seed = 7;
+    MeghPolicy policy(megh_config);
+    Simulation sim(std::move(dc), scenario.trace, config);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sim.run(policy, steps));
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_SimStepSharded)
+    ->Args({2'000, 1})
+    ->Args({2'000, 2})
+    ->Args({2'000, 4})
+    ->Args({2'000, 8})
+    ->Args({10'000, 1})
+    ->Args({10'000, 2})
+    ->Args({10'000, 4})
+    ->Args({10'000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimStepEngine100k(benchmark::State& state) {
+  const int hosts = 100'000;
+  const int jobs = static_cast<int>(state.range(0));
+  const int vms = vms_for_hosts(hosts);
+  const int steps = 3;
+  const Scenario scenario = make_planetlab_scenario(hosts, vms, steps, 9);
+  SimulationConfig config = default_sim_config(0.0);
+  config.network = std::make_shared<const FatTreeTopology>(
+      FatTreeTopology::for_hosts(hosts));
+  config.jobs = jobs;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 2);
+    NoMigrationPolicy policy;
+    Simulation sim(std::move(dc), scenario.trace, config);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sim.run(policy, steps));
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_SimStepEngine100k)
+    ->Arg(1)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -4,9 +4,9 @@
 // hottest VM from any host above a high watermark, refill from hosts below
 // a low watermark — and races it against Megh on the same scenario. It
 // demonstrates everything a custom policy needs:
-//   * subclass MigrationPolicy;
+//   * subclass MigrationPolicy and override decide_into;
 //   * read the StepObservation (utilizations + topology);
-//   * return MigrationActions (the engine validates RAM feasibility);
+//   * append MigrationActions (the engine validates RAM feasibility);
 //   * optionally use observe_cost() for feedback and stats() for metrics.
 #include <algorithm>
 #include <cstdio>
@@ -27,9 +27,9 @@ class WatermarkPolicy : public MigrationPolicy {
 
   std::string name() const override { return "Watermark"; }
 
-  std::vector<MigrationAction> decide(const StepObservation& obs) override {
+  void decide_into(const StepObservation& obs,
+                   std::vector<MigrationAction>& actions) override {
     const Datacenter& dc = *obs.dc;
-    std::vector<MigrationAction> actions;
 
     // Above the high watermark: move the most demanding VM to the host
     // with the most spare capacity.
@@ -67,7 +67,6 @@ class WatermarkPolicy : public MigrationPolicy {
       }
       break;  // one consolidation move per step keeps churn bounded
     }
-    return actions;
   }
 
   void observe_cost(double step_cost) override { total_cost_ += step_cost; }

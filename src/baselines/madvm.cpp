@@ -137,7 +137,8 @@ void MadVmPolicy::sweep_vm(int vm, bool full) {
   }
 }
 
-std::vector<MigrationAction> MadVmPolicy::decide(const StepObservation& obs) {
+void MadVmPolicy::decide_into(const StepObservation& obs,
+                              std::vector<MigrationAction>& out) {
   const Datacenter& dc = *obs.dc;
   MEGH_ASSERT(static_cast<int>(models_.size()) == dc.num_vms(),
               "MadVmPolicy::decide before begin()");
@@ -162,7 +163,6 @@ std::vector<MigrationAction> MadVmPolicy::decide(const StepObservation& obs) {
   }
 
   // 2. Decisions: each VM greedily maximizes its own expected utility.
-  std::vector<MigrationAction> actions;
   // Hypothetical per-host demand so this step's choices see each other.
   std::vector<double> planned_mips(static_cast<std::size_t>(dc.num_hosts()));
   std::vector<double> planned_ram(static_cast<std::size_t>(dc.num_hosts()));
@@ -233,14 +233,13 @@ std::vector<MigrationAction> MadVmPolicy::decide(const StepObservation& obs) {
     }
     if (!move) continue;
 
-    actions.push_back(MigrationAction{vm, best_host});
+    out.push_back(MigrationAction{vm, best_host});
     ++migrations_requested_;
     planned_mips[static_cast<std::size_t>(current)] -= vm_mips;
     planned_ram[static_cast<std::size_t>(current)] -= vm_ram;
     planned_mips[static_cast<std::size_t>(best_host)] += vm_mips;
     planned_ram[static_cast<std::size_t>(best_host)] += vm_ram;
   }
-  return actions;
 }
 
 void MadVmPolicy::stats(PolicyStats& out) const {

@@ -55,7 +55,8 @@ class MadVmPolicy : public MigrationPolicy {
   std::string name() const override { return "MadVM"; }
   void begin(const Datacenter& dc, const CostConfig& cost,
              double interval_s) override;
-  std::vector<MigrationAction> decide(const StepObservation& obs) override;
+  void decide_into(const StepObservation& obs,
+                   std::vector<MigrationAction>& out) override;
   void stats(PolicyStats& out) const override;
 
   /// Estimated value of a VM in utilization bucket u on a host in load

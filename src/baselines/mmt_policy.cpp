@@ -52,38 +52,75 @@ class Planner {
            0;
   }
 
-  /// PABFD over the planned state.
+  /// One candidate for the PABFD fold: (host, power increase, was-active).
+  struct PabfdPartial {
+    int host = -1;
+    double increase = std::numeric_limits<double>::infinity();
+    bool active = false;
+  };
+
+  /// The PABFD preference: prefer an active target over waking a sleeping
+  /// one, then the smaller power increase, the earlier host winning ties
+  /// (strict `<`, first wins). A left fold with this predicate picks the
+  /// globally first-minimal candidate, so folding per-shard winners in
+  /// shard (= ascending-host-block) order reproduces the serial scan
+  /// bit-for-bit — which is what lets pabfd() shard without changing any
+  /// plan.
+  static bool pabfd_better(const PabfdPartial& best, bool is_active,
+                           double increase) {
+    return best.host < 0 || (is_active && !best.active) ||
+           (is_active == best.active && increase < best.increase);
+  }
+
+  /// PABFD over the planned state, optionally sharded over `exec`.
   std::optional<int> pabfd(int vm, double ceiling,
-                           const std::vector<char>& excluded) const {
-    std::optional<int> best;
-    double best_increase = std::numeric_limits<double>::infinity();
-    bool best_active = false;
+                           const std::vector<char>& excluded,
+                           const ShardExecutor* exec = nullptr) const {
     const int current = dc_.host_of(vm);
     const double vm_mips = dc_.vm_demand_mips(vm);
-    for (int h = 0; h < dc_.num_hosts(); ++h) {
-      if (h == current || excluded[static_cast<std::size_t>(h)]) continue;
-      if (!ram_fits(vm, h)) continue;
-      const double capacity = dc_.host_spec(h).mips;
-      if (demand_mips(h) + vm_mips > ceiling * capacity + 1e-9) continue;
-      const bool is_active = active(h);
-      if (best.has_value() && best_active && !is_active) continue;
-      const PowerModel& power = dc_.host_spec(h).power;
-      const double before =
-          is_active ? power.watts(std::min(1.0, demand_mips(h) / capacity))
-                    : power.sleep_watts();
-      const double after =
-          power.watts(std::min(1.0, (demand_mips(h) + vm_mips) / capacity));
-      const double increase = after - before;
-      const bool better = !best.has_value() || (is_active && !best_active) ||
-                          (is_active == best_active &&
-                           increase < best_increase);
-      if (better) {
-        best = h;
-        best_increase = increase;
-        best_active = is_active;
+    const auto scan = [&](int begin, int end) {
+      PabfdPartial best;
+      for (int h = begin; h < end; ++h) {
+        if (h == current || excluded[static_cast<std::size_t>(h)]) continue;
+        if (!ram_fits(vm, h)) continue;
+        const double capacity = dc_.host_spec(h).mips;
+        if (demand_mips(h) + vm_mips > ceiling * capacity + 1e-9) continue;
+        const bool is_active = active(h);
+        // Skip the power evaluation when the host cannot win; the skipped
+        // work has no side effects, so this never changes the fold.
+        if (best.host >= 0 && best.active && !is_active) continue;
+        const PowerModel& power = dc_.host_spec(h).power;
+        const double before =
+            is_active ? power.watts(std::min(1.0, demand_mips(h) / capacity))
+                      : power.sleep_watts();
+        const double after =
+            power.watts(std::min(1.0, (demand_mips(h) + vm_mips) / capacity));
+        const double increase = after - before;
+        if (pabfd_better(best, is_active, increase)) {
+          best = PabfdPartial{h, increase, is_active};
+        }
       }
+      return best;
+    };
+    PabfdPartial best;
+    if (exec != nullptr && exec->parallel() &&
+        exec->plan().count() == dc_.num_hosts()) {
+      const ShardPlan& plan = exec->plan();
+      std::vector<PabfdPartial> partials(
+          static_cast<std::size_t>(plan.num_shards()));
+      exec->for_shards([&](int s) {
+        partials[static_cast<std::size_t>(s)] =
+            scan(plan.shard_begin(s), plan.shard_end(s));
+      });
+      for (const PabfdPartial& p : partials) {
+        if (p.host < 0) continue;
+        if (pabfd_better(best, p.active, p.increase)) best = p;
+      }
+    } else {
+      best = scan(0, dc_.num_hosts());
     }
-    return best;
+    if (best.host < 0) return std::nullopt;
+    return best.host;
   }
 
  private:
@@ -129,8 +166,10 @@ void MmtPolicy::begin(const Datacenter& dc, const CostConfig&, double) {
   underload_migrations_ = 0;
 }
 
-std::vector<MigrationAction> MmtPolicy::decide(const StepObservation& obs) {
+void MmtPolicy::decide_into(const StepObservation& obs,
+                            std::vector<MigrationAction>& out) {
   const Datacenter& dc = *obs.dc;
+  const ShardExecutor* exec = obs.exec;
   MEGH_ASSERT(static_cast<int>(history_.size()) == dc.num_hosts(),
               "MmtPolicy::decide before begin()");
 
@@ -143,7 +182,6 @@ std::vector<MigrationAction> MmtPolicy::decide(const StepObservation& obs) {
     while (hist.size() > window) hist.pop_front();
   }
 
-  std::vector<MigrationAction> actions;
   Planner planner(dc);
   std::vector<char> excluded(static_cast<std::size_t>(dc.num_hosts()), 0);
 
@@ -173,10 +211,11 @@ std::vector<MigrationAction> MmtPolicy::decide(const StepObservation& obs) {
     return dc.vm_demand_mips(a) > dc.vm_demand_mips(b);
   });
   for (int vm : to_place) {
-    const auto target = planner.pabfd(vm, config_.placement_ceiling, excluded);
+    const auto target =
+        planner.pabfd(vm, config_.placement_ceiling, excluded, exec);
     if (!target.has_value()) continue;  // nowhere to go; stay put
     planner.plan_move(vm, dc.host_of(vm), *target);
-    actions.push_back(MigrationAction{vm, *target});
+    out.push_back(MigrationAction{vm, *target});
     ++overload_migrations_;
   }
 
@@ -206,7 +245,7 @@ std::vector<MigrationAction> MmtPolicy::decide(const StepObservation& obs) {
     std::vector<int> vms(dc.vms_on(h).begin(), dc.vms_on(h).end());
     // Skip VMs already planned to move away in the overload phase.
     std::erase_if(vms, [&](int vm) {
-      return std::any_of(actions.begin(), actions.end(),
+      return std::any_of(out.begin(), out.end(),
                          [vm](const MigrationAction& a) { return a.vm == vm; });
     });
     if (vms.empty()) continue;
@@ -219,8 +258,8 @@ std::vector<MigrationAction> MmtPolicy::decide(const StepObservation& obs) {
     Planner trial_planner = planner;
     bool all_placed = true;
     for (int vm : vms) {
-      const auto target =
-          trial_planner.pabfd(vm, config_.placement_ceiling, excluded_for_evac);
+      const auto target = trial_planner.pabfd(
+          vm, config_.placement_ceiling, excluded_for_evac, exec);
       if (!target.has_value()) {
         all_placed = false;
         break;
@@ -231,12 +270,10 @@ std::vector<MigrationAction> MmtPolicy::decide(const StepObservation& obs) {
     if (!all_placed) continue;
     planner.adopt(trial_planner);
     excluded[static_cast<std::size_t>(h)] = 1;  // now sleeping; not a target
-    actions.insert(actions.end(), trial.begin(), trial.end());
+    out.insert(out.end(), trial.begin(), trial.end());
     underload_migrations_ += static_cast<long long>(trial.size());
     ++evacuated;
   }
-
-  return actions;
 }
 
 void MmtPolicy::stats(PolicyStats& out) const {

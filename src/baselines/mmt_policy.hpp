@@ -52,7 +52,11 @@ class MmtPolicy : public MigrationPolicy {
   std::string name() const override;
   void begin(const Datacenter& dc, const CostConfig& cost,
              double interval_s) override;
-  std::vector<MigrationAction> decide(const StepObservation& obs) override;
+  /// Appends this step's plan to `out`. The PABFD placement scans fan out
+  /// over obs.exec when the engine passes one; the plan is bit-identical
+  /// either way (the fold's merge is exact).
+  void decide_into(const StepObservation& obs,
+                   std::vector<MigrationAction>& out) override;
   void stats(PolicyStats& out) const override;
 
  private:

@@ -71,10 +71,9 @@ int QLearningPolicy::encode_state(const StepObservation& obs) const {
   return (a * config_.util_buckets + b) * config_.active_buckets + c;
 }
 
-std::vector<MigrationAction> QLearningPolicy::macro_action(
-    int action, const StepObservation& obs) {
+void QLearningPolicy::macro_action(int action, const StepObservation& obs,
+                                   std::vector<MigrationAction>& out) {
   const Datacenter& dc = *obs.dc;
-  std::vector<MigrationAction> out;
   const bool evacuate_overloaded = action == 1 || action == 3;
   const bool consolidate = action == 2 || action == 3;
 
@@ -121,11 +120,10 @@ std::vector<MigrationAction> QLearningPolicy::macro_action(
       }
     }
   }
-  return out;
 }
 
-std::vector<MigrationAction> QLearningPolicy::decide(
-    const StepObservation& obs) {
+void QLearningPolicy::decide_into(const StepObservation& obs,
+                                  std::vector<MigrationAction>& out) {
   const int state = encode_state(obs);
   const double epsilon =
       training_ ? config_.epsilon_train : config_.epsilon_run;
@@ -145,7 +143,7 @@ std::vector<MigrationAction> QLearningPolicy::decide(
   }
   last_state_ = state;
   last_action_ = action;
-  return macro_action(action, obs);
+  macro_action(action, obs, out);
 }
 
 void QLearningPolicy::observe_cost(double step_cost) {

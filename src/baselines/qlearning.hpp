@@ -42,7 +42,8 @@ class QLearningPolicy : public MigrationPolicy {
   }
   void begin(const Datacenter& dc, const CostConfig& cost,
              double interval_s) override;
-  std::vector<MigrationAction> decide(const StepObservation& obs) override;
+  void decide_into(const StepObservation& obs,
+                   std::vector<MigrationAction>& out) override;
   void observe_cost(double step_cost) override;
   void stats(PolicyStats& out) const override;
 
@@ -58,8 +59,8 @@ class QLearningPolicy : public MigrationPolicy {
 
  private:
   int encode_state(const StepObservation& obs) const;
-  std::vector<MigrationAction> macro_action(int action,
-                                            const StepObservation& obs);
+  void macro_action(int action, const StepObservation& obs,
+                    std::vector<MigrationAction>& out);
 
   QLearningConfig config_;
   Rng rng_;

@@ -29,8 +29,8 @@ void SandpiperPolicy::begin(const Datacenter& dc, const CostConfig&, double) {
   hotspots_resolved_ = 0;
 }
 
-std::vector<MigrationAction> SandpiperPolicy::decide(
-    const StepObservation& obs) {
+void SandpiperPolicy::decide_into(const StepObservation& obs,
+                                  std::vector<MigrationAction>& out) {
   const Datacenter& dc = *obs.dc;
   MEGH_ASSERT(static_cast<int>(hot_streak_.size()) == dc.num_hosts(),
               "SandpiperPolicy::decide before begin()");
@@ -48,7 +48,7 @@ std::vector<MigrationAction> SandpiperPolicy::decide(
       hot_streak_[static_cast<std::size_t>(h)] = 0;
     }
   }
-  if (hotspots.empty()) return {};
+  if (hotspots.empty()) return;
 
   // Hottest first (by volume).
   const auto host_volume = [&](int h, double extra_mips, double extra_ram) {
@@ -62,7 +62,6 @@ std::vector<MigrationAction> SandpiperPolicy::decide(
     return host_volume(a, 0, 0) > host_volume(b, 0, 0);
   });
 
-  std::vector<MigrationAction> actions;
   // Plan-level deltas so simultaneous decisions see each other.
   std::vector<double> extra_mips(static_cast<std::size_t>(dc.num_hosts()), 0);
   std::vector<double> extra_ram(static_cast<std::size_t>(dc.num_hosts()), 0);
@@ -107,7 +106,7 @@ std::vector<MigrationAction> SandpiperPolicy::decide(
       }
       if (target < 0) break;  // hotspot cannot be mitigated this step
 
-      actions.push_back(MigrationAction{best_vm, target});
+      out.push_back(MigrationAction{best_vm, target});
       const std::size_t t = static_cast<std::size_t>(target);
       extra_mips[t] += vm_mips;
       extra_ram[t] += vm_ram;
@@ -115,7 +114,6 @@ std::vector<MigrationAction> SandpiperPolicy::decide(
       break;  // one VM per hotspot per step; re-evaluate next interval
     }
   }
-  return actions;
 }
 
 void SandpiperPolicy::stats(PolicyStats& out) const {

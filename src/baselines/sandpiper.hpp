@@ -46,7 +46,8 @@ class SandpiperPolicy : public MigrationPolicy {
   std::string name() const override { return "Sandpiper"; }
   void begin(const Datacenter& dc, const CostConfig& cost,
              double interval_s) override;
-  std::vector<MigrationAction> decide(const StepObservation& obs) override;
+  void decide_into(const StepObservation& obs,
+                   std::vector<MigrationAction>& out) override;
   void stats(PolicyStats& out) const override;
 
  private:

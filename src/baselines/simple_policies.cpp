@@ -2,9 +2,9 @@
 
 namespace megh {
 
-std::vector<MigrationAction> RandomPolicy::decide(const StepObservation& obs) {
+void RandomPolicy::decide_into(const StepObservation& obs,
+                               std::vector<MigrationAction>& out) {
   const Datacenter& dc = *obs.dc;
-  std::vector<MigrationAction> out;
   for (int i = 0; i < migrations_per_step_; ++i) {
     const int vm =
         static_cast<int>(rng_.index(static_cast<std::size_t>(dc.num_vms())));
@@ -14,7 +14,6 @@ std::vector<MigrationAction> RandomPolicy::decide(const StepObservation& obs) {
       out.push_back(MigrationAction{vm, host});
     }
   }
-  return out;
 }
 
 }  // namespace megh

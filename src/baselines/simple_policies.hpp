@@ -13,9 +13,8 @@ namespace megh {
 class NoMigrationPolicy : public MigrationPolicy {
  public:
   std::string name() const override { return "NoMigration"; }
-  std::vector<MigrationAction> decide(const StepObservation&) override {
-    return {};
-  }
+  void decide_into(const StepObservation&,
+                   std::vector<MigrationAction>&) override {}
 };
 
 /// Migrates `migrations_per_step` random VMs to random RAM-feasible hosts —
@@ -26,7 +25,8 @@ class RandomPolicy : public MigrationPolicy {
       : migrations_per_step_(migrations_per_step), rng_(seed) {}
 
   std::string name() const override { return "Random"; }
-  std::vector<MigrationAction> decide(const StepObservation& obs) override;
+  void decide_into(const StepObservation& obs,
+                   std::vector<MigrationAction>& out) override;
 
  private:
   int migrations_per_step_;

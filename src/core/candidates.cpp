@@ -88,8 +88,18 @@ void add_candidate(std::vector<CandidateAction>& out, const ActionBasis& basis,
 }
 
 /// Full enumeration: every (vm, feasible host) pair plus the no-op.
+///
+/// Emission order is pod-major when a fabric is attached: pods in
+/// ascending order, and within a pod its VMs in ascending order (a VM
+/// belongs to the pod of its current host), each VM emitting its no-op
+/// first and then targets by ascending host. Per-pod outputs are therefore
+/// contiguous blocks, so a sharded enumeration merges by plain
+/// concatenation in pod order — no interleaving to reconstruct. Without a
+/// fabric there is a single block and the order is exactly the historical
+/// vm-ascending one (the scalar-golden order).
 void enumerate_all(const Datacenter& dc, std::span<const double> host_util,
                    const ActionBasis& basis, double util_ceiling,
+                   const FatTreeTopology* network,
                    std::vector<CandidateAction>& out) {
   // d is small on this path by construction, but full_enumeration_limit is
   // caller-configurable: clamp the occupancy guess so a generous limit
@@ -97,7 +107,7 @@ void enumerate_all(const Datacenter& dc, std::span<const double> host_util,
   const std::size_t guess = static_cast<std::size_t>(dc.num_vms()) *
                             static_cast<std::size_t>(dc.num_hosts()) / 4;
   out.reserve(std::min<std::size_t>(guess, 65'536));
-  for (int vm = 0; vm < dc.num_vms(); ++vm) {
+  const auto emit_vm = [&](int vm) {
     const int current = dc.host_of(vm);
     add_candidate(out, basis, vm, current, current,
                   CandidateGroup::kExploration);
@@ -108,7 +118,24 @@ void enumerate_all(const Datacenter& dc, std::span<const double> host_util,
                       CandidateGroup::kExploration);
       }
     }
+  };
+  if (network == nullptr || network->capacity() < dc.num_hosts()) {
+    for (int vm = 0; vm < dc.num_vms(); ++vm) emit_vm(vm);
+    return;
   }
+  for (int pod = 0; pod < network->num_pods(); ++pod) {
+    for (int vm = 0; vm < dc.num_vms(); ++vm) {
+      if (network->pod_of(dc.host_of(vm)) == pod) emit_vm(vm);
+    }
+  }
+#ifndef NDEBUG
+  // The concatenation contract above: source pods never decrease.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    MEGH_ASSERT(network->pod_of(dc.host_of(out[i].vm)) >=
+                    network->pod_of(dc.host_of(out[i - 1].vm)),
+                "enumerate_all: pod blocks must be contiguous");
+  }
+#endif
 }
 
 }  // namespace
@@ -118,14 +145,15 @@ void generate_candidates(const Datacenter& dc,
                          const ActionBasis& basis,
                          const CandidateConfig& config, Rng& rng,
                          CandidateScratch& scratch,
-                         const FatTreeTopology* network) {
+                         const FatTreeTopology* network,
+                         const ShardExecutor* exec) {
   MEGH_TRACE_SCOPE("megh.candidates");
   if (!config.network_aware) network = nullptr;
   MEGH_ASSERT(static_cast<int>(host_util.size()) == dc.num_hosts(),
               "host_util size mismatch");
   scratch.candidates.clear();
   if (basis.dim() <= config.full_enumeration_limit) {
-    enumerate_all(dc, host_util, basis, config.target_util_ceiling,
+    enumerate_all(dc, host_util, basis, config.target_util_ceiling, network,
                   scratch.candidates);
     record_candidates(scratch.candidates.size());
     return;
@@ -212,17 +240,37 @@ void generate_candidates(const Datacenter& dc,
                 CandidateGroup::kExploration);
   }
 
+  // --- resolve the shard plan (single code path, sharded or not) ---
+  // The batched scans below always run per shard and merge in shard order;
+  // with no executor the whole fleet is one shard, which makes the merged
+  // result trivially the serial fold. One implementation, no drift.
+  const ShardPlan* plan = nullptr;
+  if (exec != nullptr) {
+    MEGH_ASSERT(exec->plan().count() == num_hosts,
+                "generate_candidates: executor plan does not cover the fleet");
+    plan = &exec->plan();
+  } else {
+    if (!scratch.fallback_plan.has_value() ||
+        scratch.fallback_plan->count() != num_hosts) {
+      scratch.fallback_plan = ShardPlan::single(num_hosts);
+    }
+    plan = &*scratch.fallback_plan;
+  }
+  const int num_shards = plan->num_shards();
+  const bool fan_out = exec != nullptr && exec->parallel();
+
   // --- hoist step-constant per-host values ---
   // Every expression below mirrors the Datacenter accessor the scans used
   // to call per (source, host); precomputing them per step changes nothing
-  // but the constant factor.
+  // but the constant factor. Each host writes only its own entries, so the
+  // loop shards freely.
   scratch.host_capacity.resize(hosts);
   scratch.host_ram_used.resize(hosts);
   scratch.host_ram_cap.resize(hosts);
   scratch.host_base_watts.resize(hosts);
   scratch.host_power.resize(hosts);
   scratch.host_active.resize(hosts);
-  for (int h = 0; h < num_hosts; ++h) {
+  const auto hoist_host = [&](int h) {
     const std::size_t i = static_cast<std::size_t>(h);
     const HostSpec& spec = dc.host_spec(h);
     scratch.host_capacity[i] = spec.mips;
@@ -236,6 +284,11 @@ void generate_candidates(const Datacenter& dc,
     scratch.host_base_watts[i] =
         active ? spec.power.watts(std::min(1.0, host_util[i]))
                : spec.power.sleep_watts();
+  };
+  if (fan_out) {
+    exec->for_items(hoist_host);
+  } else {
+    for (int h = 0; h < num_hosts; ++h) hoist_host(h);
   }
 
   // Datacenter::fits on the hoisted arrays (identical comparison).
@@ -250,37 +303,129 @@ void generate_candidates(const Datacenter& dc,
     const double post = host_util[h] * capacity + vm_mips;
     return post <= ceiling * capacity + 1e-9;
   };
-  // PABFD over the cached utilizations (placement.cpp's generic version
-  // recomputes host demand per probe, which dominated Megh's decide() at
-  // 800-host scale). Selection logic and arithmetic match the original
+  // --- batched per-(shard, source) PABFD + packing scans ---
+  // The per-host scans are the step's O(sources × hosts) core. Both are
+  // RNG-free strict-preference folds (PABFD: prefer active, then smaller
+  // power increase, first host wins ties; packing: strictly busiest
+  // feasible host, first wins), so each shard can fold its contiguous host
+  // range independently and a serial merge in shard order reproduces the
+  // full-range fold bit-for-bit. PABFD arithmetic matches the original
   // per-source implementation exactly; only watts(before) is hoisted.
-  const auto pabfd_fast = [&](int current, double vm_ram,
-                              double vm_mips) -> int {
-    int best = -1;
-    double best_increase = std::numeric_limits<double>::infinity();
-    bool best_active = false;
-    for (int h = 0; h < num_hosts; ++h) {
-      if (h == current) continue;
-      const std::size_t i = static_cast<std::size_t>(h);
-      if (!fits_fast(i, vm_ram)) continue;
-      const double capacity = scratch.host_capacity[i];
-      const double after = host_util[i] + vm_mips / capacity;
-      if (after > config.target_util_ceiling + 1e-9) continue;
-      const bool active = scratch.host_active[i] != 0;
-      if (best >= 0 && best_active && !active) continue;
-      const double increase = scratch.host_power[i]->watts(
-                                  std::min(1.0, after)) -
-                              scratch.host_base_watts[i];
-      const bool better = best < 0 || (active && !best_active) ||
-                          (active == best_active && increase < best_increase);
-      if (better) {
-        best = h;
-        best_increase = increase;
-        best_active = active;
+  const std::size_t nsrc = sources.size();
+  scratch.src_current.resize(nsrc);
+  scratch.src_ram.resize(nsrc);
+  scratch.src_mips.resize(nsrc);
+  for (std::size_t k = 0; k < nsrc; ++k) {
+    const int vm = sources[k].first;
+    scratch.src_current[k] = dc.host_of(vm);
+    scratch.src_ram[k] = dc.vm_spec(vm).ram_mb;
+    scratch.src_mips[k] = dc.vm_demand_mips(vm);
+  }
+  using ScanPartial = CandidateScratch::ScanPartial;
+  scratch.scan_partials.resize(static_cast<std::size_t>(num_shards) * nsrc);
+  const auto scan_shard = [&](int shard) {
+    const int begin = plan->shard_begin(shard);
+    const int end = plan->shard_end(shard);
+    ScanPartial* partials =
+        scratch.scan_partials.data() +
+        static_cast<std::size_t>(shard) * nsrc;
+    for (std::size_t k = 0; k < nsrc; ++k) {
+      ScanPartial p;
+      const int current = scratch.src_current[k];
+      const double vm_ram = scratch.src_ram[k];
+      const double vm_mips = scratch.src_mips[k];
+      // PABFD fold — skipped for consolidation sources (packing-only menu).
+      if (sources[k].second != CandidateGroup::kConsolidation) {
+        double best_increase = std::numeric_limits<double>::infinity();
+        for (int h = begin; h < end; ++h) {
+          if (h == current) continue;
+          const std::size_t i = static_cast<std::size_t>(h);
+          if (!fits_fast(i, vm_ram)) continue;
+          const double capacity = scratch.host_capacity[i];
+          const double after = host_util[i] + vm_mips / capacity;
+          if (after > config.target_util_ceiling + 1e-9) continue;
+          const bool active = scratch.host_active[i] != 0;
+          // No side effects in the skipped work, so the early-out cannot
+          // change the fold's winner.
+          if (p.pabfd >= 0 && p.pabfd_active && !active) continue;
+          const double increase = scratch.host_power[i]->watts(
+                                      std::min(1.0, after)) -
+                                  scratch.host_base_watts[i];
+          const bool better = p.pabfd < 0 || (active && !p.pabfd_active) ||
+                              (active == p.pabfd_active &&
+                               increase < best_increase);
+          if (better) {
+            p.pabfd = h;
+            best_increase = increase;
+            p.pabfd_active = active;
+          }
+        }
+        p.pabfd_increase = best_increase;
+      }
+      // Packing fold: busiest active host under the pack ceiling, with an
+      // in-pod variant when a fabric is attached.
+      for (int h = begin; h < end; ++h) {
+        const std::size_t i = static_cast<std::size_t>(h);
+        if (h == current || scratch.host_active[i] == 0) continue;
+        const double u = host_util[i];
+        if (u <= p.pack_local_util && u <= p.pack_util) continue;
+        if (!feasible_fast(i, vm_ram, vm_mips, config.pack_ceiling)) continue;
+        if (u > p.pack_util) {
+          p.pack = h;
+          p.pack_util = u;
+        }
+        if (network != nullptr && u > p.pack_local_util &&
+            network->pod_of(h) == network->pod_of(current)) {
+          p.pack_local = h;
+          p.pack_local_util = u;
+        }
+      }
+      partials[k] = p;
+    }
+  };
+  if (fan_out) {
+    exec->for_shards(scan_shard);
+  } else {
+    for (int s = 0; s < num_shards; ++s) scan_shard(s);
+  }
+
+  // Serial merge, shard order = ascending host order. Each merge applies
+  // the same strict preference the folds used, so the result equals the
+  // single full-range scan.
+  scratch.pabfd_choice.resize(nsrc);
+  scratch.pack_choice.resize(nsrc);
+  for (std::size_t k = 0; k < nsrc; ++k) {
+    int pabfd = -1;
+    double pabfd_increase = std::numeric_limits<double>::infinity();
+    bool pabfd_active = false;
+    int pack = -1, pack_local = -1;
+    double pack_util = -1.0, pack_local_util = -1.0;
+    for (int s = 0; s < num_shards; ++s) {
+      const ScanPartial& p =
+          scratch.scan_partials[static_cast<std::size_t>(s) * nsrc + k];
+      if (p.pabfd >= 0) {
+        const bool better = pabfd < 0 || (p.pabfd_active && !pabfd_active) ||
+                            (p.pabfd_active == pabfd_active &&
+                             p.pabfd_increase < pabfd_increase);
+        if (better) {
+          pabfd = p.pabfd;
+          pabfd_increase = p.pabfd_increase;
+          pabfd_active = p.pabfd_active;
+        }
+      }
+      if (p.pack >= 0 && p.pack_util > pack_util) {
+        pack = p.pack;
+        pack_util = p.pack_util;
+      }
+      if (p.pack_local >= 0 && p.pack_local_util > pack_local_util) {
+        pack_local = p.pack_local;
+        pack_local_util = p.pack_local_util;
       }
     }
-    return best;
-  };
+    scratch.pabfd_choice[k] = pabfd;
+    // In-pod packing host preferred (short copy path); global fallback.
+    scratch.pack_choice[k] = pack_local >= 0 ? pack_local : pack;
+  }
 
   // --- targets per source ---
   auto& out = scratch.candidates;
@@ -292,45 +437,29 @@ void generate_candidates(const Datacenter& dc,
       add_candidate(out, basis, vm, host, current, group);
     }
   };
-  for (const auto& [vm, source_group] : sources) {
-    const int current = dc.host_of(vm);
-    const double vm_ram = dc.vm_spec(vm).ram_mb;
-    const double vm_mips = dc.vm_demand_mips(vm);
-    group = source_group;
+  // The emission loop stays serial and in source order: it is the only
+  // part that draws from `rng`, so the RNG stream is consumed exactly as
+  // the unsharded generator consumed it.
+  for (std::size_t k = 0; k < nsrc; ++k) {
+    const int vm = sources[k].first;
+    const int current = scratch.src_current[k];
+    const double vm_ram = scratch.src_ram[k];
+    const double vm_mips = scratch.src_mips[k];
+    group = sources[k].second;
     push_candidate(vm, current, current);  // no-op first
 
     // PABFD target (power-aware best fit) as a high-quality candidate —
     // except for consolidation sources, whose menu is packing-only.
-    if (group != CandidateGroup::kConsolidation) {
-      const int pabfd = pabfd_fast(current, vm_ram, vm_mips);
-      if (pabfd >= 0) push_candidate(vm, pabfd, current);
+    if (group != CandidateGroup::kConsolidation &&
+        scratch.pabfd_choice[k] >= 0) {
+      push_candidate(vm, scratch.pabfd_choice[k], current);
     }
 
     // Packing target: busiest active host that still fits under the pack
-    // ceiling (consolidation move). With a fabric attached, an in-pod
-    // packing host is preferred (short copy path); global fallback.
-    int pack = -1, pack_local = -1;
-    double pack_util = -1.0, pack_local_util = -1.0;
-    for (int h = 0; h < num_hosts; ++h) {
-      const std::size_t i = static_cast<std::size_t>(h);
-      if (h == current || scratch.host_active[i] == 0) continue;
-      const double u = host_util[i];
-      if (u <= pack_local_util && u <= pack_util) continue;
-      if (!feasible_fast(i, vm_ram, vm_mips, config.pack_ceiling)) continue;
-      if (u > pack_util) {
-        pack = h;
-        pack_util = u;
-      }
-      if (network != nullptr && u > pack_local_util &&
-          network->pod_of(h) == network->pod_of(current)) {
-        pack_local = h;
-        pack_local_util = u;
-      }
-    }
-    if (pack_local >= 0) {
-      push_candidate(vm, pack_local, current);
-    } else if (pack >= 0) {
-      push_candidate(vm, pack, current);
+    // ceiling (consolidation move), in-pod preferred when a fabric is
+    // attached — merged from the sharded scan above.
+    if (scratch.pack_choice[k] >= 0) {
+      push_candidate(vm, scratch.pack_choice[k], current);
     }
 
     // Random feasible targets (spread moves) — offered for overloaded and

@@ -17,8 +17,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/basis.hpp"
 #include "sim/datacenter.hpp"
@@ -116,18 +118,54 @@ struct CandidateScratch {
   std::vector<double> host_base_watts;
   std::vector<const PowerModel*> host_power;
   std::vector<std::uint8_t> host_active;
+  /// One fold state per (shard, source) for the batched PABFD/packing
+  /// scans: each shard folds its contiguous host range for every source,
+  /// and a serial merge in shard order reproduces the full-range fold
+  /// bit-for-bit (both folds are strict-preference argopt with first-wins
+  /// ties — see generate_candidates). Laid out [shard * num_sources + k]
+  /// so a shard writes one contiguous block (no false sharing).
+  struct ScanPartial {
+    int pabfd = -1;             // best PABFD target in the shard, -1 = none
+    double pabfd_increase = 0.0;
+    bool pabfd_active = false;
+    int pack = -1;              // busiest feasible packing host in the shard
+    int pack_local = -1;        // same, restricted to the source's pod
+    double pack_util = -1.0;
+    double pack_local_util = -1.0;
+  };
+  std::vector<ScanPartial> scan_partials;
+  // Per-source values hoisted before the sharded scans (shards must not
+  // call back into dc concurrently with each other only for writes; these
+  // are reads, hoisting just keeps the inner loops tight).
+  std::vector<int> src_current;
+  std::vector<double> src_ram;
+  std::vector<double> src_mips;
+  // Per-source merged scan results consumed by the emission loop.
+  std::vector<int> pabfd_choice;
+  std::vector<int> pack_choice;
+  /// Cached single-shard plan for unsharded callers (exec == nullptr), so
+  /// their steady-state calls stay allocation-free too.
+  std::optional<ShardPlan> fallback_plan;
 };
 
 /// Build this step's candidate set into `scratch.candidates` (overwritten).
 /// `host_util` is the demanded utilization per host; `beta` the overload
 /// threshold. Always produces at least the no-op candidates for the
 /// selected source VMs. Steady-state calls are allocation-free.
+///
+/// `exec` (optional) shards the per-host PABFD/packing scans across the
+/// engine's step executor. The candidate set is bit-identical at any job
+/// count — and to an exec == nullptr call: every scan is an RNG-free
+/// strict-preference fold whose per-shard partials merge exactly, source
+/// selection and the random target probes stay serial in the original
+/// order, so the RNG stream is consumed identically.
 void generate_candidates(const Datacenter& dc,
                          std::span<const double> host_util, double beta,
                          const ActionBasis& basis,
                          const CandidateConfig& config, Rng& rng,
                          CandidateScratch& scratch,
-                         const FatTreeTopology* network = nullptr);
+                         const FatTreeTopology* network = nullptr,
+                         const ShardExecutor* exec = nullptr);
 
 /// Convenience wrapper (tests, one-shot callers): fresh scratch per call.
 std::vector<CandidateAction> generate_candidates(

@@ -63,21 +63,17 @@ void MeghPolicy::begin(const Datacenter& dc, const CostConfig& cost,
   rollbacks_ = 0;
 }
 
-std::vector<MigrationAction> MeghPolicy::decide(const StepObservation& obs) {
-  std::vector<MigrationAction> actions;
-  decide_into(obs, actions);
-  return actions;
-}
-
 void MeghPolicy::decide_into(const StepObservation& obs,
                              std::vector<MigrationAction>& out) {
   MEGH_REQUIRE(basis_ != nullptr, "MeghPolicy::decide before begin()");
   MEGH_TRACE_SCOPE("megh.decide");
   const Datacenter& dc = *obs.dc;
 
-  // 1. Candidates and their Q-values.
+  // 1. Candidates and their Q-values. The per-host scans inside fan out
+  // over the engine's shard executor when one is attached (obs.exec);
+  // the result is bit-identical either way.
   generate_candidates(dc, obs.host_util, beta_, *basis_, config_.candidates,
-                      rng_, scratch_.candidates, obs.network);
+                      rng_, scratch_.candidates, obs.network, obs.exec);
   const bool recovery = config_.recovery.enabled;
   if (recovery) {
     last_step_ = obs.step;

@@ -102,9 +102,9 @@ class MeghPolicy : public MigrationPolicy {
   std::string name() const override { return "Megh"; }
   void begin(const Datacenter& dc, const CostConfig& cost,
              double interval_s) override;
-  std::vector<MigrationAction> decide(const StepObservation& obs) override;
   /// Hot path: appends into the engine's reused buffer and runs entirely on
-  /// per-policy scratch storage — steady-state calls never allocate.
+  /// per-policy scratch storage — steady-state calls never allocate. The
+  /// candidate scans fan out over obs.exec when the engine passes one.
   void decide_into(const StepObservation& obs,
                    std::vector<MigrationAction>& out) override;
   void observe_cost(double step_cost) override;

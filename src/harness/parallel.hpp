@@ -3,37 +3,16 @@
 // independent simulation, so a plain fork-join over std::thread is safe —
 // the library shares no mutable global state (policies own their RNGs, the
 // engine owns its datacenter copy).
+//
+// The primitives live in common/parallel.hpp so the simulation layer can
+// use them too (the sharded step, src/sim/sharding.hpp); this header keeps
+// the engine-facing include path and API:
+//   * parallel_for(count, fn, threads)        — the experiment engine's
+//     cell dispatcher (std::function body, coarse items);
+//   * parallel_for(count, grain, fn, threads) — grain-size-aware overload
+//     for hot shards (direct call, no per-index std::function);
+//   * ThreadPool / ShardPlan / ShardExecutor  — persistent workers for
+//     per-step sharding.
 #pragma once
 
-#include <functional>
-#include <thread>
-#include <vector>
-
-#include "common/error.hpp"
-
-namespace megh {
-
-/// Number of worker threads to use by default (hardware concurrency,
-/// at least 1, capped to the number of items).
-int default_parallelism(std::size_t items);
-
-/// Run fn(i) for i in [0, count) across up to `threads` workers (0 = auto).
-/// The first exception thrown by an item cancels dispatch of not-yet-claimed
-/// indices (in-flight items still finish, so partial results stay
-/// consistent) and is rethrown once every worker has stopped.
-void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
-                  int threads = 0);
-
-/// Map items through fn in parallel, preserving order.
-template <typename T, typename Fn>
-auto parallel_map(const std::vector<T>& items, Fn fn, int threads = 0)
-    -> std::vector<decltype(fn(items.front()))> {
-  using Result = decltype(fn(items.front()));
-  std::vector<Result> out(items.size());
-  parallel_for(
-      items.size(),
-      [&](std::size_t i) { out[i] = fn(items[i]); }, threads);
-  return out;
-}
-
-}  // namespace megh
+#include "common/parallel.hpp"

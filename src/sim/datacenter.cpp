@@ -111,7 +111,8 @@ void Datacenter::unplace(int vm) {
   debug_check_cache();
 }
 
-void Datacenter::set_demands(std::span<const double> vm_utilization) {
+void Datacenter::set_demands(std::span<const double> vm_utilization,
+                             const ShardExecutor* exec) {
   MEGH_REQUIRE(vm_utilization.size() == vm_util_.size(),
                "set_demands: size mismatch");
   for (std::size_t i = 0; i < vm_utilization.size(); ++i) {
@@ -119,8 +120,16 @@ void Datacenter::set_demands(std::span<const double> vm_utilization) {
     MEGH_ASSERT(u >= 0.0 && u <= 1.0, "vm utilization must lie in [0,1]");
     vm_util_[i] = u;
   }
-  // Every VM's demand may have changed: refresh each host's sum once.
-  for (int h = 0; h < num_hosts(); ++h) recompute_host_demand(h);
+  // Every VM's demand may have changed: refresh each host's sum once. Each
+  // refresh reads only that host's VM list and writes only that host's
+  // cached sum, so sharding the loop cannot change any value.
+  if (exec != nullptr && exec->parallel()) {
+    MEGH_ASSERT(exec->plan().count() == num_hosts(),
+                "set_demands: executor plan does not cover the fleet");
+    exec->for_items([this](int h) { recompute_host_demand(h); });
+  } else {
+    for (int h = 0; h < num_hosts(); ++h) recompute_host_demand(h);
+  }
   debug_check_cache();
 }
 
@@ -169,18 +178,33 @@ std::vector<double> Datacenter::all_host_utilization() const {
   return out;
 }
 
-void Datacenter::all_host_utilization(std::vector<double>& out) const {
+void Datacenter::all_host_utilization(std::vector<double>& out,
+                                      const ShardExecutor* exec) const {
   out.resize(static_cast<std::size_t>(num_hosts()));
-  for (int h = 0; h < num_hosts(); ++h) {
+  const auto fill = [this, &out](int h) {
     out[static_cast<std::size_t>(h)] =
         host_demand_mips_[static_cast<std::size_t>(h)] /
         hosts_[static_cast<std::size_t>(h)].mips;
+  };
+  if (exec != nullptr && exec->parallel()) {
+    MEGH_ASSERT(exec->plan().count() == num_hosts(),
+                "all_host_utilization: executor plan does not cover the fleet");
+    exec->for_items(fill);
+  } else {
+    for (int h = 0; h < num_hosts(); ++h) fill(h);
   }
 }
 
 void Datacenter::reserve_full_occupancy() {
-  for (auto& list : host_vms_) {
-    list.reserve(vms_.size());
+  if (vms_.empty()) return;
+  double min_ram = vms_.front().ram_mb;
+  for (const auto& v : vms_) min_ram = std::min(min_ram, v.ram_mb);
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    // fits() admits a VM while ram_used + ram <= cap + 1e-9, so at most
+    // floor(cap / min_ram) VMs ever share a host; +1 absorbs the epsilon.
+    const std::size_t cap = static_cast<std::size_t>(
+        hosts_[h].ram_mb / min_ram + 1e-9);
+    host_vms_[h].reserve(std::min(vms_.size(), cap + 1));
   }
 }
 

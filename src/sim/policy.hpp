@@ -48,6 +48,13 @@ struct StepObservation {
   /// target a down host anyway are rejected by the engine (and reported via
   /// observe_outcomes as kTargetDown).
   std::span<const std::uint8_t> host_down;
+  /// Sharded-step execution context (pods on a fabric, contiguous blocks
+  /// otherwise; see sim/sharding.hpp). Policies may fan their per-host
+  /// scans across it — Megh's candidate generator and the MMT planner's
+  /// PABFD inner loop do — as long as every cross-shard merge is exact, so
+  /// the decision stays bit-identical at any job count (including this
+  /// being nullptr, which unsharded callers pass).
+  const ShardExecutor* exec = nullptr;
 };
 
 /// What the engine did with one requested migration — fed back to the
@@ -80,18 +87,24 @@ class MigrationPolicy {
     (void)interval_s;
   }
 
-  /// Decide this interval's migrations. This call is wall-clock timed by the
-  /// engine — it is the "execution time" metric of the paper's evaluation.
-  virtual std::vector<MigrationAction> decide(const StepObservation& obs) = 0;
-
-  /// Buffer-reusing variant the engine calls each step: append this
-  /// interval's migrations to `out` (cleared by the caller). The default
-  /// forwards to decide(); hot-path policies (Megh) override it to write
-  /// into the reused buffer so the steady-state step loop never allocates.
+  /// Decide this interval's migrations, appending them to `out` (cleared
+  /// and reused by the caller across steps, so a policy that stores its
+  /// working state in member scratch allocates nothing per step). This is
+  /// the primitive every policy implements, and the call the engine
+  /// wall-clock times — the "execution time" metric of the paper's
+  /// evaluation. Batch-minded policies read obs.exec to shard their
+  /// per-host scans.
   virtual void decide_into(const StepObservation& obs,
-                           std::vector<MigrationAction>& out) {
-    std::vector<MigrationAction> actions = decide(obs);
-    out.insert(out.end(), actions.begin(), actions.end());
+                           std::vector<MigrationAction>& out) = 0;
+
+  /// Convenience wrapper (tests, notebooks, one-shot callers): decide into
+  /// a fresh vector. Non-virtual — decide_into is the one override point,
+  /// which is what lets the engine promise a buffer-reusing hot path for
+  /// every policy instead of only the ones that opted in.
+  std::vector<MigrationAction> decide(const StepObservation& obs) {
+    std::vector<MigrationAction> actions;
+    decide_into(obs, actions);
+    return actions;
   }
 
   /// Feedback: the realized cost of the interval the last decide() shaped.

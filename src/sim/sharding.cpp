@@ -1,0 +1,26 @@
+#include "sim/sharding.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace megh {
+
+ShardPlan make_step_shards(const FatTreeTopology* network, int num_hosts) {
+  MEGH_REQUIRE(num_hosts > 0, "make_step_shards: need at least one host");
+  if (network == nullptr || network->capacity() < num_hosts) {
+    return ShardPlan::blocks(num_hosts, kDefaultShardHosts);
+  }
+  // One shard per pod. Pods are contiguous [p * hosts_per_pod, ...) ranges;
+  // the fleet may stop mid-pod (capacity is the next k³/4 above the host
+  // count), so the last shard is clipped and trailing empty pods dropped.
+  const int per_pod = network->hosts_per_pod();
+  std::vector<int> bounds;
+  bounds.reserve(static_cast<std::size_t>(network->num_pods()) + 1);
+  bounds.push_back(0);
+  while (bounds.back() < num_hosts) {
+    bounds.push_back(std::min(num_hosts, bounds.back() + per_pod));
+  }
+  return ShardPlan::from_bounds(std::move(bounds));
+}
+
+}  // namespace megh

@@ -8,6 +8,7 @@
 #include "common/stopwatch.hpp"
 #include "common/string_util.hpp"
 #include "metrics/running_stats.hpp"
+#include "sim/sharding.hpp"
 #include "sim/sla.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -121,6 +122,7 @@ Simulation::Simulation(Datacenter dc, const TraceTable& trace,
     : dc_(std::move(dc)), trace_(trace), config_(config) {
   config_.cost.validate();
   MEGH_REQUIRE(config_.interval_s > 0, "interval must be positive");
+  MEGH_REQUIRE(config_.jobs >= 0, "jobs must be >= 0 (0 = auto)");
   MEGH_REQUIRE(trace_.num_vms() == dc_.num_vms(),
                strf("trace has %d VMs but datacenter has %d", trace_.num_vms(),
                     dc_.num_vms()));
@@ -165,6 +167,15 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
   }
   FaultInjector* chaos = injector.has_value() ? &*injector : nullptr;
 
+  // Sharded-step execution context: pods when a fabric is attached,
+  // contiguous blocks otherwise. Built once per run — the pool's workers
+  // park between dispatches, so per-step fan-out costs a wakeup, not a
+  // thread spawn. The plan never depends on `jobs`, and every cross-shard
+  // merge below is exact, so any jobs value yields bit-identical results.
+  const ShardExecutor exec(make_step_shards(config_.network.get(),
+                                            dc_.num_hosts()),
+                           config_.jobs);
+
   policy.begin(dc_, config_.cost, config_.interval_s);
 
   const int migration_cap =
@@ -193,6 +204,16 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
                                     0.0);
   std::vector<double> host_overload_s(
       static_cast<std::size_t>(dc_.num_hosts()), 0.0);
+  // Per-host scratch for the sharded settle phase: each shard writes its
+  // hosts' entries, then a serial in-host-order fold consumes them so the
+  // RunningStats accumulation and the power sum keep the exact operation
+  // order of the serial step (bit-identity across job counts).
+  std::vector<double> settle_util(static_cast<std::size_t>(dc_.num_hosts()),
+                                  -1.0);
+  std::vector<std::uint8_t> settle_overloaded(
+      static_cast<std::size_t>(dc_.num_hosts()), 0);
+  std::vector<double> host_watts(static_cast<std::size_t>(dc_.num_hosts()),
+                                 0.0);
   double total_watt_seconds = 0.0;
 
   Telemetry& telemetry = Telemetry::instance();
@@ -213,7 +234,7 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
       if (chaos == nullptr || !chaos->in_trace_gap()) {
         trace_.read_step(step, vm_util);
       }
-      dc_.set_demands(vm_util);
+      dc_.set_demands(vm_util, &exec);
       sla.begin_interval(config_.interval_s);
     }
 
@@ -247,11 +268,12 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
     obs.interval_s = config_.interval_s;
     obs.dc = &dc_;
     obs.vm_util = vm_util;
-    dc_.all_host_utilization(host_util);
+    dc_.all_host_utilization(host_util, &exec);
     obs.host_util = host_util;
     obs.last_step_cost = last_step_cost;
     obs.cost = &config_.cost;
     obs.network = config_.network.get();
+    obs.exec = &exec;
     if (chaos != nullptr) obs.host_down = chaos->down_mask();
 
     Stopwatch watch;
@@ -340,24 +362,48 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
     {
     MEGH_TRACE_SCOPE("sim.settle");  // covers 4–6
 
-    // 4. Overload accounting on the post-migration allocation. Down hosts
-    // are excluded here (no service means no overload, no active time) and
-    // settled separately below.
-    RunningStats util_stats;
-    for (int h = 0; h < dc_.num_hosts(); ++h) {
-      if (chaos != nullptr && chaos->host_down(h)) continue;
-      if (!dc_.is_active(h)) continue;
+    // 4. Overload accounting on the post-migration allocation, sharded:
+    // each host's work (its active/overload seconds, its VMs' overload
+    // downtime — a VM lives on exactly one host — and its power term for
+    // phase 5) touches only that host's state, so shards never contend.
+    // Down hosts are excluded here (no service means no overload, no
+    // active time) and settled separately below. Order-sensitive
+    // floating-point folds (the utilization mean, the power sum) happen in
+    // the serial in-host-order pass right after, reading the per-host
+    // values the shards wrote — the exact sequence the serial step ran.
+    const auto account_host = [&](int h) {
+      const std::size_t i = static_cast<std::size_t>(h);
+      const PowerModel& power = dc_.host_spec(h).power;
+      host_watts[i] = dc_.is_active(h)
+                          ? power.watts(std::min(1.0, dc_.host_utilization(h)))
+                          : power.sleep_watts();
+      settle_util[i] = -1.0;
+      settle_overloaded[i] = 0;
+      if (chaos != nullptr && chaos->host_down(h)) return;
+      if (!dc_.is_active(h)) return;
       const double util = dc_.host_utilization(h);
-      util_stats.add(std::min(1.0, util));
-      host_active_s[static_cast<std::size_t>(h)] += config_.interval_s;
+      settle_util[i] = std::min(1.0, util);
+      host_active_s[i] += config_.interval_s;
       if (util > config_.cost.beta_overload) {
-        ++snap.overloaded_hosts;
-        host_overload_s[static_cast<std::size_t>(h)] += config_.interval_s;
+        settle_overloaded[i] = 1;
+        host_overload_s[i] += config_.interval_s;
       }
       const double downtime = sla.overload_downtime_s(util, config_.interval_s);
       if (downtime > 0.0) {
         for (int vm : dc_.vms_on(h)) sla.add_overload_downtime(vm, downtime);
       }
+    };
+    if (exec.parallel()) {
+      exec.for_items(account_host);
+    } else {
+      for (int h = 0; h < dc_.num_hosts(); ++h) account_host(h);
+    }
+    RunningStats util_stats;
+    for (int h = 0; h < dc_.num_hosts(); ++h) {
+      const std::size_t i = static_cast<std::size_t>(h);
+      if (settle_util[i] < 0.0) continue;
+      util_stats.add(settle_util[i]);
+      if (settle_overloaded[i] != 0) ++snap.overloaded_hosts;
     }
     // 4b. Down hosts: stranded VMs (nowhere to evacuate to) receive zero
     // service for the whole interval.
@@ -379,17 +425,20 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
         (chaos != nullptr ? chaos->events_this_step() : 0) +
         snap.aborted_migrations;
 
-    // 5. Costs. A down host draws no power: subtract exactly the term
-    // datacenter_power_watts added for it, so the fault-free total stays
-    // bit-identical to interval_energy_cost_usd.
-    double watts = datacenter_power_watts(dc_);
+    // 5. Costs. The per-host watt terms were computed in the sharded phase
+    // above (host_watts[h] is exactly the term datacenter_power_watts
+    // evaluates for host h); summing them serially in ascending host order
+    // reproduces that function's fold bit-for-bit. A down host draws no
+    // power: subtract exactly the term the sum added for it, so the
+    // fault-free total stays bit-identical to interval_energy_cost_usd.
+    double watts = 0.0;
+    for (int h = 0; h < dc_.num_hosts(); ++h) {
+      watts += host_watts[static_cast<std::size_t>(h)];
+    }
     if (chaos != nullptr && chaos->hosts_down() > 0) {
       for (int h = 0; h < dc_.num_hosts(); ++h) {
         if (!chaos->host_down(h)) continue;
-        const PowerModel& power = dc_.host_spec(h).power;
-        watts -= dc_.is_active(h)
-                     ? power.watts(std::min(1.0, dc_.host_utilization(h)))
-                     : power.sleep_watts();
+        watts -= host_watts[static_cast<std::size_t>(h)];
       }
     }
     total_watt_seconds += watts * config_.interval_s;

@@ -44,6 +44,15 @@ struct SimulationConfig {
   /// the source host NIC, and snapshots count per-tier migrations. The
   /// topology must have capacity >= the datacenter's host count.
   std::shared_ptr<const FatTreeTopology> network;
+  /// Worker count for the sharded step (see sim/sharding.hpp): demand
+  /// refresh, utilization/SLA accounting, the power scan and the policy's
+  /// candidate scans run as per-pod shards (contiguous blocks without a
+  /// fabric) across this many workers, the caller included. 1 = serial
+  /// (the timing-grade default), 0 = hardware concurrency. Decision
+  /// outputs and every snapshot column except exec_ms are bit-identical
+  /// at any value — all cross-shard merges are exact, and the few
+  /// genuinely order-sensitive floating-point folds stay serial.
+  int jobs = 1;
   /// Optional fault plan (chaos subsystem, src/chaos). When set, the step
   /// loop replays the plan through a FaultInjector: migrations may abort
   /// mid-copy (cost still charged, VM stays on source), hosts crash (their

@@ -41,9 +41,12 @@ struct Fixture {
 class ScriptedPolicy : public MigrationPolicy {
  public:
   std::string name() const override { return "Scripted"; }
-  std::vector<MigrationAction> decide(const StepObservation& obs) override {
+  void decide_into(const StepObservation& obs,
+                   std::vector<MigrationAction>& out) override {
     const auto it = script_.find(obs.step);
-    return it == script_.end() ? std::vector<MigrationAction>{} : it->second;
+    if (it != script_.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
   }
   std::map<int, std::vector<MigrationAction>> script_;
 };

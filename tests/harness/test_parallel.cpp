@@ -99,5 +99,115 @@ TEST(DefaultParallelismTest, Bounds) {
   EXPECT_EQ(default_parallelism(0), 1);
 }
 
+// --- grained (template) overload -----------------------------------------
+
+TEST(GrainedParallelForTest, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(1027);  // ragged last chunk
+  parallel_for(visits.size(), /*grain=*/64,
+               [&](std::size_t i) { ++visits[i]; }, /*threads=*/4);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(GrainedParallelForTest, SingleChunkRunsInlineInOrder) {
+  std::vector<int> order;
+  parallel_for(5, /*grain=*/8, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  }, /*threads=*/4);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(GrainedParallelForTest, ZeroItemsIsNoop) {
+  bool called = false;
+  parallel_for(0, /*grain=*/16, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(GrainedParallelForTest, ZeroGrainRejected) {
+  EXPECT_THROW(parallel_for(10, /*grain=*/0, [](std::size_t) {}),
+               ConfigError);
+}
+
+TEST(GrainedParallelForTest, ExceptionPropagates) {
+  EXPECT_THROW(parallel_for(256, /*grain=*/16,
+                            [](std::size_t i) {
+                              if (i == 33) throw ConfigError("boom");
+                            },
+                            /*threads=*/4),
+               ConfigError);
+}
+
+// --- persistent pool ------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryItemAcrossReuses) {
+  // The step loop dispatches thousands of jobs through one pool; the
+  // generation handshake must not lose or re-run items across reuses.
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.jobs(), 4);
+  for (std::size_t count : {1u, 7u, 64u, 1000u}) {
+    std::atomic<std::size_t> sum{0};
+    pool.run(count, [&](std::size_t i) { sum += i + 1; });
+    EXPECT_EQ(sum.load(), count * (count + 1) / 2) << "count " << count;
+  }
+}
+
+TEST(ThreadPoolTest, SingleJobRunsInlineInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1);
+  std::vector<int> order;
+  pool.run(4, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPoolTest, ExceptionRethrownAndPoolStaysUsable) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.run(100,
+                        [](std::size_t i) {
+                          if (i == 5) throw ConfigError("boom");
+                        }),
+               ConfigError);
+  // The pool must recover: the next job runs every item.
+  std::atomic<int> count{0};
+  pool.run(50, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 50);
+}
+
+// --- shard plans and executors -------------------------------------------
+
+TEST(ShardPlanTest, BlocksPartitionWithRaggedTail) {
+  const ShardPlan plan = ShardPlan::blocks(10, 4);
+  ASSERT_EQ(plan.num_shards(), 3);
+  EXPECT_EQ(plan.count(), 10);
+  EXPECT_EQ(plan.shard_begin(0), 0);
+  EXPECT_EQ(plan.shard_end(0), 4);
+  EXPECT_EQ(plan.shard_begin(2), 8);
+  EXPECT_EQ(plan.shard_end(2), 10);
+  const ShardPlan one = ShardPlan::single(7);
+  EXPECT_EQ(one.num_shards(), 1);
+  EXPECT_EQ(one.shard_end(0), 7);
+}
+
+TEST(ShardExecutorTest, ForItemsCoversPlanOnceParallel) {
+  const ShardExecutor exec(ShardPlan::blocks(100, 30), /*jobs=*/4);
+  EXPECT_TRUE(exec.parallel());
+  std::vector<std::atomic<int>> visits(100);
+  exec.for_items([&](int i) { ++visits[static_cast<std::size_t>(i)]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ShardExecutorTest, SerialExecutorRunsShardsInOrder) {
+  const ShardExecutor exec(ShardPlan::blocks(10, 4), /*jobs=*/1);
+  EXPECT_FALSE(exec.parallel());
+  EXPECT_EQ(exec.jobs(), 1);
+  std::vector<int> shards;
+  exec.for_shards([&](int s) { shards.push_back(s); });
+  EXPECT_EQ(shards, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ShardExecutorTest, WorkersClampedToShardCount) {
+  // One shard can't use eight workers — no pool is spun up at all.
+  const ShardExecutor exec(ShardPlan::single(10), /*jobs=*/8);
+  EXPECT_FALSE(exec.parallel());
+}
+
 }  // namespace
 }  // namespace megh

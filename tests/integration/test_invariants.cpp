@@ -19,8 +19,8 @@ class ChaosPolicy : public MigrationPolicy {
  public:
   explicit ChaosPolicy(std::uint64_t seed, int burst) : rng_(seed), burst_(burst) {}
   std::string name() const override { return "Chaos"; }
-  std::vector<MigrationAction> decide(const StepObservation& obs) override {
-    std::vector<MigrationAction> out;
+  void decide_into(const StepObservation& obs,
+                   std::vector<MigrationAction>& out) override {
     for (int i = 0; i < burst_; ++i) {
       // In-range but freely infeasible (no-ops, RAM misfits, over-cap).
       // Out-of-range indices are a structured error now — covered by
@@ -29,7 +29,6 @@ class ChaosPolicy : public MigrationPolicy {
           static_cast<int>(rng_.uniform_int(0, obs.dc->num_vms() - 1)),
           static_cast<int>(rng_.uniform_int(0, obs.dc->num_hosts() - 1))});
     }
-    return out;
   }
 
  private:

@@ -91,9 +91,9 @@ TEST(PreCopyTest, InvalidInputsRejected) {
 class MoveOnePolicy : public MigrationPolicy {
  public:
   std::string name() const override { return "MoveOne"; }
-  std::vector<MigrationAction> decide(const StepObservation& obs) override {
-    if (obs.step == 0) return {MigrationAction{0, 1}};
-    return {};
+  void decide_into(const StepObservation& obs,
+                   std::vector<MigrationAction>& out) override {
+    if (obs.step == 0) out.push_back(MigrationAction{0, 1});
   }
 };
 

@@ -102,12 +102,13 @@ struct NetWorld {
 class TierScriptedPolicy : public MigrationPolicy {
  public:
   std::string name() const override { return "TierScripted"; }
-  std::vector<MigrationAction> decide(const StepObservation& obs) override {
-    if (obs.step != 0) return {};
+  void decide_into(const StepObservation& obs,
+                   std::vector<MigrationAction>& out) override {
+    if (obs.step != 0) return;
     // Host layout for k=4: hosts 0,1 share an edge; 2 same pod; 4 other pod.
-    return {MigrationAction{0, 1},   // same edge
-            MigrationAction{1, 2},   // same pod (vm 1 starts on host 1)
-            MigrationAction{2, 4}};  // cross pod (vm 2 starts on host 2)
+    out.push_back(MigrationAction{0, 1});  // same edge
+    out.push_back(MigrationAction{1, 2});  // same pod (vm 1 starts on host 1)
+    out.push_back(MigrationAction{2, 4});  // cross pod (vm 2 starts on host 2)
   }
 };
 
@@ -144,9 +145,9 @@ TEST(NetworkSimulationTest, OversubscribedCrossPodCostsMoreSla) {
      public:
       explicit OneMove(int target) : target_(target) {}
       std::string name() const override { return "OneMove"; }
-      std::vector<MigrationAction> decide(const StepObservation& obs) override {
-        if (obs.step != 0) return {};
-        return {MigrationAction{0, target_}};
+      void decide_into(const StepObservation& obs,
+                       std::vector<MigrationAction>& out) override {
+        if (obs.step == 0) out.push_back(MigrationAction{0, target_});
       }
       int target_;
     } policy(target);

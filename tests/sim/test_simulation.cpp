@@ -33,10 +33,13 @@ struct Fixture {
 class ScriptedPolicy : public MigrationPolicy {
  public:
   std::string name() const override { return "Scripted"; }
-  std::vector<MigrationAction> decide(const StepObservation& obs) override {
+  void decide_into(const StepObservation& obs,
+                   std::vector<MigrationAction>& out) override {
     const auto it = script_.find(obs.step);
     observed_costs_.push_back(obs.last_step_cost);
-    return it == script_.end() ? std::vector<MigrationAction>{} : it->second;
+    if (it != script_.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
   }
   void observe_cost(double c) override { costs_.push_back(c); }
 

@@ -59,9 +59,9 @@ TEST(SlavMetricsTest, PdmMatchesHandComputation) {
   class MoveOnce : public MigrationPolicy {
    public:
     std::string name() const override { return "MoveOnce"; }
-    std::vector<MigrationAction> decide(const StepObservation& obs) override {
-      if (obs.step == 1) return {MigrationAction{0, 2}};
-      return {};
+    void decide_into(const StepObservation& obs,
+                     std::vector<MigrationAction>& out) override {
+      if (obs.step == 1) out.push_back(MigrationAction{0, 2});
     }
   } policy;
   SimulationConfig config;
