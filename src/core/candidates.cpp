@@ -100,6 +100,7 @@ void add_candidate(std::vector<CandidateAction>& out, const ActionBasis& basis,
 void enumerate_all(const Datacenter& dc, std::span<const double> host_util,
                    const ActionBasis& basis, double util_ceiling,
                    const FatTreeTopology* network,
+                   const CandidateDomain* domain,
                    std::vector<CandidateAction>& out) {
   // d is small on this path by construction, but full_enumeration_limit is
   // caller-configurable: clamp the occupancy guess so a generous limit
@@ -107,11 +108,13 @@ void enumerate_all(const Datacenter& dc, std::span<const double> host_util,
   const std::size_t guess = static_cast<std::size_t>(dc.num_vms()) *
                             static_cast<std::size_t>(dc.num_hosts()) / 4;
   out.reserve(std::min<std::size_t>(guess, 65'536));
+  const int host_lo = domain != nullptr ? domain->host_begin : 0;
+  const int host_hi = domain != nullptr ? domain->host_end : dc.num_hosts();
   const auto emit_vm = [&](int vm) {
     const int current = dc.host_of(vm);
     add_candidate(out, basis, vm, current, current,
                   CandidateGroup::kExploration);
-    for (int h = 0; h < dc.num_hosts(); ++h) {
+    for (int h = host_lo; h < host_hi; ++h) {
       if (h == current) continue;
       if (target_feasible(dc, host_util, vm, h, util_ceiling)) {
         add_candidate(out, basis, vm, h, current,
@@ -119,6 +122,12 @@ void enumerate_all(const Datacenter& dc, std::span<const double> host_util,
       }
     }
   };
+  if (domain != nullptr) {
+    // Domain VMs come pre-sorted ascending — the same order the single-pod
+    // (and fabric-free) fleet enumeration below walks them in.
+    for (int vm : domain->vms) emit_vm(vm);
+    return;
+  }
   if (network == nullptr || network->capacity() < dc.num_hosts()) {
     for (int vm = 0; vm < dc.num_vms(); ++vm) emit_vm(vm);
     return;
@@ -146,21 +155,38 @@ void generate_candidates(const Datacenter& dc,
                          const CandidateConfig& config, Rng& rng,
                          CandidateScratch& scratch,
                          const FatTreeTopology* network,
-                         const ShardExecutor* exec) {
+                         const ShardExecutor* exec,
+                         const CandidateDomain* domain) {
   MEGH_TRACE_SCOPE("megh.candidates");
   if (!config.network_aware) network = nullptr;
   MEGH_ASSERT(static_cast<int>(host_util.size()) == dc.num_hosts(),
               "host_util size mismatch");
   scratch.candidates.clear();
-  if (basis.dim() <= config.full_enumeration_limit) {
+  // The enumeration gate compares the reachable action count: the full
+  // basis for fleet calls, |vms| × width for a domain (the same product —
+  // N × M — when the domain spans the fleet).
+  const std::int64_t reachable_dim =
+      domain != nullptr
+          ? static_cast<std::int64_t>(domain->vms.size()) *
+                static_cast<std::int64_t>(domain->host_end -
+                                          domain->host_begin)
+          : basis.dim();
+  if (reachable_dim <= config.full_enumeration_limit) {
     enumerate_all(dc, host_util, basis, config.target_util_ceiling, network,
-                  scratch.candidates);
+                  domain, scratch.candidates);
     record_candidates(scratch.candidates.size());
     return;
   }
 
   const int num_hosts = dc.num_hosts();
-  const std::size_t hosts = static_cast<std::size_t>(num_hosts);
+  // Host range this call may source from, scan and target. Every per-host
+  // scratch array below is sized `hosts` = the range's width and indexed
+  // relative to host_lo, so a pod-sized domain costs pod-sized scratch.
+  const int host_lo = domain != nullptr ? domain->host_begin : 0;
+  const int host_hi = domain != nullptr ? domain->host_end : num_hosts;
+  MEGH_ASSERT(host_lo >= 0 && host_lo < host_hi && host_hi <= num_hosts,
+              "generate_candidates: domain host range out of bounds");
+  const std::size_t hosts = static_cast<std::size_t>(host_hi - host_lo);
 
   // Worst-case source/candidate counts from the config — used to size every
   // reusable container up front, so no later step can set a new capacity
@@ -173,8 +199,14 @@ void generate_candidates(const Datacenter& dc,
       max_sources * static_cast<std::size_t>(config.targets_per_source + 3);
 
   // --- select source VMs (tagged by the group they will draw in) ---
-  if (scratch.vm_epoch.size() != static_cast<std::size_t>(dc.num_vms())) {
-    scratch.vm_epoch.assign(static_cast<std::size_t>(dc.num_vms()), 0);
+  // The "seen" stamp array is indexed by the VM's dense slot: the global vm
+  // id for fleet calls, the domain's vm_slot mapping for pod calls — so a
+  // pod-sized domain keeps the array pod-sized.
+  const std::size_t stamp_slots =
+      domain != nullptr ? static_cast<std::size_t>(domain->slot_capacity)
+                        : static_cast<std::size_t>(dc.num_vms());
+  if (scratch.vm_epoch.size() != stamp_slots) {
+    scratch.vm_epoch.assign(stamp_slots, 0);
     scratch.epoch = 0;
     scratch.sources.reserve(max_sources);
     scratch.overloaded_hosts.reserve(hosts);
@@ -187,8 +219,18 @@ void generate_candidates(const Datacenter& dc,
   const std::uint32_t epoch = scratch.epoch;
   auto& sources = scratch.sources;
   sources.clear();
+  const auto stamp_of = [&](int vm) -> std::uint32_t& {
+    const std::size_t slot =
+        domain != nullptr
+            ? static_cast<std::size_t>(
+                  domain->vm_slot[static_cast<std::size_t>(vm)])
+            : static_cast<std::size_t>(vm);
+    MEGH_ASSERT(slot < scratch.vm_epoch.size(),
+                "generate_candidates: vm slot out of range");
+    return scratch.vm_epoch[slot];
+  };
   const auto push_source = [&](int vm, CandidateGroup group) {
-    std::uint32_t& stamp = scratch.vm_epoch[static_cast<std::size_t>(vm)];
+    std::uint32_t& stamp = stamp_of(vm);
     if (stamp != epoch) {
       stamp = epoch;
       sources.emplace_back(vm, group);
@@ -198,7 +240,7 @@ void generate_candidates(const Datacenter& dc,
   // 1. VMs on overloaded hosts, most-overloaded hosts first.
   auto& overloaded = scratch.overloaded_hosts;
   overloaded.clear();
-  for (int h = 0; h < num_hosts; ++h) {
+  for (int h = host_lo; h < host_hi; ++h) {
     if (host_util[static_cast<std::size_t>(h)] > beta) overloaded.push_back(h);
   }
   std::sort(overloaded.begin(), overloaded.end(), [&](int a, int b) {
@@ -216,7 +258,7 @@ void generate_candidates(const Datacenter& dc,
   // 2. Consolidation: VMs on the least-utilized active hosts.
   auto& active_hosts = scratch.active_hosts;
   active_hosts.clear();
-  for (int h = 0; h < num_hosts; ++h) {
+  for (int h = host_lo; h < host_hi; ++h) {
     if (dc.is_active(h)) active_hosts.push_back(h);
   }
   std::sort(active_hosts.begin(), active_hosts.end(), [&](int a, int b) {
@@ -233,10 +275,16 @@ void generate_candidates(const Datacenter& dc,
     }
   }
 
-  // 3. Random exploration sources.
-  for (int i = 0; i < config.random_sources && dc.num_vms() > 0; ++i) {
-    push_source(static_cast<int>(
-                    rng.index(static_cast<std::size_t>(dc.num_vms()))),
+  // 3. Random exploration sources. Domain calls draw from the domain's VM
+  // list; a fleet-spanning domain has vms[i] == i, so the Rng consumption
+  // and the chosen VM match the domain-free draw exactly.
+  const std::size_t vm_universe = domain != nullptr
+                                      ? domain->vms.size()
+                                      : static_cast<std::size_t>(dc.num_vms());
+  for (int i = 0; i < config.random_sources && vm_universe > 0; ++i) {
+    const std::size_t pick = rng.index(vm_universe);
+    push_source(domain != nullptr ? domain->vms[pick]
+                                  : static_cast<int>(pick),
                 CandidateGroup::kExploration);
   }
 
@@ -244,6 +292,11 @@ void generate_candidates(const Datacenter& dc,
   // The batched scans below always run per shard and merge in shard order;
   // with no executor the whole fleet is one shard, which makes the merged
   // result trivially the serial fold. One implementation, no drift.
+  // Domain calls never fan out: they already execute inside one of the
+  // executor's shard workers (the pool is not re-entrant), and their single
+  // shard is the domain itself. Shard bounds are relative to host_lo.
+  if (domain != nullptr) exec = nullptr;
+  const int domain_width = host_hi - host_lo;
   const ShardPlan* plan = nullptr;
   if (exec != nullptr) {
     MEGH_ASSERT(exec->plan().count() == num_hosts,
@@ -251,8 +304,8 @@ void generate_candidates(const Datacenter& dc,
     plan = &exec->plan();
   } else {
     if (!scratch.fallback_plan.has_value() ||
-        scratch.fallback_plan->count() != num_hosts) {
-      scratch.fallback_plan = ShardPlan::single(num_hosts);
+        scratch.fallback_plan->count() != domain_width) {
+      scratch.fallback_plan = ShardPlan::single(domain_width);
     }
     plan = &*scratch.fallback_plan;
   }
@@ -270,8 +323,10 @@ void generate_candidates(const Datacenter& dc,
   scratch.host_base_watts.resize(hosts);
   scratch.host_power.resize(hosts);
   scratch.host_active.resize(hosts);
+  // Hoisted arrays are indexed relative to host_lo (rel == global for
+  // fleet calls); host_util stays globally indexed throughout.
   const auto hoist_host = [&](int h) {
-    const std::size_t i = static_cast<std::size_t>(h);
+    const std::size_t i = static_cast<std::size_t>(h - host_lo);
     const HostSpec& spec = dc.host_spec(h);
     scratch.host_capacity[i] = spec.mips;
     scratch.host_ram_used[i] = dc.host_ram_used(h);
@@ -282,25 +337,29 @@ void generate_candidates(const Datacenter& dc,
     // cached_pabfd's per-probe baseline, computed once per host instead:
     // active hosts pay watts(before), sleeping hosts their sleep draw.
     scratch.host_base_watts[i] =
-        active ? spec.power.watts(std::min(1.0, host_util[i]))
+        active ? spec.power.watts(
+                     std::min(1.0, host_util[static_cast<std::size_t>(h)]))
                : spec.power.sleep_watts();
   };
   if (fan_out) {
     exec->for_items(hoist_host);
   } else {
-    for (int h = 0; h < num_hosts; ++h) hoist_host(h);
+    for (int h = host_lo; h < host_hi; ++h) hoist_host(h);
   }
 
   // Datacenter::fits on the hoisted arrays (identical comparison).
-  const auto fits_fast = [&](std::size_t h, double vm_ram) {
-    return scratch.host_ram_used[h] + vm_ram <= scratch.host_ram_cap[h] + 1e-9;
+  const auto fits_fast = [&](int h, double vm_ram) {
+    const std::size_t i = static_cast<std::size_t>(h - host_lo);
+    return scratch.host_ram_used[i] + vm_ram <= scratch.host_ram_cap[i] + 1e-9;
   };
   // target_feasible on the hoisted arrays (identical arithmetic).
-  const auto feasible_fast = [&](std::size_t h, double vm_ram, double vm_mips,
+  const auto feasible_fast = [&](int h, double vm_ram, double vm_mips,
                                  double ceiling) {
     if (!fits_fast(h, vm_ram)) return false;
-    const double capacity = scratch.host_capacity[h];
-    const double post = host_util[h] * capacity + vm_mips;
+    const std::size_t i = static_cast<std::size_t>(h - host_lo);
+    const double capacity = scratch.host_capacity[i];
+    const double post =
+        host_util[static_cast<std::size_t>(h)] * capacity + vm_mips;
     return post <= ceiling * capacity + 1e-9;
   };
   // --- batched per-(shard, source) PABFD + packing scans ---
@@ -324,8 +383,10 @@ void generate_candidates(const Datacenter& dc,
   using ScanPartial = CandidateScratch::ScanPartial;
   scratch.scan_partials.resize(static_cast<std::size_t>(num_shards) * nsrc);
   const auto scan_shard = [&](int shard) {
-    const int begin = plan->shard_begin(shard);
-    const int end = plan->shard_end(shard);
+    // Shard bounds are relative to host_lo (fleet plans have host_lo == 0,
+    // so this is the historical global range there).
+    const int begin = host_lo + plan->shard_begin(shard);
+    const int end = host_lo + plan->shard_end(shard);
     ScanPartial* partials =
         scratch.scan_partials.data() +
         static_cast<std::size_t>(shard) * nsrc;
@@ -339,10 +400,11 @@ void generate_candidates(const Datacenter& dc,
         double best_increase = std::numeric_limits<double>::infinity();
         for (int h = begin; h < end; ++h) {
           if (h == current) continue;
-          const std::size_t i = static_cast<std::size_t>(h);
-          if (!fits_fast(i, vm_ram)) continue;
+          const std::size_t i = static_cast<std::size_t>(h - host_lo);
+          if (!fits_fast(h, vm_ram)) continue;
           const double capacity = scratch.host_capacity[i];
-          const double after = host_util[i] + vm_mips / capacity;
+          const double after =
+              host_util[static_cast<std::size_t>(h)] + vm_mips / capacity;
           if (after > config.target_util_ceiling + 1e-9) continue;
           const bool active = scratch.host_active[i] != 0;
           // No side effects in the skipped work, so the early-out cannot
@@ -365,11 +427,11 @@ void generate_candidates(const Datacenter& dc,
       // Packing fold: busiest active host under the pack ceiling, with an
       // in-pod variant when a fabric is attached.
       for (int h = begin; h < end; ++h) {
-        const std::size_t i = static_cast<std::size_t>(h);
+        const std::size_t i = static_cast<std::size_t>(h - host_lo);
         if (h == current || scratch.host_active[i] == 0) continue;
-        const double u = host_util[i];
+        const double u = host_util[static_cast<std::size_t>(h)];
         if (u <= p.pack_local_util && u <= p.pack_util) continue;
-        if (!feasible_fast(i, vm_ram, vm_mips, config.pack_ceiling)) continue;
+        if (!feasible_fast(h, vm_ram, vm_mips, config.pack_ceiling)) continue;
         if (u > p.pack_util) {
           p.pack = h;
           p.pack_util = u;
@@ -467,7 +529,7 @@ void generate_candidates(const Datacenter& dc,
     // so the consolidation draw never un-packs a host.
     if (group == CandidateGroup::kConsolidation) continue;
     int added = 0;
-    const int probes = std::min(num_hosts, 4 * config.targets_per_source);
+    const int probes = std::min(domain_width, 4 * config.targets_per_source);
     for (int i = 0; i < probes && added < config.targets_per_source; ++i) {
       int h;
       if (network != nullptr && rng.bernoulli(config.local_probe_fraction)) {
@@ -479,11 +541,17 @@ void generate_candidates(const Datacenter& dc,
                            network->hosts_per_pod())));
         if (h >= num_hosts) continue;  // fabric ports beyond the fleet
       } else {
-        h = static_cast<int>(rng.index(static_cast<std::size_t>(num_hosts)));
+        // Fleet-wide draw, or the domain's host range for a domain call
+        // (host_lo == 0 and domain_width == num_hosts otherwise).
+        h = host_lo + static_cast<int>(
+                          rng.index(static_cast<std::size_t>(domain_width)));
       }
+      // Domain calls only target their own range (a pod probe can land
+      // outside it when the domain is a topology-free block); no-op for
+      // fleet calls.
+      if (h < host_lo || h >= host_hi) continue;
       if (h == current) continue;
-      if (!feasible_fast(static_cast<std::size_t>(h), vm_ram, vm_mips,
-                         config.target_util_ceiling))
+      if (!feasible_fast(h, vm_ram, vm_mips, config.target_util_ceiling))
         continue;
       push_candidate(vm, h, current);
       ++added;

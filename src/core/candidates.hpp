@@ -55,6 +55,28 @@ struct CandidateConfig {
   double local_probe_fraction = 0.75;
 };
 
+/// Restriction of candidate generation to a sub-fleet: one contiguous host
+/// range plus the VMs currently placed on it. The hierarchical per-pod
+/// Megh runs each pod's generation through the same code path flat Megh
+/// uses for the whole fleet — sources, scan ranges, random probes and full
+/// enumeration all stay inside [host_begin, host_end), and the caller's
+/// Rng is the pod's own stream. A domain spanning the entire fleet (with
+/// `vms` = every VM ascending and vm_slot[v] == v) consumes the Rng
+/// identically to a domain-free call and produces the same candidate set
+/// when the fabric has at most one pod.
+struct CandidateDomain {
+  int host_begin = 0;
+  int host_end = 0;  // exclusive
+  /// VMs eligible as sources / enumeration rows: ascending global ids of
+  /// every VM currently hosted inside the range.
+  std::span<const int> vms;
+  /// vm → dense per-domain slot (< slot_capacity) for the epoch-stamp
+  /// dedup array. Fleet-sized and shared across domains; only entries of
+  /// `vms` are read.
+  std::span<const std::int32_t> vm_slot;
+  int slot_capacity = 0;
+};
+
 /// Why a candidate's source VM was selected; the actor makes one draw per
 /// overloaded host (kOverloaded), one consolidation draw (kConsolidation)
 /// and one global draw each step.
@@ -159,13 +181,21 @@ struct CandidateScratch {
 /// strict-preference fold whose per-shard partials merge exactly, source
 /// selection and the random target probes stay serial in the original
 /// order, so the RNG stream is consumed identically.
+///
+/// `domain` (optional) restricts generation to a sub-fleet (see
+/// CandidateDomain). Domain calls never touch `exec` — they already run
+/// inside one of its shard workers — and every per-host scratch array is
+/// sized to the domain's width, so a pod-local scratch costs O(pod), not
+/// O(fleet). The full-enumeration gate compares |domain.vms| × width
+/// (the domain's reachable action count) against the limit.
 void generate_candidates(const Datacenter& dc,
                          std::span<const double> host_util, double beta,
                          const ActionBasis& basis,
                          const CandidateConfig& config, Rng& rng,
                          CandidateScratch& scratch,
                          const FatTreeTopology* network = nullptr,
-                         const ShardExecutor* exec = nullptr);
+                         const ShardExecutor* exec = nullptr,
+                         const CandidateDomain* domain = nullptr);
 
 /// Convenience wrapper (tests, one-shot callers): fresh scratch per call.
 std::vector<CandidateAction> generate_candidates(

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
+#include "core/hierarchical_megh.hpp"
 #include "core/megh_policy.hpp"
 
 namespace megh {
@@ -13,6 +14,34 @@ namespace megh {
 namespace {
 
 constexpr const char* kMagic = "megh-checkpoint v1";
+constexpr const char* kMagicV2 = "megh-checkpoint v2";
+
+/// Consume the magic line and return the format version it declares.
+/// Throws ConfigError when the line is not a megh checkpoint magic at all;
+/// version acceptance is the caller's decision, so a loader handed the
+/// wrong generation of file can say which loader to use instead of
+/// failing later with a confusing structural error.
+int read_checkpoint_version(std::istream& in, const std::string& context) {
+  std::string magic;
+  std::getline(in, magic);
+  const std::string_view trimmed = trim(magic);
+  constexpr std::string_view kPrefix = "megh-checkpoint v";
+  if (!starts_with(trimmed, kPrefix)) {
+    throw ConfigError("not a megh checkpoint (bad magic): " + context);
+  }
+  int version = 0;
+  const std::string_view digits = trimmed.substr(kPrefix.size());
+  if (digits.empty()) {
+    throw ConfigError("not a megh checkpoint (bad magic): " + context);
+  }
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      throw ConfigError("not a megh checkpoint (bad magic): " + context);
+    }
+    version = version * 10 + (c - '0');
+  }
+  return version;
+}
 
 void write_vector(std::ofstream& out, const char* tag,
                   const SparseVector& v) {
@@ -97,10 +126,16 @@ LspiLearner load_learner(const std::filesystem::path& path, double delta,
                          int max_update_support) {
   std::ifstream in(path);
   if (!in) throw IoError("cannot open checkpoint: " + path.string());
-  std::string magic;
-  std::getline(in, magic);
-  if (trim(magic) != kMagic) {
-    throw ConfigError("not a megh checkpoint (bad magic): " + path.string());
+  const int version = read_checkpoint_version(in, path.string());
+  if (version != 1) {
+    throw ConfigError(
+        strf("checkpoint %s is format v%d, but load_learner reads the flat "
+             "v1 learner format%s",
+             path.string().c_str(), version,
+             version == 2 ? " (v2 files hold a hierarchical per-pod "
+                            "container; load them with "
+                            "load_hierarchical_policy)"
+                          : ""));
   }
   std::string key;
   std::int64_t dim = 0;
@@ -218,6 +253,252 @@ void load_megh_policy(MeghPolicy& policy, const std::filesystem::path& path) {
   }
   policy.set_temperature(temp);
   policy.set_cost_baseline(baseline, initialized != 0);
+}
+
+void save_hierarchical_policy(const HierarchicalMeghPolicy& policy,
+                              const std::filesystem::path& path) {
+  MEGH_REQUIRE(!policy.pods_.empty(),
+               "save_hierarchical_policy before begin()");
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw IoError("cannot open checkpoint for writing: " + path.string());
+  }
+  out << kMagicV2 << '\n';
+  out << "pods " << policy.num_pods() << " hosts "
+      << policy.basis_->num_hosts() << " vms " << policy.basis_->num_vms()
+      << '\n';
+  out << "policy " << strf("%.17g", policy.temperature()) << ' '
+      << strf("%.17g", policy.cost_baseline()) << ' '
+      << (policy.baseline_initialized() ? 1 : 0) << '\n';
+  for (int p = 0; p < policy.num_pods(); ++p) {
+    const auto& pod = policy.pods_[static_cast<std::size_t>(p)];
+    const LspiLearner& learner = *pod.learner;
+    out << "pod " << p << " begin " << pod.host_begin << " end "
+        << pod.host_end << " cap " << pod.cap << " next " << pod.next_slot
+        << " gamma " << strf("%.17g", learner.gamma()) << '\n';
+    int occupied = 0;
+    for (int slot = 0; slot < pod.next_slot; ++slot) {
+      if (pod.vm_of_slot[static_cast<std::size_t>(slot)] >= 0) ++occupied;
+    }
+    out << "slots " << occupied << '\n';
+    for (int slot = 0; slot < pod.next_slot; ++slot) {
+      const int vm = pod.vm_of_slot[static_cast<std::size_t>(slot)];
+      if (vm >= 0) out << slot << ' ' << vm << '\n';
+    }
+    write_vector(out, "z", learner.z());
+    write_vector(out, "theta", learner.theta());
+    // Only materialized rows — a virgin row reads as default_diag·I, and
+    // at pod dims ~10⁷ writing a dense diagonal would turn a kilobyte
+    // checkpoint into a multi-hundred-megabyte one.
+    const SparseMatrix& B = learner.B();
+    const std::vector<SparseMatrix::Index> live = B.live_row_indices();
+    out << "Bdiag " << live.size() << " default "
+        << strf("%.17g", B.default_diag()) << '\n';
+    for (const SparseMatrix::Index r : live) {
+      out << r << ' ' << strf("%.17g", B.get(r, r)) << '\n';
+    }
+    out << "Boffdiag " << B.offdiag_nnz() << '\n';
+    SparseVector row(B.dim());
+    for (const SparseMatrix::Index r : live) {
+      B.row_into(r, row);
+      for (const auto& [c, value] : row.entries()) {
+        if (c == r) continue;
+        out << r << ' ' << c << ' ' << strf("%.17g", value) << '\n';
+      }
+    }
+  }
+  out << "end\n";
+  if (!out) throw IoError("write failure on checkpoint: " + path.string());
+}
+
+void load_hierarchical_policy(HierarchicalMeghPolicy& policy,
+                              const std::filesystem::path& path) {
+  MEGH_REQUIRE(!policy.pods_.empty(),
+               "load_hierarchical_policy before begin()");
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open checkpoint: " + path.string());
+  const int version = read_checkpoint_version(in, path.string());
+  if (version != 2) {
+    throw ConfigError(
+        strf("checkpoint %s is format v%d, but load_hierarchical_policy "
+             "reads the v2 per-pod container%s",
+             path.string().c_str(), version,
+             version == 1 ? " (v1 files hold one flat learner; load them "
+                            "with load_learner / load_megh_policy)"
+                          : ""));
+  }
+  std::string key;
+  int pods = 0, hosts = 0, vms = 0;
+  if (!(in >> key >> pods) || key != "pods" || !(in >> key >> hosts) ||
+      key != "hosts" || !(in >> key >> vms) || key != "vms") {
+    throw IoError("checkpoint: malformed header in " + path.string());
+  }
+  MEGH_REQUIRE(pods == policy.num_pods() &&
+                   hosts == policy.basis_->num_hosts() &&
+                   vms == policy.basis_->num_vms(),
+               strf("checkpoint shape (%d pods, %d hosts, %d VMs) does not "
+                    "match the policy (%d pods, %d hosts, %d VMs)",
+                    pods, hosts, vms, policy.num_pods(),
+                    policy.basis_->num_hosts(), policy.basis_->num_vms()));
+  double temp = 0.0, baseline = 0.0;
+  int initialized = 0;
+  if (!(in >> key >> temp >> baseline >> initialized) || key != "policy") {
+    throw IoError("checkpoint: malformed policy line in " + path.string());
+  }
+
+  // All VM → pod/slot assignments are rebuilt from the file; entries of
+  // VMs the checkpoint does not map stay unassigned and are re-slotted by
+  // the next membership rebuild.
+  std::fill(policy.pod_of_vm_.begin(), policy.pod_of_vm_.end(), -1);
+  std::fill(policy.slot_of_vm_.begin(), policy.slot_of_vm_.end(), -1);
+
+  for (int p = 0; p < pods; ++p) {
+    auto& pod = policy.pods_[static_cast<std::size_t>(p)];
+    int pod_id = -1, begin = 0, end = 0, cap = 0, next = 0;
+    double gamma = 0.0;
+    if (!(in >> key >> pod_id) || key != "pod" || !(in >> key >> begin) ||
+        key != "begin" || !(in >> key >> end) || key != "end" ||
+        !(in >> key >> cap) || key != "cap" || !(in >> key >> next) ||
+        key != "next" || !(in >> key >> gamma) || key != "gamma") {
+      throw IoError(strf("checkpoint: malformed pod %d header in %s", p,
+                         path.string().c_str()));
+    }
+    MEGH_REQUIRE(pod_id == p, "checkpoint: pods out of order");
+    MEGH_REQUIRE(begin == pod.host_begin && end == pod.host_end,
+                 strf("checkpoint pod %d hosts [%d, %d) does not match the "
+                      "policy's shard [%d, %d)",
+                      p, begin, end, pod.host_begin, pod.host_end));
+    MEGH_REQUIRE(cap > 0 && next >= 0 && next <= cap,
+                 "checkpoint: pod slot counts out of range");
+    MEGH_REQUIRE(gamma >= 0.0 && gamma < 1.0,
+                 "checkpoint: gamma out of range");
+
+    pod.cap = cap;
+    pod.next_slot = next;
+    pod.vm_of_slot.assign(static_cast<std::size_t>(cap), -1);
+    pod.free_slots.clear();
+    int occupied = 0;
+    if (!(in >> key >> occupied) || key != "slots" || occupied < 0 ||
+        occupied > next) {
+      throw IoError(strf("checkpoint: malformed slots section of pod %d in "
+                         "%s",
+                         p, path.string().c_str()));
+    }
+    int prev_slot = -1;
+    for (int k = 0; k < occupied; ++k) {
+      int slot = 0, vm = 0;
+      if (!(in >> slot >> vm)) {
+        throw IoError(strf("checkpoint: truncated slot map of pod %d in %s",
+                           p, path.string().c_str()));
+      }
+      MEGH_REQUIRE(slot > prev_slot && slot < next,
+                   "checkpoint: slot map out of order or out of range");
+      MEGH_REQUIRE(vm >= 0 && vm < vms, "checkpoint: VM id out of range");
+      MEGH_REQUIRE(policy.pod_of_vm_[static_cast<std::size_t>(vm)] == -1,
+                   "checkpoint: VM mapped twice");
+      prev_slot = slot;
+      pod.vm_of_slot[static_cast<std::size_t>(slot)] = vm;
+      policy.pod_of_vm_[static_cast<std::size_t>(vm)] =
+          static_cast<std::int32_t>(p);
+      policy.slot_of_vm_[static_cast<std::size_t>(vm)] =
+          static_cast<std::int32_t>(slot);
+    }
+    // Handed-out-but-unoccupied slots go back on the free list,
+    // descending so the smallest is reused first (same as the runtime).
+    for (int slot = next - 1; slot >= 0; --slot) {
+      if (pod.vm_of_slot[static_cast<std::size_t>(slot)] < 0) {
+        pod.free_slots.push_back(slot);
+      }
+    }
+
+    const std::int64_t dim = static_cast<std::int64_t>(cap) *
+                             static_cast<std::int64_t>(end - begin);
+    const std::string context =
+        path.string() + strf(" (pod %d)", p);
+    SparseVector z = read_vector(in, "z", dim, context);
+    SparseVector theta = read_vector(in, "theta", dim, context);
+
+    std::int64_t live = 0;
+    double default_diag = 0.0;
+    if (!(in >> key >> live) || key != "Bdiag" ||
+        !(in >> key >> default_diag) || key != "default" || live < 0 ||
+        live > dim) {
+      throw IoError("checkpoint: malformed Bdiag section in " + context);
+    }
+    SparseMatrix B(dim, default_diag);
+    std::int64_t prev = -1;
+    for (std::int64_t k = 0; k < live; ++k) {
+      std::int64_t r = 0;
+      double value = 0.0;
+      if (!(in >> r >> value)) {
+        throw IoError("checkpoint: truncated Bdiag in " + context);
+      }
+      MEGH_REQUIRE(r > prev && r < dim,
+                   "checkpoint: Bdiag out of order or out of range in " +
+                       context);
+      prev = r;
+      B.set(r, r, value);
+    }
+    std::size_t offdiag = 0;
+    if (!(in >> key >> offdiag) || key != "Boffdiag") {
+      throw IoError("checkpoint: malformed Boffdiag section in " + context);
+    }
+    std::int64_t prev_r = -1, prev_c = -1;
+    for (std::size_t k = 0; k < offdiag; ++k) {
+      std::int64_t r = 0, c = 0;
+      double value = 0.0;
+      if (!(in >> r >> c >> value)) {
+        throw IoError("checkpoint: truncated Boffdiag in " + context);
+      }
+      MEGH_REQUIRE(r >= 0 && r < dim && c >= 0 && c < dim && r != c,
+                   "checkpoint: B index out of range in " + context);
+      if (r < prev_r || (r == prev_r && c <= prev_c)) {
+        throw IoError("checkpoint: duplicate or unsorted Boffdiag entry in " +
+                      context);
+      }
+      prev_r = r;
+      prev_c = c;
+      B.set(r, c, value);
+    }
+
+    // The begun learner's dimensions may differ (its cap came from the
+    // current placement, the file's from the saved one): rebuild at the
+    // file's shape, then restore the exact state.
+    pod.learner = std::make_unique<LspiLearner>(
+        dim, gamma, policy.config_.base.delta,
+        policy.config_.base.max_update_support);
+    pod.learner->restore(std::move(B), std::move(z), std::move(theta));
+
+    // Slot-indexed scratch follows the restored capacity; transient
+    // recovery state does not survive the process boundary.
+    pod.pending.clear();
+    pod.staged_rollback = false;
+    pod.candidates_of_slot.assign(static_cast<std::size_t>(cap), {});
+    for (std::vector<std::size_t>& list : pod.candidates_of_slot) {
+      list.reserve(static_cast<std::size_t>(
+          policy.config_.base.candidates.targets_per_source + 3));
+    }
+    pod.slot_used.assign(static_cast<std::size_t>(cap), 0);
+    pod.touched_slots.clear();
+    pod.retries.clear();
+    pod.checkpoint = HierarchicalMeghPolicy::CriticSnapshot{};
+    pod.faults_last_step = 0;
+  }
+  std::string tail;
+  if (!(in >> tail) || tail != "end") {
+    throw IoError("checkpoint: missing end marker in " + path.string());
+  }
+  if (in >> tail) {
+    throw IoError("checkpoint: trailing data '" + tail + "' in " +
+                  path.string());
+  }
+  policy.set_temperature(temp);
+  policy.set_cost_baseline(baseline, initialized != 0);
+  policy.emitted_.clear();
+  policy.has_pending_cost_ = false;
 }
 
 }  // namespace megh

@@ -2,17 +2,38 @@
 // scheduler can be warm-started after a restart or migrated between
 // control-plane nodes — "learn as you go" without forgetting on redeploy.
 //
-// The format is a versioned plain-text file:
+// The format is a versioned plain-text file. Both loaders parse the
+// version out of the magic line and reject a mismatched format with a
+// ConfigError that names the version found and the loader to use, instead
+// of tripping over the first structural difference downstream.
+//
+// v1 — one flat learner:
 //   megh-checkpoint v1
 //   dim <d> gamma <g>
-//   temp <t>
-//   baseline <b> <initialized>
 //   z <nnz> followed by "index value" lines
 //   theta <nnz> ...
-//   B <diag-entries> <offdiag-nnz> followed by diag values then triplets
+//   Bdiag <d> followed by d diagonal values
+//   Boffdiag <nnz> followed by "row col value" triplets
+//   policy <temp> <baseline> <initialized>   (save_megh_policy only)
+//
+// v2 — the hierarchical per-pod container (core/hierarchical_megh.hpp):
+//   megh-checkpoint v2
+//   pods <P> hosts <M> vms <N>
+//   policy <temp> <baseline> <initialized>
+//   then per pod:
+//     pod <p> begin <b> end <e> cap <c> next <n> gamma <g>
+//     slots <occupied> followed by "slot vm" lines (ascending slot)
+//     z / theta as in v1 (pod-local indices)
+//     Bdiag <live> default <d0> followed by "index value" lines — only
+//       materialized rows are stored against the lazy default, because a
+//       cluster-scale pod operator's dense diagonal would dwarf its
+//       learned support
+//     Boffdiag as in v1
+//   end
 // Plain text keeps the files diffable and the loader trivially fuzzable;
 // Megh's state is small (Fig. 7: tens of thousands of nonzeros for an
-// 800-PM week), so compactness is not a concern.
+// 800-PM week) and v2 stores only materialized rows, so compactness is
+// not a concern at any scale.
 #pragma once
 
 #include <filesystem>
@@ -22,6 +43,7 @@
 namespace megh {
 
 class MeghPolicy;
+class HierarchicalMeghPolicy;
 
 /// Write the learner's full state. Throws IoError on I/O failure.
 void save_learner(const LspiLearner& learner,
@@ -42,5 +64,19 @@ void save_megh_policy(const MeghPolicy& policy,
 /// Restore into a MeghPolicy that has already been begun on a datacenter of
 /// the same shape (N × M must match). Throws ConfigError on mismatch.
 void load_megh_policy(MeghPolicy& policy, const std::filesystem::path& path);
+
+/// Checkpoint a hierarchical policy: every pod's learner (with its slot
+/// map) plus the shared temperature and advantage baseline. The policy
+/// must have been begun.
+void save_hierarchical_policy(const HierarchicalMeghPolicy& policy,
+                              const std::filesystem::path& path);
+
+/// Restore into a HierarchicalMeghPolicy begun on a fleet of the same
+/// shape and shard plan (pod count and host ranges must match; per-pod
+/// slot capacities come from the file). Throws ConfigError on a version
+/// or shape mismatch. Per-pod retry queues and rollback snapshots are
+/// reset — they are transient recovery state, not learned state.
+void load_hierarchical_policy(HierarchicalMeghPolicy& policy,
+                              const std::filesystem::path& path);
 
 }  // namespace megh

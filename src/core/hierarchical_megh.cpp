@@ -1,0 +1,656 @@
+#include "core/hierarchical_megh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/error.hpp"
+#include "sim/sharding.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace megh {
+
+namespace {
+
+/// Decorrelate the per-pod RNG streams while keeping pod 0's stream equal
+/// to flat Megh's (seed unchanged) — the single-pod bit-identity contract.
+std::uint64_t pod_seed(std::uint64_t seed, int pod) {
+  return seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(pod));
+}
+
+bool plans_match(const ShardPlan& a, const ShardPlan& b) {
+  if (a.num_shards() != b.num_shards()) return false;
+  for (int s = 0; s < a.num_shards(); ++s) {
+    if (a.shard_begin(s) != b.shard_begin(s) ||
+        a.shard_end(s) != b.shard_end(s)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+HierarchicalMeghPolicy::HierarchicalMeghPolicy(
+    const HierarchicalMeghConfig& config)
+    : config_(config),
+      selector_(config.base.temp0, config.base.epsilon) {
+  MEGH_REQUIRE(config.base.max_migration_fraction > 0.0 &&
+                   config.base.max_migration_fraction <= 1.0,
+               "HierMegh: max_migration_fraction must lie in (0, 1]");
+  MEGH_REQUIRE(config.pod_slot_headroom_min >= 0,
+               "HierMegh: pod_slot_headroom_min must be >= 0");
+  MEGH_REQUIRE(config.pod_slot_headroom_fraction >= 0.0,
+               "HierMegh: pod_slot_headroom_fraction must be >= 0");
+  if (config.base.recovery.enabled) {
+    MEGH_REQUIRE(config.base.recovery.max_retries >= 0 &&
+                     config.base.recovery.max_retries <= 16,
+                 "HierMegh: max_retries must lie in [0, 16]");
+    MEGH_REQUIRE(config.base.recovery.retry_backoff_steps >= 1,
+                 "HierMegh: retry_backoff_steps must be >= 1");
+    MEGH_REQUIRE(config.base.recovery.retry_min_utilization >= 0.0,
+                 "HierMegh: retry_min_utilization must be >= 0");
+    MEGH_REQUIRE(config.base.recovery.checkpoint_interval_steps >= 1,
+                 "HierMegh: checkpoint_interval_steps must be >= 1");
+  }
+}
+
+void HierarchicalMeghPolicy::begin(const Datacenter& dc,
+                                   const CostConfig& cost,
+                                   double interval_s) {
+  (void)interval_s;
+  basis_ = std::make_unique<ActionBasis>(dc.num_vms(), dc.num_hosts());
+  plan_ = make_step_shards(config_.network.get(), dc.num_hosts());
+  beta_ = cost.beta_overload;
+  migration_budget_ = std::max(
+      1, static_cast<int>(std::ceil(config_.base.max_migration_fraction *
+                                    dc.num_vms())));
+  pod_of_vm_.assign(static_cast<std::size_t>(dc.num_vms()), -1);
+  slot_of_vm_.assign(static_cast<std::size_t>(dc.num_vms()), -1);
+
+  pods_.clear();
+  pods_.resize(static_cast<std::size_t>(plan_.num_shards()));
+  for (int p = 0; p < plan_.num_shards(); ++p) {
+    Pod& pod = pods_[static_cast<std::size_t>(p)];
+    pod.host_begin = plan_.shard_begin(p);
+    pod.host_end = plan_.shard_end(p);
+    const int width = pod.host_end - pod.host_begin;
+    // Initial membership: every VM currently hosted in the range, ascending
+    // (vms_on lists are per-host; a global ascending sort fixes the order).
+    pod.members.clear();
+    for (int h = pod.host_begin; h < pod.host_end; ++h) {
+      for (int vm : dc.vms_on(h)) pod.members.push_back(vm);
+    }
+    std::sort(pod.members.begin(), pod.members.end());
+    const int population = static_cast<int>(pod.members.size());
+    const int headroom = std::max(
+        config_.pod_slot_headroom_min,
+        static_cast<int>(std::ceil(config_.pod_slot_headroom_fraction *
+                                   population)));
+    pod.cap = population + std::max(1, headroom);
+    pod.next_slot = 0;
+    pod.vm_of_slot.assign(static_cast<std::size_t>(pod.cap), -1);
+    pod.free_slots.clear();
+    // Ascending initial assignment: on a single-pod plan slot k is VM k,
+    // making the pod action index equal the flat basis index.
+    for (int vm : pod.members) {
+      const int slot = pod.next_slot++;
+      pod.vm_of_slot[static_cast<std::size_t>(slot)] = vm;
+      pod_of_vm_[static_cast<std::size_t>(vm)] = p;
+      slot_of_vm_[static_cast<std::size_t>(vm)] = slot;
+    }
+    const std::int64_t dim =
+        static_cast<std::int64_t>(pod.cap) * static_cast<std::int64_t>(width);
+    pod.learner = std::make_unique<LspiLearner>(
+        dim, config_.base.gamma, config_.base.delta,
+        config_.base.max_update_support);
+    pod.rng = Rng(pod_seed(config_.base.seed, p));
+    pod.pending.clear();
+    pod.pending.reserve(static_cast<std::size_t>(migration_budget_) + 2);
+    pod.staged_rollback = false;
+    pod.candidates_of_slot.assign(static_cast<std::size_t>(pod.cap), {});
+    for (std::vector<std::size_t>& list : pod.candidates_of_slot) {
+      list.reserve(static_cast<std::size_t>(
+          config_.base.candidates.targets_per_source + 3));
+    }
+    pod.slot_used.assign(static_cast<std::size_t>(pod.cap), 0);
+    pod.touched_slots.clear();
+    pod.touched_slots.reserve(static_cast<std::size_t>(pod.cap));
+    pod.retries.clear();
+    pod.retries.reserve(
+        static_cast<std::size_t>(migration_budget_) *
+            static_cast<std::size_t>(
+                std::max(1, config_.base.recovery.max_retries)) +
+        4);
+    pod.checkpoint = CriticSnapshot{};
+    pod.faults_last_step = 0;
+    pod.rollbacks = 0;
+    pod.masked_candidates = 0;
+    pod.slot_overflows = 0;
+  }
+
+  has_pending_cost_ = false;
+  total_migrations_selected_ = 0;
+  cost_baseline_ = 0.0;
+  baseline_initialized_ = false;
+  emitted_.clear();
+  emitted_.reserve(static_cast<std::size_t>(migration_budget_) + 2);
+  last_step_ = -1;
+  faults_seen_ = 0;
+  retries_issued_ = 0;
+  intern_stat_keys();
+}
+
+void HierarchicalMeghPolicy::rebuild_membership(Pod& pod, int pod_id,
+                                                const Datacenter& dc) {
+  std::vector<int>& members = pod.members;
+  members.clear();
+  for (int h = pod.host_begin; h < pod.host_end; ++h) {
+    for (int vm : dc.vms_on(h)) members.push_back(vm);
+  }
+  std::sort(members.begin(), members.end());
+  // Free the slots of departed VMs. Only pod-local state is touched: the
+  // VM's new pod owns (and rewrites) its global pod/slot entries, so two
+  // pod phases never write the same word.
+  for (int slot = 0; slot < pod.next_slot; ++slot) {
+    const int vm = pod.vm_of_slot[static_cast<std::size_t>(slot)];
+    if (vm < 0) continue;
+    const int host = dc.host_of(vm);
+    if (host < pod.host_begin || host >= pod.host_end) {
+      pod.vm_of_slot[static_cast<std::size_t>(slot)] = -1;
+      pod.free_slots.push_back(slot);
+    }
+  }
+  // Descending order so pop_back() hands out the smallest slot first —
+  // deterministic reuse independent of departure order.
+  std::sort(pod.free_slots.begin(), pod.free_slots.end(),
+            std::greater<int>());
+  // Assign slots to immigrants; members without a slot (cap exhausted) are
+  // dropped from the candidate domain until churn frees one.
+  std::size_t w = 0;
+  for (int vm : members) {
+    const std::int32_t cur_slot = slot_of_vm_[static_cast<std::size_t>(vm)];
+    const bool resident =
+        pod_of_vm_[static_cast<std::size_t>(vm)] == pod_id &&
+        cur_slot >= 0 &&
+        pod.vm_of_slot[static_cast<std::size_t>(cur_slot)] == vm;
+    if (resident) {
+      members[w++] = vm;
+      continue;
+    }
+    int slot = -1;
+    if (!pod.free_slots.empty()) {
+      slot = pod.free_slots.back();
+      pod.free_slots.pop_back();
+    } else if (pod.next_slot < pod.cap) {
+      slot = pod.next_slot++;
+    }
+    if (slot < 0) {
+      ++pod.slot_overflows;
+      continue;
+    }
+    pod.vm_of_slot[static_cast<std::size_t>(slot)] = vm;
+    pod_of_vm_[static_cast<std::size_t>(vm)] = pod_id;
+    slot_of_vm_[static_cast<std::size_t>(vm)] = slot;
+    members[w++] = vm;
+  }
+  members.resize(w);
+}
+
+void HierarchicalMeghPolicy::run_pod_phase(int pod_id,
+                                           const StepObservation& obs,
+                                           bool do_update, double share) {
+  MEGH_TRACE_SCOPE("hier_megh.pod_phase");
+  Pod& pod = pods_[static_cast<std::size_t>(pod_id)];
+  const Datacenter& dc = *obs.dc;
+  const bool recovery = config_.base.recovery.enabled;
+  rebuild_membership(pod, pod_id, dc);
+
+  std::vector<CandidateAction>& cands = pod.cands.candidates;
+  if (pod.members.empty()) {
+    // A fully evacuated pod has nothing to decide; its pending transitions
+    // (if any) have no candidate set to close against, so they are dropped.
+    cands.clear();
+    pod.pending.clear();
+    pod.staged_rollback = false;
+    if (recovery) pod.faults_last_step = 0;
+    return;
+  }
+
+  CandidateDomain domain;
+  domain.host_begin = pod.host_begin;
+  domain.host_end = pod.host_end;
+  domain.vms = pod.members;
+  domain.vm_slot = slot_of_vm_;
+  domain.slot_capacity = pod.cap;
+  // exec stays null: this already runs inside one of its shard workers.
+  generate_candidates(dc, obs.host_util, beta_, *basis_,
+                      config_.base.candidates, pod.rng, pod.cands,
+                      obs.network, nullptr, &domain);
+
+  if (recovery) {
+    if (config_.base.recovery.mask_down_hosts && !obs.host_down.empty()) {
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (!cands[i].is_noop &&
+            obs.host_down[static_cast<std::size_t>(cands[i].host)] != 0) {
+          ++pod.masked_candidates;
+          continue;
+        }
+        cands[w++] = cands[i];
+      }
+      cands.resize(w);
+    }
+    if (pod.staged_rollback) {
+      pod.learner->restore(pod.checkpoint.B, pod.checkpoint.z,
+                           pod.checkpoint.theta);
+      pod.pending.clear();
+      ++pod.rollbacks;
+    }
+    pod.staged_rollback = false;
+    pod.faults_last_step = 0;
+  }
+
+  // Pod-local action indices and Q-values.
+  std::vector<std::int64_t>& pod_idx = pod.pod_idx;
+  std::vector<double>& q = pod.q;
+  pod_idx.clear();
+  pod_idx.reserve(cands.capacity());
+  for (const CandidateAction& c : cands) {
+    pod_idx.push_back(pod_index(pod, c.vm, c.host));
+  }
+  q.reserve(cands.capacity());
+  q.resize(cands.size());
+  pod.learner->q_values(pod_idx, q);
+
+  // Close the previous step's transitions against this pod's greedy b.
+  if (do_update && !pod.pending.empty() && !cands.empty()) {
+    const std::int64_t b = pod_idx[BoltzmannSelector::greedy(q)];
+    pod.learner->update_batch(pod.pending, share, b);
+    pod.learner->q_values(pod_idx, q);
+  }
+  pod.pending.clear();
+  if (recovery && config_.base.learning_enabled &&
+      config_.base.recovery.rollback_burst_threshold > 0 &&
+      obs.step % config_.base.recovery.checkpoint_interval_steps == 0) {
+    pod.checkpoint.B = pod.learner->B();
+    pod.checkpoint.z = pod.learner->z();
+    pod.checkpoint.theta = pod.learner->theta();
+    pod.checkpoint.valid = true;
+  }
+
+  // Boltzmann weights (selector reads are const and the decay is serial,
+  // so the shared selector is safe here) and the slot → candidates index.
+  pod.weights.reserve(cands.capacity());
+  selector_.weights(q, pod.weights);
+  for (int slot : pod.touched_slots) {
+    pod.candidates_of_slot[static_cast<std::size_t>(slot)].clear();
+    pod.slot_used[static_cast<std::size_t>(slot)] = 0;
+  }
+  pod.touched_slots.clear();
+  for (std::size_t j = 0; j < cands.size(); ++j) {
+    const std::int32_t slot =
+        slot_of_vm_[static_cast<std::size_t>(cands[j].vm)];
+    std::vector<std::size_t>& list =
+        pod.candidates_of_slot[static_cast<std::size_t>(slot)];
+    if (list.empty()) pod.touched_slots.push_back(slot);
+    list.push_back(j);
+  }
+}
+
+void HierarchicalMeghPolicy::decide_into(const StepObservation& obs,
+                                         std::vector<MigrationAction>& out) {
+  MEGH_REQUIRE(basis_ != nullptr, "HierMegh::decide before begin()");
+  MEGH_TRACE_SCOPE("hier_megh.decide");
+  const Datacenter& dc = *obs.dc;
+  const bool recovery = config_.base.recovery.enabled;
+
+  // Serial pre-pass: stage each pod's rollback decision, then compute the
+  // global cost share over the transitions that will survive. The baseline
+  // EMA advances exactly when flat Megh's would (an update actually runs).
+  std::size_t total_pending = 0;
+  for (Pod& pod : pods_) {
+    pod.staged_rollback =
+        recovery && config_.base.recovery.rollback_burst_threshold > 0 &&
+        pod.faults_last_step >=
+            config_.base.recovery.rollback_burst_threshold &&
+        pod.checkpoint.valid;
+    if (!pod.staged_rollback) total_pending += pod.pending.size();
+  }
+  bool do_update = false;
+  double share = 0.0;
+  if (config_.base.learning_enabled && has_pending_cost_ &&
+      total_pending > 0) {
+    double effective_cost = pending_cost_;
+    if (config_.base.advantage_baseline) {
+      if (!baseline_initialized_) {
+        cost_baseline_ = pending_cost_;
+        baseline_initialized_ = true;
+      }
+      effective_cost = pending_cost_ - cost_baseline_;
+      cost_baseline_ +=
+          config_.base.baseline_weight * (pending_cost_ - cost_baseline_);
+    }
+    share = effective_cost / static_cast<double>(total_pending);
+    do_update = true;
+  }
+  has_pending_cost_ = false;
+  if (recovery) {
+    last_step_ = obs.step;
+    emitted_.clear();
+  }
+
+  // Parallel pod phase: one shard per pod, each owning its learner.
+  if (obs.exec != nullptr && plans_match(obs.exec->plan(), plan_)) {
+    obs.exec->for_shards(
+        [&](int s) { run_pod_phase(s, obs, do_update, share); });
+  } else {
+    for (int p = 0; p < num_pods(); ++p) {
+      run_pod_phase(p, obs, do_update, share);
+    }
+  }
+
+  // Serial coordinator: all Boltzmann draws, in fixed pod-major order,
+  // against the single global budget. Each draw consumes the owning pod's
+  // RNG (already advanced by its generation phase), so the schedule is
+  // deterministic at any job count — and equal to flat Megh's single
+  // stream when there is only one pod.
+  MEGH_TRACE_SCOPE("hier_megh.coordinate");
+  const auto take = [&](Pod& pod, int pod_id, std::size_t j) {
+    const CandidateAction& c = pod.cands.candidates[j];
+    const std::int32_t slot =
+        slot_of_vm_[static_cast<std::size_t>(c.vm)];
+    std::uint8_t& used = pod.slot_used[static_cast<std::size_t>(slot)];
+    if (used == 0) {
+      used = 1;
+      pod.pending.push_back(pod.pod_idx[j]);
+      if (!c.is_noop) {
+        out.push_back(MigrationAction{c.vm, c.host});
+        ++total_migrations_selected_;
+        if (recovery) {
+          emitted_.push_back(EmittedAction{c.vm, dc.host_of(c.vm), c.host,
+                                           pod_id, pod.pending.size() - 1,
+                                           0});
+        }
+      }
+    }
+    for (std::size_t k :
+         pod.candidates_of_slot[static_cast<std::size_t>(slot)]) {
+      pod.weights[k] = 0.0;
+    }
+  };
+  const auto draw_from = [&](Pod& pod, int pod_id,
+                             const std::vector<std::size_t>& subset) {
+    double total = 0.0;
+    for (std::size_t j : subset) total += pod.weights[j];
+    if (!(total > 0.0) || !std::isfinite(total)) return;
+    double r = pod.rng.uniform() * total;
+    std::size_t last_positive = subset.size();
+    for (std::size_t k = 0; k < subset.size(); ++k) {
+      const std::size_t j = subset[k];
+      if (pod.weights[j] > 0.0) last_positive = k;
+      r -= pod.weights[j];
+      if (r <= 0.0) {
+        take(pod, pod_id, j);
+        return;
+      }
+    }
+    if (last_positive < subset.size()) {
+      take(pod, pod_id, subset[last_positive]);
+    }
+  };
+
+  int budget = migration_budget_;
+
+  // Injected retries claim budget first (pods ascending, queue order).
+  if (recovery) {
+    for (int p = 0; p < num_pods(); ++p) {
+      Pod& pod = pods_[static_cast<std::size_t>(p)];
+      if (pod.retries.empty()) continue;
+      std::size_t keep = 0;
+      for (std::size_t i = 0; i < pod.retries.size(); ++i) {
+        const PendingRetry r = pod.retries[i];
+        if (r.due_step > obs.step) {
+          pod.retries[keep++] = r;
+          continue;
+        }
+        const bool target_down =
+            !obs.host_down.empty() &&
+            obs.host_down[static_cast<std::size_t>(r.target)] != 0;
+        const std::int32_t slot =
+            slot_of_vm_[static_cast<std::size_t>(r.vm)];
+        const bool stale =
+            dc.host_of(r.vm) != r.source || slot < 0 ||
+            pod_of_vm_[static_cast<std::size_t>(r.vm)] != p ||
+            pod.slot_used[static_cast<std::size_t>(slot)] != 0;
+        if (target_down || stale) continue;
+        if (config_.base.recovery.retry_min_utilization > 0.0 &&
+            obs.host_util[static_cast<std::size_t>(r.source)] <
+                config_.base.recovery.retry_min_utilization) {
+          continue;
+        }
+        if (budget <= 0) {
+          pod.retries[keep++] = r;
+          continue;
+        }
+        const std::vector<std::size_t>& vm_cands =
+            pod.candidates_of_slot[static_cast<std::size_t>(slot)];
+        if (!vm_cands.empty()) {
+          pod.slot_used[static_cast<std::size_t>(slot)] = 1;
+          for (std::size_t j : vm_cands) pod.weights[j] = 0.0;
+        }
+        pod.pending.push_back(pod_index(pod, r.vm, r.target));
+        out.push_back(MigrationAction{r.vm, r.target});
+        emitted_.push_back(EmittedAction{r.vm, r.source, r.target, p,
+                                         pod.pending.size() - 1, r.attempt});
+        ++total_migrations_selected_;
+        ++retries_issued_;
+        --budget;
+      }
+      pod.retries.resize(keep);
+    }
+  }
+
+  // Reactive draws: one per overloaded host, pods ascending then hosts
+  // ascending — the same global host order flat Megh scans.
+  for (int p = 0; p < num_pods() && budget > 0; ++p) {
+    Pod& pod = pods_[static_cast<std::size_t>(p)];
+    const std::vector<CandidateAction>& cands = pod.cands.candidates;
+    if (cands.empty()) continue;
+    std::vector<std::size_t>& subset = pod.subset;
+    subset.reserve(cands.capacity());
+    for (int h = pod.host_begin; h < pod.host_end && budget > 0; ++h) {
+      if (obs.host_util[static_cast<std::size_t>(h)] <= beta_) continue;
+      subset.clear();
+      for (std::size_t j = 0; j < cands.size(); ++j) {
+        if (dc.host_of(cands[j].vm) == h) subset.push_back(j);
+      }
+      if (subset.empty()) continue;
+      draw_from(pod, p, subset);
+      --budget;
+    }
+  }
+
+  // One consolidation draw per pod.
+  for (int p = 0; p < num_pods() && budget > 0; ++p) {
+    Pod& pod = pods_[static_cast<std::size_t>(p)];
+    const std::vector<CandidateAction>& cands = pod.cands.candidates;
+    std::vector<std::size_t>& subset = pod.subset;
+    subset.clear();
+    for (std::size_t j = 0; j < cands.size(); ++j) {
+      if (cands[j].group == CandidateGroup::kConsolidation) {
+        subset.push_back(j);
+      }
+    }
+    if (subset.empty()) continue;
+    draw_from(pod, p, subset);
+    --budget;
+  }
+
+  // One exploration draw per pod over its whole candidate set.
+  for (int p = 0; p < num_pods() && budget > 0; ++p) {
+    Pod& pod = pods_[static_cast<std::size_t>(p)];
+    const std::vector<CandidateAction>& cands = pod.cands.candidates;
+    if (cands.empty()) continue;
+    std::vector<std::size_t>& subset = pod.subset;
+    subset.resize(cands.size());
+    for (std::size_t j = 0; j < cands.size(); ++j) subset[j] = j;
+    draw_from(pod, p, subset);
+    --budget;
+  }
+
+  selector_.decay();
+}
+
+void HierarchicalMeghPolicy::observe_cost(double step_cost) {
+  pending_cost_ = step_cost;
+  has_pending_cost_ = true;
+}
+
+void HierarchicalMeghPolicy::observe_outcomes(
+    std::span<const MigrationOutcome> outcomes) {
+  if (!config_.base.recovery.enabled) return;
+  MEGH_ASSERT(outcomes.size() == emitted_.size(),
+              "outcome feedback must match the emitted action list");
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const MigrationOutcome& o = outcomes[i];
+    if (o.verdict != MigrationVerdict::kAborted &&
+        o.verdict != MigrationVerdict::kTargetDown) {
+      continue;
+    }
+    const EmittedAction& e = emitted_[i];
+    Pod& pod = pods_[static_cast<std::size_t>(e.pod)];
+    ++faults_seen_;
+    ++pod.faults_last_step;
+    // The VM stayed on its source (inside pod e.pod), so its slot is still
+    // valid: remap the pending transition to the realized no-op.
+    pod.pending[e.pending_slot] = pod_index(pod, e.vm, e.source);
+    if (o.verdict == MigrationVerdict::kAborted &&
+        e.attempt < config_.base.recovery.max_retries) {
+      pod.retries.push_back(PendingRetry{
+          e.vm, e.source, e.target,
+          last_step_ +
+              config_.base.recovery.retry_backoff_steps * (1 << e.attempt),
+          e.attempt + 1});
+    }
+  }
+}
+
+void HierarchicalMeghPolicy::intern_stat_keys() {
+  aggregate_keys_.clear();
+  for (const char* name :
+       {"qtable_nnz", "theta_nnz", "lspi_updates", "singular_skips",
+        "truncations", "b_offdiag_nnz", "temperature", "migrations_selected",
+        "faults_seen", "retries", "masked_candidates", "rollbacks", "pods",
+        "slot_overflows"}) {
+    aggregate_keys_.push_back(StatKey::intern(name));
+  }
+  pod_keys_.clear();
+  const int pods_with_keys =
+      std::min(num_pods(), config_.per_pod_stats_limit);
+  pod_keys_.reserve(static_cast<std::size_t>(pods_with_keys) * 3);
+  for (int p = 0; p < pods_with_keys; ++p) {
+    const std::string prefix = "pod" + std::to_string(p) + ".";
+    pod_keys_.push_back(StatKey::intern(prefix + "qtable_nnz"));
+    pod_keys_.push_back(StatKey::intern(prefix + "lspi_updates"));
+    pod_keys_.push_back(StatKey::intern(prefix + "rollbacks"));
+  }
+}
+
+void HierarchicalMeghPolicy::stats(PolicyStats& out) const {
+#ifndef NDEBUG
+  // The allocation-free-step guarantee: every key this method writes was
+  // interned at begin(); a per-step stats() call must not grow the
+  // process-wide registry.
+  const int interned_before = StatKey::interned_count();
+#endif
+  double qtable_nnz = 0.0, theta_nnz = 0.0, lspi_updates = 0.0;
+  double singular_skips = 0.0, truncations = 0.0, b_offdiag = 0.0;
+  double masked = 0.0, rollbacks = 0.0, overflows = 0.0;
+  for (const Pod& pod : pods_) {
+    if (pod.learner == nullptr) continue;
+    qtable_nnz += static_cast<double>(pod.learner->qtable_nnz());
+    theta_nnz += static_cast<double>(pod.learner->theta_nnz());
+    lspi_updates += static_cast<double>(pod.learner->updates());
+    singular_skips += static_cast<double>(pod.learner->singular_skips());
+    truncations += static_cast<double>(pod.learner->truncations());
+    b_offdiag += static_cast<double>(pod.learner->B().offdiag_nnz());
+    masked += static_cast<double>(pod.masked_candidates);
+    rollbacks += static_cast<double>(pod.rollbacks);
+    overflows += static_cast<double>(pod.slot_overflows);
+  }
+  int k = 0;
+  out.set(aggregate_keys_[static_cast<std::size_t>(k++)], qtable_nnz);
+  out.set(aggregate_keys_[static_cast<std::size_t>(k++)], theta_nnz);
+  out.set(aggregate_keys_[static_cast<std::size_t>(k++)], lspi_updates);
+  out.set(aggregate_keys_[static_cast<std::size_t>(k++)], singular_skips);
+  out.set(aggregate_keys_[static_cast<std::size_t>(k++)], truncations);
+  out.set(aggregate_keys_[static_cast<std::size_t>(k++)], b_offdiag);
+  out.set(aggregate_keys_[static_cast<std::size_t>(k++)],
+          selector_.temperature());
+  out.set(aggregate_keys_[static_cast<std::size_t>(k++)],
+          static_cast<double>(total_migrations_selected_));
+  out.set(aggregate_keys_[static_cast<std::size_t>(k++)],
+          static_cast<double>(faults_seen_));
+  out.set(aggregate_keys_[static_cast<std::size_t>(k++)],
+          static_cast<double>(retries_issued_));
+  out.set(aggregate_keys_[static_cast<std::size_t>(k++)], masked);
+  out.set(aggregate_keys_[static_cast<std::size_t>(k++)], rollbacks);
+  out.set(aggregate_keys_[static_cast<std::size_t>(k++)],
+          static_cast<double>(num_pods()));
+  out.set(aggregate_keys_[static_cast<std::size_t>(k++)], overflows);
+  const int pods_with_keys = static_cast<int>(pod_keys_.size()) / 3;
+  for (int p = 0; p < pods_with_keys; ++p) {
+    const Pod& pod = pods_[static_cast<std::size_t>(p)];
+    out.set(pod_keys_[static_cast<std::size_t>(p * 3)],
+            pod.learner != nullptr
+                ? static_cast<double>(pod.learner->qtable_nnz())
+                : 0.0);
+    out.set(pod_keys_[static_cast<std::size_t>(p * 3 + 1)],
+            pod.learner != nullptr
+                ? static_cast<double>(pod.learner->updates())
+                : 0.0);
+    out.set(pod_keys_[static_cast<std::size_t>(p * 3 + 2)],
+            static_cast<double>(pod.rollbacks));
+  }
+#ifndef NDEBUG
+  MEGH_ASSERT(StatKey::interned_count() == interned_before,
+              "HierMegh stat keys must be interned at begin(), not per step");
+#endif
+}
+
+const LspiLearner& HierarchicalMeghPolicy::pod_learner(int pod) const {
+  MEGH_REQUIRE(pod >= 0 && pod < num_pods(), "pod index out of range");
+  const auto& learner = pods_[static_cast<std::size_t>(pod)].learner;
+  MEGH_REQUIRE(learner != nullptr, "pod learner not initialized");
+  return *learner;
+}
+
+LspiLearner& HierarchicalMeghPolicy::mutable_pod_learner(int pod) {
+  MEGH_REQUIRE(pod >= 0 && pod < num_pods(), "pod index out of range");
+  const auto& learner = pods_[static_cast<std::size_t>(pod)].learner;
+  MEGH_REQUIRE(learner != nullptr, "pod learner not initialized");
+  return *learner;
+}
+
+int HierarchicalMeghPolicy::pod_host_begin(int pod) const {
+  MEGH_REQUIRE(pod >= 0 && pod < num_pods(), "pod index out of range");
+  return pods_[static_cast<std::size_t>(pod)].host_begin;
+}
+
+int HierarchicalMeghPolicy::pod_host_end(int pod) const {
+  MEGH_REQUIRE(pod >= 0 && pod < num_pods(), "pod index out of range");
+  return pods_[static_cast<std::size_t>(pod)].host_end;
+}
+
+int HierarchicalMeghPolicy::pod_slot_capacity(int pod) const {
+  MEGH_REQUIRE(pod >= 0 && pod < num_pods(), "pod index out of range");
+  return pods_[static_cast<std::size_t>(pod)].cap;
+}
+
+std::span<const int> HierarchicalMeghPolicy::pod_vm_of_slot(int pod) const {
+  MEGH_REQUIRE(pod >= 0 && pod < num_pods(), "pod index out of range");
+  return pods_[static_cast<std::size_t>(pod)].vm_of_slot;
+}
+
+}  // namespace megh

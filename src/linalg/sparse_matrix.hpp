@@ -26,6 +26,7 @@
 // never with the action-space dimension.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -75,6 +76,20 @@ class SparseMatrix {
 
   /// Number of rows ever written (the materialized support).
   Index live_rows() const { return static_cast<Index>(rows_.size()); }
+
+  /// The diagonal value virgin rows read as (B₀'s 1/δ). Checkpointing a
+  /// cluster-scale operator stores only materialized rows against this
+  /// default instead of d dense diagonal lines.
+  double default_diag() const { return default_diag_; }
+
+  /// Indices of every materialized row, ascending — the deterministic
+  /// iteration order checkpoint writers need (materialization order is a
+  /// run artifact).
+  std::vector<Index> live_row_indices() const {
+    std::vector<Index> out(index_of_slot_);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
 
   /// Extract row r / column c as a sparse vector.
   SparseVector row(Index r) const;

@@ -39,6 +39,12 @@ StatKey StatKey::intern(std::string_view name) {
   return StatKey(id);
 }
 
+int StatKey::interned_count() {
+  StatRegistry& reg = StatRegistry::instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return static_cast<int>(reg.names.size());
+}
+
 StatKey StatKey::find(std::string_view name) {
   StatRegistry& reg = StatRegistry::instance();
   std::lock_guard<std::mutex> lock(reg.mu);

@@ -36,6 +36,12 @@ class StatKey {
   /// never interned (useful for "is this stat known at all" queries).
   static StatKey find(std::string_view name);
 
+  /// Number of names interned process-wide so far. The registry is
+  /// append-only, so a policy that interns all of its keys in begin() can
+  /// assert (and tests can verify) that its per-step stats() calls leave
+  /// this count unchanged — the allocation-free-step guarantee.
+  static int interned_count();
+
   bool valid() const { return id_ >= 0; }
   int id() const { return id_; }
 
@@ -55,7 +61,10 @@ class StatKey {
 /// kCapacity entries. Trivially copyable by design.
 class PolicyStats {
  public:
-  static constexpr int kCapacity = 16;
+  /// Sized for the hierarchical Megh policy's worst case: its 14 aggregate
+  /// keys plus three per-pod keys for up to 16 pods (beyond that only the
+  /// aggregates are emitted).
+  static constexpr int kCapacity = 64;
 
   void clear() { size_ = 0; }
   int size() const { return size_; }

@@ -1,0 +1,538 @@
+// Hierarchical two-level Megh: single-pod bit-identity against flat Megh
+// (sampled and enumerated candidate paths, fabric-attached and
+// fabric-free), job-count bit-identity on a 16-pod fabric, per-pod
+// checkpoint kill/restore round-trips, per-pod chaos recovery (masking +
+// burst rollback), the interned-stat-keys allocation-free-step guarantee,
+// and the checkpoint format-version gates.
+#include "core/hierarchical_megh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "core/checkpoint.hpp"
+#include "core/megh_policy.hpp"
+#include "harness/scenario.hpp"
+#include "sim/placement.hpp"
+#include "sim/sharding.hpp"
+#include "sim/simulation.hpp"
+
+namespace megh {
+namespace {
+
+/// Wraps a policy and records every emitted action as (step, vm, target) —
+/// the decision stream two runs must match on, byte for byte.
+class RecordingPolicy : public MigrationPolicy {
+ public:
+  explicit RecordingPolicy(MigrationPolicy& inner) : inner_(inner) {}
+  std::string name() const override { return inner_.name(); }
+  void begin(const Datacenter& dc, const CostConfig& cost,
+             double interval_s) override {
+    inner_.begin(dc, cost, interval_s);
+  }
+  void decide_into(const StepObservation& obs,
+                   std::vector<MigrationAction>& out) override {
+    const std::size_t before = out.size();
+    inner_.decide_into(obs, out);
+    for (std::size_t i = before; i < out.size(); ++i) {
+      log.push_back({obs.step, out[i].vm, out[i].target_host});
+    }
+  }
+  void observe_cost(double step_cost) override {
+    inner_.observe_cost(step_cost);
+  }
+  void observe_outcomes(std::span<const MigrationOutcome> outcomes) override {
+    inner_.observe_outcomes(outcomes);
+  }
+  void stats(PolicyStats& out) const override { inner_.stats(out); }
+
+  std::vector<std::array<int, 3>> log;
+
+ private:
+  MigrationPolicy& inner_;
+};
+
+struct RunOutput {
+  SimulationResult result;
+  std::vector<std::array<int, 3>> actions;
+  std::vector<int> placement;
+};
+
+RunOutput run_recorded(const Scenario& scenario, MigrationPolicy& policy,
+                       std::shared_ptr<const FatTreeTopology> network,
+                       int jobs = 1,
+                       std::shared_ptr<const FaultPlan> faults = nullptr) {
+  Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 11);
+  SimulationConfig config = default_sim_config(0.05);
+  config.network = std::move(network);
+  config.faults = std::move(faults);
+  config.jobs = jobs;
+  RecordingPolicy recorder(policy);
+  Simulation sim(std::move(dc), scenario.trace, config);
+  RunOutput out{sim.run(recorder), std::move(recorder.log), {}};
+  const int vms = static_cast<int>(scenario.vms.size());
+  out.placement.reserve(static_cast<std::size_t>(vms));
+  for (int vm = 0; vm < vms; ++vm) {
+    out.placement.push_back(sim.datacenter().host_of(vm));
+  }
+  return out;
+}
+
+/// Bitwise equality of the decision stream, every snapshot column except
+/// exec_ms, and the final placement.
+void expect_identical(const RunOutput& a, const RunOutput& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.actions, b.actions) << label << " action stream";
+  ASSERT_EQ(a.result.steps.size(), b.result.steps.size()) << label;
+  for (std::size_t i = 0; i < a.result.steps.size(); ++i) {
+    const StepSnapshot& x = a.result.steps[i];
+    const StepSnapshot& y = b.result.steps[i];
+    const std::string at = label + " step " + std::to_string(i);
+    EXPECT_EQ(x.step_cost_usd, y.step_cost_usd) << at;
+    EXPECT_EQ(x.energy_cost_usd, y.energy_cost_usd) << at;
+    EXPECT_EQ(x.sla_cost_usd, y.sla_cost_usd) << at;
+    EXPECT_EQ(x.migrations, y.migrations) << at;
+    EXPECT_EQ(x.rejected_migrations, y.rejected_migrations) << at;
+    EXPECT_EQ(x.active_hosts, y.active_hosts) << at;
+    EXPECT_EQ(x.overloaded_hosts, y.overloaded_hosts) << at;
+    EXPECT_EQ(x.mean_host_util, y.mean_host_util) << at;
+    EXPECT_EQ(x.aborted_migrations, y.aborted_migrations) << at;
+    EXPECT_EQ(x.hosts_down, y.hosts_down) << at;
+  }
+  EXPECT_EQ(a.result.totals.total_cost_usd, b.result.totals.total_cost_usd)
+      << label;
+  EXPECT_EQ(a.result.totals.migrations, b.result.totals.migrations) << label;
+  EXPECT_EQ(a.placement, b.placement) << label << " final placement";
+}
+
+MeghConfig base_config(std::uint64_t seed) {
+  MeghConfig config;
+  config.seed = seed;
+  config.max_migration_fraction = 0.05;
+  return config;
+}
+
+// --- tentpole contract: single-pod fabric ≡ flat Megh --------------------
+
+TEST(HierarchicalMeghTest, SinglePodFabricBitIdenticalToFlatSampledPath) {
+  // k = 12: one pod holds 36 hosts, so a 32-host fleet is a single clipped
+  // pod and the hierarchical pod-local space (slot k == VM k, width == M)
+  // coincides with the flat basis. d = 32 × 48 = 1536 > 1500 keeps both
+  // policies on the sampled candidate path.
+  const Scenario scenario = make_planetlab_scenario(32, 48, 80, 5);
+  const auto fabric =
+      std::make_shared<const FatTreeTopology>(FatTreeTopology(12));
+  ASSERT_GE(fabric->hosts_per_pod(), 32);
+
+  MeghPolicy flat(base_config(13));
+  HierarchicalMeghConfig hier_config;
+  hier_config.base = base_config(13);
+  hier_config.network = fabric;
+  HierarchicalMeghPolicy hier(hier_config);
+
+  const RunOutput a = run_recorded(scenario, flat, fabric);
+  const RunOutput b = run_recorded(scenario, hier, fabric);
+  ASSERT_GT(a.result.totals.migrations, 0);
+  ASSERT_EQ(hier.num_pods(), 1);
+  expect_identical(a, b, "flat vs hier (single pod, sampled)");
+
+  // The learned state coincides too, not just the decisions.
+  PolicyStats fs, hs;
+  flat.stats(fs);
+  hier.stats(hs);
+  for (const char* key :
+       {"qtable_nnz", "theta_nnz", "lspi_updates", "b_offdiag_nnz",
+        "temperature", "migrations_selected"}) {
+    EXPECT_EQ(fs.at(key), hs.at(key)) << key;
+  }
+}
+
+TEST(HierarchicalMeghTest, SinglePodFabricBitIdenticalToFlatEnumeration) {
+  // d = 8 × 12 = 96 <= 1500: both sides enumerate every feasible action.
+  const Scenario scenario = make_planetlab_scenario(8, 12, 60, 3);
+  const auto fabric =
+      std::make_shared<const FatTreeTopology>(FatTreeTopology(6));
+  ASSERT_GE(fabric->hosts_per_pod(), 8);
+
+  MeghPolicy flat(base_config(7));
+  HierarchicalMeghConfig hier_config;
+  hier_config.base = base_config(7);
+  hier_config.network = fabric;
+  HierarchicalMeghPolicy hier(hier_config);
+
+  const RunOutput a = run_recorded(scenario, flat, fabric);
+  const RunOutput b = run_recorded(scenario, hier, fabric);
+  ASSERT_EQ(hier.num_pods(), 1);
+  expect_identical(a, b, "flat vs hier (single pod, enumerated)");
+}
+
+TEST(HierarchicalMeghTest, FabricFreeSingleBlockBitIdenticalToFlat) {
+  // No topology on either side: the hierarchical policy falls back to
+  // 256-host blocks, which is one block here — the flat identity must
+  // survive without a fabric.
+  const Scenario scenario = make_planetlab_scenario(40, 56, 60, 9);
+
+  MeghPolicy flat(base_config(21));
+  HierarchicalMeghConfig hier_config;
+  hier_config.base = base_config(21);
+  HierarchicalMeghPolicy hier(hier_config);
+
+  const RunOutput a = run_recorded(scenario, flat, nullptr);
+  const RunOutput b = run_recorded(scenario, hier, nullptr);
+  ASSERT_EQ(hier.num_pods(), 1);
+  expect_identical(a, b, "flat vs hier (fabric-free)");
+}
+
+// --- job-count bit-identity on a 16-pod fabric ---------------------------
+
+TEST(HierarchicalMeghTest, SixteenPodFabricBitIdenticalAcrossJobs) {
+  // k = 16 serves exactly 1024 hosts in 16 pods of 64. Learners decide and
+  // update in parallel over the shard executor; the decision stream must
+  // not depend on the job count.
+  const Scenario scenario = make_planetlab_scenario(1024, 1400, 12, 17);
+  const auto fabric = std::make_shared<const FatTreeTopology>(
+      FatTreeTopology::for_hosts(1024));
+  ASSERT_EQ(fabric->num_pods(), 16);
+
+  const auto run_at = [&](int jobs) {
+    HierarchicalMeghConfig config;
+    config.base = base_config(29);
+    config.network = fabric;
+    HierarchicalMeghPolicy hier(config);
+    RunOutput out = run_recorded(scenario, hier, fabric, jobs);
+    EXPECT_EQ(hier.num_pods(), 16);
+    return out;
+  };
+  const RunOutput serial = run_at(1);
+  ASSERT_GT(serial.result.totals.migrations, 0);
+  expect_identical(serial, run_at(4), "hier jobs 1 vs 4");
+  expect_identical(serial, run_at(8), "hier jobs 1 vs 8");
+}
+
+// --- per-pod checkpointing -----------------------------------------------
+
+class HierCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("megh_hier_ckpt_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+std::string file_contents(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST_F(HierCheckpointTest, PerPodKillRestoreRoundTripIsExact) {
+  // Train a 4-pod policy end-to-end, checkpoint it, restore into a fresh
+  // instance, and demand exactness three ways: per-pod learner state,
+  // shared actor state, and a byte-identical re-save.
+  const Scenario scenario = make_planetlab_scenario(16, 24, 60, 5);
+  const auto fabric = std::make_shared<const FatTreeTopology>(
+      FatTreeTopology::for_hosts(16));
+  ASSERT_EQ(fabric->num_pods(), 4);
+  HierarchicalMeghConfig config;
+  config.base = base_config(31);
+  config.network = fabric;
+  HierarchicalMeghPolicy trained(config);
+  {
+    Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 11);
+    SimulationConfig sim_config = default_sim_config(0.05);
+    sim_config.network = fabric;
+    Simulation sim(std::move(dc), scenario.trace, sim_config);
+    sim.run(trained);
+  }
+  const auto path = dir_ / "hier.ckpt";
+  save_hierarchical_policy(trained, path);
+
+  HierarchicalMeghPolicy restored(config);
+  Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 11);
+  restored.begin(dc, CostConfig{}, 300.0);
+  load_hierarchical_policy(restored, path);
+
+  ASSERT_EQ(restored.num_pods(), trained.num_pods());
+  EXPECT_DOUBLE_EQ(restored.temperature(), trained.temperature());
+  EXPECT_DOUBLE_EQ(restored.cost_baseline(), trained.cost_baseline());
+  EXPECT_EQ(restored.baseline_initialized(), trained.baseline_initialized());
+  for (int p = 0; p < trained.num_pods(); ++p) {
+    const LspiLearner& a = trained.pod_learner(p);
+    const LspiLearner& b = restored.pod_learner(p);
+    ASSERT_EQ(a.dim(), b.dim()) << "pod " << p;
+    EXPECT_DOUBLE_EQ(a.gamma(), b.gamma()) << "pod " << p;
+    for (std::int64_t i = 0; i < a.dim(); ++i) {
+      EXPECT_DOUBLE_EQ(a.q_value(i), b.q_value(i)) << "pod " << p;
+    }
+    EXPECT_LT(b.B().to_dense().max_abs_diff(a.B().to_dense()), 1e-15)
+        << "pod " << p;
+    EXPECT_EQ(a.z().nnz(), b.z().nnz()) << "pod " << p;
+    EXPECT_EQ(restored.pod_slot_capacity(p), trained.pod_slot_capacity(p));
+    const auto slots_a = trained.pod_vm_of_slot(p);
+    const auto slots_b = restored.pod_vm_of_slot(p);
+    ASSERT_EQ(slots_a.size(), slots_b.size()) << "pod " << p;
+    for (std::size_t s = 0; s < slots_a.size(); ++s) {
+      EXPECT_EQ(slots_a[s], slots_b[s]) << "pod " << p << " slot " << s;
+    }
+  }
+  // Byte-level round trip: re-saving the restored policy reproduces the
+  // file exactly, so nothing was lost or renormalized in flight.
+  const auto resaved = dir_ / "hier2.ckpt";
+  save_hierarchical_policy(restored, resaved);
+  EXPECT_EQ(file_contents(path), file_contents(resaved));
+}
+
+TEST_F(HierCheckpointTest, RestoredPodLearnersContinueIdentically) {
+  const Scenario scenario = make_planetlab_scenario(16, 24, 40, 7);
+  const auto fabric = std::make_shared<const FatTreeTopology>(
+      FatTreeTopology::for_hosts(16));
+  HierarchicalMeghConfig config;
+  config.base = base_config(37);
+  config.network = fabric;
+  HierarchicalMeghPolicy trained(config);
+  {
+    Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 11);
+    SimulationConfig sim_config = default_sim_config(0.05);
+    sim_config.network = fabric;
+    Simulation sim(std::move(dc), scenario.trace, sim_config);
+    sim.run(trained);
+  }
+  const auto path = dir_ / "cont.ckpt";
+  save_hierarchical_policy(trained, path);
+  HierarchicalMeghPolicy restored(config);
+  Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 11);
+  restored.begin(dc, CostConfig{}, 300.0);
+  load_hierarchical_policy(restored, path);
+
+  // Feed both sides of every pod the same post-restore update stream: the
+  // critics must stay in lockstep, bit for bit.
+  for (int p = 0; p < trained.num_pods(); ++p) {
+    LspiLearner& a = trained.mutable_pod_learner(p);
+    LspiLearner& b = restored.mutable_pod_learner(p);
+    Rng rng(100 + static_cast<std::uint64_t>(p));
+    for (int i = 0; i < 30; ++i) {
+      const auto dim = static_cast<std::size_t>(a.dim());
+      const std::int64_t act = static_cast<std::int64_t>(rng.index(dim));
+      const std::int64_t next = static_cast<std::int64_t>(rng.index(dim));
+      const double cost = rng.normal(1.0, 0.5);
+      a.update(act, cost, next);
+      b.update(act, cost, next);
+      EXPECT_DOUBLE_EQ(a.q_value(act), b.q_value(act)) << "pod " << p;
+    }
+    EXPECT_LT(b.B().to_dense().max_abs_diff(a.B().to_dense()), 1e-15)
+        << "pod " << p;
+  }
+}
+
+// --- checkpoint format-version gates (satellite fix) ---------------------
+
+TEST_F(HierCheckpointTest, FlatLoaderRejectsV2WithVersionedError) {
+  const Scenario scenario = make_planetlab_scenario(16, 24, 10, 5);
+  const auto fabric = std::make_shared<const FatTreeTopology>(
+      FatTreeTopology::for_hosts(16));
+  HierarchicalMeghConfig config;
+  config.base = base_config(31);
+  config.network = fabric;
+  HierarchicalMeghPolicy policy(config);
+  Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 11);
+  policy.begin(dc, CostConfig{}, 300.0);
+  const auto path = dir_ / "v2.ckpt";
+  save_hierarchical_policy(policy, path);
+  try {
+    load_learner(path);
+    FAIL() << "v2 container must not load as a flat learner";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("v2"), std::string::npos) << what;
+    EXPECT_NE(what.find("load_hierarchical_policy"), std::string::npos)
+        << what;
+  }
+}
+
+TEST_F(HierCheckpointTest, HierarchicalLoaderRejectsV1WithVersionedError) {
+  const auto path = dir_ / "v1.ckpt";
+  {
+    LspiLearner learner(24, 0.5, 1.0);
+    learner.update(3, 1.0, 5);
+    save_learner(learner, path);
+  }
+  const Scenario scenario = make_planetlab_scenario(16, 24, 10, 5);
+  HierarchicalMeghConfig config;
+  config.base = base_config(31);
+  HierarchicalMeghPolicy policy(config);
+  Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 11);
+  policy.begin(dc, CostConfig{}, 300.0);
+  try {
+    load_hierarchical_policy(policy, path);
+    FAIL() << "v1 flat checkpoint must not load as a hierarchical container";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("v1"), std::string::npos) << what;
+    EXPECT_NE(what.find("load_learner"), std::string::npos) << what;
+  }
+}
+
+TEST_F(HierCheckpointTest, BothLoadersRejectForeignFiles) {
+  const auto path = dir_ / "garbage.ckpt";
+  std::ofstream(path) << "definitely not a checkpoint\n";
+  EXPECT_THROW(load_learner(path), ConfigError);
+  const Scenario scenario = make_planetlab_scenario(8, 12, 10, 5);
+  HierarchicalMeghConfig config;
+  config.base = base_config(31);
+  HierarchicalMeghPolicy policy(config);
+  Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 11);
+  policy.begin(dc, CostConfig{}, 300.0);
+  EXPECT_THROW(load_hierarchical_policy(policy, path), ConfigError);
+}
+
+// --- per-pod chaos recovery ----------------------------------------------
+
+MeghConfig recovery_config(std::uint64_t seed) {
+  MeghConfig config = base_config(seed);
+  config.max_migration_fraction = 0.2;
+  config.recovery.enabled = true;
+  config.recovery.max_retries = 2;
+  config.recovery.retry_backoff_steps = 1;
+  config.recovery.rollback_burst_threshold = 1;
+  config.recovery.checkpoint_interval_steps = 2;
+  return config;
+}
+
+TEST(HierarchicalMeghChaosTest, DownHostFaultsRollBackOnlyTheirPod) {
+  // Fail one host of pod 1 for most of the run with masking off: draws
+  // that target it come back kTargetDown, and those faults — and the
+  // rollbacks they trigger — must stay confined to pod 1's learner.
+  const Scenario scenario = make_planetlab_scenario(16, 32, 80, 5);
+  const auto fabric = std::make_shared<const FatTreeTopology>(
+      FatTreeTopology::for_hosts(16));
+  ASSERT_EQ(fabric->num_pods(), 4);
+  std::vector<FaultEvent> events;
+  events.push_back({10, FaultClass::kHostFailure, 5, 0.0, 60});
+  const auto faults = std::make_shared<const FaultPlan>(
+      FaultPlan::from_events(std::move(events), 0.0, 9, 16, 80));
+
+  HierarchicalMeghConfig config;
+  config.base = recovery_config(42);
+  config.base.recovery.mask_down_hosts = false;
+  config.network = fabric;
+  HierarchicalMeghPolicy policy(config);
+  const RunOutput r = run_recorded(scenario, policy, fabric, 1, faults);
+  ASSERT_GT(r.result.totals.fault_events, 0);
+
+  PolicyStats stats;
+  policy.stats(stats);
+  ASSERT_GT(stats.at("faults_seen"), 0.0)
+      << "no draw ever targeted the down host; enlarge the fault window";
+  EXPECT_GT(stats.at("pod1.rollbacks"), 0.0);
+  EXPECT_EQ(stats.at("pod0.rollbacks"), 0.0);
+  EXPECT_EQ(stats.at("pod2.rollbacks"), 0.0);
+  EXPECT_EQ(stats.at("pod3.rollbacks"), 0.0);
+  EXPECT_EQ(stats.at("rollbacks"), stats.at("pod1.rollbacks"));
+}
+
+TEST(HierarchicalMeghChaosTest, MaskingAndAbortRecoveryWorkAcrossPods) {
+  // Every applied migration aborts and one host goes down mid-run: the
+  // policy must mask down-host candidates, queue retries, and roll back
+  // in whichever pods saw bursts — with the per-pod counters summing to
+  // the aggregates.
+  const Scenario scenario = make_planetlab_scenario(16, 32, 80, 7);
+  const auto fabric = std::make_shared<const FatTreeTopology>(
+      FatTreeTopology::for_hosts(16));
+  std::vector<FaultEvent> events;
+  events.push_back({20, FaultClass::kHostFailure, 2, 0.0, 40});
+  const auto faults = std::make_shared<const FaultPlan>(
+      FaultPlan::from_events(std::move(events), 1.0, 9, 16, 80));
+
+  HierarchicalMeghConfig config;
+  config.base = recovery_config(43);
+  config.network = fabric;
+  HierarchicalMeghPolicy policy(config);
+  const RunOutput r = run_recorded(scenario, policy, fabric, 1, faults);
+
+  ASSERT_GT(r.result.totals.aborted_migrations, 0);
+  PolicyStats stats;
+  policy.stats(stats);
+  EXPECT_GT(stats.at("masked_candidates"), 0.0);
+  EXPECT_GT(stats.at("retries"), 0.0);
+  EXPECT_GT(stats.at("rollbacks"), 0.0);
+  double pod_rollbacks = 0.0;
+  for (int p = 0; p < policy.num_pods(); ++p) {
+    pod_rollbacks +=
+        stats.at("pod" + std::to_string(p) + ".rollbacks");
+  }
+  EXPECT_EQ(pod_rollbacks, stats.at("rollbacks"));
+}
+
+// --- allocation-free-step stat keys (satellite fix) ----------------------
+
+TEST(HierarchicalMeghTest, StatKeysInternedAtBeginNotPerStep) {
+  const Scenario scenario = make_planetlab_scenario(16, 24, 20, 5);
+  const auto fabric = std::make_shared<const FatTreeTopology>(
+      FatTreeTopology::for_hosts(16));
+  HierarchicalMeghConfig config;
+  config.base = base_config(31);
+  config.network = fabric;
+  HierarchicalMeghPolicy policy(config);
+  Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 11);
+  policy.begin(dc, CostConfig{}, 300.0);
+  const int after_begin = StatKey::interned_count();
+  PolicyStats stats;
+  policy.stats(stats);
+  EXPECT_EQ(StatKey::interned_count(), after_begin)
+      << "stats() interned a key outside begin()";
+  // All pod keys fit: 14 aggregates + 3 keys for each of 4 pods.
+  EXPECT_EQ(stats.at("pods"), 4.0);
+  EXPECT_EQ(stats.at("slot_overflows"), 0.0);
+  policy.stats(stats);
+  EXPECT_EQ(StatKey::interned_count(), after_begin);
+  // A full simulated run (which re-begins the policy and snapshots stats
+  // every step) must not grow the registry either.
+  Datacenter dc2 = build_datacenter(scenario, InitialPlacement::kRandom, 11);
+  SimulationConfig sim_config = default_sim_config(0.05);
+  sim_config.network = fabric;
+  Simulation sim(std::move(dc2), scenario.trace, sim_config);
+  sim.run(policy);
+  EXPECT_EQ(StatKey::interned_count(), after_begin);
+}
+
+// --- per-pod memory contract ---------------------------------------------
+
+TEST(HierarchicalMeghTest, LearnerDimensionsArePodLocal) {
+  // 16 pods of 64 hosts: each learner's dim is cap_p × 64, and the summed
+  // dimension sits orders of magnitude below the flat N × M space.
+  const Scenario scenario = make_planetlab_scenario(1024, 1400, 2, 3);
+  const auto fabric = std::make_shared<const FatTreeTopology>(
+      FatTreeTopology::for_hosts(1024));
+  HierarchicalMeghConfig config;
+  config.base = base_config(3);
+  config.network = fabric;
+  HierarchicalMeghPolicy policy(config);
+  Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 11);
+  policy.begin(dc, CostConfig{}, 300.0);
+  std::int64_t total_dim = 0;
+  for (int p = 0; p < policy.num_pods(); ++p) {
+    const std::int64_t width =
+        policy.pod_host_end(p) - policy.pod_host_begin(p);
+    EXPECT_EQ(width, 64);
+    EXPECT_EQ(policy.pod_learner(p).dim(),
+              static_cast<std::int64_t>(policy.pod_slot_capacity(p)) * width);
+    total_dim += policy.pod_learner(p).dim();
+  }
+  const std::int64_t flat_dim =
+      static_cast<std::int64_t>(1400) * static_cast<std::int64_t>(1024);
+  EXPECT_LT(total_dim, flat_dim / 10);
+}
+
+}  // namespace
+}  // namespace megh

@@ -11,6 +11,7 @@
 //   megh_sim --policy megh --checkpoint-load megh.ckpt --seed 9
 //   megh_sim --trace my_trace.csv --policy megh --series run.csv
 //   megh_sim --policy megh --oversubscription 4   # fat-tree fabric
+//   megh_sim --policy hier-megh --hosts 1024 --oversubscription 4 --jobs 4
 //   megh_sim --policy megh --trace-out run.jsonl  # per-step telemetry
 #include <cstdio>
 #include <memory>
@@ -22,6 +23,7 @@
 #include "baselines/simple_policies.hpp"
 #include "common/args.hpp"
 #include "core/checkpoint.hpp"
+#include "core/hierarchical_megh.hpp"
 #include "core/megh_policy.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
@@ -34,14 +36,21 @@ namespace {
 
 using namespace megh;
 
-std::unique_ptr<MigrationPolicy> make_policy(const std::string& name,
-                                             std::uint64_t seed,
-                                             bool network_oblivious) {
+std::unique_ptr<MigrationPolicy> make_policy(
+    const std::string& name, std::uint64_t seed, bool network_oblivious,
+    std::shared_ptr<const FatTreeTopology> network) {
   if (name == "megh") {
     MeghConfig config;
     config.seed = seed;
     config.candidates.network_aware = !network_oblivious;
     return std::make_unique<MeghPolicy>(config);
+  }
+  if (name == "hier-megh") {
+    HierarchicalMeghConfig config;
+    config.base.seed = seed;
+    config.base.candidates.network_aware = !network_oblivious;
+    config.network = std::move(network);
+    return std::make_unique<HierarchicalMeghPolicy>(config);
   }
   if (name == "thr-mmt") return make_thr_mmt(0.7, seed);
   if (name == "iqr-mmt") return make_iqr_mmt(seed);
@@ -63,8 +72,8 @@ std::unique_ptr<MigrationPolicy> make_policy(const std::string& name,
   if (name == "random") return std::make_unique<RandomPolicy>(1, seed);
   throw ConfigError(
       "unknown --policy '" + name +
-      "' (megh|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|qlearning|"
-      "sandpiper|none|random)");
+      "' (megh|hier-megh|thr-mmt|iqr-mmt|mad-mmt|lr-mmt|lrr-mmt|madvm|"
+      "qlearning|sandpiper|none|random)");
 }
 
 }  // namespace
@@ -84,6 +93,8 @@ int main(int argc, char** argv) {
   args.add_flag("oversubscription",
                 "attach a fat-tree fabric with this oversubscription "
                 "(0 = flat network)", "0");
+  args.add_flag("jobs", "worker threads for the sharded step (and for "
+                        "hier-megh's per-pod learners)", "1");
   args.add_flag("series", "write the per-step series to this CSV", "");
   args.add_flag("checkpoint-save", "save the Megh learner here after the run",
                 "");
@@ -143,15 +154,9 @@ int main(int argc, char** argv) {
       throw ConfigError("unknown --scenario (planetlab | google)");
     }
 
-    // --- policy ---
-    auto policy = make_policy(policy_name, seed,
-                              args.get_bool("network-oblivious"));
-
+    // --- fabric (built before the policy: hier-megh shards by pod) ---
     ExperimentOptions options;
     options.steps = steps;
-    const double cap = args.get_double("cap");
-    options.max_migration_fraction =
-        cap >= 0 ? cap : (policy_name == "megh" ? 0.02 : 0.0);
     if (args.get_double("oversubscription") > 0) {
       NetworkLinkConfig links;
       links.oversubscription = args.get_double("oversubscription");
@@ -162,12 +167,21 @@ int main(int argc, char** argv) {
                   links.oversubscription);
     }
 
+    // --- policy ---
+    const bool is_megh = policy_name == "megh" || policy_name == "hier-megh";
+    auto policy = make_policy(policy_name, seed,
+                              args.get_bool("network-oblivious"),
+                              options.network);
+    const double cap = args.get_double("cap");
+    options.max_migration_fraction = cap >= 0 ? cap : (is_megh ? 0.02 : 0.0);
+
     // --- warm start ---
     Datacenter dc =
         build_datacenter(scenario, options.placement, options.placement_seed);
     SimulationConfig sim_config =
         default_sim_config(options.max_migration_fraction);
     sim_config.network = options.network;
+    sim_config.jobs = static_cast<int>(args.get_int("jobs"));
     if (args.get("migration-model") == "precopy") {
       sim_config.migration_model =
           SimulationConfig::MigrationTimeModel::kPreCopy;
@@ -177,13 +191,22 @@ int main(int argc, char** argv) {
     }
     Simulation sim(std::move(dc), scenario.trace, sim_config);
     if (!args.get("checkpoint-load").empty()) {
-      auto* megh = dynamic_cast<MeghPolicy*>(policy.get());
-      MEGH_REQUIRE(megh != nullptr,
-                   "--checkpoint-load only applies to --policy megh");
-      sim.run(*megh, 0);  // begin() so the learner exists with the shape
-      load_megh_policy(*megh, args.get("checkpoint-load"));
-      std::printf("warm-started from %s (temperature %.4f)\n",
-                  args.get("checkpoint-load").c_str(), megh->temperature());
+      if (auto* megh = dynamic_cast<MeghPolicy*>(policy.get())) {
+        sim.run(*megh, 0);  // begin() so the learner exists with the shape
+        load_megh_policy(*megh, args.get("checkpoint-load"));
+        std::printf("warm-started from %s (temperature %.4f)\n",
+                    args.get("checkpoint-load").c_str(), megh->temperature());
+      } else if (auto* hier =
+                     dynamic_cast<HierarchicalMeghPolicy*>(policy.get())) {
+        sim.run(*hier, 0);  // begin() so the pod learners exist
+        load_hierarchical_policy(*hier, args.get("checkpoint-load"));
+        std::printf("warm-started from %s (%d pods, temperature %.4f)\n",
+                    args.get("checkpoint-load").c_str(), hier->num_pods(),
+                    hier->temperature());
+      } else {
+        throw ConfigError(
+            "--checkpoint-load only applies to --policy megh | hier-megh");
+      }
     }
 
     const SimulationResult result = sim.run(*policy, steps);
@@ -222,10 +245,16 @@ int main(int argc, char** argv) {
       std::printf("series          : wrote %s\n", args.get("series").c_str());
     }
     if (!args.get("checkpoint-save").empty()) {
-      auto* megh = dynamic_cast<MeghPolicy*>(policy.get());
-      MEGH_REQUIRE(megh != nullptr,
-                   "--checkpoint-save only applies to --policy megh");
-      save_megh_policy(*megh, args.get("checkpoint-save"));
+      if (const auto* megh = dynamic_cast<const MeghPolicy*>(policy.get())) {
+        save_megh_policy(*megh, args.get("checkpoint-save"));
+      } else if (const auto* hier =
+                     dynamic_cast<const HierarchicalMeghPolicy*>(
+                         policy.get())) {
+        save_hierarchical_policy(*hier, args.get("checkpoint-save"));
+      } else {
+        throw ConfigError(
+            "--checkpoint-save only applies to --policy megh | hier-megh");
+      }
       std::printf("checkpoint      : wrote %s\n",
                   args.get("checkpoint-save").c_str());
     }
