@@ -1,0 +1,96 @@
+#include "common/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <system_error>
+
+#include "common/error.hpp"
+
+namespace megh {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::filesystem::path& path) {
+  throw IoError(what + ": " + path.string() + " (" +
+                std::strerror(errno) + ")");
+}
+
+}  // namespace
+
+void fsync_file(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("cannot open for fsync", path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw_errno("fsync failed", path);
+}
+
+void fsync_dir(const std::filesystem::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    // Some filesystems (and some container mounts) refuse O_RDONLY on
+    // directories; durability of the rename is then best-effort.
+    if (errno == EACCES || errno == EINVAL || errno == EISDIR) return;
+    throw_errno("cannot open directory for fsync", dir);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && errno != EINVAL) throw_errno("directory fsync failed", dir);
+}
+
+void write_file_atomic(const std::filesystem::path& path,
+                       const std::function<void(std::ostream&)>& write,
+                       bool durable) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    if (ec) {
+      throw IoError("cannot create parent directory: " +
+                    path.parent_path().string() + " (" + ec.message() + ")");
+    }
+  }
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot open for writing: " + tmp.string());
+    try {
+      write(out);
+    } catch (...) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw;
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw IoError("write failure on " + tmp.string());
+    }
+  }
+  try {
+    if (durable) fsync_file(tmp);
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      throw IoError("rename failed: " + tmp.string() + " -> " +
+                    path.string() + " (" + ec.message() + ")");
+    }
+    if (durable) {
+      fsync_dir(path.has_parent_path() ? path.parent_path()
+                                       : std::filesystem::path("."));
+    }
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
+}
+
+}  // namespace megh

@@ -1,0 +1,40 @@
+// Crash-atomic file replacement: write to `<path>.tmp`, fsync the file,
+// rename over the destination, fsync the directory. At every instant the
+// destination either holds its old content in full or its new content in
+// full — a crash mid-save can no longer destroy the only copy of a
+// checkpoint (the failure mode the plain `ofstream(path)` writers had).
+//
+// Shared by every checkpoint writer (core/checkpoint.cpp), the serving
+// daemon's snapshot compactor (src/serve) and megh_sim's periodic
+// --checkpoint-every snapshots.
+#pragma once
+
+#include <filesystem>
+#include <functional>
+#include <ostream>
+
+namespace megh {
+
+/// Atomically replace `path` with the bytes `write` produces.
+///
+/// The writer runs against a stream backed by `<path>.tmp` in the target
+/// directory (same filesystem, so the final rename is atomic). On any
+/// failure — the writer throwing, a stream error, fsync or rename failing —
+/// the temp file is removed and the destination is untouched; stream and
+/// I/O failures raise IoError. When `durable` is false the fsyncs are
+/// skipped (the rename is still atomic against crashes of this process,
+/// just not against power loss) — used by tests and fsync-free benchmark
+/// runs.
+void write_file_atomic(const std::filesystem::path& path,
+                       const std::function<void(std::ostream&)>& write,
+                       bool durable = true);
+
+/// fsync an already-written file by path. Throws IoError on failure.
+void fsync_file(const std::filesystem::path& path);
+
+/// fsync a directory so a rename/unlink inside it is durable. Throws
+/// IoError on failure (except on filesystems that refuse directory fds,
+/// where it degrades to a no-op).
+void fsync_dir(const std::filesystem::path& dir);
+
+}  // namespace megh

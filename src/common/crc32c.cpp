@@ -1,0 +1,55 @@
+#include "common/crc32c.hpp"
+
+#include <array>
+
+namespace megh {
+
+namespace {
+
+// Slice-by-4 tables for the Castagnoli polynomial (reflected 0x82F63B78),
+// generated once on first use.
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 4> t;
+
+  Crc32cTables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Crc32cTables& tables() {
+  static const Crc32cTables instance;
+  return instance;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  const auto& t = tables().t;
+  std::uint32_t crc = ~seed;
+  std::size_t i = 0;
+  for (; i + 4 <= data.size(); i += 4) {
+    crc ^= static_cast<std::uint32_t>(data[i]) |
+           (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+           (static_cast<std::uint32_t>(data[i + 2]) << 16) |
+           (static_cast<std::uint32_t>(data[i + 3]) << 24);
+    crc = t[3][crc & 0xFFu] ^ t[2][(crc >> 8) & 0xFFu] ^
+          t[1][(crc >> 16) & 0xFFu] ^ t[0][crc >> 24];
+  }
+  for (; i < data.size(); ++i) {
+    crc = (crc >> 8) ^ t[0][(crc ^ data[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace megh

@@ -1,8 +1,21 @@
 #include "common/rng.hpp"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 namespace megh {
+
+void Rng::save(std::ostream& out) const { out << engine_; }
+
+void Rng::load(std::istream& in) {
+  if (!(in >> engine_)) {
+    throw IoError("rng: malformed engine state");
+  }
+  // Distribution caches do not survive a checkpoint boundary; see save().
+  unit_.reset();
+  normal_.reset();
+}
 
 double Rng::log_uniform(double lo, double hi) {
   // User-facing domain check like weighted_index: a Release caller passing

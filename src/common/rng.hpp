@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <iosfwd>
 #include <random>
 #include <span>
 
@@ -81,6 +82,17 @@ class Rng {
   Rng fork() { return Rng(engine_()); }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// Serialize the engine state as one whitespace-separated text line
+  /// (std::mt19937_64's own stream format), checkpointable mid-stream: a
+  /// loaded Rng's subsequent uniform()/uniform_int() draws continue the
+  /// saved stream exactly. Distribution caches are reset on load, so a
+  /// normal() stream straddling a save/load may skip one cached deviate —
+  /// every policy draw path uses only the cache-free distributions.
+  void save(std::ostream& out) const;
+
+  /// Restore a state written by save(). Throws IoError on parse failure.
+  void load(std::istream& in);
 
  private:
   std::mt19937_64 engine_;

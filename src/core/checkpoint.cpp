@@ -1,20 +1,20 @@
 #include "core/checkpoint.hpp"
 
 #include <fstream>
-#include <sstream>
 #include <string>
+#include <utility>
 
+#include "common/atomic_file.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
-#include "core/hierarchical_megh.hpp"
-#include "core/megh_policy.hpp"
 
 namespace megh {
 
 namespace {
 
-constexpr const char* kMagic = "megh-checkpoint v1";
-constexpr const char* kMagicV2 = "megh-checkpoint v2";
+constexpr const char* kMagicV1 = "megh-checkpoint v1";
+constexpr const char* kMagicV3 = "megh-checkpoint v3";
+constexpr const char* kMagicV4 = "megh-checkpoint v4";
 
 /// Consume the magic line and return the format version it declares.
 /// Throws ConfigError when the line is not a megh checkpoint magic at all;
@@ -43,8 +43,31 @@ int read_checkpoint_version(std::istream& in, const std::string& context) {
   return version;
 }
 
-void write_vector(std::ofstream& out, const char* tag,
-                  const SparseVector& v) {
+/// What each known format version holds and which loader reads it — the
+/// actionable half of every version-mismatch ConfigError.
+std::string version_hint(int version) {
+  switch (version) {
+    case 1:
+      return " (v1 files hold one bare flat learner; load them with "
+             "load_learner — pre-v3 policy files also predate the "
+             "serialized actor RNG stream, so re-save with "
+             "save_megh_policy to get an exact-restore checkpoint)";
+    case 2:
+      return " (v2 files hold the pre-RNG hierarchical container; they "
+             "predate the serialized per-pod RNG streams — re-save with "
+             "save_hierarchical_policy)";
+    case 3:
+      return " (v3 files hold a flat MeghPolicy; load them with "
+             "load_megh_policy)";
+    case 4:
+      return " (v4 files hold a hierarchical per-pod container; load "
+             "them with load_hierarchical_policy)";
+    default:
+      return "";
+  }
+}
+
+void write_vector(std::ostream& out, const char* tag, const SparseVector& v) {
   out << tag << ' ' << v.nnz() << '\n';
   for (const auto& [i, value] : v.entries()) {
     out << i << ' ' << strf("%.17g", value) << '\n';
@@ -85,18 +108,10 @@ SparseVector read_vector(std::istream& in, const char* tag,
   return v;
 }
 
-}  // namespace
-
-void save_learner(const LspiLearner& learner,
-                  const std::filesystem::path& path) {
-  if (path.has_parent_path()) {
-    std::filesystem::create_directories(path.parent_path());
-  }
-  std::ofstream out(path);
-  if (!out) throw IoError("cannot open checkpoint for writing: " + path.string());
-  out << kMagic << '\n';
-  out << "dim " << learner.dim() << " gamma " << strf("%.17g", learner.gamma())
-      << '\n';
+/// The v1 learner body (everything after the magic line).
+void write_learner_body(std::ostream& out, const LspiLearner& learner) {
+  out << "dim " << learner.dim() << " gamma "
+      << strf("%.17g", learner.gamma()) << '\n';
   write_vector(out, "z", learner.z());
   write_vector(out, "theta", learner.theta());
 
@@ -119,53 +134,45 @@ void save_learner(const LspiLearner& learner,
       out << r << ' ' << c << ' ' << strf("%.17g", value) << '\n';
     }
   }
-  if (!out) throw IoError("write failure on checkpoint: " + path.string());
 }
 
-LspiLearner load_learner(const std::filesystem::path& path, double delta,
-                         int max_update_support) {
-  std::ifstream in(path);
-  if (!in) throw IoError("cannot open checkpoint: " + path.string());
-  const int version = read_checkpoint_version(in, path.string());
-  if (version != 1) {
-    throw ConfigError(
-        strf("checkpoint %s is format v%d, but load_learner reads the flat "
-             "v1 learner format%s",
-             path.string().c_str(), version,
-             version == 2 ? " (v2 files hold a hierarchical per-pod "
-                            "container; load them with "
-                            "load_hierarchical_policy)"
-                          : ""));
-  }
+struct LearnerBody {
+  std::int64_t dim;
+  double gamma;
+  SparseMatrix B;
+  SparseVector z;
+  SparseVector theta;
+};
+
+LearnerBody read_learner_body(std::istream& in, const std::string& context) {
   std::string key;
   std::int64_t dim = 0;
   double gamma = 0.0;
   if (!(in >> key >> dim) || key != "dim" || !(in >> key >> gamma) ||
       key != "gamma") {
-    throw IoError("checkpoint: malformed header in " + path.string());
+    throw IoError("checkpoint: malformed header in " + context);
   }
   MEGH_REQUIRE(dim > 0, "checkpoint: non-positive dimension");
   MEGH_REQUIRE(gamma >= 0.0 && gamma < 1.0, "checkpoint: gamma out of range");
 
-  SparseVector z = read_vector(in, "z", dim, path.string());
-  SparseVector theta = read_vector(in, "theta", dim, path.string());
+  SparseVector z = read_vector(in, "z", dim, context);
+  SparseVector theta = read_vector(in, "theta", dim, context);
 
   std::int64_t diag_count = 0;
   if (!(in >> key >> diag_count) || key != "Bdiag" || diag_count != dim) {
-    throw IoError("checkpoint: malformed Bdiag section in " + path.string());
+    throw IoError("checkpoint: malformed Bdiag section in " + context);
   }
   SparseMatrix B(dim, 0.0);
   for (std::int64_t i = 0; i < dim; ++i) {
     double value = 0.0;
     if (!(in >> value)) {
-      throw IoError("checkpoint: truncated Bdiag in " + path.string());
+      throw IoError("checkpoint: truncated Bdiag in " + context);
     }
     B.set(i, i, value);
   }
   std::size_t offdiag = 0;
   if (!(in >> key >> offdiag) || key != "Boffdiag") {
-    throw IoError("checkpoint: malformed Boffdiag section in " +
-                  path.string());
+    throw IoError("checkpoint: malformed Boffdiag section in " + context);
   }
   // Triplets come out of the writer row-major with ascending columns, i.e.
   // strictly lexicographically ascending (r, c); demand that order so a
@@ -175,143 +182,224 @@ LspiLearner load_learner(const std::filesystem::path& path, double delta,
     std::int64_t r = 0, c = 0;
     double value = 0.0;
     if (!(in >> r >> c >> value)) {
-      throw IoError("checkpoint: truncated Boffdiag in " + path.string());
+      throw IoError("checkpoint: truncated Boffdiag in " + context);
     }
     MEGH_REQUIRE(r >= 0 && r < dim && c >= 0 && c < dim,
                  "checkpoint: B index out of range");
     if (r == c) {
       throw IoError("checkpoint: diagonal entry (" + std::to_string(r) +
                     ", " + std::to_string(c) + ") in Boffdiag section in " +
-                    path.string());
+                    context);
     }
     if (r < prev_r || (r == prev_r && c <= prev_c)) {
       throw IoError("checkpoint: duplicate or unsorted Boffdiag entry (" +
                     std::to_string(r) + ", " + std::to_string(c) + ") in " +
-                    path.string());
+                    context);
     }
     prev_r = r;
     prev_c = c;
     B.set(r, c, value);
   }
+  return LearnerBody{dim, gamma, std::move(B), std::move(z),
+                     std::move(theta)};
+}
 
-  // Everything after the Boffdiag section must be either end-of-file or the
-  // single trailing "policy" line save_megh_policy appends. Anything else is
-  // a sign the counts above were corrupted (a short nnz silently drops
-  // learned state) or the file was concatenated/damaged.
+struct PolicyLine {
+  double temperature;
+  double baseline;
+  bool initialized;
+};
+
+void write_policy_line(std::ostream& out, double temperature, double baseline,
+                       bool initialized) {
+  out << "policy " << strf("%.17g", temperature) << ' '
+      << strf("%.17g", baseline) << ' ' << (initialized ? 1 : 0) << '\n';
+}
+
+PolicyLine read_policy_line(std::istream& in, const std::string& context) {
+  std::string key;
+  double temp = 0.0, baseline = 0.0;
+  int initialized = 0;
+  if (!(in >> key >> temp >> baseline >> initialized) || key != "policy") {
+    throw IoError("checkpoint: malformed policy line in " + context);
+  }
+  return PolicyLine{temp, baseline, initialized != 0};
+}
+
+void write_rng_line(std::ostream& out, const Rng& rng) {
+  out << "rng ";
+  rng.save(out);
+  out << '\n';
+}
+
+void read_rng_line(std::istream& in, Rng& rng, const std::string& context) {
+  std::string key;
+  if (!(in >> key) || key != "rng") {
+    throw IoError("checkpoint: malformed rng line in " + context);
+  }
+  try {
+    rng.load(in);
+  } catch (const IoError& e) {
+    throw IoError("checkpoint: " + std::string(e.what()) + " in " + context);
+  }
+}
+
+}  // namespace
+
+void save_learner(const LspiLearner& learner,
+                  const std::filesystem::path& path) {
+  write_file_atomic(path, [&](std::ostream& out) {
+    out << kMagicV1 << '\n';
+    write_learner_body(out, learner);
+  });
+}
+
+LspiLearner load_learner(const std::filesystem::path& path, double delta,
+                         int max_update_support) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open checkpoint: " + path.string());
+  const int version = read_checkpoint_version(in, path.string());
+  if (version != 1 && version != 3) {
+    throw ConfigError(
+        strf("checkpoint %s is format v%d, but load_learner reads the flat "
+             "v1/v3 learner formats%s",
+             path.string().c_str(), version, version_hint(version).c_str()));
+  }
+  LearnerBody body = read_learner_body(in, path.string());
+
+  // Everything after the Boffdiag section must be either end-of-file or
+  // the policy tail save_megh_policy appends (a "policy" line, plus an
+  // "rng" line in v3). Anything else is a sign the counts above were
+  // corrupted (a short nnz silently drops learned state) or the file was
+  // concatenated/damaged.
   std::string tail;
   if (in >> tail) {
     if (tail != "policy") {
       throw IoError("checkpoint: trailing data '" + tail +
                     "' after Boffdiag section in " + path.string());
     }
-    std::string policy_rest;
-    std::getline(in, policy_rest);
+    std::string rest;
+    std::getline(in, rest);
     if (in >> tail) {
-      throw IoError("checkpoint: trailing data '" + tail +
-                    "' after policy line in " + path.string());
+      if (version != 3 || tail != "rng") {
+        throw IoError("checkpoint: trailing data '" + tail +
+                      "' after policy line in " + path.string());
+      }
+      std::getline(in, rest);
+      if (in >> tail) {
+        throw IoError("checkpoint: trailing data '" + tail +
+                      "' after rng line in " + path.string());
+      }
     }
   }
 
-  LspiLearner learner(dim, gamma, delta, max_update_support);
-  learner.restore(std::move(B), std::move(z), std::move(theta));
+  LspiLearner learner(body.dim, body.gamma, delta, max_update_support);
+  learner.restore(std::move(body.B), std::move(body.z),
+                  std::move(body.theta));
   return learner;
+}
+
+void write_megh_policy(std::ostream& out, const MeghPolicy& policy) {
+  out << kMagicV3 << '\n';
+  write_learner_body(out, policy.learner());
+  write_policy_line(out, policy.temperature(), policy.cost_baseline(),
+                    policy.baseline_initialized());
+  write_rng_line(out, policy.rng());
+}
+
+void read_megh_policy(std::istream& in, MeghPolicy& policy,
+                      const std::string& context) {
+  const int version = read_checkpoint_version(in, context);
+  if (version != 3) {
+    throw ConfigError(
+        strf("checkpoint %s is format v%d, but load_megh_policy reads the "
+             "v3 flat policy format%s",
+             context.c_str(), version, version_hint(version).c_str()));
+  }
+  LearnerBody body = read_learner_body(in, context);
+  LspiLearner& learner = policy.mutable_learner();
+  MEGH_REQUIRE(body.dim == learner.dim(),
+               strf("checkpoint dimension %lld does not match policy %lld",
+                    static_cast<long long>(body.dim),
+                    static_cast<long long>(learner.dim())));
+  learner.restore(std::move(body.B), std::move(body.z),
+                  std::move(body.theta));
+
+  const PolicyLine pl = read_policy_line(in, context);
+  policy.set_temperature(pl.temperature);
+  policy.set_cost_baseline(pl.baseline, pl.initialized);
+  read_rng_line(in, policy.mutable_rng(), context);
 }
 
 void save_megh_policy(const MeghPolicy& policy,
                       const std::filesystem::path& path) {
-  save_learner(policy.learner(), path);
-  std::ofstream out(path, std::ios::app);
-  if (!out) throw IoError("cannot append policy state: " + path.string());
-  out << "policy " << strf("%.17g", policy.temperature()) << ' '
-      << strf("%.17g", policy.cost_baseline()) << ' '
-      << (policy.baseline_initialized() ? 1 : 0) << '\n';
+  write_file_atomic(path, [&](std::ostream& out) {
+    write_megh_policy(out, policy);
+  });
 }
 
 void load_megh_policy(MeghPolicy& policy, const std::filesystem::path& path) {
-  LspiLearner& learner = policy.mutable_learner();
-  LspiLearner loaded = load_learner(path);
-  MEGH_REQUIRE(loaded.dim() == learner.dim(),
-               strf("checkpoint dimension %lld does not match policy %lld",
-                    static_cast<long long>(loaded.dim()),
-                    static_cast<long long>(learner.dim())));
-  learner.restore(loaded.B(), loaded.z(), loaded.theta());
-
-  // Trailing policy line.
   std::ifstream in(path);
-  std::string line, policy_line;
-  while (std::getline(in, line)) {
-    if (starts_with(trim(line), "policy ")) policy_line = std::string(trim(line));
+  if (!in) throw IoError("cannot open checkpoint: " + path.string());
+  read_megh_policy(in, policy, path.string());
+  std::string tail;
+  if (in >> tail) {
+    throw IoError("checkpoint: trailing data '" + tail + "' after rng line "
+                  "in " + path.string());
   }
-  MEGH_REQUIRE(!policy_line.empty(),
-               "checkpoint has no policy section: " + path.string());
-  std::istringstream ps(policy_line);
-  std::string key;
-  double temp = 0.0, baseline = 0.0;
-  int initialized = 0;
-  if (!(ps >> key >> temp >> baseline >> initialized)) {
-    throw IoError("checkpoint: malformed policy line in " + path.string());
-  }
-  policy.set_temperature(temp);
-  policy.set_cost_baseline(baseline, initialized != 0);
 }
 
 void save_hierarchical_policy(const HierarchicalMeghPolicy& policy,
                               const std::filesystem::path& path) {
   MEGH_REQUIRE(!policy.pods_.empty(),
                "save_hierarchical_policy before begin()");
-  if (path.has_parent_path()) {
-    std::filesystem::create_directories(path.parent_path());
-  }
-  std::ofstream out(path);
-  if (!out) {
-    throw IoError("cannot open checkpoint for writing: " + path.string());
-  }
-  out << kMagicV2 << '\n';
-  out << "pods " << policy.num_pods() << " hosts "
-      << policy.basis_->num_hosts() << " vms " << policy.basis_->num_vms()
-      << '\n';
-  out << "policy " << strf("%.17g", policy.temperature()) << ' '
-      << strf("%.17g", policy.cost_baseline()) << ' '
-      << (policy.baseline_initialized() ? 1 : 0) << '\n';
-  for (int p = 0; p < policy.num_pods(); ++p) {
-    const auto& pod = policy.pods_[static_cast<std::size_t>(p)];
-    const LspiLearner& learner = *pod.learner;
-    out << "pod " << p << " begin " << pod.host_begin << " end "
-        << pod.host_end << " cap " << pod.cap << " next " << pod.next_slot
-        << " gamma " << strf("%.17g", learner.gamma()) << '\n';
-    int occupied = 0;
-    for (int slot = 0; slot < pod.next_slot; ++slot) {
-      if (pod.vm_of_slot[static_cast<std::size_t>(slot)] >= 0) ++occupied;
-    }
-    out << "slots " << occupied << '\n';
-    for (int slot = 0; slot < pod.next_slot; ++slot) {
-      const int vm = pod.vm_of_slot[static_cast<std::size_t>(slot)];
-      if (vm >= 0) out << slot << ' ' << vm << '\n';
-    }
-    write_vector(out, "z", learner.z());
-    write_vector(out, "theta", learner.theta());
-    // Only materialized rows — a virgin row reads as default_diag·I, and
-    // at pod dims ~10⁷ writing a dense diagonal would turn a kilobyte
-    // checkpoint into a multi-hundred-megabyte one.
-    const SparseMatrix& B = learner.B();
-    const std::vector<SparseMatrix::Index> live = B.live_row_indices();
-    out << "Bdiag " << live.size() << " default "
-        << strf("%.17g", B.default_diag()) << '\n';
-    for (const SparseMatrix::Index r : live) {
-      out << r << ' ' << strf("%.17g", B.get(r, r)) << '\n';
-    }
-    out << "Boffdiag " << B.offdiag_nnz() << '\n';
-    SparseVector row(B.dim());
-    for (const SparseMatrix::Index r : live) {
-      B.row_into(r, row);
-      for (const auto& [c, value] : row.entries()) {
-        if (c == r) continue;
-        out << r << ' ' << c << ' ' << strf("%.17g", value) << '\n';
+  write_file_atomic(path, [&](std::ostream& out) {
+    out << kMagicV4 << '\n';
+    out << "pods " << policy.num_pods() << " hosts "
+        << policy.basis_->num_hosts() << " vms " << policy.basis_->num_vms()
+        << '\n';
+    write_policy_line(out, policy.temperature(), policy.cost_baseline(),
+                      policy.baseline_initialized());
+    for (int p = 0; p < policy.num_pods(); ++p) {
+      const auto& pod = policy.pods_[static_cast<std::size_t>(p)];
+      const LspiLearner& learner = *pod.learner;
+      out << "pod " << p << " begin " << pod.host_begin << " end "
+          << pod.host_end << " cap " << pod.cap << " next " << pod.next_slot
+          << " gamma " << strf("%.17g", learner.gamma()) << '\n';
+      write_rng_line(out, pod.rng);
+      int occupied = 0;
+      for (int slot = 0; slot < pod.next_slot; ++slot) {
+        if (pod.vm_of_slot[static_cast<std::size_t>(slot)] >= 0) ++occupied;
+      }
+      out << "slots " << occupied << '\n';
+      for (int slot = 0; slot < pod.next_slot; ++slot) {
+        const int vm = pod.vm_of_slot[static_cast<std::size_t>(slot)];
+        if (vm >= 0) out << slot << ' ' << vm << '\n';
+      }
+      write_vector(out, "z", learner.z());
+      write_vector(out, "theta", learner.theta());
+      // Only materialized rows — a virgin row reads as default_diag·I, and
+      // at pod dims ~10⁷ writing a dense diagonal would turn a kilobyte
+      // checkpoint into a multi-hundred-megabyte one.
+      const SparseMatrix& B = learner.B();
+      const std::vector<SparseMatrix::Index> live = B.live_row_indices();
+      out << "Bdiag " << live.size() << " default "
+          << strf("%.17g", B.default_diag()) << '\n';
+      for (const SparseMatrix::Index r : live) {
+        out << r << ' ' << strf("%.17g", B.get(r, r)) << '\n';
+      }
+      out << "Boffdiag " << B.offdiag_nnz() << '\n';
+      SparseVector row(B.dim());
+      for (const SparseMatrix::Index r : live) {
+        B.row_into(r, row);
+        for (const auto& [c, value] : row.entries()) {
+          if (c == r) continue;
+          out << r << ' ' << c << ' ' << strf("%.17g", value) << '\n';
+        }
       }
     }
-  }
-  out << "end\n";
-  if (!out) throw IoError("write failure on checkpoint: " + path.string());
+    out << "end\n";
+  });
 }
 
 void load_hierarchical_policy(HierarchicalMeghPolicy& policy,
@@ -321,14 +409,11 @@ void load_hierarchical_policy(HierarchicalMeghPolicy& policy,
   std::ifstream in(path);
   if (!in) throw IoError("cannot open checkpoint: " + path.string());
   const int version = read_checkpoint_version(in, path.string());
-  if (version != 2) {
+  if (version != 4) {
     throw ConfigError(
         strf("checkpoint %s is format v%d, but load_hierarchical_policy "
-             "reads the v2 per-pod container%s",
-             path.string().c_str(), version,
-             version == 1 ? " (v1 files hold one flat learner; load them "
-                            "with load_learner / load_megh_policy)"
-                          : ""));
+             "reads the v4 per-pod container%s",
+             path.string().c_str(), version, version_hint(version).c_str()));
   }
   std::string key;
   int pods = 0, hosts = 0, vms = 0;
@@ -343,11 +428,7 @@ void load_hierarchical_policy(HierarchicalMeghPolicy& policy,
                     "match the policy (%d pods, %d hosts, %d VMs)",
                     pods, hosts, vms, policy.num_pods(),
                     policy.basis_->num_hosts(), policy.basis_->num_vms()));
-  double temp = 0.0, baseline = 0.0;
-  int initialized = 0;
-  if (!(in >> key >> temp >> baseline >> initialized) || key != "policy") {
-    throw IoError("checkpoint: malformed policy line in " + path.string());
-  }
+  const PolicyLine pl = read_policy_line(in, path.string());
 
   // All VM → pod/slot assignments are rebuilt from the file; entries of
   // VMs the checkpoint does not map stay unassigned and are re-slotted by
@@ -375,6 +456,7 @@ void load_hierarchical_policy(HierarchicalMeghPolicy& policy,
                  "checkpoint: pod slot counts out of range");
     MEGH_REQUIRE(gamma >= 0.0 && gamma < 1.0,
                  "checkpoint: gamma out of range");
+    read_rng_line(in, pod.rng, path.string() + strf(" (pod %d)", p));
 
     pod.cap = cap;
     pod.next_slot = next;
@@ -495,8 +577,8 @@ void load_hierarchical_policy(HierarchicalMeghPolicy& policy,
     throw IoError("checkpoint: trailing data '" + tail + "' in " +
                   path.string());
   }
-  policy.set_temperature(temp);
-  policy.set_cost_baseline(baseline, initialized != 0);
+  policy.set_temperature(pl.temperature);
+  policy.set_cost_baseline(pl.baseline, pl.initialized);
   policy.emitted_.clear();
   policy.has_pending_cost_ = false;
 }

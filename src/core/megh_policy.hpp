@@ -128,6 +128,28 @@ class MeghPolicy : public MigrationPolicy {
     cost_baseline_ = baseline;
     baseline_initialized_ = initialized;
   }
+  /// The actor's RNG stream, serialized into v3 checkpoints so a restored
+  /// policy's Boltzmann draws continue the saved stream bit-exactly.
+  const Rng& rng() const { return rng_; }
+  Rng& mutable_rng() { return rng_; }
+  const MeghConfig& config() const { return config_; }
+
+  // --- serving hooks (src/serve): the open SARSA transition, captured by
+  // the daemon's snapshots so a recovery mid-step (between Decide and
+  // Observe) resumes with the same pending update a live server holds. ---
+  std::span<const std::int64_t> pending_actions() const {
+    return pending_actions_;
+  }
+  double pending_cost() const { return pending_cost_; }
+  bool has_pending_cost() const { return has_pending_cost_; }
+  long long migrations_selected() const { return total_migrations_selected_; }
+  void restore_pending(std::span<const std::int64_t> actions, double cost,
+                       bool has_cost, long long migrations_selected) {
+    pending_actions_.assign(actions.begin(), actions.end());
+    pending_cost_ = cost;
+    has_pending_cost_ = has_cost;
+    total_migrations_selected_ = migrations_selected;
+  }
 
  private:
   /// Per-step working storage, reused across decide_into() calls. Every

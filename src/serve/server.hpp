@@ -1,0 +1,159 @@
+// MeghServer: the state machine behind the megh_serve daemon
+// (docs/SERVING.md). Transport-agnostic — the Unix-socket listener
+// (serve/socket.hpp), the in-process LocalTransport used by tests and the
+// decide-rate bench all feed the same handle() entry point.
+//
+// The server mirrors the caller's datacenter and runs the identical
+// MeghPolicy the caller would run locally. Durability contract:
+//
+//   1. Init is persisted once as `init.bin` (the raw Init payload, written
+//      atomically) — the fleet specs and configs every recovery starts
+//      from. It is never compacted away.
+//   2. Every mutating request (Decide, Observe) is appended to the WAL and
+//      fsynced *before* it is applied and acknowledged. The journal stores
+//      the request bytes, not state deltas: replay re-executes them
+//      through the same apply path, so recovered state is bit-identical —
+//      same learner, same RNG position, same pending SARSA transition,
+//      same placement mirror.
+//   3. Compaction (background thread, or the Checkpoint verb) writes
+//      snap-<gen>.ckpt atomically under the state lock, rotates the WAL at
+//      the snapshot boundary, and only then unlinks older segments and
+//      snapshots. A crash at any instant leaves either the old
+//      snapshot+WAL chain or the new one — never neither.
+//
+// Recovery = read init.bin, load the newest usable snapshot, replay WAL
+// records with seq greater than the snapshot's. kill -9 at any point
+// between request boundaries lands on this path and reproduces the exact
+// pre-kill state (tier-1 tests randomize the kill point; CI kills a real
+// daemon mid-stream and byte-compares the recovered dump against an
+// uninterrupted reference).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/megh_policy.hpp"
+#include "serve/wal.hpp"
+#include "serve/wire.hpp"
+#include "sim/datacenter.hpp"
+
+namespace megh::serve {
+
+struct ServeOptions {
+  std::filesystem::path dir;
+  /// Compact after this many WAL records (0 = only on explicit
+  /// Checkpoint requests).
+  int compact_every = 4096;
+  /// Background compaction poll interval.
+  int compact_poll_ms = 200;
+  /// fsync WAL appends and snapshot writes. Off = bench/test mode; the
+  /// durability contract only holds with it on.
+  bool fsync = true;
+  /// Recover-and-inspect mode: no WAL writer is opened, no compaction
+  /// runs, and mutating requests are rejected. Used by
+  /// `megh_serve --recover-only` and the CI byte-compare job (opening a
+  /// writer would add a segment and perturb the directory under audit).
+  bool read_only = false;
+  /// When > 0, recovery stops after applying WAL seq `replay_to` (the
+  /// snapshot used must not be newer). Requires read_only. This is how
+  /// the CI job replays an uninterrupted reference directory to the exact
+  /// seq a killed daemon recovered to.
+  std::uint64_t replay_to = 0;
+};
+
+class MeghServer {
+ public:
+  /// Opens (and if needed creates) the serve directory, then recovers
+  /// whatever state it holds. Throws IoError/ConfigError on corruption —
+  /// refusing to serve beats serving from damaged state.
+  explicit MeghServer(ServeOptions options);
+  ~MeghServer();
+
+  MeghServer(const MeghServer&) = delete;
+  MeghServer& operator=(const MeghServer&) = delete;
+
+  /// Framed entry point: dispatch one request, returning the response
+  /// payload (status byte first; see wire.hpp). Exceptions become error
+  /// responses, so one bad request never tears down the daemon.
+  std::vector<std::uint8_t> handle(MsgType type,
+                                   std::span<const std::uint8_t> payload);
+
+  // Typed API (throws on error). Each call locks the state mutex; requests
+  // serialize in arrival order, which is what keeps the WAL a total order.
+  void init(const InitRequest& req);
+  DecideResponse decide(const DecideRequest& req);
+  ObserveResponse observe(const ObserveRequest& req);
+  CheckpointResponse checkpoint();
+  StatsResponse stats_response();
+  WalStatusResponse wal_status();
+
+  bool initialized() const;
+  /// Last WAL seq recovered at construction (0 on a fresh directory).
+  std::uint64_t recovered_seq() const { return recovered_seq_; }
+  std::uint64_t next_seq() const;
+
+  /// Serialize the complete server state (placement mirror, demands,
+  /// pending SARSA, embedded v3 policy checkpoint) — the same bytes a
+  /// compaction snapshot holds. Two servers that dump identical bytes are
+  /// in identical states; the CI crash-recovery job compares these.
+  void dump_state(std::ostream& out);
+
+ private:
+  void recover();
+  void apply_init(const InitRequest& req);
+  void apply_decide(const DecideRequest& req,
+                    std::vector<MigrationAction>& out);
+  void apply_observe(const ObserveRequest& req);
+  void journal(MsgType type, std::span<const std::uint8_t> payload);
+  void write_snapshot(std::ostream& out);
+  void load_snapshot(const std::filesystem::path& path);
+  CheckpointResponse compact_locked(std::unique_lock<std::mutex>& lock);
+  void fill_stats(std::vector<StatEntry>& out);
+  void compaction_loop();
+
+  ServeOptions options_;
+  mutable std::mutex mutex_;
+
+  // Mirrored world (valid once initialized_): specs + configs from Init,
+  // live placement/demands, and the policy instance.
+  bool initialized_ = false;
+  InitRequest init_;
+  std::optional<Datacenter> dc_;
+  std::shared_ptr<const FatTreeTopology> network_;
+  std::unique_ptr<MeghPolicy> policy_;
+
+  // Journal.
+  std::unique_ptr<WalWriter> wal_;
+  std::uint64_t records_since_compaction_ = 0;
+  std::uint64_t snapshot_gen_ = 0;
+  std::uint64_t snapshot_seq_ = 0;
+  std::uint64_t recovered_seq_ = 0;
+  /// Seq of the last record journaled-and-applied (0 before any).
+  std::uint64_t applied_seq_ = 0;
+
+  // Counters (also exported via Stats and serve.* telemetry).
+  long long decides_ = 0;
+  long long observes_ = 0;
+  long long steps_ = 0;
+  long long compactions_ = 0;
+  long long replayed_records_ = 0;
+
+  // Reused per-request scratch.
+  std::vector<MigrationAction> actions_;
+  std::vector<int> changed_vms_;
+  PolicyStats stats_scratch_;
+
+  // Background compaction.
+  std::thread compactor_;
+  std::condition_variable compact_cv_;
+  bool stop_ = false;
+};
+
+}  // namespace megh::serve

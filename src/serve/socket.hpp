@@ -1,0 +1,98 @@
+// Unix-domain-socket layer of megh_serve: a listener that feeds framed
+// requests into MeghServer::handle, and SocketTransport, the client side
+// used by megh_ctl and `megh_sim --serve-endpoint`.
+//
+// Frame format (both directions, little-endian):
+//
+//   [u32 payload_len][u16 msg_type][payload bytes]
+//
+// The response frame echoes the request's msg_type; its payload begins
+// with the status byte (see wire.hpp). One connection carries requests
+// strictly in order — the transport is synchronous, which is what lets
+// the server journal requests in arrival order.
+//
+// Lifecycle verbs are handled here, not in MeghServer: kDrain stops the
+// listener accepting new connections (in-flight connections finish
+// normally), kShutdown stops the listener after the ack is written. Both
+// are acknowledged before they take effect so the admin client always
+// gets its response.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace megh::serve {
+
+/// Upper bound on a single frame payload. Init for a large fleet is the
+/// biggest legitimate frame (fleet specs + power tables); 256 MiB is far
+/// above any real fleet and small enough to reject garbage length
+/// prefixes before allocating.
+inline constexpr std::uint32_t kMaxFramePayload = 256u << 20;
+
+/// Write one frame to `fd`. Throws IoError on short writes.
+void write_frame(int fd, MsgType type, std::span<const std::uint8_t> payload);
+
+/// Read one frame from `fd` into `payload`. Returns false on clean EOF at
+/// a frame boundary; throws IoError on mid-frame EOF or oversized frames.
+bool read_frame(int fd, MsgType& type, std::vector<std::uint8_t>& payload);
+
+/// Accept loop: binds `socket_path` (replacing a stale socket file),
+/// serves each connection on its own thread, and returns once a client
+/// sends kShutdown (or request_stop() is called). Connections share the
+/// MeghServer, whose internal mutex serializes mutating requests.
+class SocketServer {
+ public:
+  SocketServer(MeghServer& server, std::filesystem::path socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Blocks until shutdown. Safe to call once.
+  void run();
+
+  /// Asynchronously stop the accept loop (signal handlers, tests).
+  void request_stop() { stop_.store(true); }
+
+  const std::filesystem::path& socket_path() const { return socket_path_; }
+
+ private:
+  void serve_connection(int fd);
+
+  MeghServer& server_;
+  std::filesystem::path socket_path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+  std::vector<std::thread> connections_;
+};
+
+/// Client transport over a Unix domain socket. Connecting retries for up
+/// to `connect_timeout_ms` while the daemon is still starting (the socket
+/// file missing or the listener not yet accepting), which lets scripts
+/// launch `megh_serve &` and connect immediately.
+class SocketTransport : public ServeTransport {
+ public:
+  explicit SocketTransport(const std::filesystem::path& socket_path,
+                           int connect_timeout_ms = 5000);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  std::vector<std::uint8_t> roundtrip(
+      MsgType type, std::span<const std::uint8_t> payload) override;
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> response_;
+};
+
+}  // namespace megh::serve

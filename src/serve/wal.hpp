@@ -1,0 +1,125 @@
+// Write-ahead log for the megh_serve daemon (docs/SERVING.md).
+//
+// Every mutating request (Decide, Observe) is appended — and fsynced —
+// *before* the in-memory learner/datacenter mutation is acknowledged, so
+// the durable request stream is always a superset of any state a client
+// has seen. Recovery replays the stream through the identical apply path;
+// since the server's state is a deterministic function of (Init, request
+// stream), replay reproduces it bit for bit.
+//
+// On-disk layout inside the serve directory:
+//     wal-<start_seq>.log      segments; <start_seq> = seq of the first
+//                              record the segment can hold (20 digits,
+//                              zero-padded, so lexicographic order = seq
+//                              order)
+// Segment header (18 bytes):   "MEGHWAL1" magic, u64 start_seq, u16
+// reserved (zero). Record framing:
+//     [u32 crc][u32 len][u64 seq][u16 type][payload: len bytes]
+// crc is CRC-32C over everything after the crc field (len..payload).
+// Sequence numbers are assigned by the writer, start at 1 and increase by
+// exactly 1 per record across segment boundaries.
+//
+// Failure semantics on scan (the corruption-test matrix pins these):
+//   - An *incomplete* record at the end of the LAST segment is a torn
+//     final write: dropped with a warning, never fatal. Its bytes were
+//     never acknowledged (the fsync hadn't returned), so dropping it is
+//     correct, not lossy.
+//   - A CRC mismatch on a fully-framed record is corruption and throws
+//     IoError naming the segment and byte offset — silent data loss is the
+//     one thing a journal must never do.
+//   - Truncation anywhere except the last segment's tail is fatal: interior
+//     segments were sealed by a later rotation, so a short read there is
+//     damage, not a torn write.
+//   - A duplicate, missing, or out-of-order seq is fatal (same reasoning).
+//
+// A new writer always starts a fresh segment (truncating a same-named
+// leftover, which by construction holds only a torn tail): appending after
+// a torn record would interleave valid data with garbage.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace megh::serve {
+
+struct WalRecord {
+  std::uint64_t seq = 0;
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Result of scanning every segment in a serve directory.
+struct WalScan {
+  std::vector<WalRecord> records;
+  /// Seq the next appended record must take (last record's seq + 1; the
+  /// oldest surviving segment's start_seq when no records survive).
+  std::uint64_t next_seq = 1;
+  std::uint64_t segments = 0;
+  std::uint64_t bytes = 0;
+  bool dropped_torn_tail = false;
+  std::string torn_detail;  // human-readable, for the recovery log line
+  /// Where the tear sits, for heal_torn_tail: the segment holding it and
+  /// the byte offset of the first torn byte (0 = the segment header itself
+  /// is torn, i.e. the whole file is garbage).
+  std::filesystem::path torn_path;
+  std::uint64_t torn_offset = 0;
+};
+
+class WalWriter {
+ public:
+  /// Opens a fresh segment wal-<start_seq>.log in `dir` (created if
+  /// missing). With `fsync` false, appends skip the fsync — a bench/test
+  /// mode; durability claims only hold with it on.
+  WalWriter(std::filesystem::path dir, std::uint64_t start_seq, bool fsync);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Append one record; returns the seq it was assigned. The record (and
+  /// the segment header before it) is durable when this returns.
+  std::uint64_t append(std::uint16_t type,
+                       std::span<const std::uint8_t> payload);
+
+  /// Seal the current segment and start a new one at `start_seq` (must
+  /// equal next_seq()). Used by compaction so the snapshot boundary
+  /// coincides with a segment boundary.
+  void rotate(std::uint64_t start_seq);
+
+  std::uint64_t next_seq() const { return next_seq_; }
+  std::uint64_t segment_start() const { return segment_start_; }
+  const std::filesystem::path& segment_path() const { return path_; }
+
+ private:
+  void open_segment(std::uint64_t start_seq);
+  void close_segment();
+
+  std::filesystem::path dir_;
+  std::filesystem::path path_;
+  int fd_ = -1;
+  bool fsync_ = true;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t segment_start_ = 1;
+};
+
+/// Segment filename for a start seq (shared with the scanner and tests).
+std::string wal_segment_name(std::uint64_t start_seq);
+
+/// List the WAL segments in `dir`, sorted by start_seq.
+std::vector<std::filesystem::path> list_wal_segments(
+    const std::filesystem::path& dir);
+
+/// Scan and validate every segment in `dir` (see failure semantics above).
+WalScan scan_wal(const std::filesystem::path& dir);
+
+/// Physically remove a torn tail found by scan_wal: truncate the segment at
+/// the tear (or unlink it when its header never completed). Writable
+/// recovery calls this after replay — without it the torn bytes would sit
+/// at the end of a by-then *sealed* segment, which the next scan would
+/// rightly treat as fatal damage. No-op when the scan saw no tear.
+void heal_torn_tail(const WalScan& scan, bool fsync);
+
+}  // namespace megh::serve

@@ -1,0 +1,467 @@
+#include "serve/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace megh::serve {
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "Hello";
+    case MsgType::kInit: return "Init";
+    case MsgType::kDecide: return "Decide";
+    case MsgType::kObserve: return "Observe";
+    case MsgType::kCheckpoint: return "Checkpoint";
+    case MsgType::kStats: return "Stats";
+    case MsgType::kWalStatus: return "WalStatus";
+    case MsgType::kDrain: return "Drain";
+    case MsgType::kShutdown: return "Shutdown";
+  }
+  return "Unknown";
+}
+
+void WireWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void WireWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void WireWriter::bytes(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+namespace {
+
+[[noreturn]] void truncated(const char* what) {
+  throw IoError(strf("wire: truncated payload reading %s", what));
+}
+
+}  // namespace
+
+std::uint8_t WireReader::u8() {
+  if (remaining() < 1) truncated("u8");
+  return data_[pos_++];
+}
+
+std::uint16_t WireReader::u16() {
+  if (remaining() < 2) truncated("u16");
+  std::uint16_t v = static_cast<std::uint16_t>(
+      data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::u32() {
+  if (remaining() < 4) truncated("u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  if (remaining() < 8) truncated("u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double WireReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string WireReader::str() {
+  const std::size_t len = count(1, "string");
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+void WireReader::expect_done(const char* what) const {
+  if (!done()) {
+    throw IoError(strf("wire: %zu trailing bytes after %s payload",
+                       remaining(), what));
+  }
+}
+
+std::size_t WireReader::count(std::size_t min_element_bytes,
+                              const char* what) {
+  const std::uint32_t n = u32();
+  if (min_element_bytes > 0 &&
+      static_cast<std::size_t>(n) > remaining() / min_element_bytes) {
+    throw IoError(strf("wire: count %u for %s exceeds remaining payload",
+                       static_cast<unsigned>(n), what));
+  }
+  return n;
+}
+
+// --- Init -----------------------------------------------------------------
+
+namespace {
+
+void put_cost(WireWriter& w, const CostConfig& c) {
+  w.f64(c.energy_price_usd_per_kwh);
+  w.f64(c.vm_price_usd_per_hour);
+  w.f64(c.tier1_fraction);
+  w.f64(c.tier2_fraction);
+  w.f64(c.tier1_downtime_pct);
+  w.f64(c.tier2_downtime_pct);
+  w.f64(c.beta_overload);
+  w.f64(c.alpha_migration);
+  w.f64(c.migration_downtime_fraction);
+  w.u8(static_cast<std::uint8_t>(c.overload_mode));
+  w.u8(static_cast<std::uint8_t>(c.sla_accounting));
+  w.i32(c.sla_window_steps);
+}
+
+CostConfig get_cost(WireReader& r) {
+  CostConfig c;
+  c.energy_price_usd_per_kwh = r.f64();
+  c.vm_price_usd_per_hour = r.f64();
+  c.tier1_fraction = r.f64();
+  c.tier2_fraction = r.f64();
+  c.tier1_downtime_pct = r.f64();
+  c.tier2_downtime_pct = r.f64();
+  c.beta_overload = r.f64();
+  c.alpha_migration = r.f64();
+  c.migration_downtime_fraction = r.f64();
+  const std::uint8_t overload = r.u8();
+  if (overload > 1) throw IoError("wire: bad overload mode byte");
+  c.overload_mode = static_cast<OverloadDowntimeMode>(overload);
+  const std::uint8_t sla = r.u8();
+  if (sla > 1) throw IoError("wire: bad SLA accounting byte");
+  c.sla_accounting = static_cast<SlaAccounting>(sla);
+  c.sla_window_steps = r.i32();
+  return c;
+}
+
+void put_megh_config(WireWriter& w, const MeghConfig& c) {
+  w.f64(c.gamma);
+  w.f64(c.temp0);
+  w.f64(c.epsilon);
+  w.f64(c.delta);
+  w.f64(c.max_migration_fraction);
+  w.u8(c.advantage_baseline ? 1 : 0);
+  w.f64(c.baseline_weight);
+  w.i32(c.max_update_support);
+  w.u8(c.learning_enabled ? 1 : 0);
+  w.i64(c.candidates.full_enumeration_limit);
+  w.i32(c.candidates.max_overloaded_sources);
+  w.i32(c.candidates.consolidation_sources);
+  w.i32(c.candidates.random_sources);
+  w.i32(c.candidates.targets_per_source);
+  w.f64(c.candidates.target_util_ceiling);
+  w.f64(c.candidates.pack_ceiling);
+  w.u8(c.candidates.network_aware ? 1 : 0);
+  w.f64(c.candidates.local_probe_fraction);
+  w.u64(c.seed);
+}
+
+MeghConfig get_megh_config(WireReader& r) {
+  MeghConfig c;
+  c.gamma = r.f64();
+  c.temp0 = r.f64();
+  c.epsilon = r.f64();
+  c.delta = r.f64();
+  c.max_migration_fraction = r.f64();
+  c.advantage_baseline = r.u8() != 0;
+  c.baseline_weight = r.f64();
+  c.max_update_support = r.i32();
+  c.learning_enabled = r.u8() != 0;
+  c.candidates.full_enumeration_limit = r.i64();
+  c.candidates.max_overloaded_sources = r.i32();
+  c.candidates.consolidation_sources = r.i32();
+  c.candidates.random_sources = r.i32();
+  c.candidates.targets_per_source = r.i32();
+  c.candidates.target_util_ceiling = r.f64();
+  c.candidates.pack_ceiling = r.f64();
+  c.candidates.network_aware = r.u8() != 0;
+  c.candidates.local_probe_fraction = r.f64();
+  c.seed = r.u64();
+  // The chaos recovery machinery stays client-side; a served policy never
+  // runs it (the engine's fault feedback is reconciled via host_of).
+  c.recovery.enabled = false;
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_init(const InitRequest& req) {
+  WireWriter w;
+  w.f64(req.interval_s);
+  put_cost(w, req.cost);
+  put_megh_config(w, req.config);
+  w.u8(req.has_network ? 1 : 0);
+  if (req.has_network) {
+    w.i32(req.network_k);
+    w.f64(req.links.edge_mbps);
+    w.f64(req.links.aggregation_mbps);
+    w.f64(req.links.core_mbps);
+    w.f64(req.links.oversubscription);
+  }
+  w.u32(static_cast<std::uint32_t>(req.hosts.size()));
+  for (const HostSpec& h : req.hosts) {
+    w.str(h.model);
+    w.f64(h.mips);
+    w.f64(h.ram_mb);
+    w.f64(h.bw_mbps);
+    w.str(h.power.name());
+    for (double knot : h.power.table()) w.f64(knot);
+    w.f64(h.power.sleep_watts());
+  }
+  w.u32(static_cast<std::uint32_t>(req.vms.size()));
+  for (const VmSpec& v : req.vms) {
+    w.f64(v.mips);
+    w.f64(v.ram_mb);
+    w.f64(v.bw_mbps);
+  }
+  for (const std::vector<int>& vms : req.host_vms) {
+    w.u32(static_cast<std::uint32_t>(vms.size()));
+    for (int vm : vms) w.i32(vm);
+  }
+  return w.take();
+}
+
+InitRequest decode_init(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  InitRequest req;
+  req.interval_s = r.f64();
+  req.cost = get_cost(r);
+  req.config = get_megh_config(r);
+  req.has_network = r.u8() != 0;
+  if (req.has_network) {
+    req.network_k = r.i32();
+    req.links.edge_mbps = r.f64();
+    req.links.aggregation_mbps = r.f64();
+    req.links.core_mbps = r.f64();
+    req.links.oversubscription = r.f64();
+  }
+  const std::size_t num_hosts = r.count(8 * 3 + 4 * 2 + 12 * 8, "hosts");
+  req.hosts.reserve(num_hosts);
+  for (std::size_t i = 0; i < num_hosts; ++i) {
+    std::string model = r.str();
+    const double mips = r.f64();
+    const double ram = r.f64();
+    const double bw = r.f64();
+    std::string power_name = r.str();
+    std::array<double, 11> table{};
+    for (double& knot : table) knot = r.f64();
+    const double sleep = r.f64();
+    req.hosts.push_back(HostSpec{std::move(model), mips, ram, bw,
+                                 PowerModel(std::move(power_name), table,
+                                            sleep)});
+  }
+  const std::size_t num_vms = r.count(24, "vms");
+  req.vms.reserve(num_vms);
+  for (std::size_t i = 0; i < num_vms; ++i) {
+    VmSpec v;
+    v.mips = r.f64();
+    v.ram_mb = r.f64();
+    v.bw_mbps = r.f64();
+    req.vms.push_back(v);
+  }
+  req.host_vms.resize(num_hosts);
+  for (std::size_t h = 0; h < num_hosts; ++h) {
+    const std::size_t n = r.count(4, "host VM list");
+    req.host_vms[h].reserve(n);
+    for (std::size_t k = 0; k < n; ++k) req.host_vms[h].push_back(r.i32());
+  }
+  r.expect_done("Init");
+  return req;
+}
+
+// --- Decide ---------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_decide(const DecideRequest& req) {
+  WireWriter w;
+  w.i32(req.step);
+  w.f64(req.last_step_cost);
+  w.u32(static_cast<std::uint32_t>(req.vm_util.size()));
+  for (double u : req.vm_util) w.f64(u);
+  w.u32(static_cast<std::uint32_t>(req.host_util.size()));
+  for (double u : req.host_util) w.f64(u);
+  w.u32(static_cast<std::uint32_t>(req.host_of.size()));
+  for (int h : req.host_of) w.i32(h);
+  w.u32(static_cast<std::uint32_t>(req.host_down.size()));
+  w.bytes(req.host_down);
+  return w.take();
+}
+
+DecideRequest decode_decide(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  DecideRequest req;
+  req.step = r.i32();
+  req.last_step_cost = r.f64();
+  const std::size_t n_vm = r.count(8, "vm_util");
+  req.vm_util.resize(n_vm);
+  for (double& u : req.vm_util) u = r.f64();
+  const std::size_t n_host = r.count(8, "host_util");
+  req.host_util.resize(n_host);
+  for (double& u : req.host_util) u = r.f64();
+  const std::size_t n_of = r.count(4, "host_of");
+  req.host_of.resize(n_of);
+  for (int& h : req.host_of) h = r.i32();
+  const std::size_t n_down = r.count(1, "host_down");
+  req.host_down.resize(n_down);
+  for (std::uint8_t& b : req.host_down) b = r.u8();
+  r.expect_done("Decide");
+  return req;
+}
+
+std::vector<std::uint8_t> encode_decide_response(const DecideResponse& resp) {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(resp.actions.size()));
+  for (const MigrationAction& a : resp.actions) {
+    w.i32(a.vm);
+    w.i32(a.target_host);
+  }
+  return w.take();
+}
+
+DecideResponse decode_decide_response(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  DecideResponse resp;
+  const std::size_t n = r.count(8, "actions");
+  resp.actions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MigrationAction a;
+    a.vm = r.i32();
+    a.target_host = r.i32();
+    resp.actions.push_back(a);
+  }
+  r.expect_done("DecideResponse");
+  return resp;
+}
+
+// --- Observe --------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_observe(const ObserveRequest& req) {
+  WireWriter w;
+  w.f64(req.step_cost);
+  w.u32(static_cast<std::uint32_t>(req.outcomes.size()));
+  for (const MigrationOutcome& o : req.outcomes) {
+    w.i32(o.vm);
+    w.i32(o.target_host);
+    w.u8(static_cast<std::uint8_t>(o.verdict));
+  }
+  return w.take();
+}
+
+ObserveRequest decode_observe(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  ObserveRequest req;
+  req.step_cost = r.f64();
+  const std::size_t n = r.count(9, "outcomes");
+  req.outcomes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MigrationOutcome o;
+    o.vm = r.i32();
+    o.target_host = r.i32();
+    const std::uint8_t verdict = r.u8();
+    if (verdict > static_cast<std::uint8_t>(MigrationVerdict::kAborted)) {
+      throw IoError("wire: bad migration verdict byte");
+    }
+    o.verdict = static_cast<MigrationVerdict>(verdict);
+    req.outcomes.push_back(o);
+  }
+  r.expect_done("Observe");
+  return req;
+}
+
+// --- Stats / WalStatus / Checkpoint --------------------------------------
+
+std::vector<std::uint8_t> encode_stats(std::span<const StatEntry> stats) {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(stats.size()));
+  for (const StatEntry& s : stats) {
+    w.str(s.name);
+    w.f64(s.value);
+  }
+  return w.take();
+}
+
+std::vector<StatEntry> decode_stats(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  const std::size_t n = r.count(12, "stats");
+  std::vector<StatEntry> stats;
+  stats.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    StatEntry s;
+    s.name = r.str();
+    s.value = r.f64();
+    stats.push_back(std::move(s));
+  }
+  r.expect_done("Stats");
+  return stats;
+}
+
+std::vector<std::uint8_t> encode_wal_status(const WalStatusResponse& resp) {
+  WireWriter w;
+  w.u64(resp.next_seq);
+  w.u64(resp.records_since_compaction);
+  w.u64(resp.segments);
+  w.u64(resp.wal_bytes);
+  w.u64(resp.snapshot_gen);
+  w.u64(resp.snapshot_seq);
+  return w.take();
+}
+
+WalStatusResponse decode_wal_status(std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  WalStatusResponse resp;
+  resp.next_seq = r.u64();
+  resp.records_since_compaction = r.u64();
+  resp.segments = r.u64();
+  resp.wal_bytes = r.u64();
+  resp.snapshot_gen = r.u64();
+  resp.snapshot_seq = r.u64();
+  r.expect_done("WalStatus");
+  return resp;
+}
+
+std::vector<std::uint8_t> encode_checkpoint_response(
+    const CheckpointResponse& resp) {
+  WireWriter w;
+  w.u64(resp.snapshot_gen);
+  w.u64(resp.snapshot_seq);
+  return w.take();
+}
+
+CheckpointResponse decode_checkpoint_response(
+    std::span<const std::uint8_t> payload) {
+  WireReader r(payload);
+  CheckpointResponse resp;
+  resp.snapshot_gen = r.u64();
+  resp.snapshot_seq = r.u64();
+  r.expect_done("CheckpointResponse");
+  return resp;
+}
+
+}  // namespace megh::serve

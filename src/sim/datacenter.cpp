@@ -77,8 +77,7 @@ void Datacenter::place(int vm, int host) {
   auto& list = host_vms_[static_cast<std::size_t>(host)];
   if (list.empty()) ++active_host_count_;
   list.push_back(vm);
-  host_ram_used_[static_cast<std::size_t>(host)] +=
-      vms_[static_cast<std::size_t>(vm)].ram_mb;
+  recompute_host_ram(host);
   recompute_host_demand(host);
   debug_check_cache();
 }
@@ -104,9 +103,8 @@ void Datacenter::unplace(int vm) {
   MEGH_ASSERT(it != list.end(), "datacenter invariant: vm missing from host list");
   list.erase(it);
   if (list.empty()) --active_host_count_;
-  host_ram_used_[static_cast<std::size_t>(host)] -=
-      vms_[static_cast<std::size_t>(vm)].ram_mb;
   vm_host_[static_cast<std::size_t>(vm)] = kUnplaced;
+  recompute_host_ram(host);
   recompute_host_demand(host);
   debug_check_cache();
 }
@@ -219,17 +217,29 @@ void Datacenter::recompute_host_demand(int host) {
   host_demand_mips_[static_cast<std::size_t>(host)] = total;
 }
 
+void Datacenter::recompute_host_ram(int host) {
+  double total = 0.0;
+  for (int vm : host_vms_[static_cast<std::size_t>(host)]) {
+    total += vms_[static_cast<std::size_t>(vm)].ram_mb;
+  }
+  host_ram_used_[static_cast<std::size_t>(host)] = total;
+}
+
 void Datacenter::debug_check_cache() const {
 #ifndef NDEBUG
   int active = 0;
   for (int h = 0; h < num_hosts(); ++h) {
     double total = 0.0;
+    double ram = 0.0;
     for (int vm : host_vms_[static_cast<std::size_t>(h)]) {
       total += vm_util_[static_cast<std::size_t>(vm)] *
                vms_[static_cast<std::size_t>(vm)].mips;
+      ram += vms_[static_cast<std::size_t>(vm)].ram_mb;
     }
     MEGH_ASSERT(total == host_demand_mips_[static_cast<std::size_t>(h)],
                 "cached host demand diverged from fresh recomputation");
+    MEGH_ASSERT(ram == host_ram_used_[static_cast<std::size_t>(h)],
+                "cached host RAM diverged from fresh recomputation");
     if (!host_vms_[static_cast<std::size_t>(h)].empty()) ++active;
   }
   MEGH_ASSERT(active == active_host_count_,

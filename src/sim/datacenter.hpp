@@ -7,16 +7,20 @@
 // proportionally — that is precisely the overload situation the policies are
 // trying to avoid (Sec. 3.3).
 //
-// Per-host demand is cached and maintained by *dirty-host recompute*:
-// set_demands refreshes every host's sum once, place/unplace/migrate refresh
-// only the touched hosts, and each refresh sums the host's VM list in list
-// order — exactly the sum a fresh recomputation would produce, so cached
-// values are bit-identical to uncached ones (no running ± deltas, no FP
-// drift). host_utilization / host_demand_mips / vm_service_fraction /
-// active_host_count are therefore O(1) reads, which is what keeps a full
-// engine interval O(M + #migrations) at the paper's 800-host scale. In
-// debug builds (!NDEBUG) every mutation cross-checks the whole cache
-// against a fresh rebuild.
+// Per-host demand and RAM occupancy are cached and maintained by
+// *dirty-host recompute*: set_demands refreshes every host's demand sum
+// once, place/unplace/migrate refresh only the touched hosts, and each
+// refresh sums the host's VM list in list order — exactly the sum a fresh
+// recomputation would produce, so cached values are bit-identical to
+// uncached ones (no running ± deltas, no FP drift). For RAM this also
+// means a datacenter rebuilt from a (host → ordered VM list) snapshot
+// carries bit-identical occupancy to one that lived through the full
+// migration history — the property the serving daemon's crash recovery
+// (src/serve) relies on for exact fits() replay. host_utilization /
+// host_demand_mips / vm_service_fraction / active_host_count are O(1)
+// reads, which is what keeps a full engine interval O(M + #migrations) at
+// the paper's 800-host scale. In debug builds (!NDEBUG) every mutation
+// cross-checks the whole cache against a fresh rebuild.
 #pragma once
 
 #include <span>
@@ -115,6 +119,10 @@ class Datacenter {
   /// Dirty-host recompute: refresh the cached demand of one host by
   /// summing its VM list in list order (bit-identical to a fresh sum).
   void recompute_host_demand(int host);
+
+  /// Same discipline for RAM occupancy: list-order re-sum, never ±deltas,
+  /// so occupancy is a pure function of the host's current VM list.
+  void recompute_host_ram(int host);
 
   /// Debug cross-check: rebuild every cached value from scratch and assert
   /// bit-identity. Compiled out in NDEBUG builds.

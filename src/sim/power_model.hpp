@@ -30,6 +30,10 @@ class PowerModel {
   double max_watts() const { return table_[10]; }
   const std::string& name() const { return name_; }
 
+  /// The raw SPECpower knots — read by the serving protocol so a remote
+  /// policy daemon can mirror the fleet's power curves bit-exactly.
+  const std::array<double, 11>& table() const { return table_; }
+
  private:
   std::string name_;
   std::array<double, 11> table_;

@@ -477,6 +477,7 @@ SimulationResult Simulation::run(MigrationPolicy& policy, int num_steps) {
 
     // Per-step telemetry flush, after the interval's costs are settled.
     telemetry.flush_step(step);
+    if (config_.on_step) config_.on_step(result.steps.back());
   }
 
   // Composite SLA metrics (Beloglazov): SLATAH over hosts that were ever

@@ -11,6 +11,7 @@
 //   6. a StepSnapshot is recorded.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "chaos/fault_plan.hpp"
@@ -64,6 +65,12 @@ struct SimulationConfig {
   /// decision-identical to running without one. The plan must be compiled
   /// for this datacenter's host count and at least the steps run.
   std::shared_ptr<const FaultPlan> faults;
+  /// Optional per-step hook, invoked after the interval's costs are settled
+  /// and its snapshot recorded (the last policy callback of the step has
+  /// already run). Runs outside the timed decide phase, so a slow hook —
+  /// megh_sim's --checkpoint-every durable snapshots ride here — never
+  /// pollutes the exec_ms metric. Exceptions propagate out of run().
+  std::function<void(const StepSnapshot&)> on_step;
 };
 
 /// Structured error thrown by Simulation::run when a policy returns an

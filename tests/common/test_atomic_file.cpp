@@ -1,0 +1,97 @@
+#include "common/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace megh {
+namespace {
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           (std::string("megh_atomic_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string read(const std::filesystem::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(AtomicFileTest, WritesNewFile) {
+  const auto path = dir_ / "out.txt";
+  write_file_atomic(path, [](std::ostream& out) { out << "hello\n"; });
+  EXPECT_EQ(read(path), "hello\n");
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "out.txt.tmp"));
+}
+
+TEST_F(AtomicFileTest, ReplacesExistingFileInFull) {
+  const auto path = dir_ / "out.txt";
+  write_file_atomic(path, [](std::ostream& out) { out << "old content"; });
+  write_file_atomic(path, [](std::ostream& out) { out << "new"; });
+  EXPECT_EQ(read(path), "new");
+}
+
+TEST_F(AtomicFileTest, ThrowingWriterLeavesDestinationUntouched) {
+  const auto path = dir_ / "out.txt";
+  write_file_atomic(path, [](std::ostream& out) { out << "precious"; });
+  EXPECT_THROW(write_file_atomic(path,
+                                 [](std::ostream& out) {
+                                   out << "half-";
+                                   throw Error("writer died");
+                                 }),
+               Error);
+  EXPECT_EQ(read(path), "precious") << "old content must survive intact";
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "out.txt.tmp"))
+      << "failed temp file must be cleaned up";
+}
+
+TEST_F(AtomicFileTest, MissingParentDirectoriesAreCreated) {
+  const auto path = dir_ / "a" / "b" / "out.txt";
+  write_file_atomic(path, [](std::ostream& out) { out << "x"; });
+  EXPECT_EQ(read(path), "x");
+}
+
+TEST_F(AtomicFileTest, UnwritableParentIsAnIoError) {
+  // The parent path component exists but is a plain file, so neither
+  // create_directories nor the temp-file open can succeed.
+  write_file_atomic(dir_ / "nope", [](std::ostream& out) { out << "f"; });
+  EXPECT_THROW(
+      write_file_atomic(dir_ / "nope" / "out.txt",
+                        [](std::ostream& out) { out << "x"; }),
+      IoError);
+}
+
+TEST_F(AtomicFileTest, NonDurableModeStillWritesAndReplaces) {
+  const auto path = dir_ / "out.txt";
+  write_file_atomic(path, [](std::ostream& out) { out << "a"; },
+                    /*durable=*/false);
+  write_file_atomic(path, [](std::ostream& out) { out << "b"; },
+                    /*durable=*/false);
+  EXPECT_EQ(read(path), "b");
+}
+
+TEST_F(AtomicFileTest, BinaryContentRoundTripsExactly) {
+  const auto path = dir_ / "bin.dat";
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  write_file_atomic(path, [&](std::ostream& out) {
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  });
+  EXPECT_EQ(read(path), payload);
+}
+
+}  // namespace
+}  // namespace megh

@@ -221,6 +221,188 @@ TEST_F(CheckpointTest, PolicyWarmStartResumesBehaviour) {
   }
 }
 
+TEST_F(CheckpointTest, PolicyRngStreamSurvivesRoundTrip) {
+  // The v3 format serializes the actor's RNG stream: a restored policy's
+  // exploration draws continue the saved stream exactly, not a reseeded
+  // one — the property megh_serve's crash-exact recovery rests on.
+  MeghConfig config;
+  config.seed = 77;
+  MeghPolicy a(config);
+  a.mutable_rng().uniform();  // advance off the seed state
+  a.mutable_rng().uniform_int(0, 1000);
+  const auto path = dir_ / "rng.ckpt";
+  {
+    Rng rng(7);
+    std::vector<VmSpec> specs = sample_vm_fleet(6, rng);
+    Datacenter dc(standard_host_fleet(4), specs);
+    Rng prng(2);
+    place_initial(dc, InitialPlacement::kRandom, prng);
+    PlanetLabSynthConfig tc;
+    tc.num_vms = 6;
+    tc.num_steps = 4;
+    const TraceTable trace = generate_planetlab(tc);
+    Simulation sim(std::move(dc), trace, SimulationConfig{});
+    sim.run(a, 2);
+  }
+  save_megh_policy(a, path);
+
+  MeghPolicy b(config);
+  {
+    Rng rng(7);
+    std::vector<VmSpec> specs = sample_vm_fleet(6, rng);
+    Datacenter dc(standard_host_fleet(4), specs);
+    Rng prng(2);
+    place_initial(dc, InitialPlacement::kRandom, prng);
+    PlanetLabSynthConfig tc;
+    tc.num_vms = 6;
+    tc.num_steps = 4;
+    const TraceTable trace = generate_planetlab(tc);
+    Simulation sim(std::move(dc), trace, SimulationConfig{});
+    sim.run(b, 0);  // begin() so the learner exists
+  }
+  load_megh_policy(b, path);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.mutable_rng().uniform_int(0, 1 << 30),
+              b.mutable_rng().uniform_int(0, 1 << 30))
+        << "draw " << i << " diverged — RNG stream not restored";
+  }
+}
+
+TEST_F(CheckpointTest, FlatPolicyLoaderRejectsV1WithVersionedError) {
+  // A bare learner file (or a pre-v3 policy checkpoint) predates the
+  // serialized RNG stream; load_megh_policy must refuse it loudly instead
+  // of silently keeping the fresh-seeded RNG.
+  const LspiLearner learner = trained_learner(8, 20, 1);
+  const auto path = dir_ / "v1.ckpt";
+  save_learner(learner, path);
+  MeghConfig config;
+  MeghPolicy policy(config);
+  try {
+    load_megh_policy(policy, path);
+    FAIL() << "v1 file accepted by load_megh_policy";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("v1"), std::string::npos) << what;
+    EXPECT_NE(what.find("load_learner"), std::string::npos) << what;
+  }
+}
+
+TEST_F(CheckpointTest, LearnerLoaderAcceptsV3PolicyFile) {
+  // load_learner deliberately reads just the learner out of a full v3
+  // policy checkpoint (warm-starting a bare learner from a policy save).
+  MeghConfig config;
+  config.seed = 5;
+  MeghPolicy policy(config);
+  {
+    Rng rng(7);
+    std::vector<VmSpec> specs = sample_vm_fleet(6, rng);
+    Datacenter dc(standard_host_fleet(4), specs);
+    Rng prng(2);
+    place_initial(dc, InitialPlacement::kRandom, prng);
+    PlanetLabSynthConfig tc;
+    tc.num_vms = 6;
+    tc.num_steps = 4;
+    const TraceTable trace = generate_planetlab(tc);
+    Simulation sim(std::move(dc), trace, SimulationConfig{});
+    sim.run(policy, 2);
+  }
+  const auto path = dir_ / "v3.ckpt";
+  save_megh_policy(policy, path);
+  const LspiLearner learner = load_learner(path);
+  EXPECT_EQ(learner.dim(), policy.learner().dim());
+}
+
+TEST_F(CheckpointTest, CorruptRngLineRejected) {
+  MeghConfig config;
+  MeghPolicy policy(config);
+  {
+    Rng rng(7);
+    std::vector<VmSpec> specs = sample_vm_fleet(6, rng);
+    Datacenter dc(standard_host_fleet(4), specs);
+    Rng prng(2);
+    place_initial(dc, InitialPlacement::kRandom, prng);
+    PlanetLabSynthConfig tc;
+    tc.num_vms = 6;
+    tc.num_steps = 4;
+    const TraceTable trace = generate_planetlab(tc);
+    Simulation sim(std::move(dc), trace, SimulationConfig{});
+    sim.run(policy, 1);
+  }
+  const auto path = dir_ / "badrng.ckpt";
+  save_megh_policy(policy, path);
+  // Replace the rng line's payload with garbage, keeping the key.
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("rng ", 0) == 0) line = "rng not-a-state";
+      text += line + "\n";
+    }
+  }
+  {
+    std::ofstream out(path);
+    out << text;
+  }
+  EXPECT_THROW(load_megh_policy(policy, path), IoError);
+}
+
+TEST_F(CheckpointTest, FuzzedVersionHeaderRejected) {
+  for (const char* header :
+       {"megh-checkpoint v9", "megh-checkpoint v0", "megh-checkpoint vx",
+        "megh-checkpoint", "megh-checkpoint v3x"}) {
+    const auto path = dir_ / "fuzz.ckpt";
+    {
+      std::ofstream out(path);
+      out << header << "\ndim 3 gamma 0.5\n";
+    }
+    EXPECT_THROW(load_learner(path), ConfigError) << header;
+    MeghConfig config;
+    MeghPolicy policy(config);
+    EXPECT_THROW(load_megh_policy(policy, path), ConfigError) << header;
+  }
+}
+
+TEST_F(CheckpointTest, WarmStartAdapterSurvivesSecondBegin) {
+  // megh_sim's old warm start loaded the checkpoint after a priming
+  // 0-step run; the real run's begin() then rebuilt a fresh learner and
+  // silently discarded the load. The adapter re-loads inside begin(), so
+  // the warm start holds no matter how many times the engine begins.
+  MeghConfig config;
+  config.seed = 13;
+  MeghPolicy trained(config);
+  Rng rng(7);
+  std::vector<VmSpec> specs = sample_vm_fleet(6, rng);
+  PlanetLabSynthConfig tc;
+  tc.num_vms = 6;
+  tc.num_steps = 8;
+  const TraceTable trace = generate_planetlab(tc);
+  {
+    Datacenter dc(standard_host_fleet(4), specs);
+    Rng prng(2);
+    place_initial(dc, InitialPlacement::kRandom, prng);
+    Simulation sim(std::move(dc), trace, SimulationConfig{});
+    sim.run(trained, 6);
+  }
+  const auto path = dir_ / "warm.ckpt";
+  save_megh_policy(trained, path);
+
+  WarmStartMeghPolicy warm(config, path);
+  {
+    Datacenter dc(standard_host_fleet(4), specs);
+    Rng prng(2);
+    place_initial(dc, InitialPlacement::kRandom, prng);
+    Simulation sim(std::move(dc), trace, SimulationConfig{});
+    sim.run(warm, 0);  // first begin()
+    sim.run(warm, 0);  // second begin() must not wipe the warm start
+  }
+  EXPECT_DOUBLE_EQ(warm.temperature(), trained.temperature());
+  EXPECT_DOUBLE_EQ(warm.cost_baseline(), trained.cost_baseline());
+  for (std::int64_t a = 0; a < warm.learner().dim(); a += 7) {
+    EXPECT_DOUBLE_EQ(warm.learner().q_value(a), trained.learner().q_value(a));
+  }
+}
+
 TEST_F(CheckpointTest, PolicyShapeMismatchRejected) {
   Rng rng(7);
   MeghConfig config;

@@ -337,7 +337,7 @@ TEST_F(HierCheckpointTest, RestoredPodLearnersContinueIdentically) {
 
 // --- checkpoint format-version gates (satellite fix) ---------------------
 
-TEST_F(HierCheckpointTest, FlatLoaderRejectsV2WithVersionedError) {
+TEST_F(HierCheckpointTest, FlatLoaderRejectsV4WithVersionedError) {
   const Scenario scenario = make_planetlab_scenario(16, 24, 10, 5);
   const auto fabric = std::make_shared<const FatTreeTopology>(
       FatTreeTopology::for_hosts(16));
@@ -347,14 +347,14 @@ TEST_F(HierCheckpointTest, FlatLoaderRejectsV2WithVersionedError) {
   HierarchicalMeghPolicy policy(config);
   Datacenter dc = build_datacenter(scenario, InitialPlacement::kRandom, 11);
   policy.begin(dc, CostConfig{}, 300.0);
-  const auto path = dir_ / "v2.ckpt";
+  const auto path = dir_ / "v4.ckpt";
   save_hierarchical_policy(policy, path);
   try {
     load_learner(path);
-    FAIL() << "v2 container must not load as a flat learner";
+    FAIL() << "v4 container must not load as a flat learner";
   } catch (const ConfigError& e) {
     const std::string what = e.what();
-    EXPECT_NE(what.find("v2"), std::string::npos) << what;
+    EXPECT_NE(what.find("v4"), std::string::npos) << what;
     EXPECT_NE(what.find("load_hierarchical_policy"), std::string::npos)
         << what;
   }

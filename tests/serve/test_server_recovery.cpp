@@ -1,0 +1,345 @@
+// Crash-exact recovery of MeghServer: kill the server (destroy the
+// instance) at every request boundary, rebuild it from the serve
+// directory, and require byte-identical decisions and state from there
+// on. In-process "kills" are equivalent to kill -9 at a request boundary
+// because every acknowledged request is already on disk; mid-write tears
+// are covered by the WAL corruption tests.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "sim/placement.hpp"
+#include "sim/simulation.hpp"
+#include "trace/planetlab_synth.hpp"
+
+namespace megh::serve {
+namespace {
+
+struct Recorded {
+  MsgType type;
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> response;  // raw, status byte included
+};
+
+/// Forwards to a MeghServer and tapes every exchange.
+class RecordingTransport : public ServeTransport {
+ public:
+  RecordingTransport(MeghServer& server, std::vector<Recorded>& log)
+      : server_(&server), log_(&log) {}
+  std::vector<std::uint8_t> roundtrip(
+      MsgType type, std::span<const std::uint8_t> payload) override {
+    std::vector<std::uint8_t> raw = server_->handle(type, payload);
+    log_->push_back(Recorded{
+        type, std::vector<std::uint8_t>(payload.begin(), payload.end()), raw});
+    return unwrap_response(type, raw);
+  }
+
+ private:
+  MeghServer* server_;
+  std::vector<Recorded>* log_;
+};
+
+class ServerRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            (std::string("megh_srv_") +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  static ServeOptions fast_options(std::filesystem::path dir,
+                                   int compact_every) {
+    ServeOptions options;
+    options.dir = std::move(dir);
+    options.compact_every = compact_every;
+    options.compact_poll_ms = 1;
+    options.fsync = false;  // crash-at-boundary tests don't lose power
+    return options;
+  }
+
+  /// Drive `steps` simulation steps through `transport`'s server.
+  void run_sim(std::shared_ptr<ServeTransport> transport, int steps) {
+    MeghConfig config;
+    config.seed = 17;
+    RemoteMeghPolicy policy(std::move(transport), config);
+    Rng rng(5);
+    std::vector<VmSpec> specs = sample_vm_fleet(12, rng);
+    Datacenter dc(standard_host_fleet(8), specs);
+    Rng prng(2);
+    place_initial(dc, InitialPlacement::kRandom, prng);
+    PlanetLabSynthConfig tc;
+    tc.num_vms = 12;
+    tc.num_steps = steps;
+    const TraceTable trace = generate_planetlab(tc);
+    Simulation sim(std::move(dc), trace, SimulationConfig{});
+    sim.run(policy, steps);
+  }
+
+  /// Record the full request/response stream of an uninterrupted run.
+  std::vector<Recorded> record_reference(const std::filesystem::path& dir,
+                                         int steps, std::string* dump) {
+    MeghServer server(fast_options(dir, /*compact_every=*/0));
+    std::vector<Recorded> log;
+    run_sim(std::make_shared<RecordingTransport>(server, log), steps);
+    if (dump != nullptr) *dump = dump_of(server);
+    return log;
+  }
+
+  static std::string dump_of(MeghServer& server) {
+    std::ostringstream out;
+    server.dump_state(out);
+    return out.str();
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(ServerRecoveryTest, FaultFreeServedRunIsBitIdenticalToLocal) {
+  MeghConfig config;
+  config.seed = 17;
+  Rng rng(5);
+  std::vector<VmSpec> specs = sample_vm_fleet(12, rng);
+  PlanetLabSynthConfig tc;
+  tc.num_vms = 12;
+  tc.num_steps = 40;
+  const TraceTable trace = generate_planetlab(tc);
+
+  auto run_with = [&](MigrationPolicy& policy) {
+    Datacenter dc(standard_host_fleet(8), specs);
+    Rng prng(2);
+    place_initial(dc, InitialPlacement::kRandom, prng);
+    Simulation sim(std::move(dc), trace, SimulationConfig{});
+    return sim.run(policy, 40);
+  };
+
+  MeghPolicy local(config);
+  const SimulationResult local_result = run_with(local);
+
+  MeghServer server(fast_options(root_ / "dir", 16));
+  auto transport = std::make_shared<LocalTransport>(server);
+  RemoteMeghPolicy served(transport, config);
+  const SimulationResult served_result = run_with(served);
+
+  EXPECT_EQ(served_result.totals.total_cost_usd,
+            local_result.totals.total_cost_usd);
+  EXPECT_EQ(served_result.totals.migrations, local_result.totals.migrations);
+  ASSERT_EQ(served_result.steps.size(), local_result.steps.size());
+  for (std::size_t i = 0; i < local_result.steps.size(); ++i) {
+    EXPECT_EQ(served_result.steps[i].step_cost_usd,
+              local_result.steps[i].step_cost_usd)
+        << "step " << i;
+    EXPECT_EQ(served_result.steps[i].migrations,
+              local_result.steps[i].migrations)
+        << "step " << i;
+  }
+}
+
+TEST_F(ServerRecoveryTest, KillAtEveryRequestBoundaryRecoversExactly) {
+  std::string ref_dump;
+  const std::vector<Recorded> log =
+      record_reference(root_ / "ref", /*steps=*/12, &ref_dump);
+  ASSERT_GE(log.size(), 25u);  // init + 2 per step
+
+  for (std::size_t kill_at = 1; kill_at < log.size(); ++kill_at) {
+    const auto dir = root_ / ("victim_" + std::to_string(kill_at));
+    {
+      MeghServer before(fast_options(dir, /*compact_every=*/0));
+      for (std::size_t i = 0; i < kill_at; ++i) {
+        before.handle(log[i].type, log[i].payload);
+      }
+      // Destroyed here — the "kill". Every acked request is on disk.
+    }
+    MeghServer after(fast_options(dir, /*compact_every=*/0));
+    ASSERT_TRUE(after.initialized()) << "kill at " << kill_at;
+    for (std::size_t i = kill_at; i < log.size(); ++i) {
+      const std::vector<std::uint8_t> response =
+          after.handle(log[i].type, log[i].payload);
+      if (log[i].type == MsgType::kDecide) {
+        EXPECT_EQ(response, log[i].response)
+            << "decision diverged after kill at " << kill_at << ", request "
+            << i;
+      } else {
+        ASSERT_FALSE(response.empty());
+        EXPECT_EQ(response[0], 0) << "request " << i << " failed after kill";
+      }
+    }
+    EXPECT_EQ(dump_of(after), ref_dump) << "kill at " << kill_at;
+  }
+}
+
+TEST_F(ServerRecoveryTest, KillPointsWithCompactionAndCheckpointsRecover) {
+  std::string ref_dump;
+  const std::vector<Recorded> log =
+      record_reference(root_ / "ref", /*steps=*/30, &ref_dump);
+
+  // A handful of kill points across a longer run, now with aggressive
+  // compaction and explicit mid-stream checkpoints in the mix.
+  for (const std::size_t kill_at :
+       {std::size_t{2}, std::size_t{9}, std::size_t{20}, std::size_t{33},
+        log.size() / 2, log.size() - 2}) {
+    const auto dir = root_ / ("victim_" + std::to_string(kill_at));
+    {
+      MeghServer before(fast_options(dir, /*compact_every=*/7));
+      for (std::size_t i = 0; i < kill_at; ++i) {
+        before.handle(log[i].type, log[i].payload);
+        if (i == kill_at / 2) before.checkpoint();
+      }
+    }
+    MeghServer after(fast_options(dir, /*compact_every=*/7));
+    for (std::size_t i = kill_at; i < log.size(); ++i) {
+      const std::vector<std::uint8_t> response =
+          after.handle(log[i].type, log[i].payload);
+      if (log[i].type == MsgType::kDecide) {
+        EXPECT_EQ(response, log[i].response)
+            << "kill at " << kill_at << ", request " << i;
+      }
+    }
+    after.checkpoint();  // compaction after recovery must also be sound
+    EXPECT_EQ(dump_of(after), ref_dump) << "kill at " << kill_at;
+
+    // And the compacted directory must itself recover.
+    MeghServer again(fast_options(dir, /*compact_every=*/7));
+    EXPECT_EQ(dump_of(again), ref_dump) << "post-compaction, kill at "
+                                        << kill_at;
+  }
+}
+
+TEST_F(ServerRecoveryTest, ReadOnlyReplayToMatchesPrefixFeed) {
+  // The CI byte-compare mechanism: replaying the uninterrupted reference
+  // directory up to seq K equals feeding the first K mutating requests
+  // into a fresh server. (Request i is WAL seq i: Init is persisted as
+  // init.bin, every later request journals one record.)
+  const std::vector<Recorded> log =
+      record_reference(root_ / "ref", /*steps=*/10, nullptr);
+  for (const std::size_t k : {std::size_t{1}, std::size_t{7}, log.size() - 2}) {
+    const auto dir = root_ / ("prefix_" + std::to_string(k));
+    std::string prefix_dump;
+    {
+      MeghServer server(fast_options(dir, 0));
+      for (std::size_t i = 0; i <= k; ++i) {
+        server.handle(log[i].type, log[i].payload);
+      }
+      prefix_dump = dump_of(server);
+    }
+    ServeOptions ro = fast_options(root_ / "ref", 0);
+    ro.read_only = true;
+    ro.replay_to = k;
+    MeghServer replayed(ro);
+    EXPECT_EQ(replayed.recovered_seq(), k);
+    EXPECT_EQ(dump_of(replayed), prefix_dump) << "replay_to " << k;
+  }
+}
+
+TEST_F(ServerRecoveryTest, ReadOnlyRejectsMutationsAndOpensNoWriter) {
+  record_reference(root_ / "ref", /*steps=*/4, nullptr);
+  const auto segments_before = list_wal_segments(root_ / "ref").size();
+  ServeOptions ro = fast_options(root_ / "ref", 0);
+  ro.read_only = true;
+  {
+    MeghServer server(ro);
+    DecideRequest req;  // shape doesn't matter; must be rejected first
+    EXPECT_THROW(server.decide(req), Error);
+    EXPECT_THROW(server.observe(ObserveRequest{}), Error);
+    // Admin verbs still work.
+    EXPECT_FALSE(server.stats_response().stats.empty());
+  }
+  EXPECT_EQ(list_wal_segments(root_ / "ref").size(), segments_before)
+      << "read-only recovery must not add WAL segments";
+}
+
+TEST_F(ServerRecoveryTest, ReplayToRequiresReadOnly) {
+  ServeOptions options = fast_options(root_ / "dir", 0);
+  options.replay_to = 5;
+  EXPECT_THROW(MeghServer{options}, Error);
+}
+
+TEST_F(ServerRecoveryTest, DamagedDirectoryRefused) {
+  // WAL segments without init.bin: the recovery root is gone.
+  const auto dir = root_ / "damaged";
+  {
+    MeghServer server(fast_options(dir, 0));
+    std::vector<Recorded> log;
+    run_sim(std::make_shared<RecordingTransport>(server, log), 2);
+  }
+  std::filesystem::remove(dir / "init.bin");
+  EXPECT_THROW(MeghServer{fast_options(dir, 0)}, IoError);
+}
+
+TEST_F(ServerRecoveryTest, TornWalTailIsDroppedAndServerResumes) {
+  const std::vector<Recorded> log =
+      record_reference(root_ / "ref", /*steps=*/6, nullptr);
+  const auto dir = root_ / "torn";
+  {
+    MeghServer server(fast_options(dir, 0));
+    for (const Recorded& r : log) server.handle(r.type, r.payload);
+  }
+  // Tear the final record: recovery must drop it and land one seq short.
+  const auto segments = list_wal_segments(dir);
+  ASSERT_FALSE(segments.empty());
+  const auto& last = segments.back();
+  std::filesystem::resize_file(last, std::filesystem::file_size(last) - 3);
+  {
+    MeghServer after(fast_options(dir, 0));
+    EXPECT_EQ(after.recovered_seq(), log.size() - 2)
+        << "torn final record should be dropped, not replayed";
+  }
+  // Recovery healed the tail, so the now-sealed segment scans clean and a
+  // second restart works too.
+  MeghServer again(fast_options(dir, 0));
+  EXPECT_EQ(again.recovered_seq(), log.size() - 2);
+}
+
+TEST_F(ServerRecoveryTest, CorruptWalRecordRefusedAtStartup) {
+  const std::vector<Recorded> log =
+      record_reference(root_ / "ref", /*steps=*/6, nullptr);
+  const auto dir = root_ / "flip";
+  {
+    MeghServer server(fast_options(dir, 0));
+    for (const Recorded& r : log) server.handle(r.type, r.payload);
+  }
+  const auto segments = list_wal_segments(dir);
+  ASSERT_FALSE(segments.empty());
+  // Flip a bit in the middle of the segment (not the tail).
+  std::fstream f(segments.front(), std::ios::in | std::ios::out |
+                                       std::ios::binary);
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<long long>(f.tellg());
+  f.seekp(size / 2);
+  char byte = 0;
+  f.seekg(size / 2);
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  f.seekp(size / 2);
+  f.write(&byte, 1);
+  f.close();
+  EXPECT_THROW(MeghServer{fast_options(dir, 0)}, IoError);
+}
+
+TEST_F(ServerRecoveryTest, InitIsIdempotentForMatchingFleet) {
+  // A client that reconnects after a daemon restart re-sends Init; the
+  // server must accept it as a no-op instead of resetting the policy.
+  const std::vector<Recorded> log =
+      record_reference(root_ / "ref", /*steps=*/4, nullptr);
+  const auto dir = root_ / "dir";
+  MeghServer server(fast_options(dir, 0));
+  for (const Recorded& r : log) server.handle(r.type, r.payload);
+  const std::string before = dump_of(server);
+  const std::vector<std::uint8_t> response =
+      server.handle(MsgType::kInit, log[0].payload);
+  ASSERT_FALSE(response.empty());
+  EXPECT_EQ(response[0], 0);
+  EXPECT_EQ(dump_of(server), before) << "re-Init must not perturb state";
+}
+
+}  // namespace
+}  // namespace megh::serve

@@ -29,6 +29,8 @@
 #include "harness/report.hpp"
 #include "metrics/convergence.hpp"
 #include "metrics/timeseries.hpp"
+#include "serve/client.hpp"
+#include "serve/socket.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/csv_trace.hpp"
 
@@ -38,11 +40,36 @@ using namespace megh;
 
 std::unique_ptr<MigrationPolicy> make_policy(
     const std::string& name, std::uint64_t seed, bool network_oblivious,
-    std::shared_ptr<const FatTreeTopology> network) {
+    std::shared_ptr<const FatTreeTopology> network,
+    const std::string& checkpoint_load, const std::string& serve_endpoint) {
+  if (!checkpoint_load.empty() && name != "megh" && name != "hier-megh") {
+    throw ConfigError(
+        "--checkpoint-load only applies to --policy megh | hier-megh");
+  }
+  if (!serve_endpoint.empty()) {
+    MEGH_REQUIRE(name == "megh",
+                 "--serve-endpoint drives the daemon's flat Megh policy; "
+                 "combine it with --policy megh");
+    MEGH_REQUIRE(checkpoint_load.empty(),
+                 "--checkpoint-load does not apply to a served policy (the "
+                 "daemon recovers its own state from its serve directory)");
+    MeghConfig config;
+    config.seed = seed;
+    config.candidates.network_aware = !network_oblivious;
+    return std::make_unique<serve::RemoteMeghPolicy>(
+        std::make_shared<serve::SocketTransport>(serve_endpoint), config,
+        std::move(network));
+  }
   if (name == "megh") {
     MeghConfig config;
     config.seed = seed;
     config.candidates.network_aware = !network_oblivious;
+    if (!checkpoint_load.empty()) {
+      // The adapter re-loads at every begin(), so the warm start survives
+      // the engine re-running begin() for the real run (a plain load
+      // before run() would be wiped by that second begin()).
+      return std::make_unique<WarmStartMeghPolicy>(config, checkpoint_load);
+    }
     return std::make_unique<MeghPolicy>(config);
   }
   if (name == "hier-megh") {
@@ -50,6 +77,10 @@ std::unique_ptr<MigrationPolicy> make_policy(
     config.base.seed = seed;
     config.base.candidates.network_aware = !network_oblivious;
     config.network = std::move(network);
+    if (!checkpoint_load.empty()) {
+      return std::make_unique<WarmStartHierarchicalMeghPolicy>(
+          config, checkpoint_load);
+    }
     return std::make_unique<HierarchicalMeghPolicy>(config);
   }
   if (name == "thr-mmt") return make_thr_mmt(0.7, seed);
@@ -99,6 +130,13 @@ int main(int argc, char** argv) {
   args.add_flag("checkpoint-save", "save the Megh learner here after the run",
                 "");
   args.add_flag("checkpoint-load", "warm-start Megh from this checkpoint", "");
+  args.add_flag("checkpoint-every",
+                "also save the checkpoint every N steps during the run "
+                "(crash-atomic; needs --checkpoint-save)", "0");
+  args.add_flag("serve-endpoint",
+                "drive a running megh_serve daemon at this Unix socket "
+                "instead of an in-process policy (use with --policy megh)",
+                "");
   args.add_bool("network-oblivious", "disable Megh's pod-aware candidates");
   args.add_flag("migration-model",
                 "flat (paper's RAM/BW bulk copy) | precopy (iterative "
@@ -171,7 +209,8 @@ int main(int argc, char** argv) {
     const bool is_megh = policy_name == "megh" || policy_name == "hier-megh";
     auto policy = make_policy(policy_name, seed,
                               args.get_bool("network-oblivious"),
-                              options.network);
+                              options.network, args.get("checkpoint-load"),
+                              args.get("serve-endpoint"));
     const double cap = args.get_double("cap");
     options.max_migration_fraction = cap >= 0 ? cap : (is_megh ? 0.02 : 0.0);
 
@@ -189,24 +228,32 @@ int main(int argc, char** argv) {
       MEGH_REQUIRE(args.get("migration-model") == "flat",
                    "--migration-model must be flat or precopy");
     }
+    // --- periodic checkpoints ---
+    const int checkpoint_every =
+        static_cast<int>(args.get_int("checkpoint-every"));
+    const std::string checkpoint_save = args.get("checkpoint-save");
+    if (checkpoint_every > 0) {
+      MEGH_REQUIRE(!checkpoint_save.empty(),
+                   "--checkpoint-every needs --checkpoint-save <path>");
+      auto* megh = dynamic_cast<MeghPolicy*>(policy.get());
+      auto* hier = dynamic_cast<HierarchicalMeghPolicy*>(policy.get());
+      MEGH_REQUIRE(megh != nullptr || hier != nullptr,
+                   "--checkpoint-every only applies to --policy megh | "
+                   "hier-megh");
+      sim_config.on_step = [=](const StepSnapshot& s) {
+        if ((s.step + 1) % checkpoint_every != 0) return;
+        if (megh != nullptr) {
+          save_megh_policy(*megh, checkpoint_save);
+        } else {
+          save_hierarchical_policy(*hier, checkpoint_save);
+        }
+      };
+    }
+
     Simulation sim(std::move(dc), scenario.trace, sim_config);
     if (!args.get("checkpoint-load").empty()) {
-      if (auto* megh = dynamic_cast<MeghPolicy*>(policy.get())) {
-        sim.run(*megh, 0);  // begin() so the learner exists with the shape
-        load_megh_policy(*megh, args.get("checkpoint-load"));
-        std::printf("warm-started from %s (temperature %.4f)\n",
-                    args.get("checkpoint-load").c_str(), megh->temperature());
-      } else if (auto* hier =
-                     dynamic_cast<HierarchicalMeghPolicy*>(policy.get())) {
-        sim.run(*hier, 0);  // begin() so the pod learners exist
-        load_hierarchical_policy(*hier, args.get("checkpoint-load"));
-        std::printf("warm-started from %s (%d pods, temperature %.4f)\n",
-                    args.get("checkpoint-load").c_str(), hier->num_pods(),
-                    hier->temperature());
-      } else {
-        throw ConfigError(
-            "--checkpoint-load only applies to --policy megh | hier-megh");
-      }
+      std::printf("warm-start      : %s (loaded at begin())\n",
+                  args.get("checkpoint-load").c_str());
     }
 
     const SimulationResult result = sim.run(*policy, steps);
@@ -245,6 +292,11 @@ int main(int argc, char** argv) {
       std::printf("series          : wrote %s\n", args.get("series").c_str());
     }
     if (!args.get("checkpoint-save").empty()) {
+      if (!args.get("serve-endpoint").empty()) {
+        throw ConfigError(
+            "--checkpoint-save does not apply to a served policy; ask the "
+            "daemon instead: megh_ctl checkpoint --socket <path>");
+      }
       if (const auto* megh = dynamic_cast<const MeghPolicy*>(policy.get())) {
         save_megh_policy(*megh, args.get("checkpoint-save"));
       } else if (const auto* hier =
