@@ -250,8 +250,7 @@ void MeghServer::apply_init(const InitRequest& req) {
   steps_ = 0;
 }
 
-void MeghServer::apply_decide(const DecideRequest& req,
-                              std::vector<MigrationAction>& out) {
+void MeghServer::validate_decide(const DecideRequest& req) {
   const int num_vms = dc_->num_vms();
   const int num_hosts = dc_->num_hosts();
   MEGH_REQUIRE(static_cast<int>(req.vm_util.size()) == num_vms &&
@@ -265,6 +264,30 @@ void MeghServer::apply_decide(const DecideRequest& req,
     MEGH_REQUIRE(h >= kUnplaced && h < num_hosts,
                  "serve: host_of entry out of range");
   }
+  // RAM-feasibility of the requested final placement, so apply_decide's
+  // reconciliation cannot throw mid-mutation on a fleet the engine never
+  // realized. The mirror's own occupancy sums are list-order re-sums;
+  // this check sums in VM order, so a placement sitting within ulps of
+  // the fits() epsilon could still slip through — the poison latch in
+  // decide() then keeps the rejection from corrupting anything.
+  ram_scratch_.assign(static_cast<std::size_t>(num_hosts), 0.0);
+  for (int vm = 0; vm < num_vms; ++vm) {
+    const int h = req.host_of[static_cast<std::size_t>(vm)];
+    if (h != kUnplaced) {
+      ram_scratch_[static_cast<std::size_t>(h)] += dc_->vm_spec(vm).ram_mb;
+    }
+  }
+  for (int h = 0; h < num_hosts; ++h) {
+    MEGH_REQUIRE(
+        ram_scratch_[static_cast<std::size_t>(h)] <=
+            dc_->host_spec(h).ram_mb + 1e-9,
+        strf("serve: Decide host_of overfills host %d by RAM", h));
+  }
+}
+
+void MeghServer::apply_decide(const DecideRequest& req,
+                              std::vector<MigrationAction>& out) {
+  const int num_vms = dc_->num_vms();
 
   // Reconcile the placement mirror against the authoritative host_of
   // stream. Two passes — unplace every moved VM first, then place — so a
@@ -299,6 +322,42 @@ void MeghServer::apply_decide(const DecideRequest& req,
   policy_->decide_into(obs, out);
 }
 
+void MeghServer::validate_observe(const ObserveRequest& req) {
+  const int num_vms = dc_->num_vms();
+  const int num_hosts = dc_->num_hosts();
+  // Dry-run the applied outcomes against a copy of the mirror's RAM
+  // occupancy so apply_observe cannot fail mid-stream. Deltas here vs the
+  // mirror's list-order re-sums can disagree within ulps of the fits()
+  // epsilon; the poison latch in observe() covers that residue.
+  ram_scratch_.resize(static_cast<std::size_t>(num_hosts));
+  for (int h = 0; h < num_hosts; ++h) {
+    ram_scratch_[static_cast<std::size_t>(h)] = dc_->host_ram_used(h);
+  }
+  moved_scratch_.clear();
+  for (const MigrationOutcome& o : req.outcomes) {
+    MEGH_REQUIRE(o.vm >= 0 && o.vm < num_vms && o.target_host >= 0 &&
+                     o.target_host < num_hosts,
+                 "serve: Observe outcome out of range");
+    if (o.verdict != MigrationVerdict::kApplied) continue;
+    int current = dc_->host_of(o.vm);
+    for (const auto& [vm, host] : moved_scratch_) {
+      if (vm == o.vm) current = host;
+    }
+    MEGH_REQUIRE(current != kUnplaced,
+                 "serve: Observe applies a migration for an unplaced VM");
+    const double ram = dc_->vm_spec(o.vm).ram_mb;
+    MEGH_REQUIRE(
+        current != o.target_host &&
+            ram_scratch_[static_cast<std::size_t>(o.target_host)] + ram <=
+                dc_->host_spec(o.target_host).ram_mb + 1e-9,
+        "serve: mirror diverged — an applied migration does not fit the "
+        "mirrored datacenter");
+    ram_scratch_[static_cast<std::size_t>(current)] -= ram;
+    ram_scratch_[static_cast<std::size_t>(o.target_host)] += ram;
+    moved_scratch_.emplace_back(o.vm, o.target_host);
+  }
+}
+
 void MeghServer::apply_observe(const ObserveRequest& req) {
   for (const MigrationOutcome& o : req.outcomes) {
     MEGH_REQUIRE(o.vm >= 0 && o.vm < dc_->num_vms() && o.target_host >= 0 &&
@@ -314,6 +373,23 @@ void MeghServer::apply_observe(const ObserveRequest& req) {
   policy_->observe_outcomes(req.outcomes);
   policy_->observe_cost(req.step_cost);
   ++steps_;
+}
+
+void MeghServer::poison(const std::string& why) {
+  if (poisoned_) return;
+  poisoned_ = true;
+  poison_reason_ = why;
+  if (wal_) wal_->poison(why);
+  Telemetry::instance().counter("serve.poisoned").add(1);
+  MEGH_LOG_ERROR("serve: daemon poisoned: " + why);
+}
+
+void MeghServer::check_not_poisoned() const {
+  if (poisoned_) {
+    throw Error("serve: daemon poisoned (" + poison_reason_ +
+                ") — in-memory state may have diverged from the journal; "
+                "restart to recover the consistent journaled prefix");
+  }
 }
 
 void MeghServer::journal(MsgType type,
@@ -346,13 +422,30 @@ void MeghServer::init(const InitRequest& req) {
     return;
   }
   MEGH_REQUIRE(!options_.read_only, "serve: read-only server");
-  // Durable before applied: Init is the root of every future recovery.
-  write_file_atomic(options_.dir / kInitFile, [&](std::ostream& out) {
-    out.write(reinterpret_cast<const char*>(payload.data()),
-              static_cast<std::streamsize>(payload.size()));
-  }, options_.fsync);
+  check_not_poisoned();
+  // Apply before persisting: init.bin is the root of every future
+  // recovery, and recovery replays it through this same apply path with
+  // no way to skip it — persisting an Init that apply would reject would
+  // brick the directory. A throw here leaves initialized_ false and
+  // nothing on disk; the partially-built mirror is rebuilt from scratch
+  // by the next Init attempt.
   apply_init(req);
-  wal_ = std::make_unique<WalWriter>(options_.dir, 1, options_.fsync);
+  try {
+    write_file_atomic(options_.dir / kInitFile, [&](std::ostream& out) {
+      out.write(reinterpret_cast<const char*>(payload.data()),
+                static_cast<std::streamsize>(payload.size()));
+    }, options_.fsync);
+    wal_ = std::make_unique<WalWriter>(options_.dir, 1, options_.fsync);
+  } catch (...) {
+    // Applied but not durable: drop the in-memory state so neither a
+    // retry nor a restart can see state that recovery would not rebuild.
+    wal_.reset();
+    policy_.reset();
+    network_.reset();
+    dc_.reset();
+    init_ = InitRequest{};
+    throw;
+  }
   applied_seq_ = 0;
   initialized_ = true;
   Telemetry::instance().counter("serve.init").add(1);
@@ -363,9 +456,21 @@ DecideResponse MeghServer::decide(const DecideRequest& req) {
   std::lock_guard<std::mutex> lock(mutex_);
   MEGH_REQUIRE(initialized_, "serve: Decide before Init");
   MEGH_REQUIRE(!options_.read_only, "serve: read-only server");
-  journal(MsgType::kDecide, payload);
+  check_not_poisoned();
+  // Validate → apply → journal: a request rejected by validation touches
+  // neither state nor journal, and only fully-applied requests reach the
+  // WAL, so replay can never fail on a journaled record. A throw after
+  // apply began means memory may have diverged from the journal —
+  // poison so nothing compounds it; a restart replays the clean prefix.
+  validate_decide(req);
   actions_.clear();
-  apply_decide(req, actions_);
+  try {
+    apply_decide(req, actions_);
+    journal(MsgType::kDecide, payload);
+  } catch (const std::exception& e) {
+    poison(strf("Decide failed after validation: %s", e.what()));
+    throw;
+  }
   ++decides_;
   Telemetry::instance().counter("serve.decide").add(1);
   DecideResponse resp;
@@ -378,8 +483,15 @@ ObserveResponse MeghServer::observe(const ObserveRequest& req) {
   std::lock_guard<std::mutex> lock(mutex_);
   MEGH_REQUIRE(initialized_, "serve: Observe before Init");
   MEGH_REQUIRE(!options_.read_only, "serve: read-only server");
-  journal(MsgType::kObserve, payload);
-  apply_observe(req);
+  check_not_poisoned();
+  validate_observe(req);
+  try {
+    apply_observe(req);
+    journal(MsgType::kObserve, payload);
+  } catch (const std::exception& e) {
+    poison(strf("Observe failed after validation: %s", e.what()));
+    throw;
+  }
   ++observes_;
   Telemetry::instance().counter("serve.observe").add(1);
   ObserveResponse resp;
@@ -391,6 +503,9 @@ CheckpointResponse MeghServer::checkpoint() {
   std::unique_lock<std::mutex> lock(mutex_);
   MEGH_REQUIRE(initialized_, "serve: Checkpoint before Init");
   MEGH_REQUIRE(!options_.read_only, "serve: read-only server");
+  // A snapshot of diverged state would outlive the restart that is
+  // supposed to heal it — never compact a poisoned daemon.
+  check_not_poisoned();
   return compact_locked(lock);
 }
 
@@ -409,8 +524,14 @@ WalStatusResponse MeghServer::wal_status() {
   resp.snapshot_gen = snapshot_gen_;
   resp.snapshot_seq = snapshot_seq_;
   for (const std::filesystem::path& seg : list_wal_segments(options_.dir)) {
+    // Non-throwing stat: a segment can vanish between listing and stat
+    // (external cleanup, crash-leftover removal) — skip it rather than
+    // turning an admin verb into a raw filesystem_error.
+    std::error_code ec;
+    const std::uintmax_t size = std::filesystem::file_size(seg, ec);
+    if (ec) continue;
     ++resp.segments;
-    resp.wal_bytes += std::filesystem::file_size(seg);
+    resp.wal_bytes += size;
   }
   return resp;
 }
@@ -604,8 +725,9 @@ void MeghServer::compaction_loop() {
                          std::chrono::milliseconds(options_.compact_poll_ms),
                          [this] { return stop_; });
     if (stop_) break;
-    if (initialized_ && records_since_compaction_ >=
-                            static_cast<std::uint64_t>(options_.compact_every)) {
+    if (initialized_ && !poisoned_ &&
+        records_since_compaction_ >=
+            static_cast<std::uint64_t>(options_.compact_every)) {
       compact_locked(lock);
     }
   }
@@ -614,6 +736,9 @@ void MeghServer::compaction_loop() {
 void MeghServer::dump_state(std::ostream& out) {
   std::lock_guard<std::mutex> lock(mutex_);
   MEGH_REQUIRE(initialized_, "serve: nothing to dump before Init");
+  // A poisoned daemon's memory is not the journaled truth; dumping it
+  // would pass divergence off as state. Restart and dump the recovery.
+  check_not_poisoned();
   write_snapshot(out);
 }
 

@@ -8,13 +8,21 @@
 //
 //   1. Init is persisted once as `init.bin` (the raw Init payload, written
 //      atomically) — the fleet specs and configs every recovery starts
-//      from. It is never compacted away.
-//   2. Every mutating request (Decide, Observe) is appended to the WAL and
-//      fsynced *before* it is applied and acknowledged. The journal stores
-//      the request bytes, not state deltas: replay re-executes them
-//      through the same apply path, so recovered state is bit-identical —
-//      same learner, same RNG position, same pending SARSA transition,
-//      same placement mirror.
+//      from. It is never compacted away, and it is only written after the
+//      request applied successfully, so a rejected Init can never brick
+//      the directory.
+//   2. Every mutating request (Decide, Observe) is validated, applied,
+//      and only then appended to the WAL and fsynced — all before it is
+//      acknowledged. The journal stores the request bytes, not state
+//      deltas: replay re-executes them through the same apply path, so
+//      recovered state is bit-identical — same learner, same RNG
+//      position, same pending SARSA transition, same placement mirror.
+//      Because only fully-applied requests reach the journal, replay can
+//      never fail on a journaled record. If a request fails *after* the
+//      in-memory mutation began, or a WAL append fails after the
+//      mutation, the daemon poisons itself: every further mutating
+//      request, compaction, and dump is refused until a restart recovers
+//      the (consistent) journaled prefix.
 //   3. Compaction (background thread, or the Checkpoint verb) writes
 //      snap-<gen>.ckpt atomically under the state lock, rotates the WAL at
 //      the snapshot boundary, and only then unlinks older segments and
@@ -111,6 +119,15 @@ class MeghServer {
   void apply_decide(const DecideRequest& req,
                     std::vector<MigrationAction>& out);
   void apply_observe(const ObserveRequest& req);
+  /// Client-input checks, run before any mutation (and before anything is
+  /// journaled): a request that fails here gets an error response and
+  /// leaves state, journal, and RNG stream untouched.
+  void validate_decide(const DecideRequest& req);
+  void validate_observe(const ObserveRequest& req);
+  /// Latch the daemon into a refuse-all-mutations state after a failure
+  /// that may have left memory diverged from the journal.
+  void poison(const std::string& why);
+  void check_not_poisoned() const;
   void journal(MsgType type, std::span<const std::uint8_t> payload);
   void write_snapshot(std::ostream& out);
   void load_snapshot(const std::filesystem::path& path);
@@ -145,9 +162,17 @@ class MeghServer {
   long long compactions_ = 0;
   long long replayed_records_ = 0;
 
+  // Poison latch: set when live state may have diverged from the journal
+  // (partial apply, or a WAL append failure after an apply). Mutating
+  // requests are refused until a restart replays the consistent prefix.
+  bool poisoned_ = false;
+  std::string poison_reason_;
+
   // Reused per-request scratch.
   std::vector<MigrationAction> actions_;
   std::vector<int> changed_vms_;
+  std::vector<double> ram_scratch_;
+  std::vector<std::pair<int, int>> moved_scratch_;
   PolicyStats stats_scratch_;
 
   // Background compaction.

@@ -149,10 +149,22 @@ SocketServer::SocketServer(MeghServer& server,
 SocketServer::~SocketServer() {
   stop_.store(true);
   if (listen_fd_ >= 0) ::close(listen_fd_);
-  for (std::thread& t : connections_) {
-    if (t.joinable()) t.join();
+  for (Connection& c : connections_) {
+    if (c.thread.joinable()) c.thread.join();
   }
   std::filesystem::remove(socket_path_);
+}
+
+void SocketServer::reap_finished() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done->load()) {
+      it->thread.join();
+      it = connections_.erase(it);
+      reaped_.fetch_add(1);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void SocketServer::run() {
@@ -179,7 +191,17 @@ void SocketServer::run() {
       ::close(fd);
       continue;
     }
-    connections_.emplace_back([this, fd] { serve_connection(fd); });
+    // Join connections that already finished so a long-lived daemon with
+    // many short-lived clients doesn't accumulate exited threads.
+    reap_finished();
+    Connection conn;
+    conn.done = std::make_unique<std::atomic<bool>>(false);
+    // The flag lives on the heap behind the unique_ptr, so its address
+    // survives both the vector growing and the Connection being moved.
+    std::atomic<bool>* done = conn.done.get();
+    conn.thread =
+        std::thread([this, fd, done] { serve_connection(fd, *done); });
+    connections_.push_back(std::move(conn));
   }
   // Remove the socket as soon as the accept loop exits so a caller that
   // joins run() sees a clean filesystem even before the listener is
@@ -187,7 +209,7 @@ void SocketServer::run() {
   std::filesystem::remove(socket_path_);
 }
 
-void SocketServer::serve_connection(int fd) {
+void SocketServer::serve_connection(int fd, std::atomic<bool>& done) {
   std::vector<std::uint8_t> payload;
   MsgType type;
   try {
@@ -206,6 +228,7 @@ void SocketServer::serve_connection(int fd) {
     MEGH_LOG_WARN(strf("megh_serve: connection error: %s", e.what()));
   }
   ::close(fd);
+  done.store(true);  // last: the accept loop may join-and-erase from here on
 }
 
 SocketTransport::SocketTransport(const std::filesystem::path& socket_path,

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <span>
 #include <thread>
 #include <vector>
@@ -63,15 +64,31 @@ class SocketServer {
 
   const std::filesystem::path& socket_path() const { return socket_path_; }
 
+  /// Connection threads joined-and-released by the accept loop so far.
+  /// A long-lived daemon serving many short-lived clients must not
+  /// accumulate exited threads; this counter is how tests (and operators)
+  /// see the reaping happen.
+  std::size_t reaped_connections() const { return reaped_.load(); }
+
  private:
-  void serve_connection(int fd);
+  /// One accepted connection: the thread serving it plus a done flag the
+  /// thread raises on exit, which is what lets the accept loop join
+  /// finished threads without blocking on live ones.
+  struct Connection {
+    std::unique_ptr<std::atomic<bool>> done;
+    std::thread thread;
+  };
+
+  void serve_connection(int fd, std::atomic<bool>& done);
+  void reap_finished();
 
   MeghServer& server_;
   std::filesystem::path socket_path_;
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};
   std::atomic<bool> draining_{false};
-  std::vector<std::thread> connections_;
+  std::atomic<std::size_t> reaped_{0};
+  std::vector<Connection> connections_;
 };
 
 /// Client transport over a Unix domain socket. Connecting retries for up

@@ -122,6 +122,7 @@ void WalWriter::close_segment() {
 
 std::uint64_t WalWriter::append(std::uint16_t type,
                                 std::span<const std::uint8_t> payload) {
+  check_not_poisoned();
   const std::uint64_t seq = next_seq_;
   std::vector<std::uint8_t> record(kRecordHeaderSize + payload.size());
   put_u32(record.data() + 4, static_cast<std::uint32_t>(payload.size()));
@@ -131,22 +132,53 @@ std::uint64_t WalWriter::append(std::uint16_t type,
             record.begin() + kRecordHeaderSize);
   const std::uint32_t crc = crc32c(record.data() + 4, record.size() - 4);
   put_u32(record.data(), crc);
-  write_all(fd_, record.data(), record.size(), path_);
-  if (fsync_) {
-    if (::fsync(fd_) != 0) {
-      throw IoError(strf("wal: fsync of %s failed: %s",
-                         path_.string().c_str(), std::strerror(errno)));
+  try {
+    write_all(fd_, record.data(), record.size(), path_);
+    if (fsync_) {
+      if (::fsync(fd_) != 0) {
+        throw IoError(strf("wal: fsync of %s failed: %s",
+                           path_.string().c_str(), std::strerror(errno)));
+      }
     }
+  } catch (const std::exception& e) {
+    // The record's bytes may be partially on disk. Appending after them
+    // would follow the partial record with a second one carrying the same
+    // seq, which the next scan would reject as mid-chain damage; refusing
+    // all further writes leaves them as a benign torn tail instead.
+    poison(e.what());
+    throw;
   }
   ++next_seq_;
   return seq;
 }
 
 void WalWriter::rotate(std::uint64_t start_seq) {
+  check_not_poisoned();
   MEGH_ASSERT(start_seq == next_seq_,
               "wal: rotation must start at the next seq");
   close_segment();
-  open_segment(start_seq);
+  try {
+    open_segment(start_seq);
+  } catch (const std::exception& e) {
+    // No open segment to write to; a later append would scribble on a
+    // closed (or wrong) fd.
+    poison(e.what());
+    throw;
+  }
+}
+
+void WalWriter::poison(std::string why) {
+  if (poisoned_) return;
+  poisoned_ = true;
+  poison_reason_ = std::move(why);
+  MEGH_LOG_ERROR("wal: writer poisoned: " + poison_reason_);
+}
+
+void WalWriter::check_not_poisoned() const {
+  if (poisoned_) {
+    throw IoError("wal: writer poisoned after an earlier failure (" +
+                  poison_reason_ + ") — restart to recover");
+  }
 }
 
 std::vector<std::filesystem::path> list_wal_segments(

@@ -1,11 +1,12 @@
 // Write-ahead log for the megh_serve daemon (docs/SERVING.md).
 //
 // Every mutating request (Decide, Observe) is appended — and fsynced —
-// *before* the in-memory learner/datacenter mutation is acknowledged, so
-// the durable request stream is always a superset of any state a client
-// has seen. Recovery replays the stream through the identical apply path;
-// since the server's state is a deterministic function of (Init, request
-// stream), replay reproduces it bit for bit.
+// after it is applied and *before* it is acknowledged, so a client never
+// sees state that is not durable, and the durable stream only ever holds
+// requests the apply path fully accepted. Recovery replays the stream
+// through the identical apply path; since the server's state is a
+// deterministic function of (Init, request stream), replay reproduces it
+// bit for bit — and can never fail on a journaled record.
 //
 // On-disk layout inside the serve directory:
 //     wal-<start_seq>.log      segments; <start_seq> = seq of the first
@@ -35,6 +36,13 @@
 // A new writer always starts a fresh segment (truncating a same-named
 // leftover, which by construction holds only a torn tail): appending after
 // a torn record would interleave valid data with garbage.
+//
+// A writer that fails mid-append poisons itself: the failed record's bytes
+// may be partially on disk, so a further append would put a second record
+// with the same seq after them and the next scan would reject the segment
+// as mid-chain damage. Refusing all further writes instead leaves the
+// partial bytes as the segment's tail — the benign torn-tail case recovery
+// already drops and heals.
 #pragma once
 
 #include <cstdint>
@@ -80,7 +88,9 @@ class WalWriter {
   WalWriter& operator=(const WalWriter&) = delete;
 
   /// Append one record; returns the seq it was assigned. The record (and
-  /// the segment header before it) is durable when this returns.
+  /// the segment header before it) is durable when this returns. Throws
+  /// IoError on a write/fsync failure and poisons the writer (see above);
+  /// every later append/rotate then throws without touching the file.
   std::uint64_t append(std::uint16_t type,
                        std::span<const std::uint8_t> payload);
 
@@ -89,6 +99,12 @@ class WalWriter {
   /// coincides with a segment boundary.
   void rotate(std::uint64_t start_seq);
 
+  /// Refuse all further appends/rotations (also triggered internally by a
+  /// failed write — see the header comment; public for tests and for
+  /// owners that detect divergence of their own).
+  void poison(std::string why);
+  bool poisoned() const { return poisoned_; }
+
   std::uint64_t next_seq() const { return next_seq_; }
   std::uint64_t segment_start() const { return segment_start_; }
   const std::filesystem::path& segment_path() const { return path_; }
@@ -96,11 +112,14 @@ class WalWriter {
  private:
   void open_segment(std::uint64_t start_seq);
   void close_segment();
+  void check_not_poisoned() const;
 
   std::filesystem::path dir_;
   std::filesystem::path path_;
   int fd_ = -1;
   bool fsync_ = true;
+  bool poisoned_ = false;
+  std::string poison_reason_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t segment_start_ = 1;
 };

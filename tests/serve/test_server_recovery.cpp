@@ -325,6 +325,124 @@ TEST_F(ServerRecoveryTest, CorruptWalRecordRefusedAtStartup) {
   EXPECT_THROW(MeghServer{fast_options(dir, 0)}, IoError);
 }
 
+TEST_F(ServerRecoveryTest, InvalidRequestsRejectedWithoutJournalingOrDrift) {
+  // A wire-valid but semantically invalid request must be rejected
+  // *before* anything reaches the journal or the policy: journaling it
+  // first would make recovery replay a record apply refuses, bricking the
+  // directory on every restart.
+  std::string ref_dump;
+  const std::vector<Recorded> log =
+      record_reference(root_ / "ref", /*steps=*/6, &ref_dump);
+  const auto dir = root_ / "victim";
+  {
+    MeghServer server(fast_options(dir, 0));
+    server.handle(log[0].type, log[0].payload);  // Init
+
+    // Find a taped Decide to mutate and a (vm, current host) pair.
+    std::size_t decide_at = 1;
+    while (log[decide_at].type != MsgType::kDecide) ++decide_at;
+    const DecideRequest valid = decode_decide(log[decide_at].payload);
+    const InitRequest init = decode_init(log[0].payload);
+    int placed_vm = -1, placed_host = -1;
+    for (std::size_t h = 0; h < init.host_vms.size() && placed_vm < 0; ++h) {
+      if (!init.host_vms[h].empty()) {
+        placed_vm = init.host_vms[h][0];
+        placed_host = static_cast<int>(h);
+      }
+    }
+    ASSERT_GE(placed_vm, 0);
+
+    auto expect_rejected = [&](MsgType type,
+                               const std::vector<std::uint8_t>& payload) {
+      const std::uint64_t seq_before = server.next_seq();
+      const std::vector<std::uint8_t> response = server.handle(type, payload);
+      ASSERT_FALSE(response.empty());
+      EXPECT_EQ(response[0], 1) << "invalid request must be refused";
+      EXPECT_EQ(server.next_seq(), seq_before)
+          << "a rejected request must never reach the journal";
+    };
+
+    DecideRequest bad_shape = valid;
+    bad_shape.vm_util.pop_back();
+    expect_rejected(MsgType::kDecide, encode_decide(bad_shape));
+
+    DecideRequest bad_host = valid;
+    bad_host.host_of[0] = static_cast<int>(init.hosts.size()) + 5;
+    expect_rejected(MsgType::kDecide, encode_decide(bad_host));
+
+    ObserveRequest bad_range;
+    bad_range.outcomes.push_back(MigrationOutcome{
+        static_cast<int>(init.vms.size()), 0, MigrationVerdict::kApplied});
+    expect_rejected(MsgType::kObserve, encode_observe(bad_range));
+
+    ObserveRequest same_host;  // "applied" no-op move = diverged mirror
+    same_host.outcomes.push_back(
+        MigrationOutcome{placed_vm, placed_host, MigrationVerdict::kApplied});
+    expect_rejected(MsgType::kObserve, encode_observe(same_host));
+
+    // The rejections consumed no RNG draws and mutated nothing: the rest
+    // of the taped run must replay bit-identically.
+    for (std::size_t i = 1; i < log.size(); ++i) {
+      const std::vector<std::uint8_t> response =
+          server.handle(log[i].type, log[i].payload);
+      EXPECT_EQ(response, log[i].response) << "request " << i;
+    }
+    EXPECT_EQ(dump_of(server), ref_dump);
+  }
+  // And — the regression — the directory the rejections were served from
+  // still recovers: nothing unreplayable was journaled.
+  MeghServer after(fast_options(dir, 0));
+  EXPECT_EQ(dump_of(after), ref_dump);
+}
+
+TEST_F(ServerRecoveryTest, InvalidInitLeavesTheDirectoryClean) {
+  // An Init that fails validation must not persist init.bin: recovery
+  // reads that file unconditionally, so a durably-written bad Init would
+  // make the daemon unable to start from the directory forever.
+  const std::vector<Recorded> log =
+      record_reference(root_ / "ref", /*steps=*/3, nullptr);
+  const auto dir = root_ / "victim";
+  {
+    MeghServer server(fast_options(dir, 0));
+
+    auto expect_rejected = [&](const InitRequest& bad) {
+      const std::vector<std::uint8_t> response =
+          server.handle(MsgType::kInit, encode_init(bad));
+      ASSERT_FALSE(response.empty());
+      EXPECT_EQ(response[0], 1);
+      EXPECT_FALSE(std::filesystem::exists(dir / "init.bin"))
+          << "a rejected Init must not be persisted";
+      EXPECT_TRUE(list_wal_segments(dir).empty());
+      EXPECT_FALSE(server.initialized());
+    };
+
+    // Fails apply_init's upfront validation (cost.validate()).
+    InitRequest bad_config = decode_init(log[0].payload);
+    bad_config.cost.energy_price_usd_per_kwh = -1.0;
+    expect_rejected(bad_config);
+
+    // Fails mid-way through rebuilding the placement mirror (a VM placed
+    // twice): the partial mirror must be discarded, not persisted.
+    InitRequest bad_placement = decode_init(log[0].payload);
+    for (std::vector<int>& vms : bad_placement.host_vms) {
+      if (!vms.empty()) {
+        vms.push_back(vms[0]);
+        break;
+      }
+    }
+    expect_rejected(bad_placement);
+
+    // The same daemon accepts a valid Init afterwards and serves.
+    for (const Recorded& r : log) {
+      const std::vector<std::uint8_t> ok = server.handle(r.type, r.payload);
+      ASSERT_FALSE(ok.empty());
+      EXPECT_EQ(ok[0], 0);
+    }
+  }
+  MeghServer after(fast_options(dir, 0));
+  EXPECT_TRUE(after.initialized());
+}
+
 TEST_F(ServerRecoveryTest, InitIsIdempotentForMatchingFleet) {
   // A client that reconnects after a daemon restart re-sends Init; the
   // server must accept it as a no-op instead of resetting the policy.

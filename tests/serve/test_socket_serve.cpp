@@ -2,6 +2,7 @@
 // transport, the admin verbs megh_ctl uses, and drain/shutdown lifecycle.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <thread>
@@ -105,6 +106,34 @@ TEST_F(SocketServeTest, ServerErrorBecomesClientException) {
     EXPECT_EQ(client.hello(), kProtocolVersion);
     client.shutdown();
   }
+  listen_thread.join();
+}
+
+TEST_F(SocketServeTest, FinishedConnectionThreadsAreReaped) {
+  // A long-lived daemon serving many short-lived clients must join
+  // finished connection threads as it goes, not hoard them until
+  // shutdown. The accept loop reaps before each new connection, so a
+  // stream of connect/close cycles must drive reaped_connections() up.
+  ServeOptions options;
+  options.dir = root_ / "state";
+  options.fsync = false;
+  MeghServer server(options);
+  SocketServer listener(server, socket_path_);
+  std::thread listen_thread([&] { listener.run(); });
+
+  // Each iteration completes a round trip (so the server definitely
+  // processed the connection) and then closes it; the next accept can
+  // then reap it once its thread has wound down.
+  for (int i = 0; i < 200 && listener.reaped_connections() < 5; ++i) {
+    ServeClient client(std::make_shared<SocketTransport>(socket_path_));
+    EXPECT_EQ(client.hello(), kProtocolVersion);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(listener.reaped_connections(), 5u)
+      << "accept loop never joined finished connection threads";
+
+  ServeClient admin(std::make_shared<SocketTransport>(socket_path_));
+  admin.shutdown();
   listen_thread.join();
 }
 

@@ -292,5 +292,28 @@ TEST_F(WalTest, FreshWriterTruncatesTornLeftoverAtSameSeq) {
   EXPECT_EQ(scan.records[0].seq, 5u);
 }
 
+TEST_F(WalTest, PoisonedWriterRefusesAllFurtherWrites) {
+  // After any append failure the writer must latch shut: the failed
+  // record's bytes may already sit in the file, so a further append would
+  // follow them with a second record at the same seq and the next scan
+  // would reject the whole segment as mid-chain damage. The latch keeps
+  // the partial bytes as a benign torn tail instead.
+  WalWriter writer(dir_, 1, false);
+  writer.append(2, payload(8, 1));
+  EXPECT_FALSE(writer.poisoned());
+  writer.poison("simulated write failure");
+  EXPECT_TRUE(writer.poisoned());
+  EXPECT_THROW(writer.append(2, payload(8, 2)), IoError);
+  EXPECT_THROW(writer.append(2, payload(8, 2)), IoError);
+  EXPECT_THROW(writer.rotate(writer.next_seq()), IoError);
+  // next_seq never advanced past the last durable record...
+  EXPECT_EQ(writer.next_seq(), 2u);
+  // ...and the segment still scans clean with exactly the acked record.
+  const WalScan scan = scan_wal(dir_);
+  EXPECT_FALSE(scan.dropped_torn_tail);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].seq, 1u);
+}
+
 }  // namespace
 }  // namespace megh::serve
